@@ -1,0 +1,72 @@
+//! Application-layer costs (E15 + Section 6.3): swarm frequency
+//! estimation, sensor-network token sampling, coverage and dispersion.
+
+use antdensity_graphs::Torus2d;
+use antdensity_swarm::coverage::{coverage_curve, DispersionSim};
+use antdensity_swarm::robot::SwarmConfig;
+use antdensity_swarm::sensor::{iid_mean_estimate, token_mean_estimate, SensorField};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_swarm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("two_group_frequency_256r", |b| {
+        let cfg = SwarmConfig::new(32, 96, 256).with_groups(&[24, 24]);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            cfg.run(seed)
+        });
+    });
+    group.bench_function("dispersion_200r", |b| {
+        let sim = DispersionSim::new(32, 96, 8, 0.5);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sim.run_clustered(200, seed)
+        });
+    });
+    group.bench_function("coverage_curve_200r", |b| {
+        let topo = Torus2d::new(64);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            coverage_curve(&topo, 32, 200, seed)
+        });
+    });
+    group.finish();
+}
+
+fn bench_sensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensor_sampling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let mut rng = SmallRng::seed_from_u64(1);
+    let field = SensorField::bernoulli(Torus2d::new(64), 0.2, &mut rng);
+    group.bench_function("token_4096_hops", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            token_mean_estimate(&field, 0, 4096, seed)
+        });
+    });
+    group.bench_function("iid_4096_samples", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            iid_mean_estimate(&field, 4096, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_swarm, bench_sensor);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Engine throughput: the synchronous arena (the paper's model) across
+//! topologies and population sizes. Supports every experiment; the cost
+//! model here is what makes the E1/E6/E7 sweeps feasible.
+
+use antdensity_graphs::{CompleteGraph, Hypercube, Ring, Torus2d};
+use antdensity_walks::arena::SyncArena;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_arena_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_step_round");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let agents = 1024usize;
+    group.throughput(Throughput::Elements(agents as u64));
+
+    group.bench_function(BenchmarkId::new("torus2d", 256), |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut arena = SyncArena::new(Torus2d::new(256), agents);
+        arena.place_uniform(&mut rng);
+        b.iter(|| arena.step_round(&mut rng));
+    });
+    group.bench_function(BenchmarkId::new("ring", 65536), |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut arena = SyncArena::new(Ring::new(65536), agents);
+        arena.place_uniform(&mut rng);
+        b.iter(|| arena.step_round(&mut rng));
+    });
+    group.bench_function(BenchmarkId::new("hypercube", 16), |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut arena = SyncArena::new(Hypercube::new(16), agents);
+        arena.place_uniform(&mut rng);
+        b.iter(|| arena.step_round(&mut rng));
+    });
+    group.bench_function(BenchmarkId::new("complete", 65536), |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut arena = SyncArena::new(CompleteGraph::new(65536), agents);
+        arena.place_uniform(&mut rng);
+        b.iter(|| arena.step_round(&mut rng));
+    });
+    group.finish();
+}
+
+fn bench_arena_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_agent_scaling");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for agents in [64usize, 512, 4096] {
+        group.throughput(Throughput::Elements(agents as u64));
+        group.bench_with_input(
+            BenchmarkId::new("torus2d_256", agents),
+            &agents,
+            |b, &n| {
+                let mut rng = SmallRng::seed_from_u64(5);
+                let mut arena = SyncArena::new(Torus2d::new(256), n);
+                arena.place_uniform(&mut rng);
+                b.iter(|| arena.step_round(&mut rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_count_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_count");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let agents = 1024usize;
+    group.throughput(Throughput::Elements(agents as u64));
+    group.bench_function("count_all_agents", |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut arena = SyncArena::new(Torus2d::new(128), agents);
+        arena.place_uniform(&mut rng);
+        arena.step_round(&mut rng);
+        b.iter(|| {
+            let mut total = 0u64;
+            for a in 0..agents {
+                total += arena.count(a) as u64;
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arena_round,
+    bench_arena_scaling,
+    bench_count_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Estimator runtimes: Algorithm 1 (E1/E6), Algorithm 4 (E7), the i.i.d.
+//! baseline, quorum sensing, and frequency estimation (E15) at matched
+//! parameters.
+
+use antdensity_core::algorithm1::Algorithm1;
+use antdensity_core::algorithm4::Algorithm4;
+use antdensity_core::baseline::IidBaseline;
+use antdensity_core::frequency::FrequencyEstimation;
+use antdensity_core::quorum::QuorumSensor;
+use antdensity_graphs::{CompleteGraph, Torus2d};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let torus = Torus2d::new(64); // A = 4096
+    let complete = CompleteGraph::new(4096);
+    for t in [64u64, 256] {
+        group.bench_with_input(BenchmarkId::new("torus64_d0.05", t), &t, |b, &t| {
+            let alg = Algorithm1::new(206, t);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                alg.run(&torus, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("complete4096_d0.05", t), &t, |b, &t| {
+            let alg = Algorithm1::new(206, t);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                alg.run(&complete, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm4_and_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm4_vs_baseline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let torus = Torus2d::new(512);
+    group.bench_function("algorithm4_t256", |b| {
+        let alg = Algorithm4::new(2048, 256);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            alg.run(&torus, seed)
+        });
+    });
+    group.bench_function("iid_baseline_t256", |b| {
+        let base = IidBaseline::new(2047, 512 * 512, 256);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            base.run(2048, seed)
+        });
+    });
+    group.finish();
+}
+
+fn bench_applications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let torus = Torus2d::new(32);
+    group.bench_function("frequency_estimation", |b| {
+        let cfg = FrequencyEstimation::new(103, 32, 256);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            cfg.run(&torus, seed)
+        });
+    });
+    group.bench_function("quorum_sensor", |b| {
+        let complete = CompleteGraph::new(512);
+        let sensor = QuorumSensor::new(0.1, 0.1, 1024);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sensor.run(&complete, 64, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_algorithm4_and_baseline,
+    bench_applications
+);
+criterion_main!(benches);

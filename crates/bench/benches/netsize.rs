@@ -1,0 +1,85 @@
+//! Network-size estimation costs (E12/E13/E14): Algorithm 2 vs the
+//! KLSC14 baseline, degree estimation, and burn-in machinery.
+
+use antdensity_graphs::generators;
+use antdensity_netsize::algorithm2::{Algorithm2, StartMode};
+use antdensity_netsize::katzir::Katzir;
+use antdensity_netsize::{burnin, degree};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_algorithm2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = generators::random_regular(2048, 8, 500, &mut rng).expect("regular graph");
+    for (n, t) in [(64usize, 256u64), (256, 64), (1024, 16)] {
+        group.bench_with_input(
+            BenchmarkId::new("regular2048", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                let alg = Algorithm2::new(n, t);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    alg.run(&g, 8.0, StartMode::Stationary, seed)
+                });
+            },
+        );
+    }
+    group.bench_function("katzir_n2048", |b| {
+        let k = Katzir::new(2048);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            k.run(&g, 8.0, StartMode::Stationary, seed)
+        });
+    });
+    group.finish();
+}
+
+fn bench_degree_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degree_estimation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let mut rng = SmallRng::seed_from_u64(2);
+    let g = generators::barabasi_albert(2048, 3, &mut rng).expect("ba graph");
+    for n in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("ba2048", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                degree::estimate_avg_degree(&g, n, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_burnin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("burnin");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let mut rng = SmallRng::seed_from_u64(3);
+    let g = generators::watts_strogatz(1024, 4, 0.1, &mut rng).expect("ws graph");
+    group.bench_function("burn_in_128walks_256steps", |b| {
+        let mut r = SmallRng::seed_from_u64(4);
+        b.iter(|| burnin::burn_in(&g, 0, 256, 128, &mut r));
+    });
+    group.bench_function("tv_profile_256", |b| {
+        b.iter(|| burnin::tv_profile(&g, 0, 256));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm2, bench_degree_estimation, bench_burnin);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Re-collision machinery costs: exact distribution evolution per
+//! topology (E3/E4/E8/E9/E10/E11) and Monte-Carlo moment estimation (E5).
+
+use antdensity_core::recollision;
+use antdensity_graphs::{dist, Hypercube, Ring, Torus2d, TorusKd};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_exact_evolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_distribution_evolution");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let steps = 128u64;
+    group.throughput(Throughput::Elements(steps));
+    group.bench_function(BenchmarkId::new("torus2d", 64), |b| {
+        let t = Torus2d::new(64);
+        b.iter(|| dist::recollision_series(&t, 0, steps));
+    });
+    group.bench_function(BenchmarkId::new("ring", 4096), |b| {
+        let r = Ring::new(4096);
+        b.iter(|| dist::recollision_series(&r, 0, steps));
+    });
+    group.bench_function(BenchmarkId::new("torus3d", 16), |b| {
+        let t = TorusKd::new(3, 16);
+        b.iter(|| dist::recollision_series(&t, 0, steps));
+    });
+    group.bench_function(BenchmarkId::new("hypercube", 12), |b| {
+        let h = Hypercube::new(12);
+        b.iter(|| dist::recollision_series(&h, 0, steps));
+    });
+    group.finish();
+}
+
+fn bench_mc_recollision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_recollision");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let torus = Torus2d::new(64);
+    for trials in [1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(trials));
+        group.bench_with_input(
+            BenchmarkId::new("torus64_t64", trials),
+            &trials,
+            |b, &n| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    recollision::mc_recollision_curve(&torus, 0, 64, n, seed, 4)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moment_estimation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let torus = Torus2d::new(32);
+    group.bench_function("pair_count_moments_10k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            recollision::pair_count_moments(&torus, 256, 6, 10_000, seed, 4)
+        });
+    });
+    group.bench_function("equalization_moments_10k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            recollision::equalization_moments(&torus, 0, 256, 6, 10_000, seed, 4)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_evolution, bench_mc_recollision, bench_moments);
+criterion_main!(benches);

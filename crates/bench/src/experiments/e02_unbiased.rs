@@ -1,0 +1,92 @@
+//! E2 — Lemma 2 / Corollary 3: `E[d̃] = d` on every topology.
+//!
+//! The paper's unbiasedness argument needs only regularity (uniform
+//! placement is stationary). We check the grand mean of `d̃` against `d`
+//! on every analysed topology family, reporting the ratio and a
+//! 5-standard-error band.
+
+use super::util;
+use crate::report::{Effort, ExperimentReport};
+use antdensity_graphs::{generators, AdjGraph, CompleteGraph, Hypercube, Ring, Topology, Torus2d, TorusKd};
+use antdensity_stats::table::{format_sig, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn check<T: Topology + Sync>(
+    name: &str,
+    topo: &T,
+    num_agents: usize,
+    rounds: u64,
+    runs: u64,
+    seed: u64,
+    table: &mut Table,
+) -> bool {
+    let d = (num_agents as f64 - 1.0) / topo.num_nodes() as f64;
+    let (mean, se, _) = util::algorithm1_mean_estimate(topo, num_agents, rounds, runs, seed);
+    let ratio = mean / d;
+    let ok = (mean - d).abs() <= 5.0 * se + 1e-9;
+    table.row_owned(vec![
+        name.to_string(),
+        topo.num_nodes().to_string(),
+        format_sig(d, 4),
+        format_sig(mean, 5),
+        format_sig(ratio, 4),
+        format_sig(se, 5),
+        if ok { "pass" } else { "FAIL" }.to_string(),
+    ]);
+    ok
+}
+
+/// Runs E2.
+pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e2",
+        "Lemma 2 / Corollary 3: the encounter rate is an unbiased density estimator",
+    );
+    let runs = effort.trials(8, 40);
+    let rounds = effort.size(128, 512);
+    let mut table = Table::new(
+        "unbiasedness",
+        &["topology", "A", "d", "mean_estimate", "ratio", "std_err", "within_5se"],
+    );
+
+    let mut all_ok = true;
+    let torus = Torus2d::new(32);
+    all_ok &= check("torus2d_32", &torus, 103, rounds, runs, seed ^ 1, &mut table);
+    let ring = Ring::new(1024);
+    all_ok &= check("ring_1024", &ring, 103, rounds, runs, seed ^ 2, &mut table);
+    let t3 = TorusKd::new(3, 10);
+    all_ok &= check("torus3d_10", &t3, 101, rounds, runs, seed ^ 3, &mut table);
+    let hyper = Hypercube::new(10);
+    all_ok &= check("hypercube_10", &hyper, 103, rounds, runs, seed ^ 4, &mut table);
+    let complete = CompleteGraph::new(1024);
+    all_ok &= check("complete_1024", &complete, 103, rounds, runs, seed ^ 5, &mut table);
+    let expander: AdjGraph = {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 6);
+        generators::random_regular(1024, 8, 500, &mut rng).expect("expander generation")
+    };
+    all_ok &= check("regular8_1024", &expander, 103, rounds, runs, seed ^ 7, &mut table);
+
+    table.note("paper: ratio = 1 exactly in expectation on every regular graph");
+    report.push_table(table);
+    report.finding(format!(
+        "grand-mean estimate within 5 standard errors of d on all 6 topologies: {}",
+        if all_ok { "yes" } else { "NO — investigate" }
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_unbiased_everywhere() {
+        let r = run(Effort::Quick, 3);
+        assert_eq!(r.tables[0].num_rows(), 6);
+        // every row passes
+        for row in r.tables[0].rows() {
+            assert_eq!(row.last().unwrap(), "pass", "row {row:?}");
+        }
+    }
+}

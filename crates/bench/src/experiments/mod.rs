@@ -1,0 +1,152 @@
+//! The experiment registry: one module per paper claim (see crate docs).
+
+pub mod e01_theorem1_torus;
+pub mod e02_unbiased;
+pub mod e03_recollision_torus;
+pub mod e04_equalization;
+pub mod e05_moments;
+pub mod e06_complete_vs_torus;
+pub mod e07_algorithm4;
+pub mod e08_ring;
+pub mod e09_torus_kd;
+pub mod e10_expander;
+pub mod e11_hypercube;
+pub mod e12_netsize;
+pub mod e13_degree;
+pub mod e14_burnin;
+pub mod e15_frequency_noise;
+pub mod e16_local_density;
+pub mod e17_avoidance_singlewalk;
+pub(crate) mod util;
+
+use crate::report::{Effort, ExperimentReport};
+
+/// A registered experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentDef {
+    /// Stable id, e.g. `"e3"`.
+    pub id: &'static str,
+    /// Short description (paper reference).
+    pub summary: &'static str,
+    /// Entry point.
+    pub run: fn(Effort, u64) -> ExperimentReport,
+}
+
+/// All experiments, in paper order.
+pub fn all() -> Vec<ExperimentDef> {
+    vec![
+        ExperimentDef {
+            id: "e1",
+            summary: "Theorem 1: random-walk density estimation accuracy on the 2-d torus",
+            run: e01_theorem1_torus::run,
+        },
+        ExperimentDef {
+            id: "e2",
+            summary: "Lemma 2 / Corollary 3: encounter rate is unbiased on every topology",
+            run: e02_unbiased::run,
+        },
+        ExperimentDef {
+            id: "e3",
+            summary: "Lemma 4 / Lemma 9: torus re-collision probability O(1/(m+1) + 1/A)",
+            run: e03_recollision_torus::run,
+        },
+        ExperimentDef {
+            id: "e4",
+            summary: "Corollary 10: equalization probability Theta(1/(m+1)), zero at odd lags",
+            run: e04_equalization::run,
+        },
+        ExperimentDef {
+            id: "e5",
+            summary: "Lemma 11 / Corollaries 15-16: collision-count moment bounds",
+            run: e05_moments::run,
+        },
+        ExperimentDef {
+            id: "e6",
+            summary: "Section 1.1: torus vs complete graph - the log(2t) accuracy gap",
+            run: e06_complete_vs_torus::run,
+        },
+        ExperimentDef {
+            id: "e7",
+            summary: "Theorem 32: Algorithm 4 (independent sampling) accuracy and mod-t correction",
+            run: e07_algorithm4::run,
+        },
+        ExperimentDef {
+            id: "e8",
+            summary: "Lemma 20 / Theorem 21: ring re-collision 1/sqrt(m) and t^(-1/4) convergence",
+            run: e08_ring::run,
+        },
+        ExperimentDef {
+            id: "e9",
+            summary: "Lemma 22: k-dimensional tori (k>=3) match independent sampling",
+            run: e09_torus_kd::run,
+        },
+        ExperimentDef {
+            id: "e10",
+            summary: "Lemma 23/24: regular expanders - lambda^m re-collision decay",
+            run: e10_expander::run,
+        },
+        ExperimentDef {
+            id: "e11",
+            summary: "Lemma 25/26: hypercube re-collision (9/10)^(m-1) + 1/sqrt(A)",
+            run: e11_hypercube::run,
+        },
+        ExperimentDef {
+            id: "e12",
+            summary: "Theorem 27 + Section 5.1.5: network size estimation, query cost vs KLSC14",
+            run: e12_netsize::run,
+        },
+        ExperimentDef {
+            id: "e13",
+            summary: "Theorem 31: average-degree estimation by inverse-degree sampling",
+            run: e13_degree::run,
+        },
+        ExperimentDef {
+            id: "e14",
+            summary: "Section 5.1.4: burn-in TV decay and its effect on size estimates",
+            run: e14_burnin::run,
+        },
+        ExperimentDef {
+            id: "e15",
+            summary: "Section 5.2 + 6.1: property frequency, noisy sensing, biased walks",
+            run: e15_frequency_noise::run,
+        },
+        ExperimentDef {
+            id: "e16",
+            summary: "Extension (2.1.1/6.1): clustered placement - local density estimation emerges",
+            run: e16_local_density::run,
+        },
+        ExperimentDef {
+            id: "e17",
+            summary: "Extension (6.1/6.3.3): collision avoidance; single-walk size estimation",
+            run: e17_avoidance_singlewalk::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by id (case-insensitive).
+pub fn find(id: &str) -> Option<ExperimentDef> {
+    let wanted = id.to_ascii_lowercase();
+    all().into_iter().find(|e| e.id == wanted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_seventeen_entries_with_unique_ids() {
+        let defs = all();
+        assert_eq!(defs.len(), 17);
+        let mut ids: Vec<&str> = defs.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 17);
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("E3").is_some());
+        assert!(find("e17").is_some());
+        assert!(find("e18").is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Shared helpers for experiment modules.
+
+use antdensity_core::algorithm1::Algorithm1;
+use antdensity_graphs::Topology;
+use antdensity_stats::quantile;
+use antdensity_stats::rng::SeedSequence;
+use antdensity_walks::parallel;
+
+/// Pools per-agent relative errors from `runs` independent Algorithm 1
+/// executions and returns the requested error quantiles.
+pub(crate) fn algorithm1_error_quantiles<T: Topology + Sync>(
+    topo: &T,
+    num_agents: usize,
+    rounds: u64,
+    runs: u64,
+    seed: u64,
+    qs: &[f64],
+) -> Vec<f64> {
+    let seq = SeedSequence::new(seed);
+    let threads = parallel::default_threads();
+    let alg = Algorithm1::new(num_agents, rounds);
+    let per_run = parallel::run_trials(runs, threads, seq, |i, _| {
+        alg.run(topo, seq.derive(i ^ 0xE1E1)).relative_errors()
+    });
+    let pooled: Vec<f64> = per_run.into_iter().flatten().collect();
+    quantile::quantiles(&pooled, qs)
+}
+
+/// Pools per-agent estimates from `runs` executions; returns
+/// `(grand_mean, standard_error_of_mean, sample_count)`.
+pub(crate) fn algorithm1_mean_estimate<T: Topology + Sync>(
+    topo: &T,
+    num_agents: usize,
+    rounds: u64,
+    runs: u64,
+    seed: u64,
+) -> (f64, f64, u64) {
+    let seq = SeedSequence::new(seed);
+    let threads = parallel::default_threads();
+    let alg = Algorithm1::new(num_agents, rounds);
+    // Per-run means are i.i.d. across runs; agents within a run are
+    // correlated, so the standard error is computed over run means.
+    let run_means = parallel::run_trials(runs, threads, seq, |i, _| {
+        alg.run(topo, seq.derive(i ^ 0xE2E2)).mean_estimate()
+    });
+    let n = run_means.len() as f64;
+    let mean = run_means.iter().sum::<f64>() / n;
+    let var = run_means
+        .iter()
+        .map(|m| (m - mean) * (m - mean))
+        .sum::<f64>()
+        / (n - 1.0).max(1.0);
+    (mean, (var / n).sqrt(), runs)
+}
+
+/// Geometric sweep `start, start*2, …, ≤ end` (inclusive of `end` when it
+/// is a power-of-two multiple of `start`).
+pub(crate) fn pow2_sweep(start: u64, end: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut t = start;
+    while t <= end {
+        v.push(t);
+        t = t.saturating_mul(2);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdensity_graphs::Torus2d;
+
+    #[test]
+    fn pow2_sweep_covers_range() {
+        assert_eq!(pow2_sweep(4, 32), vec![4, 8, 16, 32]);
+        assert_eq!(pow2_sweep(5, 21), vec![5, 10, 20]);
+        assert_eq!(pow2_sweep(8, 8), vec![8]);
+    }
+
+    #[test]
+    fn error_quantiles_are_ordered() {
+        let topo = Torus2d::new(8);
+        let q = algorithm1_error_quantiles(&topo, 9, 32, 4, 1, &[0.5, 0.9]);
+        assert_eq!(q.len(), 2);
+        assert!(q[0] <= q[1]);
+    }
+
+    #[test]
+    fn mean_estimate_near_truth() {
+        let topo = Torus2d::new(8); // A = 64
+        let (mean, se, _) = algorithm1_mean_estimate(&topo, 17, 64, 16, 2);
+        let truth = 16.0 / 64.0;
+        assert!((mean - truth).abs() < 6.0 * se + 0.02, "mean {mean} se {se}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Experiment output: reports, effort levels, CSV persistence.
+
+use antdensity_stats::table::Table;
+use std::io::Write;
+use std::path::Path;
+
+/// How much compute an experiment should spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Seconds per experiment — CI-friendly smoke version with smaller
+    /// graphs and fewer trials. Shapes are still visible, constants are
+    /// noisier.
+    Quick,
+    /// The full parameter grids used for `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Effort {
+    /// Scales a trial count.
+    pub fn trials(&self, quick: u64, full: u64) -> u64 {
+        match self {
+            Effort::Quick => quick,
+            Effort::Full => full,
+        }
+    }
+
+    /// Picks a size parameter.
+    pub fn size(&self, quick: u64, full: u64) -> u64 {
+        match self {
+            Effort::Quick => quick,
+            Effort::Full => full,
+        }
+    }
+}
+
+/// The result of one experiment: a set of tables plus free-form findings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Stable id (`e1` … `e15`).
+    pub id: &'static str,
+    /// Human-readable title including the paper reference.
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Headline findings — one line each, written for EXPERIMENTS.md.
+    pub findings: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Adds a table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Adds a finding line.
+    pub fn finding(&mut self, line: impl Into<String>) {
+        self.findings.push(line.into());
+    }
+
+    /// Renders the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id.to_uppercase(), self.title));
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for f in &self.findings {
+            out.push_str(&format!("  => {f}\n"));
+        }
+        out
+    }
+
+    /// Writes each table as `dir/<id>_<index>_<slug>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or files.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (i, t) in self.tables.iter().enumerate() {
+            let slug: String = t
+                .title()
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect::<String>()
+                .split('_')
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("_");
+            let path = dir.join(format!("{}_{:02}_{}.csv", self.id, i, slug));
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(t.to_csv().as_bytes())?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_scaling() {
+        assert_eq!(Effort::Quick.trials(10, 1000), 10);
+        assert_eq!(Effort::Full.trials(10, 1000), 1000);
+        assert_eq!(Effort::Quick.size(8, 64), 8);
+    }
+
+    #[test]
+    fn report_renders_tables_and_findings() {
+        let mut r = ExperimentReport::new("e0", "demo experiment");
+        let mut t = Table::new("numbers", &["x"]);
+        t.row(&["1"]);
+        r.push_table(t);
+        r.finding("slope = -1.0 as predicted");
+        let s = r.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("numbers"));
+        assert!(s.contains("=> slope"));
+    }
+
+    #[test]
+    fn csv_files_written() {
+        let dir = std::env::temp_dir().join(format!("antdensity_test_{}", std::process::id()));
+        let mut r = ExperimentReport::new("e9", "csv test");
+        let mut t = Table::new("My Table! (v2)", &["a", "b"]);
+        t.row(&["1", "2"]);
+        r.push_table(t);
+        let files = r.write_csv(&dir).unwrap();
+        assert_eq!(files.len(), 1);
+        let content = std::fs::read_to_string(&files[0]).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        assert!(files[0].file_name().unwrap().to_str().unwrap().starts_with("e9_00_my_table"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,193 @@
+//! The i.i.d. sampling baseline of Section 1.1.
+//!
+//! On the complete graph "each agent steps to a uniformly random position
+//! and, in expectation, the number of other agents it collides with in
+//! this step is d. … The agents are effectively taking independent
+//! Bernoulli samples with success probability d." This module samples
+//! that process *directly* — each round's collision count is an exact
+//! `Binomial(n, 1/A)` draw — so the baseline costs O(t) per agent
+//! regardless of population size, letting experiments compare the torus
+//! against the idealised baseline at large scale.
+
+use crate::algorithm1::DensityRun;
+use antdensity_stats::rng::SeedSequence;
+use rand::Rng;
+
+/// The idealised independent-sampling estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IidBaseline {
+    others: u64,
+    area: u64,
+    rounds: u64,
+}
+
+impl IidBaseline {
+    /// An agent observing `others = n` other agents on `area = A` nodes
+    /// for `rounds = t` rounds (density `d = n/A`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area == 0` or `rounds == 0`.
+    pub fn new(others: u64, area: u64, rounds: u64) -> Self {
+        assert!(area > 0, "area must be positive");
+        assert!(rounds > 0, "need at least one round");
+        Self {
+            others,
+            area,
+            rounds,
+        }
+    }
+
+    /// The density `d = n/A` being estimated.
+    pub fn density(&self) -> f64 {
+        self.others as f64 / self.area as f64
+    }
+
+    /// Draws `num_estimators` independent estimates (each the average of
+    /// `t` i.i.d. `Binomial(n, 1/A)` rounds).
+    pub fn run(&self, num_estimators: usize, seed: u64) -> DensityRun {
+        assert!(num_estimators > 0, "need at least one estimator");
+        let seq = SeedSequence::new(seed);
+        let mut rng = seq.rng(0);
+        let p = 1.0 / self.area as f64;
+        let mut counts = Vec::with_capacity(num_estimators);
+        for _ in 0..num_estimators {
+            let mut c = 0u64;
+            for _ in 0..self.rounds {
+                c += sample_binomial_u64(self.others, p, &mut rng);
+            }
+            counts.push(c);
+        }
+        let estimates = counts
+            .iter()
+            .map(|&c| c as f64 / self.rounds as f64)
+            .collect();
+        DensityRun::from_parts(estimates, counts, self.rounds, self.density())
+    }
+}
+
+/// Exact Binomial(n, p) sampling by inversion on the CDF — O(np + 1)
+/// expected work, exact for the tiny `np = d ≤ 1` regime this baseline
+/// lives in, and still correct (just slower) elsewhere.
+pub fn sample_binomial_u64(n: u64, p: f64, rng: &mut impl Rng) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Inversion: walk the pmf using the recurrence
+    //   P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p).
+    let q = 1.0 - p;
+    let mut pmf = q.powf(n as f64); // P(0)
+    if pmf == 0.0 {
+        // Too deep in the tail for direct inversion (np huge). Fall back
+        // to a normal approximation, clamped to the support. The baseline
+        // never hits this path with valid model parameters (np = d <= 1).
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * q).sqrt();
+        let z = sample_standard_normal(rng);
+        let v = (mean + sd * z).round();
+        return v.clamp(0.0, n as f64) as u64;
+    }
+    let mut cdf = pmf;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let mut k = 0u64;
+    while u > cdf && k < n {
+        pmf *= (n - k) as f64 / (k + 1) as f64 * (p / q);
+        k += 1;
+        cdf += pmf;
+        if pmf < 1e-300 {
+            break;
+        }
+    }
+    k
+}
+
+/// Standard normal via Box–Muller.
+fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn baseline_mean_matches_density() {
+        let b = IidBaseline::new(128, 1024, 256); // d = 0.125
+        let run = b.run(200, 1);
+        assert!((run.mean_estimate() - 0.125).abs() < 0.005);
+        assert_eq!(run.true_density(), 0.125);
+    }
+
+    #[test]
+    fn error_decays_like_inverse_sqrt_t() {
+        let d = 0.125;
+        let short = IidBaseline::new(128, 1024, 64).run(400, 2);
+        let long = IidBaseline::new(128, 1024, 1024).run(400, 3);
+        let rms = |r: &DensityRun| {
+            let e = r.relative_errors();
+            (e.iter().map(|x| x * x).sum::<f64>() / e.len() as f64).sqrt()
+        };
+        let ratio = rms(&short) / rms(&long);
+        // t grew 16x so rms error should shrink ~4x
+        assert!(
+            (ratio - 4.0).abs() < 1.2,
+            "ratio {ratio} should be near 4 (d = {d})"
+        );
+    }
+
+    #[test]
+    fn binomial_u64_mean_and_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(sample_binomial_u64(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial_u64(10, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial_u64(10, 1.0, &mut rng), 10);
+        let trials = 40_000;
+        let total: u64 = (0..trials)
+            .map(|_| sample_binomial_u64(2000, 0.001, &mut rng))
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_u64_huge_n_normal_path() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        // np = 5e5 forces the normal fallback; sanity-check the scale.
+        let trials = 2000;
+        let total: u64 = (0..trials)
+            .map(|_| sample_binomial_u64(1_000_000, 0.5, &mut rng))
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 500_000.0).abs() < 200.0, "mean {mean}");
+    }
+
+    #[test]
+    fn chernoff_coverage_holds() {
+        // After chernoff_rounds(eps, delta, d) rounds, at least 1 - delta
+        // of estimators are within (1 +- eps) d.
+        let d = 0.125;
+        let (eps, delta) = (0.2, 0.1);
+        let t = antdensity_stats::bounds::chernoff_rounds(eps, delta, d).ceil() as u64;
+        let run = IidBaseline::new(128, 1024, t).run(1000, 6);
+        let cover = run.fraction_within(eps);
+        assert!(
+            cover >= 1.0 - delta,
+            "coverage {cover} below 1 - delta = {}",
+            1.0 - delta
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let b = IidBaseline::new(10, 100, 50);
+        assert_eq!(b.run(20, 9), b.run(20, 9));
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's primary contribution: random-walk-based density estimation.
+//!
+//! This crate implements, verbatim, the algorithms of
+//! *Ant-Inspired Density Estimation via Random Walks* (Musco, Su, Lynch;
+//! PODC 2016 / PNAS 2017):
+//!
+//! * [`algorithm1`] — **Algorithm 1**: every agent random-walks and
+//!   accumulates `count(position)`; after `t` rounds it returns
+//!   `d̃ = c/t`. Theorem 1 proves `d̃ ∈ (1±ε)d` w.h.p. on the 2-d torus.
+//! * [`algorithm4`] — **Algorithm 4** (Appendix A): the
+//!   independent-sampling variant with stationary/mobile halves, a
+//!   deterministic drift pattern, and the `c mod t` correction for
+//!   co-located starts (Theorem 32).
+//! * [`baseline`] — the complete-graph / i.i.d. Bernoulli baseline of
+//!   Section 1.1 against which "nearly matches independent sampling" is
+//!   measured.
+//! * [`theory`] — every topology's re-collision envelope `β(m)`, its sum
+//!   `B(t)`, and the resulting accuracy predictions (Theorem 1, Lemma 19,
+//!   Theorems 21/32, Lemmas 20/22/23/25).
+//! * [`recollision`] — measurement APIs for re-collision curves and
+//!   collision-count moments (Lemma 11, Corollaries 15/16), both
+//!   Monte-Carlo and exact.
+//! * [`frequency`] — Section 5.2: estimating the relative frequency
+//!   `f_P = d_P/d` of a property (task group, enemy status, …).
+//! * [`quorum`] — density-threshold detection (quorum sensing), the
+//!   Section 6.2 use-case, built as an adaptive stopping rule on top of
+//!   Algorithm 1.
+//! * [`noise`] — Section 6.1's noisy collision detection (missed and
+//!   spurious detections) with unbiasing corrections.
+//! * [`local`] — Sections 2.1.1 / 6.1 future work, implemented:
+//!   non-uniform (clustered) placement, exact local densities, and the
+//!   local-vs-global accounting of what encounter rates estimate then.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use antdensity_core::algorithm1::Algorithm1;
+//! use antdensity_graphs::Torus2d;
+//!
+//! // 65 agents (n = 64 others) on a 32x32 torus: d = 64/1024 = 0.0625
+//! let run = Algorithm1::new(65, 512).run(&Torus2d::new(32), 42);
+//! assert_eq!(run.estimates().len(), 65);
+//! let mean = run.mean_estimate();
+//! assert!((mean - run.true_density()).abs() < 0.05);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod algorithm1;
+pub mod algorithm4;
+pub mod baseline;
+pub mod frequency;
+pub mod local;
+pub mod noise;
+pub mod quorum;
+pub mod recollision;
+pub mod theory;
+
+pub use algorithm1::{Algorithm1, DensityRun};
+pub use algorithm4::Algorithm4;
+pub use noise::CollisionNoise;
+pub use theory::TopologyClass;

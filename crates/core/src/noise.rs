@@ -1,0 +1,233 @@
+//! Noisy collision detection (Section 6.1's robustness extension).
+//!
+//! The paper proposes modelling "noisy collision detection, in which each
+//! collision is only detected with some probability, or in which spurious
+//! collisions may occasionally be detected". [`CollisionNoise`] implements
+//! both: a per-collision detection probability `p` and a per-round Poisson
+//! rate `s` of spurious detections. Since the observed count has
+//! expectation `p·E[count] + s`, the unbiasing correction
+//! `d̃ = (d̃_obs − s)/p` recovers the true density in expectation.
+
+use rand::Rng;
+use rand::RngCore;
+
+/// A noisy collision sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionNoise {
+    detect_prob: f64,
+    spurious_rate: f64,
+}
+
+impl CollisionNoise {
+    /// Creates a sensor that detects each true collision independently
+    /// with probability `detect_prob` and additionally reports
+    /// `Poisson(spurious_rate)` phantom collisions per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detect_prob ∉ (0, 1]` or `spurious_rate < 0` (or is not
+    /// finite).
+    pub fn new(detect_prob: f64, spurious_rate: f64) -> Self {
+        assert!(
+            detect_prob > 0.0 && detect_prob <= 1.0,
+            "detection probability must lie in (0,1]"
+        );
+        assert!(
+            spurious_rate >= 0.0 && spurious_rate.is_finite(),
+            "spurious rate must be finite and non-negative"
+        );
+        Self {
+            detect_prob,
+            spurious_rate,
+        }
+    }
+
+    /// A perfect sensor (identity observation).
+    pub fn perfect() -> Self {
+        Self {
+            detect_prob: 1.0,
+            spurious_rate: 0.0,
+        }
+    }
+
+    /// Detection probability `p`.
+    pub fn detect_prob(&self) -> f64 {
+        self.detect_prob
+    }
+
+    /// Spurious-detection rate `s` per round.
+    pub fn spurious_rate(&self) -> f64 {
+        self.spurious_rate
+    }
+
+    /// Passes a true per-round collision count through the sensor.
+    pub fn observe(&self, true_count: u32, rng: &mut dyn RngCore) -> u32 {
+        let mut seen = if self.detect_prob >= 1.0 {
+            true_count
+        } else {
+            sample_binomial(true_count, self.detect_prob, rng)
+        };
+        if self.spurious_rate > 0.0 {
+            seen += sample_poisson(self.spurious_rate, rng);
+        }
+        seen
+    }
+
+    /// Unbiases a density estimate produced under this noise model:
+    /// `(d̃_obs − s)/p`, clamped at 0.
+    pub fn correct(&self, observed_estimate: f64) -> f64 {
+        ((observed_estimate - self.spurious_rate) / self.detect_prob).max(0.0)
+    }
+}
+
+impl Default for CollisionNoise {
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+/// Exact Binomial(n, p) sample by summing Bernoulli draws — per-round
+/// collision counts are tiny (`E = d ≤ 1`), so this is both exact and
+/// fast.
+pub fn sample_binomial(n: u32, p: f64, rng: &mut dyn RngCore) -> u32 {
+    assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
+    if p == 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mut k = 0;
+    for _ in 0..n {
+        if rng.gen_bool(p) {
+            k += 1;
+        }
+    }
+    k
+}
+
+/// Exact Poisson(λ) sample via Knuth's product method (λ is small here;
+/// the loop runs `O(λ)` iterations in expectation).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative, not finite, or large enough (> 30)
+/// that the product method would underflow.
+pub fn sample_poisson(lambda: f64, rng: &mut dyn RngCore) -> u32 {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "rate must be finite and non-negative"
+    );
+    assert!(lambda <= 30.0, "Knuth sampler only supports small rates");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_sensor_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = CollisionNoise::perfect();
+        for c in [0u32, 1, 5, 100] {
+            assert_eq!(s.observe(c, &mut rng), c);
+        }
+        assert_eq!(s.correct(0.42), 0.42);
+    }
+
+    #[test]
+    fn binomial_mean_matches() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trials = 50_000;
+        let total: u64 = (0..trials)
+            .map(|_| sample_binomial(10, 0.3, &mut rng) as u64)
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_edge_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(sample_binomial(7, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(7, 1.0, &mut rng), 7);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let lambda = 2.5;
+        let trials = 50_000;
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| sample_poisson(lambda, &mut rng) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / trials as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+        assert!((var - lambda).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn observe_mean_is_p_c_plus_s() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let noise = CollisionNoise::new(0.6, 0.4);
+        let trials = 50_000;
+        let true_count = 5u32;
+        let total: u64 = (0..trials)
+            .map(|_| noise.observe(true_count, &mut rng) as u64)
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let expected = 0.6 * 5.0 + 0.4;
+        assert!((mean - expected).abs() < 0.05, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn correct_inverts_expectation() {
+        let noise = CollisionNoise::new(0.5, 0.2);
+        // observed expectation for true estimate 0.8: 0.5*0.8 + 0.2 = 0.6
+        assert!((noise.correct(0.6) - 0.8).abs() < 1e-12);
+        // clamped at zero
+        assert_eq!(noise.correct(0.1), 0.0);
+    }
+
+    #[test]
+    fn default_is_perfect() {
+        assert_eq!(CollisionNoise::default(), CollisionNoise::perfect());
+    }
+
+    #[test]
+    #[should_panic(expected = "(0,1]")]
+    fn zero_detection_rejected() {
+        let _ = CollisionNoise::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "small rates")]
+    fn huge_poisson_rate_rejected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _ = sample_poisson(100.0, &mut rng);
+    }
+}

@@ -1,0 +1,398 @@
+//! Quorum sensing: density-threshold detection.
+//!
+//! Section 6.2 of the paper: "in many of the above biological
+//! applications, such as in quorum sensing for decision making in ant
+//! colonies, agents only need to detect when d is above some fixed
+//! threshold." *Temnothorax* scouts commit to a nest site when the scout
+//! density there crosses a quorum (Pratt 2005, the paper's \[Pra05\]).
+//!
+//! [`QuorumSensor`] implements an adaptive sequential test on top of
+//! Algorithm 1: each agent keeps walking and accumulating collisions; at
+//! geometrically spaced checkpoints `t = 2^k` it compares its running
+//! estimate `d̃ = c/t` against the threshold with a Theorem-1-shaped
+//! margin (with a union bound over checkpoints), and decides as soon as
+//! the margin separates them. Agents near the threshold need more rounds;
+//! agents far from it decide quickly — the behaviour the paper's future
+//! work section anticipates.
+
+use antdensity_graphs::Topology;
+use antdensity_stats::rng::SeedSequence;
+use antdensity_walks::arena::SyncArena;
+
+/// An agent's quorum decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumDecision {
+    /// Confident the density is above the threshold.
+    Above,
+    /// Confident the density is below the threshold.
+    Below,
+    /// Could not separate density from threshold within the round budget.
+    Undecided,
+}
+
+/// One agent's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuorumOutcome {
+    /// The decision reached.
+    pub decision: QuorumDecision,
+    /// Rounds consumed before deciding (the full budget if undecided).
+    pub rounds_used: u64,
+    /// The agent's final density estimate.
+    pub estimate: f64,
+}
+
+/// Sequential threshold detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuorumSensor {
+    threshold: f64,
+    delta: f64,
+    max_rounds: u64,
+    margin_constant: f64,
+}
+
+impl QuorumSensor {
+    /// Detects whether the density is above or below `threshold` with
+    /// failure probability target `delta`, giving up after `max_rounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold <= 0`, `delta ∉ (0,1)`, or `max_rounds < 2`.
+    pub fn new(threshold: f64, delta: f64, max_rounds: u64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0,1)");
+        assert!(max_rounds >= 2, "need at least two rounds");
+        Self {
+            threshold,
+            delta,
+            max_rounds,
+            margin_constant: 1.0,
+        }
+    }
+
+    /// Adjusts the margin constant (the Theorem 1 `c₁`; default 1.0 —
+    /// empirically calibrated constants are fitted by experiment E1).
+    pub fn with_margin_constant(mut self, c: f64) -> Self {
+        assert!(c > 0.0, "margin constant must be positive");
+        self.margin_constant = c;
+        self
+    }
+
+    /// The decision margin at checkpoint `t`: an absolute band around the
+    /// threshold of width `c₁·√(ln(K/δ)·θ/t)·ln(2t)` where `K` is the
+    /// number of checkpoints (union bound) and `θ` the threshold scale.
+    fn margin(&self, t: u64) -> f64 {
+        let checkpoints = (self.max_rounds as f64).log2().ceil().max(1.0);
+        let log_term = (checkpoints / self.delta).ln().max(1.0);
+        self.margin_constant
+            * (log_term * self.threshold / t as f64).sqrt()
+            * (2.0 * t as f64).ln()
+    }
+
+    /// Runs the sensor for a whole population: `num_agents` agents walk on
+    /// `topo`; each decides independently at the first checkpoint where
+    /// its running estimate clears the margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_agents == 0`.
+    pub fn run<T: Topology>(
+        &self,
+        topo: &T,
+        num_agents: usize,
+        seed: u64,
+    ) -> Vec<QuorumOutcome> {
+        assert!(num_agents > 0, "need at least one agent");
+        let seq = SeedSequence::new(seed);
+        let mut rng = seq.rng(0);
+        let mut arena = SyncArena::new(topo, num_agents);
+        arena.place_uniform(&mut rng);
+        let mut counts = vec![0u64; num_agents];
+        let mut outcome: Vec<Option<QuorumOutcome>> = vec![None; num_agents];
+        let mut undecided = num_agents;
+        let mut next_checkpoint = 2u64;
+        for t in 1..=self.max_rounds {
+            arena.step_round(&mut rng);
+            for (a, c) in counts.iter_mut().enumerate() {
+                if outcome[a].is_none() {
+                    *c += arena.count(a) as u64;
+                }
+            }
+            if t == next_checkpoint || t == self.max_rounds {
+                let margin = self.margin(t);
+                for a in 0..num_agents {
+                    if outcome[a].is_some() {
+                        continue;
+                    }
+                    let est = counts[a] as f64 / t as f64;
+                    let decision = if est > self.threshold + margin {
+                        Some(QuorumDecision::Above)
+                    } else if est < self.threshold - margin {
+                        Some(QuorumDecision::Below)
+                    } else {
+                        None
+                    };
+                    if let Some(d) = decision {
+                        outcome[a] = Some(QuorumOutcome {
+                            decision: d,
+                            rounds_used: t,
+                            estimate: est,
+                        });
+                        undecided -= 1;
+                    }
+                }
+                if undecided == 0 {
+                    break;
+                }
+                next_checkpoint = next_checkpoint.saturating_mul(2);
+            }
+        }
+        let t_final = self.max_rounds;
+        outcome
+            .into_iter()
+            .enumerate()
+            .map(|(a, o)| {
+                o.unwrap_or(QuorumOutcome {
+                    decision: QuorumDecision::Undecided,
+                    rounds_used: t_final,
+                    estimate: counts[a] as f64 / t_final as f64,
+                })
+            })
+            .collect()
+    }
+
+    /// The threshold being tested.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The failure-probability target.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+/// The colony-level outcome of a cooperative quorum vote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CooperativeOutcome {
+    /// The majority decision among agents that decided.
+    pub decision: QuorumDecision,
+    /// Votes for Above.
+    pub above: usize,
+    /// Votes for Below.
+    pub below: usize,
+    /// Agents that stayed undecided.
+    pub undecided: usize,
+}
+
+/// Cooperative threshold detection — the paper's Section 6.2 question:
+/// "how multiple agents with different density estimates can cooperate to
+/// learn if a density threshold has been reached, with more accuracy than
+/// if just a single agent were attempting to detect such a threshold."
+///
+/// The simplest cooperation is a majority vote over the per-agent
+/// decisions of a [`QuorumSensor`]. Each agent errs independently-ish
+/// with probability ≤ δ_agent, so the majority over `k` agents errs with
+/// probability `exp(−Θ(k))` — a colony can use a *much looser* (cheaper,
+/// faster) per-agent sensor and still decide reliably. The E-suite's
+/// integration tests quantify the boost.
+///
+/// Returns the majority decision among decided agents (`Undecided` only
+/// when nobody decided or the vote ties).
+pub fn cooperative_vote(outcomes: &[QuorumOutcome]) -> CooperativeOutcome {
+    let above = outcomes
+        .iter()
+        .filter(|o| o.decision == QuorumDecision::Above)
+        .count();
+    let below = outcomes
+        .iter()
+        .filter(|o| o.decision == QuorumDecision::Below)
+        .count();
+    let undecided = outcomes.len() - above - below;
+    let decision = match above.cmp(&below) {
+        std::cmp::Ordering::Greater => QuorumDecision::Above,
+        std::cmp::Ordering::Less => QuorumDecision::Below,
+        std::cmp::Ordering::Equal => QuorumDecision::Undecided,
+    };
+    CooperativeOutcome {
+        decision,
+        above,
+        below,
+        undecided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdensity_graphs::{CompleteGraph, Torus2d};
+
+    fn decisions(outcomes: &[QuorumOutcome]) -> (usize, usize, usize) {
+        let above = outcomes
+            .iter()
+            .filter(|o| o.decision == QuorumDecision::Above)
+            .count();
+        let below = outcomes
+            .iter()
+            .filter(|o| o.decision == QuorumDecision::Below)
+            .count();
+        let undecided = outcomes.len() - above - below;
+        (above, below, undecided)
+    }
+
+    #[test]
+    fn detects_density_well_above_threshold() {
+        // d = 255/512 ~ 0.5 against threshold 0.1: everyone should say
+        // Above quickly.
+        let topo = CompleteGraph::new(512);
+        let sensor = QuorumSensor::new(0.1, 0.05, 1 << 12);
+        let outcomes = sensor.run(&topo, 256, 1);
+        let (above, below, _) = decisions(&outcomes);
+        assert_eq!(below, 0, "no agent may vote Below");
+        assert!(above >= 250, "above = {above}/256");
+        // fast decisions: well under the budget
+        let mean_rounds: f64 =
+            outcomes.iter().map(|o| o.rounds_used as f64).sum::<f64>() / 256.0;
+        assert!(mean_rounds < 512.0, "mean rounds {mean_rounds}");
+    }
+
+    #[test]
+    fn detects_density_well_below_threshold() {
+        // d = 15/512 ~ 0.03 against threshold 0.3.
+        let topo = CompleteGraph::new(512);
+        let sensor = QuorumSensor::new(0.3, 0.05, 1 << 12);
+        let outcomes = sensor.run(&topo, 16, 2);
+        let (above, below, _) = decisions(&outcomes);
+        assert_eq!(above, 0);
+        assert!(below >= 15, "below = {below}/16");
+    }
+
+    #[test]
+    fn works_on_the_torus() {
+        // d = 128/1024 = 0.125 against threshold 0.5 (far below).
+        let topo = Torus2d::new(32);
+        let sensor = QuorumSensor::new(0.5, 0.05, 1 << 13);
+        let outcomes = sensor.run(&topo, 129, 3);
+        let (above, below, undecided) = decisions(&outcomes);
+        assert_eq!(above, 0);
+        assert!(below > 120, "below {below}, undecided {undecided}");
+    }
+
+    #[test]
+    fn near_threshold_density_tends_to_undecided_on_short_budget() {
+        // d = 0.25 against threshold 0.25 with a tiny budget: margins
+        // cannot separate.
+        let topo = CompleteGraph::new(512);
+        let sensor = QuorumSensor::new(0.25, 0.05, 64);
+        let outcomes = sensor.run(&topo, 129, 4);
+        let (_, _, undecided) = decisions(&outcomes);
+        assert!(undecided > 64, "undecided = {undecided}/129");
+    }
+
+    #[test]
+    fn far_threshold_decides_faster_than_near() {
+        let topo = CompleteGraph::new(512);
+        let budget = 1 << 12;
+        let far = QuorumSensor::new(0.02, 0.05, budget).run(&topo, 256, 5);
+        let near = QuorumSensor::new(0.35, 0.05, budget).run(&topo, 256, 5);
+        let mean = |o: &[QuorumOutcome]| {
+            o.iter().map(|x| x.rounds_used as f64).sum::<f64>() / o.len() as f64
+        };
+        assert!(
+            mean(&far) < mean(&near),
+            "far {} should beat near {}",
+            mean(&far),
+            mean(&near)
+        );
+    }
+
+    #[test]
+    fn outcome_estimates_are_reported() {
+        let topo = CompleteGraph::new(128);
+        let sensor = QuorumSensor::new(0.1, 0.1, 256);
+        for o in sensor.run(&topo, 65, 6) {
+            assert!(o.estimate >= 0.0);
+            assert!(o.rounds_used >= 1 && o.rounds_used <= 256);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = Torus2d::new(16);
+        let sensor = QuorumSensor::new(0.2, 0.1, 128);
+        assert_eq!(sensor.run(&topo, 20, 7), sensor.run(&topo, 20, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn rejects_zero_threshold() {
+        let _ = QuorumSensor::new(0.0, 0.1, 100);
+    }
+
+    #[test]
+    fn cooperative_vote_majority_rules() {
+        let mk = |d: QuorumDecision| QuorumOutcome {
+            decision: d,
+            rounds_used: 1,
+            estimate: 0.0,
+        };
+        let outcomes = vec![
+            mk(QuorumDecision::Above),
+            mk(QuorumDecision::Above),
+            mk(QuorumDecision::Below),
+            mk(QuorumDecision::Undecided),
+        ];
+        let v = cooperative_vote(&outcomes);
+        assert_eq!(v.decision, QuorumDecision::Above);
+        assert_eq!((v.above, v.below, v.undecided), (2, 1, 1));
+    }
+
+    #[test]
+    fn cooperative_vote_tie_is_undecided() {
+        let mk = |d: QuorumDecision| QuorumOutcome {
+            decision: d,
+            rounds_used: 1,
+            estimate: 0.0,
+        };
+        let v = cooperative_vote(&[mk(QuorumDecision::Above), mk(QuorumDecision::Below)]);
+        assert_eq!(v.decision, QuorumDecision::Undecided);
+        let none = cooperative_vote(&[mk(QuorumDecision::Undecided)]);
+        assert_eq!(none.decision, QuorumDecision::Undecided);
+    }
+
+    #[test]
+    fn colony_vote_beats_loose_individual_sensors() {
+        // Section 6.2's cooperation claim, quantified: give every scout a
+        // deliberately LOOSE sensor (short budget, wide margin constant)
+        // so individuals are unreliable near the threshold; the colony's
+        // majority vote is still consistently right.
+        let topo = CompleteGraph::new(512);
+        // d = 128/512 = 0.25 vs threshold 0.15: above, but not by much
+        let sensor = QuorumSensor::new(0.15, 0.3, 128).with_margin_constant(0.6);
+        let mut colony_correct = 0;
+        let mut individual_correct = 0usize;
+        let mut individual_total = 0usize;
+        let runs = 10;
+        for s in 0..runs {
+            let outcomes = sensor.run(&topo, 129, 100 + s);
+            let vote = cooperative_vote(&outcomes);
+            if vote.decision == QuorumDecision::Above {
+                colony_correct += 1;
+            }
+            individual_correct += outcomes
+                .iter()
+                .filter(|o| o.decision == QuorumDecision::Above)
+                .count();
+            individual_total += outcomes.len();
+        }
+        let individual_rate = individual_correct as f64 / individual_total as f64;
+        assert_eq!(
+            colony_correct, runs,
+            "colony majority must always be right (individual rate {individual_rate})"
+        );
+        // the boost is real only if individuals were genuinely unreliable
+        assert!(
+            individual_rate < 0.95,
+            "sensor should be loose for this test: rate {individual_rate}"
+        );
+    }
+}

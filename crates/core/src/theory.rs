@@ -1,0 +1,282 @@
+//! Per-topology theory: re-collision envelopes `β(m)`, their sums `B(t)`,
+//! and the accuracy predictions they imply via Lemma 19.
+//!
+//! | topology | β(m) (paper) | B(t) | accuracy |
+//! |---|---|---|---|
+//! | 2-d torus | `1/(m+1) + 1/A` (Lemma 4) | `Θ(log 2t)` | Theorem 1 |
+//! | ring | `1/√(m+1) + 1/A` (Lemma 20) | `Θ(√t)` | Theorem 21 (Chebyshev) |
+//! | k-d torus, k≥3 | `1/(m+1)^{k/2} + 1/A` (Lemma 22) | `O(1)` | matches i.i.d. |
+//! | expander | `λ^m + 1/A` (Lemma 23) | `O(1/(1−λ))` | i.i.d. × (1−λ)⁻² |
+//! | hypercube | `(9/10)^{m−1} + 1/√A` (Lemma 25) | `O(1)` for t = O(√A) | matches i.i.d. |
+//! | complete | `1/A` exactly | `1 + t/A` | Chernoff baseline |
+
+use antdensity_stats::bounds;
+
+/// The topology families the paper analyses, with the parameters entering
+/// their bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyClass {
+    /// 2-dimensional torus with `A` nodes (Sections 2–3).
+    Torus2d {
+        /// Number of nodes `A`.
+        nodes: u64,
+    },
+    /// Ring with `A` nodes (Section 4.2).
+    Ring {
+        /// Number of nodes `A`.
+        nodes: u64,
+    },
+    /// k-dimensional torus, `k ≥ 3` (Section 4.3).
+    TorusKd {
+        /// Dimension `k ≥ 3`.
+        dims: u32,
+        /// Number of nodes `A`.
+        nodes: u64,
+    },
+    /// Regular expander with walk-matrix eigenvalue bound `λ < 1`
+    /// (Section 4.4).
+    Expander {
+        /// `λ = max(|λ₂|, |λ_A|)`.
+        lambda: f64,
+        /// Number of nodes `A`.
+        nodes: u64,
+    },
+    /// Hypercube on `2^dims` nodes (Section 4.5).
+    Hypercube {
+        /// Dimension `k` (`A = 2^k`).
+        dims: u32,
+    },
+    /// Complete graph with uniform re-sampling (Section 1.1 baseline).
+    Complete {
+        /// Number of nodes `A`.
+        nodes: u64,
+    },
+}
+
+impl TopologyClass {
+    /// Number of nodes `A`.
+    pub fn nodes(&self) -> u64 {
+        match *self {
+            Self::Torus2d { nodes }
+            | Self::Ring { nodes }
+            | Self::TorusKd { nodes, .. }
+            | Self::Expander { nodes, .. }
+            | Self::Complete { nodes } => nodes,
+            Self::Hypercube { dims } => 1u64 << dims,
+        }
+    }
+
+    /// The paper's re-collision envelope `β(m)` (with unit constants):
+    /// an upper-bound *shape* for the probability that two agents that
+    /// collided re-collide `m` rounds later.
+    pub fn beta(&self, m: u64) -> f64 {
+        let a = self.nodes() as f64;
+        let mf = m as f64;
+        match *self {
+            Self::Torus2d { .. } => 1.0 / (mf + 1.0) + 1.0 / a,
+            Self::Ring { .. } => 1.0 / (mf + 1.0).sqrt() + 1.0 / a,
+            Self::TorusKd { dims, .. } => 1.0 / (mf + 1.0).powf(dims as f64 / 2.0) + 1.0 / a,
+            Self::Expander { lambda, .. } => lambda.powf(mf) + 1.0 / a,
+            Self::Hypercube { .. } => {
+                let geo = if m == 0 {
+                    1.0
+                } else {
+                    (0.9f64).powf(mf - 1.0)
+                };
+                geo + 1.0 / a.sqrt()
+            }
+            Self::Complete { .. } => {
+                if m == 0 {
+                    1.0
+                } else {
+                    1.0 / a
+                }
+            }
+        }
+    }
+
+    /// `B(t) = Σ_{m=0..t} β(m)` — the re-collision sum that drives
+    /// Lemma 19's accuracy bound. Computed in closed form.
+    pub fn b_sum(&self, t: u64) -> f64 {
+        let a = self.nodes() as f64;
+        let tf = t as f64;
+        match *self {
+            // Σ 1/(m+1) = H_{t+1} ≈ ln(2t) for t ≥ 1.
+            Self::Torus2d { .. } => harmonic(t + 1) + (tf + 1.0) / a,
+            // Σ 1/√(m+1) ≈ 2√(t+1).
+            Self::Ring { .. } => 2.0 * (tf + 1.0).sqrt() - 1.0 + (tf + 1.0) / a,
+            // Σ 1/(m+1)^{k/2} converges; bound by ζ(k/2) partial sum.
+            Self::TorusKd { dims, .. } => {
+                let p = dims as f64 / 2.0;
+                let mut s = 0.0;
+                for m in 0..=t.min(10_000) {
+                    s += 1.0 / ((m + 1) as f64).powf(p);
+                }
+                s + (tf + 1.0) / a
+            }
+            // Σ λ^m ≤ 1/(1−λ).
+            Self::Expander { lambda, .. } => {
+                let geo = if lambda >= 1.0 {
+                    tf + 1.0
+                } else {
+                    (1.0 - lambda.powf(tf + 1.0)) / (1.0 - lambda)
+                };
+                geo + (tf + 1.0) / a
+            }
+            // 1 + Σ_{m≥1} (9/10)^{m−1} ≤ 1 + 10.
+            Self::Hypercube { .. } => {
+                let geo = 1.0 + 10.0 * (1.0 - (0.9f64).powf(tf));
+                geo + (tf + 1.0) / a.sqrt()
+            }
+            Self::Complete { .. } => 1.0 + tf / a,
+        }
+    }
+
+    /// Lemma 19's predicted accuracy after `t` rounds (unit constant):
+    /// `ε(t) = √(ln(1/δ)/(t·d)) · B(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same domain conditions as
+    /// [`bounds::lemma19_epsilon`].
+    pub fn epsilon(&self, t: u64, d: f64, delta: f64) -> f64 {
+        bounds::lemma19_epsilon(t, d, delta, self.b_sum(t), 1.0)
+    }
+
+    /// Smallest power-of-two `t` whose predicted `ε(t)` is below `eps`
+    /// (a planner for "how long must the ants walk?"); `None` if not
+    /// reached by `t_max`. Uses the Lemma 19 form, which for the ring is
+    /// *not* convergent — mirroring the paper's observation that the
+    /// moment method fails there (Theorem 21 uses Chebyshev instead).
+    pub fn rounds_for(&self, eps: f64, delta: f64, d: f64, t_max: u64) -> Option<u64> {
+        let mut t = 1u64;
+        while t <= t_max {
+            if self.epsilon(t, d, delta) <= eps {
+                return Some(t);
+            }
+            t = t.saturating_mul(2);
+        }
+        None
+    }
+}
+
+/// The harmonic number `H_n = Σ_{i=1..n} 1/i`.
+pub fn harmonic(n: u64) -> f64 {
+    if n < 100 {
+        (1..=n).map(|i| 1.0 / i as f64).sum()
+    } else {
+        // Euler–Maclaurin: H_n ≈ ln n + γ + 1/2n − 1/12n².
+        let nf = n as f64;
+        nf.ln() + 0.577_215_664_901_532_9 + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_small_values() {
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_asymptotic_is_continuous() {
+        // the exact and asymptotic branches agree at the crossover
+        let exact: f64 = (1..=99u64).map(|i| 1.0 / i as f64).sum();
+        assert!((harmonic(99) - exact).abs() < 1e-12);
+        assert!((harmonic(100) - (exact + 0.01)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_shapes_at_lag_zero_and_large() {
+        let a = 4096;
+        let torus = TopologyClass::Torus2d { nodes: a };
+        assert!((torus.beta(0) - (1.0 + 1.0 / a as f64)).abs() < 1e-12);
+        // large m: floor at 1/A
+        assert!(torus.beta(1 << 20) < 2.0 / a as f64 + 1e-6);
+
+        let ring = TopologyClass::Ring { nodes: a };
+        assert!(ring.beta(99) > torus.beta(99), "ring decays slower");
+
+        let t3 = TopologyClass::TorusKd { dims: 3, nodes: a };
+        assert!(t3.beta(99) < torus.beta(99), "3-d torus decays faster");
+
+        let hyper = TopologyClass::Hypercube { dims: 12 };
+        assert!(hyper.beta(100) < 0.02, "hypercube decays geometrically");
+
+        let complete = TopologyClass::Complete { nodes: a };
+        assert_eq!(complete.beta(5), 1.0 / a as f64);
+    }
+
+    #[test]
+    fn b_sum_growth_rates() {
+        let a = 1 << 20; // huge A so the 1/A terms are negligible
+        let torus = TopologyClass::Torus2d { nodes: a };
+        let ring = TopologyClass::Ring { nodes: a };
+        let t3 = TopologyClass::TorusKd { dims: 3, nodes: a };
+        // torus: log growth — doubling t adds ~ln 2
+        let g_torus = torus.b_sum(2048) - torus.b_sum(1024);
+        assert!((g_torus - (2.0f64).ln()).abs() < 0.01, "torus growth {g_torus}");
+        // ring: sqrt growth — B(4t) ~ 2 B(t)
+        let r1 = ring.b_sum(1024);
+        let r4 = ring.b_sum(4096);
+        assert!((r4 / r1 - 2.0).abs() < 0.1, "ring ratio {}", r4 / r1);
+        // k = 3: bounded
+        assert!(t3.b_sum(1 << 14) < 3.0, "3-d torus B(t) = {}", t3.b_sum(1 << 14));
+    }
+
+    #[test]
+    fn expander_b_sum_is_inverse_gap() {
+        let e = TopologyClass::Expander {
+            lambda: 0.5,
+            nodes: 1 << 20,
+        };
+        // Σ λ^m → 1/(1−λ) = 2
+        assert!((e.b_sum(200) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn epsilon_ordering_matches_paper() {
+        // At matched (t, d, delta): complete < k=3 torus < 2-d torus < ring.
+        let a = 1 << 16;
+        let (t, d, delta) = (4096u64, 0.02, 0.05);
+        let eps = |c: TopologyClass| c.epsilon(t, d, delta);
+        let complete = eps(TopologyClass::Complete { nodes: a });
+        let t3 = eps(TopologyClass::TorusKd { dims: 3, nodes: a });
+        let t2 = eps(TopologyClass::Torus2d { nodes: a });
+        let ring = eps(TopologyClass::Ring { nodes: a });
+        assert!(complete < t3, "{complete} < {t3}");
+        assert!(t3 < t2, "{t3} < {t2}");
+        assert!(t2 < ring, "{t2} < {ring}");
+    }
+
+    #[test]
+    fn rounds_for_finds_torus_budget_but_not_ring() {
+        let a = 1 << 24;
+        let torus = TopologyClass::Torus2d { nodes: a };
+        let ring = TopologyClass::Ring { nodes: a };
+        let t_torus = torus.rounds_for(0.2, 0.1, 0.05, 1 << 30);
+        assert!(t_torus.is_some());
+        // Lemma 19's epsilon on the ring does not shrink with t:
+        // eps ~ sqrt(1/(td)) * sqrt(t) = const. The planner must fail,
+        // matching the paper's remark that the technique is too weak there.
+        let t_ring = ring.rounds_for(0.2, 0.1, 0.05, 1 << 30);
+        assert_eq!(t_ring, None);
+    }
+
+    #[test]
+    fn epsilon_shrinks_with_time_on_torus() {
+        let c = TopologyClass::Torus2d { nodes: 1 << 20 };
+        let e1 = c.epsilon(1 << 8, 0.02, 0.05);
+        let e2 = c.epsilon(1 << 16, 0.02, 0.05);
+        assert!(e2 < e1 / 5.0, "e(2^16) = {e2} vs e(2^8) = {e1}");
+    }
+
+    #[test]
+    fn hypercube_nodes_computed_from_dims() {
+        assert_eq!(TopologyClass::Hypercube { dims: 10 }.nodes(), 1024);
+    }
+}

@@ -1,0 +1,402 @@
+//! General undirected graphs in compressed-sparse-row form.
+//!
+//! The network-size application (Section 5.1) runs on irregular graphs
+//! accessed through neighborhood queries. [`AdjGraph`] stores an
+//! undirected simple graph in CSR layout and exposes the degree statistics
+//! the paper's bounds need (`deḡ`, `deg_min`, `Σ deg²` for the KLSC14
+//! comparison) plus the structural checks (connectivity, bipartiteness)
+//! that decide whether random-walk estimation is applicable at all.
+
+use crate::topology::{NodeId, Topology};
+
+/// An undirected simple graph (no self-loops, no parallel edges) in CSR
+/// form.
+///
+/// # Example
+///
+/// ```
+/// use antdensity_graphs::{AdjGraph, Topology};
+///
+/// // a triangle
+/// let g = AdjGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.is_connected());
+/// assert!(!g.is_bipartite());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjGraph {
+    /// offsets[v]..offsets[v+1] indexes `targets` for node v.
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+/// Errors building an [`AdjGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildGraphError {
+    /// The requested node count was zero.
+    NoNodes,
+    /// An edge endpoint referenced a node `>= n`.
+    EndpointOutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// The node count.
+        n: u64,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop(
+        /// The node with the loop.
+        NodeId,
+    ),
+    /// The same undirected edge appeared more than once.
+    DuplicateEdge(
+        /// One endpoint.
+        NodeId,
+        /// The other endpoint.
+        NodeId,
+    ),
+    /// A node would have degree zero (random walks get stuck).
+    IsolatedNode(
+        /// The isolated node.
+        NodeId,
+    ),
+}
+
+impl std::fmt::Display for BuildGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoNodes => write!(f, "graph must have at least one node"),
+            Self::EndpointOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            Self::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            Self::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            Self::IsolatedNode(v) => write!(f, "node {v} has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for BuildGraphError {}
+
+impl AdjGraph {
+    /// Builds a graph with `n` nodes from an undirected edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildGraphError`] if `n == 0`, an endpoint is out of
+    /// range, an edge is a self-loop or duplicated, or any node ends up
+    /// isolated.
+    pub fn from_edges(n: u64, edges: &[(NodeId, NodeId)]) -> Result<Self, BuildGraphError> {
+        if n == 0 {
+            return Err(BuildGraphError::NoNodes);
+        }
+        let nu = usize::try_from(n).expect("node count fits usize");
+        let mut canon: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(BuildGraphError::EndpointOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(BuildGraphError::EndpointOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(BuildGraphError::SelfLoop(u));
+            }
+            canon.push((u.min(v), u.max(v)));
+        }
+        canon.sort_unstable();
+        for w in canon.windows(2) {
+            if w[0] == w[1] {
+                return Err(BuildGraphError::DuplicateEdge(w[0].0, w[0].1));
+            }
+        }
+        let mut degrees = vec![0usize; nu];
+        for &(u, v) in &canon {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        if let Some(v) = degrees.iter().position(|&d| d == 0) {
+            return Err(BuildGraphError::IsolatedNode(v as NodeId));
+        }
+        let mut offsets = Vec::with_capacity(nu + 1);
+        offsets.push(0usize);
+        for v in 0..nu {
+            offsets.push(offsets[v] + degrees[v]);
+        }
+        let mut targets = vec![0 as NodeId; offsets[nu]];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &canon {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        Ok(Self { offsets, targets })
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn num_edges(&self) -> u64 {
+        (self.targets.len() / 2) as u64
+    }
+
+    /// Slice of neighbors of `v` (sorted ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors_slice(&self, v: NodeId) -> &[NodeId] {
+        let vu = v as usize;
+        assert!(vu + 1 < self.offsets.len(), "node {v} out of range");
+        &self.targets[self.offsets[vu]..self.offsets[vu + 1]]
+    }
+
+    /// Whether edge `(u, v)` exists (binary search).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors_slice(u).binary_search(&v).is_ok()
+    }
+
+    /// Minimum degree over all nodes.
+    pub fn min_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .min()
+            .expect("graph is non-empty")
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .expect("graph is non-empty")
+    }
+
+    /// Average degree `deḡ = 2|E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        self.targets.len() as f64 / self.num_nodes() as f64
+    }
+
+    /// `Σ_v deg(v)²` — appears in the KLSC14 sample-size requirement that
+    /// Section 5.1.5 compares against.
+    pub fn sum_degree_squared(&self) -> f64 {
+        (0..self.num_nodes())
+            .map(|v| {
+                let d = self.degree(v) as f64;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Whether the graph is connected (BFS from node 0).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes() as usize;
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0 as NodeId);
+        let mut count = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &u in self.neighbors_slice(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    count += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Whether the graph is bipartite (BFS 2-coloring).
+    ///
+    /// Random walks on bipartite graphs never mix to the stationary
+    /// distribution (period 2); Section 5.1 assumes non-bipartite inputs
+    /// and Section 4.5 handles the hypercube case specially.
+    pub fn is_bipartite(&self) -> bool {
+        let n = self.num_nodes() as usize;
+        let mut color = vec![u8::MAX; n];
+        for start in 0..n {
+            if color[start] != u8::MAX {
+                continue;
+            }
+            color[start] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(start as NodeId);
+            while let Some(v) = queue.pop_front() {
+                let c = color[v as usize];
+                for &u in self.neighbors_slice(v) {
+                    if color[u as usize] == u8::MAX {
+                        color[u as usize] = 1 - c;
+                        queue.push_back(u);
+                    } else if color[u as usize] == c {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Samples a node from the stationary distribution of the random walk
+    /// (`π(v) = deg(v)/2|E|`) in O(1): a uniformly random entry of the CSR
+    /// target array mentions node `u` exactly `deg(u)` times.
+    ///
+    /// The network-size application (Section 5.1) idealises walk starts as
+    /// stationary samples before analysing burn-in separately.
+    pub fn sample_stationary(&self, rng: &mut dyn rand::RngCore) -> NodeId {
+        use rand::Rng;
+        let idx = rng.gen_range(0..self.targets.len());
+        self.targets[idx]
+    }
+
+    /// Materialises any [`Topology`] as an `AdjGraph` (deduplicating move
+    /// multiplicities). Useful for cross-validating structured topologies
+    /// against the generic machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the topology contains only self-loops at some
+    /// node (isolated after simplification) — e.g. a side-1 torus.
+    pub fn from_topology<T: Topology>(topo: &T) -> Result<Self, BuildGraphError> {
+        let n = topo.num_nodes();
+        let mut edges = Vec::new();
+        for v in 0..n {
+            for i in 0..topo.degree(v) {
+                let u = topo.neighbor(v, i);
+                if v < u {
+                    edges.push((v, u));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Self::from_edges(n, &edges)
+    }
+}
+
+impl Topology for AdjGraph {
+    fn num_nodes(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        let vu = v as usize;
+        assert!(vu + 1 < self.offsets.len(), "node {v} out of range");
+        self.offsets[vu + 1] - self.offsets[vu]
+    }
+
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        let ns = self.neighbors_slice(v);
+        assert!(i < ns.len(), "move index {i} out of range");
+        ns[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> AdjGraph {
+        AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_degrees() {
+        let g = square();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.avg_degree(), 2.0);
+        assert_eq!(g.sum_degree_squared(), 16.0);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_edge_lookup() {
+        let g = AdjGraph::from_edges(4, &[(2, 0), (0, 1), (3, 0)]).unwrap();
+        assert_eq!(g.neighbors_slice(0), &[1, 2, 3]);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        assert!(square().is_connected());
+        let disconnected = AdjGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn bipartiteness_detection() {
+        assert!(square().is_bipartite()); // even cycle
+        let triangle = AdjGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(!triangle.is_bipartite()); // odd cycle
+        let odd5 =
+            AdjGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert!(!odd5.is_bipartite());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(AdjGraph::from_edges(0, &[]), Err(BuildGraphError::NoNodes));
+        assert_eq!(
+            AdjGraph::from_edges(2, &[(0, 2)]),
+            Err(BuildGraphError::EndpointOutOfRange { node: 2, n: 2 })
+        );
+        assert_eq!(
+            AdjGraph::from_edges(2, &[(1, 1)]),
+            Err(BuildGraphError::SelfLoop(1))
+        );
+        assert_eq!(
+            AdjGraph::from_edges(2, &[(0, 1), (1, 0)]),
+            Err(BuildGraphError::DuplicateEdge(0, 1))
+        );
+        assert_eq!(
+            AdjGraph::from_edges(3, &[(0, 1)]),
+            Err(BuildGraphError::IsolatedNode(2))
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = AdjGraph::from_edges(2, &[(1, 1)]).unwrap_err();
+        assert!(e.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn regular_degree_via_default_impl() {
+        assert_eq!(square().regular_degree(), Some(2));
+        let star = AdjGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(star.regular_degree(), None);
+    }
+
+    #[test]
+    fn from_topology_matches_torus() {
+        use crate::torus::Torus2d;
+        let torus = Torus2d::new(4);
+        let g = AdjGraph::from_topology(&torus).unwrap();
+        assert_eq!(g.num_nodes(), 16);
+        // 4-regular without duplicate moves (side 4 > 2).
+        assert_eq!(g.regular_degree(), Some(4));
+        assert_eq!(g.num_edges(), 32);
+        assert!(g.is_connected());
+        assert!(g.is_bipartite());
+        // every torus edge is present
+        for v in 0..torus.num_nodes() {
+            for u in torus.neighbors(v) {
+                assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn from_topology_rejects_degenerate() {
+        use crate::torus::Torus2d;
+        // side-1 torus has only self-loops -> isolated after simplification
+        let t = Torus2d::new(1);
+        assert!(AdjGraph::from_topology(&t).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! The complete graph with self-loops: the paper's idealised baseline.
+//!
+//! Section 1.1: "Consider agents positioned not on the grid, but on a
+//! complete graph. In each round, each agent steps to a uniformly random
+//! position" — i.e. the next position is uniform over *all* A nodes,
+//! including the current one. We model this as a degree-A multigraph whose
+//! move list at every vertex is `[0, 1, …, A−1]`, so one walk step is an
+//! independent uniform sample and encounter-rate estimation reduces to
+//! i.i.d. Bernoulli(d) sampling (the Chernoff baseline every other
+//! topology is compared against).
+
+use crate::topology::{NodeId, Topology};
+
+/// Complete graph on `A` nodes where each step resamples the position
+/// uniformly (self-loop included at every vertex).
+///
+/// # Example
+///
+/// ```
+/// use antdensity_graphs::{CompleteGraph, Topology};
+///
+/// let g = CompleteGraph::new(10);
+/// assert_eq!(g.degree(3), 10);
+/// assert_eq!(g.neighbor(3, 3), 3); // self-loop: uniform resampling
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompleteGraph {
+    nodes: u64,
+}
+
+impl CompleteGraph {
+    /// Creates the complete graph on `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `nodes` exceeds `usize::MAX` (degrees are
+    /// `usize`).
+    pub fn new(nodes: u64) -> Self {
+        assert!(nodes > 0, "complete graph needs at least one node");
+        assert!(
+            usize::try_from(nodes).is_ok(),
+            "node count must fit in usize (degrees are usize)"
+        );
+        Self { nodes }
+    }
+}
+
+impl Topology for CompleteGraph {
+    fn num_nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        assert!(v < self.nodes, "node {v} out of range");
+        self.nodes as usize
+    }
+
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        assert!(v < self.nodes, "node {v} out of range");
+        assert!((i as u64) < self.nodes, "move index {i} out of range");
+        i as NodeId
+    }
+
+    /// Stepping is uniform resampling, so walking never needs the O(A)
+    /// move list: override with a direct uniform draw.
+    fn random_neighbor(&self, v: NodeId, rng: &mut dyn rand::RngCore) -> NodeId {
+        assert!(v < self.nodes, "node {v} out of range");
+        self.uniform_node(rng)
+    }
+
+    fn regular_degree(&self) -> Option<usize> {
+        Some(self.nodes as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_node_is_a_move() {
+        let g = CompleteGraph::new(5);
+        let moves: Vec<NodeId> = g.neighbors(2).collect();
+        assert_eq!(moves, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_step_is_uniform() {
+        let g = CompleteGraph::new(4);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[g.random_neighbor(1, &mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = CompleteGraph::new(1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.neighbor(0, 0), 0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(g.random_neighbor(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn regular_degree_is_a() {
+        assert_eq!(CompleteGraph::new(17).regular_degree(), Some(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_graph_panics() {
+        let _ = CompleteGraph::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        let _ = CompleteGraph::new(3).degree(3);
+    }
+}

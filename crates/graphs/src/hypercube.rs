@@ -1,0 +1,142 @@
+//! The k-dimensional hypercube (Section 4.5 of the paper).
+//!
+//! Vertices are the bit strings {0,1}^k (A = 2^k nodes); each walk step
+//! flips one uniformly chosen bit. The paper proves (Lemma 25) that the
+//! re-collision probability decays like `(9/10)^{m−1} + 1/√A`: local
+//! mixing *improves* with size even though the global mixing time grows.
+
+use crate::topology::{NodeId, Topology};
+
+/// The hypercube on `{0,1}^dims` with bit-flip moves.
+///
+/// # Example
+///
+/// ```
+/// use antdensity_graphs::{Hypercube, Topology};
+///
+/// let h = Hypercube::new(4); // 16 nodes, degree 4
+/// assert_eq!(h.num_nodes(), 16);
+/// assert_eq!(h.neighbor(0b0101, 1), 0b0111);
+/// assert_eq!(h.hamming_distance(0b0000, 0b1011), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hypercube {
+    dims: u32,
+}
+
+impl Hypercube {
+    /// Creates the `dims`-dimensional hypercube (`2^dims` nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0` or `dims >= 64`.
+    pub fn new(dims: u32) -> Self {
+        assert!(dims > 0, "hypercube needs at least one dimension");
+        assert!(dims < 64, "dims must be below 64 to fit node ids in u64");
+        Self { dims }
+    }
+
+    /// Number of dimensions k.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Hamming distance between two vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    pub fn hamming_distance(&self, a: NodeId, b: NodeId) -> u32 {
+        assert!(a < self.num_nodes() && b < self.num_nodes(), "node out of range");
+        (a ^ b).count_ones()
+    }
+}
+
+impl Topology for Hypercube {
+    fn num_nodes(&self) -> u64 {
+        1u64 << self.dims
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        assert!(v < self.num_nodes(), "node {v} out of range");
+        self.dims as usize
+    }
+
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        assert!(v < self.num_nodes(), "node {v} out of range");
+        assert!(i < self.dims as usize, "move index {i} out of range");
+        v ^ (1u64 << i)
+    }
+
+    fn regular_degree(&self) -> Option<usize> {
+        Some(self.dims as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_differ_in_one_bit() {
+        let h = Hypercube::new(5);
+        for v in 0..h.num_nodes() {
+            for u in h.neighbors(v) {
+                assert_eq!(h.hamming_distance(v, u), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_distinct_and_symmetric() {
+        let h = Hypercube::new(4);
+        for v in 0..h.num_nodes() {
+            let ns: Vec<NodeId> = h.neighbors(v).collect();
+            let mut sorted = ns.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), ns.len(), "duplicate move at {v}");
+            for u in ns {
+                assert!(h.neighbors(u).any(|w| w == v));
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_by_parity() {
+        // Every step flips one bit and hence the popcount parity — the
+        // hypercube is bipartite, as the paper notes when restricting to
+        // W² in Section 4.5.
+        let h = Hypercube::new(6);
+        for v in 0..h.num_nodes() {
+            for u in h.neighbors(v) {
+                assert_ne!(v.count_ones() % 2, u.count_ones() % 2);
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_hypercube_is_an_edge() {
+        let h = Hypercube::new(1);
+        assert_eq!(h.num_nodes(), 2);
+        assert_eq!(h.neighbor(0, 0), 1);
+        assert_eq!(h.neighbor(1, 0), 0);
+    }
+
+    #[test]
+    fn degree_equals_dims() {
+        assert_eq!(Hypercube::new(10).regular_degree(), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "below 64")]
+    fn dims_64_panics() {
+        let _ = Hypercube::new(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_move_panics() {
+        let _ = Hypercube::new(3).neighbor(0, 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! Spectral quantities of the random-walk matrix.
+//!
+//! The expander bound (Lemma 23/24) and the burn-in analysis (Section
+//! 5.1.4) are parameterised by `λ = max(|λ₂|, |λ_A|)` of the walk matrix
+//! `W = D⁻¹A`. We estimate λ by power iteration on the symmetrised matrix
+//! `S = D^{−1/2} A D^{−1/2}` (similar to `W`, hence same spectrum) after
+//! deflating its known top eigenvector `φ₁(v) ∝ √deg(v)`.
+
+use crate::adjacency::AdjGraph;
+use crate::dist::WalkDistribution;
+use crate::topology::Topology;
+use rand::Rng;
+
+/// Result of a spectral estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralEstimate {
+    /// Estimated `λ = max(|λ₂|, |λ_A|)` of the walk matrix.
+    pub lambda: f64,
+    /// Number of power iterations performed.
+    pub iterations: u32,
+    /// Relative change of the estimate in the final iteration.
+    pub residual: f64,
+}
+
+impl SpectralEstimate {
+    /// The spectral gap `1 − λ` (clamped at 0).
+    pub fn gap(&self) -> f64 {
+        (1.0 - self.lambda).max(0.0)
+    }
+}
+
+/// Estimates `λ = max(|λ₂|, |λ_A|)` of the walk matrix of `graph` by
+/// deflated power iteration.
+///
+/// `λ = 1` (up to tolerance) signals a bipartite or disconnected graph —
+/// random walks on it never mix.
+///
+/// # Panics
+///
+/// Panics if `max_iters == 0`.
+pub fn walk_matrix_lambda<R: Rng + ?Sized>(
+    graph: &AdjGraph,
+    max_iters: u32,
+    rng: &mut R,
+) -> SpectralEstimate {
+    assert!(max_iters > 0, "need at least one iteration");
+    let n = graph.num_nodes() as usize;
+    // Top eigenvector of S: phi(v) = sqrt(deg v), normalised.
+    let mut phi: Vec<f64> = (0..n).map(|v| (graph.degree(v as u64) as f64).sqrt()).collect();
+    normalize(&mut phi);
+    // Random start, deflated.
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    deflate(&mut x, &phi);
+    normalize(&mut x);
+    let mut y = vec![0.0; n];
+    let mut lambda = 0.0f64;
+    let mut residual = f64::INFINITY;
+    let mut iters = 0;
+    for it in 0..max_iters {
+        iters = it + 1;
+        matvec_sym(graph, &x, &mut y);
+        deflate(&mut y, &phi);
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            // x was (numerically) in the kernel; restart from fresh noise.
+            for v in x.iter_mut() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            deflate(&mut x, &phi);
+            normalize(&mut x);
+            continue;
+        }
+        let new_lambda = norm; // since ||x|| = 1
+        residual = ((new_lambda - lambda) / new_lambda.max(1e-300)).abs();
+        lambda = new_lambda;
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+        if residual < 1e-10 && it > 10 {
+            break;
+        }
+    }
+    SpectralEstimate {
+        lambda: lambda.min(1.0),
+        iterations: iters,
+        residual,
+    }
+}
+
+/// `y = S x` with `S = D^{−1/2} A D^{−1/2}`.
+fn matvec_sym(graph: &AdjGraph, x: &[f64], y: &mut [f64]) {
+    y.iter_mut().for_each(|v| *v = 0.0);
+    for v in 0..graph.num_nodes() {
+        let dv = graph.degree(v) as f64;
+        let xv = x[v as usize];
+        if xv == 0.0 {
+            continue;
+        }
+        for &u in graph.neighbors_slice(v) {
+            let du = graph.degree(u) as f64;
+            y[u as usize] += xv / (dv * du).sqrt();
+        }
+    }
+}
+
+fn deflate(x: &mut [f64], phi: &[f64]) {
+    let dot: f64 = x.iter().zip(phi).map(|(a, b)| a * b).sum();
+    for (xi, pi) in x.iter_mut().zip(phi) {
+        *xi -= dot * pi;
+    }
+}
+
+fn normalize(x: &mut [f64]) {
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(norm > 0.0, "cannot normalise the zero vector");
+    x.iter_mut().for_each(|v| *v /= norm);
+}
+
+/// Measures the number of steps until a walk started at `start` is within
+/// total-variation distance `eps` of the stationary distribution, by exact
+/// distribution evolution. Returns `None` if not reached in `max_steps`
+/// (e.g. bipartite graphs never mix).
+///
+/// # Panics
+///
+/// Panics if `eps ∉ (0, 1)`.
+pub fn mixing_time_from(
+    graph: &AdjGraph,
+    start: u64,
+    eps: f64,
+    max_steps: u64,
+) -> Option<u64> {
+    assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1)");
+    let stationary = WalkDistribution::stationary(graph);
+    let mut dist = WalkDistribution::point(graph, start);
+    if dist.tv_distance(&stationary) <= eps {
+        return Some(0);
+    }
+    for m in 1..=max_steps {
+        dist.step(graph);
+        if dist.tv_distance(&stationary) <= eps {
+            return Some(m);
+        }
+    }
+    None
+}
+
+/// TV distance to stationarity after `m` steps from `start` — the burn-in
+/// diagnostic of Section 5.1.4.
+pub fn tv_after<T: Topology>(graph: &AdjGraph, _marker: &T, start: u64, m: u64) -> f64 {
+    let stationary = WalkDistribution::stationary(graph);
+    let mut dist = WalkDistribution::point(graph, start);
+    dist.evolve(graph, m);
+    dist.tv_distance(&stationary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_adj, cycle_graph, random_regular, star_graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_lambda_is_one_over_n_minus_one() {
+        // Walk matrix of K_n (no self-loops): lambda_2 = ... = -1/(n-1).
+        let g = complete_adj(10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let est = walk_matrix_lambda(&g, 2000, &mut rng);
+        assert!(
+            (est.lambda - 1.0 / 9.0).abs() < 1e-6,
+            "lambda {} should be 1/9",
+            est.lambda
+        );
+    }
+
+    #[test]
+    fn odd_cycle_lambda_is_cos_pi_over_n() {
+        // C_5 eigenvalues are cos(2 pi k / 5); the largest magnitude below 1
+        // is |cos(4 pi / 5)| = cos(pi/5) ~ 0.809017.
+        let g = cycle_graph(5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let est = walk_matrix_lambda(&g, 5000, &mut rng);
+        assert!(
+            (est.lambda - (std::f64::consts::PI / 5.0).cos()).abs() < 1e-5,
+            "lambda {}",
+            est.lambda
+        );
+    }
+
+    #[test]
+    fn bipartite_star_has_lambda_one() {
+        let g = star_graph(8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let est = walk_matrix_lambda(&g, 2000, &mut rng);
+        assert!(est.lambda > 0.999, "bipartite lambda {} must be ~1", est.lambda);
+        assert!(est.gap() < 1e-3);
+    }
+
+    #[test]
+    fn random_regular_graph_is_an_expander() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = random_regular(200, 8, 500, &mut rng).unwrap();
+        let est = walk_matrix_lambda(&g, 2000, &mut rng);
+        // Friedman: lambda ~ 2 sqrt(d-1)/d + o(1) ~ 0.66 for d = 8.
+        assert!(est.lambda < 0.85, "regular graph lambda {}", est.lambda);
+        assert!(est.lambda > 0.3, "lambda suspiciously small: {}", est.lambda);
+    }
+
+    #[test]
+    fn mixing_time_fast_on_complete_graph() {
+        let g = complete_adj(20);
+        let t = mixing_time_from(&g, 0, 0.01, 100).expect("must mix");
+        assert!(t <= 5, "complete graph mixes almost instantly, got {t}");
+    }
+
+    #[test]
+    fn mixing_time_none_on_bipartite() {
+        let g = star_graph(6);
+        assert_eq!(mixing_time_from(&g, 1, 0.01, 1000), None);
+    }
+
+    #[test]
+    fn mixing_time_monotone_in_eps() {
+        let g = cycle_graph(15);
+        let loose = mixing_time_from(&g, 0, 0.2, 10_000).unwrap();
+        let tight = mixing_time_from(&g, 0, 0.01, 10_000).unwrap();
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    fn lambda_predicts_tv_decay_on_odd_cycle() {
+        // TV(m) decays roughly like lambda^m for reversible chains.
+        let g = cycle_graph(9);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let lambda = walk_matrix_lambda(&g, 5000, &mut rng).lambda;
+        let stationary = WalkDistribution::stationary(&g);
+        let mut dist = WalkDistribution::point(&g, 0);
+        dist.evolve(&g, 50);
+        let tv50 = dist.tv_distance(&stationary);
+        dist.evolve(&g, 50);
+        let tv100 = dist.tv_distance(&stationary);
+        let measured_ratio = (tv100 / tv50).powf(1.0 / 50.0);
+        assert!(
+            (measured_ratio - lambda).abs() < 0.05,
+            "decay rate {measured_ratio} vs lambda {lambda}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_deterministic_given_seed() {
+        let g = cycle_graph(7);
+        let a = walk_matrix_lambda(&g, 500, &mut SmallRng::seed_from_u64(9));
+        let b = walk_matrix_lambda(&g, 500, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,88 @@
+//! Link-query accounting.
+//!
+//! The paper's cost model for network-size estimation: "the dominant cost
+//! is typically in link queries to the network" — every walker step
+//! requires one neighborhood lookup, and burn-in steps count like any
+//! other. [`QueryCount`] tracks the three phases separately so
+//! experiments can reproduce the Section 5.1.5 comparison.
+
+/// Link queries spent by a network-size estimation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCount {
+    /// Queries spent walking during burn-in.
+    pub burnin: u64,
+    /// Queries spent during the collision-counting phase.
+    pub walking: u64,
+    /// Queries spent sampling degrees (Algorithm 3).
+    pub degree_sampling: u64,
+}
+
+impl QueryCount {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total queries across all phases.
+    pub fn total(&self) -> u64 {
+        self.burnin + self.walking + self.degree_sampling
+    }
+
+    /// Accumulates another counter.
+    pub fn add(&mut self, other: &QueryCount) {
+        self.burnin += other.burnin;
+        self.walking += other.walking;
+        self.degree_sampling += other.degree_sampling;
+    }
+}
+
+impl std::ops::Add for QueryCount {
+    type Output = QueryCount;
+    fn add(self, rhs: QueryCount) -> QueryCount {
+        QueryCount {
+            burnin: self.burnin + rhs.burnin,
+            walking: self.walking + rhs.walking,
+            degree_sampling: self.degree_sampling + rhs.degree_sampling,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let q = QueryCount {
+            burnin: 10,
+            walking: 20,
+            degree_sampling: 5,
+        };
+        assert_eq!(q.total(), 35);
+    }
+
+    #[test]
+    fn add_combines_fields() {
+        let mut a = QueryCount {
+            burnin: 1,
+            walking: 2,
+            degree_sampling: 3,
+        };
+        let b = QueryCount {
+            burnin: 10,
+            walking: 20,
+            degree_sampling: 30,
+        };
+        a.add(&b);
+        assert_eq!(a.burnin, 11);
+        assert_eq!(a.walking, 22);
+        assert_eq!(a.degree_sampling, 33);
+        let c = a + b;
+        assert_eq!(c.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(QueryCount::new().total(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Median-of-means estimation.
+//!
+//! Section 5.1.2 of the paper notes that the Chebyshev-based network-size
+//! bound has *linear* dependence on `1/δ`, and that one can "perform
+//! log(1/δ) estimates each with failure probability 1/3 and return the
+//! median, which will be correct with probability 1−δ". This module
+//! implements that boosting step.
+
+/// Number of independent repetitions needed so that the median of
+/// estimates, each failing with probability at most `p_fail < 1/2`, fails
+/// with probability at most `delta`.
+///
+/// From the Chernoff bound on Binomial(k, p_fail) exceeding k/2:
+/// `k = ln(1/δ) / (2·(1/2 − p_fail)²)` (rounded up to the next odd count
+/// so the median is unique).
+///
+/// # Panics
+///
+/// Panics if `p_fail ∉ (0, 0.5)` or `delta ∉ (0, 1)`.
+pub fn repetitions_for(p_fail: f64, delta: f64) -> usize {
+    assert!(
+        p_fail > 0.0 && p_fail < 0.5,
+        "per-estimate failure probability must lie in (0, 0.5)"
+    );
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0,1)");
+    let gap = 0.5 - p_fail;
+    let k = ((1.0 / delta).ln() / (2.0 * gap * gap)).ceil() as usize;
+    let k = k.max(1);
+    if k % 2 == 0 {
+        k + 1
+    } else {
+        k
+    }
+}
+
+/// Median of a set of estimates (the boosting combiner).
+///
+/// # Panics
+///
+/// Panics if `estimates` is empty or contains NaN.
+pub fn median_of_estimates(estimates: &[f64]) -> f64 {
+    crate::quantile::median(estimates)
+}
+
+/// Median-of-means over a sample: splits `samples` into `groups` blocks,
+/// averages each block, returns the median of the block means.
+///
+/// Tolerates heavy tails: achieves sub-Gaussian deviation with only a
+/// finite-variance assumption — exactly the situation for ring collision
+/// counts whose higher moments blow up (Theorem 21's setting).
+///
+/// # Panics
+///
+/// Panics if `groups == 0` or `samples.len() < groups`.
+pub fn median_of_means(samples: &[f64], groups: usize) -> f64 {
+    assert!(groups > 0, "need at least one group");
+    assert!(
+        samples.len() >= groups,
+        "need at least one sample per group"
+    );
+    let base = samples.len() / groups;
+    let extra = samples.len() % groups;
+    let mut means = Vec::with_capacity(groups);
+    let mut idx = 0;
+    for g in 0..groups {
+        let len = base + usize::from(g < extra);
+        let block = &samples[idx..idx + len];
+        idx += len;
+        means.push(block.iter().sum::<f64>() / block.len() as f64);
+    }
+    median_of_estimates(&means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetitions_is_odd_and_grows_with_confidence() {
+        let k1 = repetitions_for(1.0 / 3.0, 0.1);
+        let k2 = repetitions_for(1.0 / 3.0, 0.001);
+        assert!(k1 % 2 == 1 && k2 % 2 == 1);
+        assert!(k2 > k1);
+    }
+
+    #[test]
+    fn repetitions_small_for_weak_targets() {
+        // delta = 0.3 with p_fail = 1/3 needs very few repetitions.
+        assert!(repetitions_for(1.0 / 3.0, 0.3) <= 45);
+    }
+
+    #[test]
+    fn median_of_estimates_ignores_outlier_minority() {
+        // 2 of 5 estimates are wildly wrong; median is still good.
+        let est = [10.0, 10.2, 9.9, 1000.0, -500.0];
+        let m = median_of_estimates(&est);
+        assert!((m - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn median_of_means_even_split() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        // groups of 2: means 1.5, 3.5, 5.5 -> median 3.5
+        assert_eq!(median_of_means(&xs, 3), 3.5);
+    }
+
+    #[test]
+    fn median_of_means_uneven_split() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 100.0];
+        // 2 groups: [1,1,1] mean 1, [1,100] mean 50.5 -> median 25.75
+        let m = median_of_means(&xs, 2);
+        assert!((m - 25.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_means_single_group_is_mean() {
+        let xs = [2.0, 4.0, 6.0];
+        assert_eq!(median_of_means(&xs, 1), 4.0);
+    }
+
+    #[test]
+    fn median_of_means_resists_heavy_tail() {
+        // 100 samples: 95 are ~1.0, 5 are enormous. Plain mean is ruined;
+        // median of 10 means is not.
+        let mut xs = vec![1.0; 95];
+        xs.extend([1e6; 5]);
+        // interleave the outliers
+        xs.swap(0, 95);
+        xs.swap(20, 96);
+        xs.swap(40, 97);
+        xs.swap(60, 98);
+        xs.swap(80, 99);
+        let plain_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mom = median_of_means(&xs, 11);
+        assert!(plain_mean > 1000.0);
+        assert!(mom < plain_mean / 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample per group")]
+    fn too_many_groups_panics() {
+        let _ = median_of_means(&[1.0, 2.0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 0.5)")]
+    fn repetitions_rejects_bad_pfail() {
+        let _ = repetitions_for(0.5, 0.1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Empirical quantiles with linear interpolation.
+//!
+//! The experiment harness reports the (1−δ)-quantile of the relative
+//! estimation error — exactly the quantity Theorem 1 bounds.
+
+/// Quantile of an *unsorted* slice (copies and sorts internally).
+///
+/// Uses the "linear interpolation of the empirical CDF" convention
+/// (type 7 in Hyndman–Fan): `q = 0` is the minimum, `q = 1` the maximum.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, contains NaN, or `q ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use antdensity_stats::quantile::quantile;
+/// let xs = [3.0, 1.0, 2.0];
+/// assert_eq!(quantile(&xs, 0.5), 2.0);
+/// assert_eq!(quantile(&xs, 0.0), 1.0);
+/// assert_eq!(quantile(&xs, 1.0), 3.0);
+/// ```
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of empty sample");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// Quantile of an already-sorted slice (no allocation).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q ∉ [0, 1]`. Debug builds additionally
+/// assert that the input is sorted.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted requires sorted input"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Several quantiles at once over one sort.
+///
+/// # Panics
+///
+/// Same conditions as [`quantile`].
+pub fn quantiles(samples: &[f64], qs: &[f64]) -> Vec<f64> {
+    assert!(!samples.is_empty(), "quantile of empty sample");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    qs.iter().map(|&q| quantile_sorted(&v, q)).collect()
+}
+
+/// Median convenience wrapper.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains NaN.
+pub fn median(samples: &[f64]) -> f64 {
+    quantile(samples, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[42.0], 0.0), 42.0);
+        assert_eq!(quantile(&[42.0], 0.37), 42.0);
+        assert_eq!(quantile(&[42.0], 1.0), 42.0);
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+        assert_eq!(quantile(&xs, 0.5), 5.0);
+        assert_eq!(quantile(&xs, 0.75), 7.5);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn handles_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 5.0);
+        assert_eq!(quantile(&xs, 1.0), 9.0);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.95, 1.0];
+        let batch = quantiles(&xs, &qs);
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(batch[i], quantile(&xs, q));
+        }
+    }
+
+    #[test]
+    fn uniform_grid_quantiles_exact() {
+        // 0..=100: the q-quantile is exactly 100 q.
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert!((quantile(&xs, q) - 100.0 * q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_level_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,243 @@
+//! Ordinary least squares and log–log power-law fitting.
+//!
+//! The reproduction's shape checks are slope checks: the paper predicts
+//! re-collision probability `∝ (m+1)^{−1}` on the 2-d torus, `(m+1)^{−1/2}`
+//! on the ring, `(m+1)^{−k/2}` on k-dim tori, geometric `λ^m` decay on
+//! expanders, and query-complexity exponents `2/3` vs `7/6` in §5.1.5.
+//! A [`LogLogFit`] turns each of those into a fitted exponent with an R².
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are supplied, if lengths differ, or
+    /// if all x values coincide (the slope would be undefined).
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "x and y lengths differ");
+        assert!(xs.len() >= 2, "need at least two points");
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        assert!(sxx > 0.0, "all x values coincide; slope undefined");
+        let sxy: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        Self {
+            slope,
+            intercept,
+            r_squared,
+            n: xs.len(),
+        }
+    }
+
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Power-law fit `y ≈ a·x^p` via least squares in log–log space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogLogFit {
+    /// Fitted exponent `p`.
+    pub exponent: f64,
+    /// Fitted prefactor `a`.
+    pub prefactor: f64,
+    /// R² of the underlying log-space linear fit.
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LogLogFit {
+    /// Fits `y ≈ a·x^p`. Points with non-positive x or y are *rejected*
+    /// (they have no logarithm); filter them out first if expected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points, mismatched lengths, or any
+    /// non-positive coordinate.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "x and y lengths differ");
+        assert!(
+            xs.iter().chain(ys).all(|&v| v > 0.0),
+            "log-log fit requires strictly positive data"
+        );
+        let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+        let lin = LinearFit::fit(&lx, &ly);
+        Self {
+            exponent: lin.slope,
+            prefactor: lin.intercept.exp(),
+            r_squared: lin.r_squared,
+            n: xs.len(),
+        }
+    }
+
+    /// Predicted value at `x > 0`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.prefactor * x.powf(self.exponent)
+    }
+}
+
+/// Geometric-decay fit `y ≈ a·r^x` (linear fit in semilog space).
+///
+/// Used for the expander re-collision bound `λ^m` (Lemma 23) and the
+/// hypercube bound `(9/10)^{m−1}` (Lemma 25).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SemiLogFit {
+    /// Fitted ratio `r` (decay rate per unit x).
+    pub ratio: f64,
+    /// Fitted prefactor `a`.
+    pub prefactor: f64,
+    /// R² of the underlying linear fit.
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl SemiLogFit {
+    /// Fits `y ≈ a·r^x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points, mismatched lengths, or any `y ≤ 0`.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "x and y lengths differ");
+        assert!(
+            ys.iter().all(|&v| v > 0.0),
+            "semilog fit requires strictly positive y data"
+        );
+        let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+        let lin = LinearFit::fit(xs, &ly);
+        Self {
+            ratio: lin.slope.exp(),
+            prefactor: lin.intercept.exp(),
+            r_squared: lin.r_squared,
+            n: xs.len(),
+        }
+    }
+
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.prefactor * self.ratio.powf(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let fit = LinearFit::fit(&xs, &ys);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 58.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_slope_close() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // deterministic "noise"
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 2.0 * x + 1.0 + (x * 12.9898).sin() * 0.5)
+            .collect();
+        let fit = LinearFit::fit(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn constant_y_has_r2_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let fit = LinearFit::fit(&xs, &ys);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn loglog_recovers_power_law() {
+        let xs: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 7.0 * x.powf(-1.0)).collect();
+        let fit = LogLogFit::fit(&xs, &ys);
+        assert!((fit.exponent + 1.0).abs() < 1e-10);
+        assert!((fit.prefactor - 7.0).abs() < 1e-9);
+        assert!((fit.predict(100.0) - 0.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_recovers_half_power() {
+        let xs: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 / x.sqrt()).collect();
+        let fit = LogLogFit::fit(&xs, &ys);
+        assert!((fit.exponent + 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn semilog_recovers_geometric_decay() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * 0.9f64.powf(*x)).collect();
+        let fit = SemiLogFit::fit(&xs, &ys);
+        assert!((fit.ratio - 0.9).abs() < 1e-10);
+        assert!((fit.prefactor - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        let _ = LinearFit::fit(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        let _ = LinearFit::fit(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn vertical_line_panics() {
+        let _ = LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn loglog_rejects_nonpositive() {
+        let _ = LogLogFit::fit(&[1.0, 2.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the statistics substrate.
+
+use antdensity_stats::moments::{CentralMoments, SampleStats, StreamingMoments};
+use antdensity_stats::quantile::{quantile, quantile_sorted};
+use antdensity_stats::regression::{LinearFit, LogLogFit};
+use antdensity_stats::rng::SeedSequence;
+use proptest::prelude::*;
+
+fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, min_len..200)
+}
+
+proptest! {
+    #[test]
+    fn streaming_mean_matches_naive(xs in finite_vec(1)) {
+        let mut m = StreamingMoments::new();
+        xs.iter().for_each(|&x| m.push(x));
+        let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+        let scale = 1.0 + naive.abs();
+        prop_assert!((m.mean() - naive).abs() / scale < 1e-9);
+    }
+
+    #[test]
+    fn streaming_variance_non_negative(xs in finite_vec(1)) {
+        let m: StreamingMoments = xs.iter().copied().collect();
+        prop_assert!(m.variance() >= 0.0);
+        prop_assert!(m.population_variance() >= 0.0);
+    }
+
+    #[test]
+    fn streaming_merge_any_split(xs in finite_vec(2), split_frac in 0.0..1.0f64) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let mut whole = StreamingMoments::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = StreamingMoments::new();
+        let mut b = StreamingMoments::new();
+        xs[..split].iter().for_each(|&x| a.push(x));
+        xs[split..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        let scale = 1.0 + whole.mean().abs();
+        prop_assert!((a.mean() - whole.mean()).abs() / scale < 1e-9);
+        let vscale = 1.0 + whole.variance().abs();
+        prop_assert!((a.variance() - whole.variance()).abs() / vscale < 1e-6);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(xs in finite_vec(1), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-12);
+    }
+
+    #[test]
+    fn quantile_within_range(xs in finite_vec(1), q in 0.0..1.0f64) {
+        let v = quantile(&xs, q);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-12 && v <= max + 1e-12);
+    }
+
+    #[test]
+    fn quantile_sorted_agrees_with_unsorted(xs in finite_vec(1), q in 0.0..1.0f64) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(quantile(&xs, q), quantile_sorted(&sorted, q));
+    }
+
+    #[test]
+    fn sample_stats_mean_between_min_max(xs in finite_vec(1)) {
+        let s = SampleStats::from_slice(&xs);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn central_moments_even_orders_non_negative(
+        xs in finite_vec(1),
+        center in -10.0..10.0f64,
+    ) {
+        let mut cm = CentralMoments::new(center, 6);
+        xs.iter().for_each(|&x| cm.push(x));
+        for k in [2u32, 4, 6] {
+            prop_assert!(cm.moment(k) >= 0.0, "even moment {} negative", k);
+        }
+        for k in 1..=6u32 {
+            prop_assert!(cm.abs_moment(k) >= 0.0);
+            prop_assert!(cm.abs_moment(k) >= cm.moment(k).abs() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_fit_residual_orthogonality(
+        pairs in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 3..50)
+    ) {
+        // OLS residuals sum to ~0 (with an intercept fitted).
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        // need x variation
+        let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assume!(xs.iter().any(|x| (x - mx).abs() > 1e-6));
+        let fit = LinearFit::fit(&xs, &ys);
+        let resid_sum: f64 = xs.iter().zip(&ys).map(|(x, y)| y - fit.predict(*x)).sum();
+        prop_assert!(resid_sum.abs() / (1.0 + ys.iter().map(|y| y.abs()).sum::<f64>()) < 1e-8);
+        prop_assert!(fit.r_squared <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn loglog_fit_exact_on_power_laws(
+        a in 0.1..10.0f64,
+        p in -3.0..3.0f64,
+    ) {
+        let xs: Vec<f64> = (1..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a * x.powf(p)).collect();
+        let fit = LogLogFit::fit(&xs, &ys);
+        prop_assert!((fit.exponent - p).abs() < 1e-6);
+        prop_assert!((fit.prefactor - a).abs() / a < 1e-6);
+    }
+
+    #[test]
+    fn seed_derivation_never_collides_nearby(master in any::<u64>()) {
+        let seq = SeedSequence::new(master);
+        let seeds: Vec<u64> = (0..64).map(|l| seq.derive(l)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), seeds.len());
+    }
+}

@@ -1,0 +1,585 @@
+//! The synchronous multi-agent arena: the paper's model, executable.
+//!
+//! A [`SyncArena`] holds N agents on a topology. Each round every agent
+//! makes one move (per its [`MovementModel`]), after which the arena
+//! rebuilds its occupancy index so that `count(position)` — the number of
+//! *other* agents at an agent's node at the end of the round — can be
+//! answered in O(1), exactly as the paper's sensing primitive.
+//!
+//! Agents may carry a **property group** (successful forager, enemy,
+//! task-group member, …); per-group occupancy supports the Section 5.2
+//! relative-frequency application where agents "separately track
+//! encounters" with agents of a given type.
+
+use crate::movement::MovementModel;
+use antdensity_graphs::{NodeId, Topology};
+use rand::Rng;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Identifier of an agent within an arena: `0 .. num_agents`.
+pub type AgentId = usize;
+
+/// Identifier of a property group.
+pub type GroupId = usize;
+
+/// The synchronous multi-agent world of Section 2.
+///
+/// # Example
+///
+/// ```
+/// use antdensity_graphs::Torus2d;
+/// use antdensity_walks::arena::SyncArena;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut arena = SyncArena::new(Torus2d::new(16), 10);
+/// arena.place_uniform(&mut rng);
+/// for _ in 0..5 {
+///     arena.step_round(&mut rng);
+/// }
+/// assert_eq!(arena.round(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyncArena<T: Topology> {
+    topo: T,
+    positions: Vec<NodeId>,
+    movement: Vec<MovementModel>,
+    groups: Vec<Option<GroupId>>,
+    num_groups: usize,
+    round: u64,
+    occupancy: HashMap<NodeId, u32>,
+    group_occupancy: Vec<HashMap<NodeId, u32>>,
+    placed: bool,
+    avoidance: Option<f64>,
+    flee: bool,
+}
+
+impl<T: Topology> SyncArena<T> {
+    /// Creates an arena with `num_agents` agents, all using the paper's
+    /// pure random walk. Agents are unplaced until [`Self::place_uniform`]
+    /// or [`Self::place_at`] is called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_agents == 0`.
+    pub fn new(topo: T, num_agents: usize) -> Self {
+        assert!(num_agents > 0, "arena needs at least one agent");
+        Self {
+            topo,
+            positions: vec![0; num_agents],
+            movement: vec![MovementModel::Pure; num_agents],
+            groups: vec![None; num_agents],
+            num_groups: 0,
+            round: 0,
+            occupancy: HashMap::new(),
+            group_occupancy: Vec::new(),
+            placed: false,
+            avoidance: None,
+            flee: false,
+        }
+    }
+
+    /// The topology agents live on.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Population density `d = n/A` under the paper's convention
+    /// (Section 2.1): with `n+1` agents present, `d` counts the *other*
+    /// agents, so a lone agent sees density 0.
+    pub fn density(&self) -> f64 {
+        (self.num_agents() as f64 - 1.0) / self.topo.num_nodes() as f64
+    }
+
+    /// Places every agent at an independent uniformly random node (the
+    /// paper's initial condition) and resets the round counter.
+    pub fn place_uniform(&mut self, rng: &mut dyn RngCore) {
+        for p in self.positions.iter_mut() {
+            *p = self.topo.uniform_node(rng);
+        }
+        self.round = 0;
+        self.placed = true;
+        self.rebuild_occupancy();
+    }
+
+    /// Places agents at explicit positions (adversarial configurations,
+    /// e.g. the co-located starts that Algorithm 4's `c mod t` step
+    /// corrects for) and resets the round counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the agent count or a
+    /// position is out of range.
+    pub fn place_at(&mut self, positions: &[NodeId]) {
+        assert_eq!(
+            positions.len(),
+            self.positions.len(),
+            "position count must equal agent count"
+        );
+        for &p in positions {
+            assert!(p < self.topo.num_nodes(), "position {p} out of range");
+        }
+        self.positions.copy_from_slice(positions);
+        self.round = 0;
+        self.placed = true;
+        self.rebuild_occupancy();
+    }
+
+    /// Sets one agent's movement model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn set_movement(&mut self, agent: AgentId, model: MovementModel) {
+        self.movement[agent] = model;
+    }
+
+    /// Sets every agent's movement model.
+    pub fn set_movement_all(&mut self, model: &MovementModel) {
+        for m in self.movement.iter_mut() {
+            *m = model.clone();
+        }
+    }
+
+    /// Declares that groups `0..count` exist (even if some end up empty),
+    /// so [`Self::count_in_group`] is queryable for all of them.
+    pub fn declare_groups(&mut self, count: usize) {
+        if count > self.num_groups {
+            self.num_groups = count;
+            self.group_occupancy.resize_with(count, HashMap::new);
+        }
+    }
+
+    /// Assigns `agent` to property `group` (replacing any previous group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn assign_group(&mut self, agent: AgentId, group: GroupId) {
+        self.groups[agent] = Some(group);
+        if group >= self.num_groups {
+            self.num_groups = group + 1;
+            self.group_occupancy.resize_with(self.num_groups, HashMap::new);
+        }
+        if self.placed {
+            self.rebuild_occupancy();
+        }
+    }
+
+    /// The group of `agent`, if any.
+    pub fn group_of(&self, agent: AgentId) -> Option<GroupId> {
+        self.groups[agent]
+    }
+
+    /// Number of agents assigned to `group`.
+    pub fn group_size(&self, group: GroupId) -> usize {
+        self.groups.iter().filter(|g| **g == Some(group)).count()
+    }
+
+    /// Current position of `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is unplaced or `agent` out of range.
+    pub fn position(&self, agent: AgentId) -> NodeId {
+        assert!(self.placed, "arena not placed yet");
+        self.positions[agent]
+    }
+
+    /// Enables cell avoidance — the first variant the paper sketches in
+    /// Section 6.1 ("agents sense and sometimes avoid collisions"): before
+    /// committing a move whose target cell was occupied at the end of the
+    /// previous round, the agent backs off (stays put) with probability
+    /// `prob`.
+    ///
+    /// Counter-intuitively, this *raises* measured encounter rates: a
+    /// just-collided pair trying to leave gets frozen in place by crowded
+    /// neighborhoods and re-collides repeatedly (stickiness). The E17
+    /// experiment quantifies the effect. Pass `None` to restore the
+    /// paper's exact model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn set_avoidance(&mut self, prob: Option<f64>) {
+        if let Some(p) = prob {
+            assert!((0.0..=1.0).contains(&p), "avoidance probability in [0,1]");
+        }
+        self.avoidance = prob;
+    }
+
+    /// Enables post-encounter dispersal — the second Section 6.1 variant
+    /// ("move away from previously encountered ants"): an agent that
+    /// shared its cell with someone at the end of the previous round takes
+    /// *two* walk steps this round.
+    ///
+    /// This suppresses repeat collisions, pushing the encounter rate
+    /// *below* the pure-model prediction — matching the field
+    /// observations the paper cites [GPT93, NTD05].
+    pub fn set_flee(&mut self, flee: bool) {
+        self.flee = flee;
+    }
+
+    /// Executes one synchronous round: every agent moves once, then the
+    /// occupancy index is rebuilt (the paper's `count` reads positions at
+    /// the *end* of the round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is unplaced.
+    pub fn step_round(&mut self, rng: &mut dyn RngCore) {
+        assert!(self.placed, "place agents before stepping");
+        if self.avoidance.is_none() && !self.flee {
+            for (pos, model) in self.positions.iter_mut().zip(&self.movement) {
+                *pos = model.step(&self.topo, *pos, rng);
+            }
+        } else {
+            // Agents sense last round's occupancy (the stale index) before
+            // moving — they cannot see the simultaneous moves of others,
+            // matching the synchronous model.
+            for i in 0..self.positions.len() {
+                let cur = self.positions[i];
+                let collided = self.occupancy.get(&cur).copied().unwrap_or(0) >= 2;
+                let mut next = self.movement[i].step(&self.topo, cur, rng);
+                if let Some(p) = self.avoidance {
+                    let target_busy = next != cur
+                        && self.occupancy.get(&next).copied().unwrap_or(0) >= 1;
+                    if target_busy && rng.gen_bool(p) {
+                        next = cur;
+                    }
+                }
+                if self.flee && collided {
+                    next = self.movement[i].step(&self.topo, next, rng);
+                }
+                self.positions[i] = next;
+            }
+        }
+        self.round += 1;
+        self.rebuild_occupancy();
+    }
+
+    fn rebuild_occupancy(&mut self) {
+        self.occupancy.clear();
+        for &p in &self.positions {
+            *self.occupancy.entry(p).or_insert(0) += 1;
+        }
+        for g in self.group_occupancy.iter_mut() {
+            g.clear();
+        }
+        for (agent, &p) in self.positions.iter().enumerate() {
+            if let Some(g) = self.groups[agent] {
+                *self.group_occupancy[g].entry(p).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// The paper's `count(position)`: number of *other* agents at
+    /// `agent`'s node at the end of the current round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is unplaced or `agent` out of range.
+    pub fn count(&self, agent: AgentId) -> u32 {
+        assert!(self.placed, "arena not placed yet");
+        let p = self.positions[agent];
+        self.occupancy[&p] - 1
+    }
+
+    /// Number of *other* agents of `group` at `agent`'s node — the
+    /// per-type encounter sensing of Section 5.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is unplaced, or `agent`/`group` out of range.
+    pub fn count_in_group(&self, agent: AgentId, group: GroupId) -> u32 {
+        assert!(self.placed, "arena not placed yet");
+        assert!(group < self.num_groups, "group {group} unassigned");
+        let p = self.positions[agent];
+        let at_node = self.group_occupancy[group].get(&p).copied().unwrap_or(0);
+        if self.groups[agent] == Some(group) {
+            at_node - 1
+        } else {
+            at_node
+        }
+    }
+
+    /// Total agents occupying `node` in the current round.
+    pub fn occupancy(&self, node: NodeId) -> u32 {
+        self.occupancy.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct occupied nodes.
+    pub fn occupied_nodes(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Iterator over `(agent, position)`.
+    pub fn agent_positions(&self) -> impl Iterator<Item = (AgentId, NodeId)> + '_ {
+        self.positions.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdensity_graphs::{CompleteGraph, Torus2d};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_arena(agents: usize, seed: u64) -> (SyncArena<Torus2d>, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut arena = SyncArena::new(Torus2d::new(8), agents);
+        arena.place_uniform(&mut rng);
+        (arena, rng)
+    }
+
+    #[test]
+    fn occupancy_sums_to_agent_count() {
+        let (mut arena, mut rng) = small_arena(20, 1);
+        for _ in 0..10 {
+            arena.step_round(&mut rng);
+            let total: u32 = (0..arena.topology().num_nodes())
+                .map(|v| arena.occupancy(v))
+                .sum();
+            assert_eq!(total as usize, 20);
+        }
+    }
+
+    #[test]
+    fn count_is_symmetric_pairwise() {
+        // if i and j share a node, both counts include each other
+        let (mut arena, mut rng) = small_arena(30, 2);
+        for _ in 0..20 {
+            arena.step_round(&mut rng);
+            for i in 0..30 {
+                for j in (i + 1)..30 {
+                    let together = arena.position(i) == arena.position(j);
+                    if together {
+                        assert!(arena.count(i) >= 1);
+                        assert!(arena.count(j) >= 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_occupancy_minus_one() {
+        let (mut arena, mut rng) = small_arena(25, 3);
+        arena.step_round(&mut rng);
+        for a in 0..25 {
+            assert_eq!(arena.count(a), arena.occupancy(arena.position(a)) - 1);
+        }
+    }
+
+    #[test]
+    fn total_collision_count_is_even() {
+        // Sum over agents of count() double-counts each colliding pair.
+        let (mut arena, mut rng) = small_arena(40, 4);
+        for _ in 0..10 {
+            arena.step_round(&mut rng);
+            let total: u32 = (0..40).map(|a| arena.count(a)).sum();
+            assert_eq!(total % 2, 0);
+        }
+    }
+
+    #[test]
+    fn density_uses_paper_convention() {
+        let arena = SyncArena::new(Torus2d::new(10), 11);
+        // (n+1) = 11 agents on A = 100 nodes: d = n/A = 10/100
+        assert!((arena.density() - 0.1).abs() < 1e-12);
+        let lone = SyncArena::new(Torus2d::new(10), 1);
+        assert_eq!(lone.density(), 0.0);
+    }
+
+    #[test]
+    fn stationary_agents_do_not_move() {
+        let (mut arena, mut rng) = small_arena(5, 5);
+        arena.set_movement_all(&MovementModel::Stationary);
+        let before: Vec<NodeId> = (0..5).map(|a| arena.position(a)).collect();
+        for _ in 0..10 {
+            arena.step_round(&mut rng);
+        }
+        let after: Vec<NodeId> = (0..5).map(|a| arena.position(a)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn mixed_movement_models() {
+        let (mut arena, mut rng) = small_arena(3, 6);
+        arena.set_movement(0, MovementModel::Stationary);
+        arena.set_movement(1, MovementModel::Drift { move_index: 2 });
+        let p0 = arena.position(0);
+        let p1 = arena.position(1);
+        arena.step_round(&mut rng);
+        assert_eq!(arena.position(0), p0);
+        assert_eq!(arena.position(1), arena.topology().offset(p1, 0, 1));
+    }
+
+    #[test]
+    fn place_at_and_adversarial_stack() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut arena = SyncArena::new(Torus2d::new(4), 4);
+        arena.place_at(&[5, 5, 5, 2]);
+        assert_eq!(arena.count(0), 2);
+        assert_eq!(arena.count(3), 0);
+        assert_eq!(arena.occupancy(5), 3);
+        assert_eq!(arena.occupied_nodes(), 2);
+        arena.step_round(&mut rng);
+        assert_eq!(arena.round(), 1);
+    }
+
+    #[test]
+    fn groups_count_only_other_members() {
+        let mut arena = SyncArena::new(Torus2d::new(4), 4);
+        arena.assign_group(0, 0);
+        arena.assign_group(1, 0);
+        arena.assign_group(2, 1);
+        arena.place_at(&[9, 9, 9, 9]);
+        // agent 0 (group 0) sees 1 other group-0 member and 1 group-1 member
+        assert_eq!(arena.count_in_group(0, 0), 1);
+        assert_eq!(arena.count_in_group(0, 1), 1);
+        // agent 3 (no group) sees both group-0 members
+        assert_eq!(arena.count_in_group(3, 0), 2);
+        assert_eq!(arena.count(3), 3);
+        assert_eq!(arena.group_size(0), 2);
+        assert_eq!(arena.group_size(1), 1);
+        assert_eq!(arena.group_of(3), None);
+    }
+
+    #[test]
+    fn uniform_placement_covers_nodes() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut arena = SyncArena::new(CompleteGraph::new(16), 4000);
+        arena.place_uniform(&mut rng);
+        // with 4000 agents on 16 nodes, each node holds ~250
+        for v in 0..16 {
+            let occ = arena.occupancy(v);
+            assert!(
+                (occ as f64 - 250.0).abs() < 100.0,
+                "node {v} occupancy {occ}"
+            );
+        }
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let (mut a1, mut r1) = small_arena(10, 99);
+        let (mut a2, mut r2) = small_arena(10, 99);
+        for _ in 0..20 {
+            a1.step_round(&mut r1);
+            a2.step_round(&mut r2);
+        }
+        let p1: Vec<NodeId> = (0..10).map(|a| a1.position(a)).collect();
+        let p2: Vec<NodeId> = (0..10).map(|a| a2.position(a)).collect();
+        assert_eq!(p1, p2);
+    }
+
+    fn encounter_total(
+        avoid: Option<f64>,
+        flee: bool,
+        seed: u64,
+    ) -> u64 {
+        // moderate density (d = 0.125): the regime where both Section 6.1
+        // behavioural variants have their documented sign. (At extreme
+        // densities near 0.5 the flee effect can invert.)
+        let agents = 32;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut arena = SyncArena::new(Torus2d::new(16), agents);
+        arena.set_avoidance(avoid);
+        arena.set_flee(flee);
+        arena.place_uniform(&mut rng);
+        let mut total = 0u64;
+        for _ in 0..600 {
+            arena.step_round(&mut rng);
+            total += (0..agents).map(|a| arena.count(a) as u64).sum::<u64>();
+        }
+        total
+    }
+
+    #[test]
+    fn cell_avoidance_raises_encounters_by_stickiness() {
+        // The counter-intuitive emergent effect: freezing in front of
+        // occupied cells glues colliding pairs together, so measured
+        // encounters EXCEED the pure model's.
+        let pure: u64 = (0..5).map(|s| encounter_total(None, false, s)).sum();
+        let avoidant: u64 = (0..5).map(|s| encounter_total(Some(1.0), false, s)).sum();
+        assert!(
+            avoidant > pure,
+            "freeze-avoidance must raise encounters: {avoidant} vs {pure}"
+        );
+    }
+
+    #[test]
+    fn flee_lowers_encounter_rate() {
+        // Post-encounter dispersal suppresses repeat collisions: the
+        // [GPT93]-style below-prediction encounter rates.
+        let pure: u64 = (0..5).map(|s| encounter_total(None, false, s)).sum();
+        let fleeing: u64 = (0..5).map(|s| encounter_total(None, true, s)).sum();
+        assert!(
+            fleeing < pure,
+            "flee must lower encounters: {fleeing} vs {pure}"
+        );
+    }
+
+    #[test]
+    fn zero_avoidance_matches_pure_model() {
+        let mut r1 = SmallRng::seed_from_u64(50);
+        let mut a1 = SyncArena::new(Torus2d::new(8), 10);
+        a1.place_uniform(&mut r1);
+        let mut r2 = SmallRng::seed_from_u64(50);
+        let mut a2 = SyncArena::new(Torus2d::new(8), 10);
+        a2.set_avoidance(Some(0.0));
+        a2.place_uniform(&mut r2);
+        for _ in 0..20 {
+            a1.step_round(&mut r1);
+            a2.step_round(&mut r2);
+        }
+        // rng consumption differs (gen_bool draws), so compare statistics
+        // not trajectories: both must conserve occupancy and stay placed.
+        let t1: u32 = (0..10).map(|a| a1.count(a)).sum();
+        let t2: u32 = (0..10).map(|a| a2.count(a)).sum();
+        assert_eq!(t1 % 2, 0);
+        assert_eq!(t2 % 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "avoidance probability")]
+    fn avoidance_probability_validated() {
+        let mut arena = SyncArena::new(Torus2d::new(4), 2);
+        arena.set_avoidance(Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "place agents")]
+    fn stepping_unplaced_arena_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut arena = SyncArena::new(Torus2d::new(4), 2);
+        arena.step_round(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn empty_arena_panics() {
+        let _ = SyncArena::new(Torus2d::new(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn place_at_validates_positions() {
+        let mut arena = SyncArena::new(Torus2d::new(2), 1);
+        arena.place_at(&[100]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Asynchronous movement — the paper's Section 6.1 variant ("it may also
+//! be interesting to consider random-walk-based models, but with
+//! asynchronous movement").
+//!
+//! Instead of synchronous rounds, activations fire one agent at a time
+//! (the standard continuous-time approximation: each agent carries an
+//! independent rate-1 Poisson clock; the sequence of firings is a uniform
+//! random agent per tick). An activated agent steps and then senses
+//! `count(position)`.
+//!
+//! The natural encounter-rate estimator divides an agent's accumulated
+//! count by its *own* activation count, mirroring Algorithm 1 per local
+//! clock. Because uniform placement stays stationary under single-agent
+//! moves, the estimator remains unbiased — the asynchronous model changes
+//! constants, not correctness, which [`AsyncArena`]'s tests verify.
+
+use antdensity_graphs::{NodeId, Topology};
+use rand::Rng;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// An asynchronous multi-agent world: one uniformly random agent moves
+/// per tick.
+#[derive(Debug, Clone)]
+pub struct AsyncArena<T: Topology> {
+    topo: T,
+    positions: Vec<NodeId>,
+    occupancy: HashMap<NodeId, u32>,
+    activations: Vec<u64>,
+    counts: Vec<u64>,
+    ticks: u64,
+    placed: bool,
+}
+
+impl<T: Topology> AsyncArena<T> {
+    /// Creates an arena with `num_agents` agents (unplaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_agents == 0`.
+    pub fn new(topo: T, num_agents: usize) -> Self {
+        assert!(num_agents > 0, "arena needs at least one agent");
+        Self {
+            topo,
+            positions: vec![0; num_agents],
+            occupancy: HashMap::new(),
+            activations: vec![0; num_agents],
+            counts: vec![0; num_agents],
+            ticks: 0,
+            placed: false,
+        }
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Ticks (single-agent activations) elapsed.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Paper-convention density `d = n/A`.
+    pub fn density(&self) -> f64 {
+        (self.num_agents() as f64 - 1.0) / self.topo.num_nodes() as f64
+    }
+
+    /// Places every agent uniformly at random and resets all statistics.
+    pub fn place_uniform(&mut self, rng: &mut dyn RngCore) {
+        for p in self.positions.iter_mut() {
+            *p = self.topo.uniform_node(rng);
+        }
+        self.occupancy.clear();
+        for &p in &self.positions {
+            *self.occupancy.entry(p).or_insert(0) += 1;
+        }
+        self.activations.iter_mut().for_each(|a| *a = 0);
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.ticks = 0;
+        self.placed = true;
+    }
+
+    /// One tick: a uniformly random agent steps to a random neighbor and
+    /// senses the number of other agents at its new node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is unplaced.
+    pub fn tick(&mut self, rng: &mut dyn RngCore) {
+        assert!(self.placed, "place agents before ticking");
+        let agent = rng.gen_range(0..self.positions.len());
+        let from = self.positions[agent];
+        let to = self.topo.random_neighbor(from, rng);
+        // update occupancy incrementally
+        if let Some(c) = self.occupancy.get_mut(&from) {
+            *c -= 1;
+            if *c == 0 {
+                self.occupancy.remove(&from);
+            }
+        }
+        let at_target = self.occupancy.entry(to).or_insert(0);
+        let others = *at_target;
+        *at_target += 1;
+        self.positions[agent] = to;
+        self.activations[agent] += 1;
+        self.counts[agent] += others as u64;
+        self.ticks += 1;
+    }
+
+    /// Runs `ticks` activations.
+    pub fn run(&mut self, ticks: u64, rng: &mut dyn RngCore) {
+        for _ in 0..ticks {
+            self.tick(rng);
+        }
+    }
+
+    /// Agent `a`'s encounter-rate density estimate: accumulated count per
+    /// own activation (0 if never activated).
+    pub fn estimate(&self, agent: usize) -> f64 {
+        if self.activations[agent] == 0 {
+            0.0
+        } else {
+            self.counts[agent] as f64 / self.activations[agent] as f64
+        }
+    }
+
+    /// All estimates.
+    pub fn estimates(&self) -> Vec<f64> {
+        (0..self.num_agents()).map(|a| self.estimate(a)).collect()
+    }
+
+    /// Current position of `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unplaced or out of range.
+    pub fn position(&self, agent: usize) -> NodeId {
+        assert!(self.placed, "arena not placed yet");
+        self.positions[agent]
+    }
+
+    /// Occupancy of `node`.
+    pub fn occupancy(&self, node: NodeId) -> u32 {
+        self.occupancy.get(&node).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdensity_graphs::{CompleteGraph, Torus2d};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn occupancy_stays_consistent_incrementally() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut arena = AsyncArena::new(Torus2d::new(8), 20);
+        arena.place_uniform(&mut rng);
+        arena.run(500, &mut rng);
+        // recompute occupancy from scratch and compare
+        let mut fresh: HashMap<NodeId, u32> = HashMap::new();
+        for a in 0..20 {
+            *fresh.entry(arena.position(a)).or_insert(0) += 1;
+        }
+        for v in 0..arena.topo.num_nodes() {
+            assert_eq!(arena.occupancy(v), fresh.get(&v).copied().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn activations_sum_to_ticks() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut arena = AsyncArena::new(Torus2d::new(8), 10);
+        arena.place_uniform(&mut rng);
+        arena.run(777, &mut rng);
+        assert_eq!(arena.activations.iter().sum::<u64>(), 777);
+        assert_eq!(arena.ticks(), 777);
+    }
+
+    #[test]
+    fn estimator_is_unbiased_on_complete_graph() {
+        // On the complete graph an activated agent lands uniformly, so
+        // each activation is an independent Bernoulli-sum sample of d.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = 256u64;
+        let agents = 33; // d = 32/256 = 0.125
+        let mut grand = 0.0;
+        let runs = 12;
+        for _ in 0..runs {
+            let mut arena = AsyncArena::new(CompleteGraph::new(a), agents);
+            arena.place_uniform(&mut rng);
+            arena.run(40_000, &mut rng);
+            grand += arena.estimates().iter().sum::<f64>() / agents as f64;
+        }
+        let mean = grand / runs as f64;
+        assert!((mean - 0.125).abs() < 0.01, "async mean estimate {mean}");
+    }
+
+    #[test]
+    fn estimator_is_unbiased_on_torus() {
+        // The paper's 6.1 conjecture: asynchrony should not break the
+        // encounter-rate estimator. d = 32/256 = 0.125.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let agents = 33;
+        let mut grand = 0.0;
+        let runs = 12;
+        for _ in 0..runs {
+            let mut arena = AsyncArena::new(Torus2d::new(16), agents);
+            arena.place_uniform(&mut rng);
+            arena.run(40_000, &mut rng);
+            grand += arena.estimates().iter().sum::<f64>() / agents as f64;
+        }
+        let mean = grand / runs as f64;
+        assert!(
+            (mean - 0.125).abs() < 0.015,
+            "async torus mean estimate {mean}"
+        );
+    }
+
+    #[test]
+    fn unactivated_agents_estimate_zero() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut arena = AsyncArena::new(Torus2d::new(4), 5);
+        arena.place_uniform(&mut rng);
+        // no ticks at all
+        assert!(arena.estimates().iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn estimates_concentrate_with_more_ticks() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let spread = |ticks: u64, rng: &mut SmallRng| -> f64 {
+            let mut arena = AsyncArena::new(Torus2d::new(16), 33);
+            arena.place_uniform(rng);
+            arena.run(ticks, rng);
+            let es = arena.estimates();
+            let m = es.iter().sum::<f64>() / es.len() as f64;
+            (es.iter().map(|e| (e - m) * (e - m)).sum::<f64>() / es.len() as f64).sqrt()
+        };
+        let short = spread(2_000, &mut rng);
+        let long = spread(100_000, &mut rng);
+        assert!(
+            long < short,
+            "more activations must tighten estimates: {long} vs {short}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "place agents")]
+    fn ticking_unplaced_panics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut arena = AsyncArena::new(Torus2d::new(4), 2);
+        arena.tick(&mut rng);
+    }
+}

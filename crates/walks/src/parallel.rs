@@ -1,0 +1,146 @@
+//! Deterministic parallel fan-out of independent Monte-Carlo trials.
+//!
+//! Every trial gets its own RNG stream derived from
+//! `(master seed, trial index)`, so results are bit-identical regardless
+//! of the number of worker threads. Threads process contiguous chunks and
+//! results are concatenated in trial order.
+
+use antdensity_stats::rng::SeedSequence;
+use rand::rngs::SmallRng;
+
+/// Runs `trials` independent trials of `f` across `threads` workers.
+///
+/// `f(trial_index, rng)` receives a [`SmallRng`] seeded from
+/// `seeds.derive(trial_index)`. The returned vector is ordered by trial
+/// index and identical for any `threads ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+///
+/// # Example
+///
+/// ```
+/// use antdensity_stats::rng::SeedSequence;
+/// use antdensity_walks::parallel::run_trials;
+/// use rand::Rng;
+///
+/// let seq = SeedSequence::new(7);
+/// let sequential = run_trials(100, 1, seq, |_, rng| rng.gen::<u32>());
+/// let parallel = run_trials(100, 4, seq, |_, rng| rng.gen::<u32>());
+/// assert_eq!(sequential, parallel);
+/// ```
+pub fn run_trials<T, F>(trials: u64, threads: usize, seeds: SeedSequence, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, &mut SmallRng) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if trials == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(trials as usize);
+    if threads == 1 {
+        let mut out = Vec::with_capacity(trials as usize);
+        for i in 0..trials {
+            let mut rng = seeds.rng(i);
+            out.push(f(i, &mut rng));
+        }
+        return out;
+    }
+    let chunk = trials.div_ceil(threads as u64);
+    let f_ref = &f;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads as u64 {
+            let lo = (w * chunk).min(trials);
+            let hi = ((w + 1) * chunk).min(trials);
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::with_capacity((hi - lo) as usize);
+                for i in lo..hi {
+                    let mut rng = seeds.rng(i);
+                    out.push(f_ref(i, &mut rng));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            chunks.push(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    let mut out = Vec::with_capacity(trials as usize);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// A sensible worker count for Monte-Carlo fan-out: the available
+/// parallelism, capped so tiny jobs don't pay spawn overhead.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let seq = SeedSequence::new(123);
+        let work = |i: u64, rng: &mut SmallRng| -> (u64, f64) { (i, rng.gen::<f64>()) };
+        let t1 = run_trials(53, 1, seq, work);
+        let t3 = run_trials(53, 3, seq, work);
+        let t8 = run_trials(53, 8, seq, work);
+        assert_eq!(t1, t3);
+        assert_eq!(t1, t8);
+    }
+
+    #[test]
+    fn trial_indices_in_order() {
+        let seq = SeedSequence::new(5);
+        let out = run_trials(40, 7, seq, |i, _| i);
+        assert_eq!(out, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn zero_trials_yield_empty() {
+        let seq = SeedSequence::new(1);
+        let out: Vec<u8> = run_trials(0, 4, seq, |_, _| 0u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let seq = SeedSequence::new(9);
+        let out = run_trials(3, 64, seq, |i, _| i * 2);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn streams_differ_across_trials() {
+        let seq = SeedSequence::new(2);
+        let out = run_trials(32, 4, seq, |_, rng| rng.gen::<u64>());
+        let mut dedup = out.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), out.len());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let seq = SeedSequence::new(1);
+        let _: Vec<u8> = run_trials(10, 0, seq, |_, _| 0u8);
+    }
+}

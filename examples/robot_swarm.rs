@@ -1,0 +1,59 @@
+//! Robot swarms: task-group frequency estimation and density-triggered
+//! dispersion (paper Sections 5.2 and 6.3.4).
+//!
+//! A swarm of robots on a warehouse floor (a grid) hosts two task groups
+//! — "carriers" and "chargers". Every robot estimates, purely from
+//! encounter rates, what fraction of the swarm each group makes up; the
+//! swarm can then rebalance task allocation, exactly the ant behaviour
+//! [Gor99] that motivated the paper. A second scenario shows clustered
+//! robots using their local density estimates to disperse faster.
+//!
+//! Run with: `cargo run --release --example robot_swarm`
+
+use antdensity::swarm::coverage::DispersionSim;
+use antdensity::swarm::robot::SwarmConfig;
+
+fn main() {
+    // ----- task-group frequency sensing ------------------------------
+    let carriers = 48usize;
+    let chargers = 16usize;
+    let others = 64usize;
+    let total = carriers + chargers + others;
+    let report = SwarmConfig::new(32, total, 2048)
+        .with_groups(&[carriers, chargers])
+        .run(0x0B07);
+    println!("swarm of {total} robots on a 32x32 floor, 2048 rounds:");
+    for (g, name) in [(0usize, "carriers"), (1, "chargers")] {
+        let est = report.mean_frequency(g).expect("swarm is dense enough");
+        let truth = report.true_frequency(g);
+        println!(
+            "  {name:>9}: estimated {est:.3} of the swarm (truth {truth:.3}, err {:.1}%)",
+            100.0 * (est - truth).abs() / truth
+        );
+    }
+    println!(
+        "  overall density: estimated {:.4} (truth {:.4})\n",
+        report.mean_density(),
+        report.true_density()
+    );
+
+    // ----- density-triggered dispersion ------------------------------
+    println!("dispersion after a clustered drop-off (96 robots, one square):");
+    let rounds = 150u64;
+    let adaptive = DispersionSim::new(32, 96, 4, 0.25).run_clustered(rounds, 7);
+    let control = DispersionSim::new(32, 96, 4, 0.25)
+        .without_adaptation()
+        .run_clustered(rounds, 7);
+    println!("  round | spread (adaptive) | spread (plain walk)");
+    for &r in &[0usize, 10, 30, 60, 100, 150] {
+        println!(
+            "  {r:>5} | {:>17.3} | {:>19.3}",
+            adaptive[r], control[r]
+        );
+    }
+    println!();
+    println!("Robots that sense a high encounter rate (crowding) take double");
+    println!("steps until their local density estimate drops — the swarm");
+    println!("spreads measurably faster than with plain random walking,");
+    println!("the Section 6.3.4 idea made concrete.");
+}

@@ -1,0 +1,27 @@
+//! # antdensity — ant-inspired density estimation via random walks
+//!
+//! Umbrella crate for the full Rust reproduction of
+//! *Ant-Inspired Density Estimation via Random Walks*
+//! (Cameron Musco, Hsin-Hao Su, Nancy Lynch; PODC 2016 / PNAS 2017,
+//! arXiv:1603.02981).
+//!
+//! This crate re-exports the workspace members under stable module names:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`stats`] | moments, quantiles, concentration bounds, regression |
+//! | [`graphs`] | tori, rings, hypercubes, expanders, CSR graphs, exact walk distributions |
+//! | [`walks`] | the paper's synchronous multi-agent simulation model |
+//! | [`core`] | Algorithm 1 (random-walk density estimation), Algorithm 4, theory |
+//! | [`netsize`] | Section 5.1: network-size estimation via colliding walks |
+//! | [`swarm`] | Sections 5.2/6.3: robot swarms and sensor-network sampling |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the full system inventory.
+
+pub use antdensity_core as core;
+pub use antdensity_graphs as graphs;
+pub use antdensity_netsize as netsize;
+pub use antdensity_stats as stats;
+pub use antdensity_swarm as swarm;
+pub use antdensity_walks as walks;
