@@ -1,13 +1,63 @@
 //! Engine throughput: the synchronous arena (the paper's model) across
 //! topologies and population sizes. Supports every experiment; the cost
 //! model here is what makes the E1/E6/E7 sweeps feasible.
+//!
+//! `engine_vs_arena` pits the pre-engine implementation (per-round
+//! `HashMap` occupancy rebuilds, kept here as a baseline replica) against
+//! the dense touched-list engine that `SyncArena` now delegates to, at
+//! 1024 and 4096 agents.
 
-use antdensity_graphs::{CompleteGraph, Hypercube, Ring, Torus2d};
+use antdensity_engine::{Engine, Scenario, TopologySpec};
+use antdensity_graphs::{CompleteGraph, Hypercube, NodeId, Ring, Topology, Torus2d};
+use antdensity_stats::rng::SeedSequence;
 use antdensity_walks::arena::SyncArena;
+use antdensity_walks::movement::MovementModel;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::HashMap;
 use std::time::Duration;
+
+/// The pre-engine `SyncArena` hot loop: HashMap occupancy rebuilt from
+/// scratch every round. Baseline for `engine_vs_arena`.
+struct HashMapArena<T: Topology> {
+    topo: T,
+    positions: Vec<NodeId>,
+    movement: Vec<MovementModel>,
+    occupancy: HashMap<NodeId, u32>,
+}
+
+impl<T: Topology> HashMapArena<T> {
+    fn new(topo: T, num_agents: usize, rng: &mut dyn RngCore) -> Self {
+        let positions = (0..num_agents).map(|_| topo.uniform_node(rng)).collect();
+        let mut arena = Self {
+            topo,
+            positions,
+            movement: vec![MovementModel::Pure; num_agents],
+            occupancy: HashMap::new(),
+        };
+        arena.rebuild_occupancy();
+        arena
+    }
+
+    fn step_round(&mut self, rng: &mut dyn RngCore) {
+        for (pos, model) in self.positions.iter_mut().zip(&self.movement) {
+            *pos = model.step(&self.topo, *pos, rng);
+        }
+        self.rebuild_occupancy();
+    }
+
+    fn rebuild_occupancy(&mut self) {
+        self.occupancy.clear();
+        for &p in &self.positions {
+            *self.occupancy.entry(p).or_insert(0) += 1;
+        }
+    }
+
+    fn count(&self, agent: usize) -> u32 {
+        self.occupancy[&self.positions[agent]] - 1
+    }
+}
 
 fn bench_arena_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("arena_step_round");
@@ -53,16 +103,12 @@ fn bench_arena_scaling(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for agents in [64usize, 512, 4096] {
         group.throughput(Throughput::Elements(agents as u64));
-        group.bench_with_input(
-            BenchmarkId::new("torus2d_256", agents),
-            &agents,
-            |b, &n| {
-                let mut rng = SmallRng::seed_from_u64(5);
-                let mut arena = SyncArena::new(Torus2d::new(256), n);
-                arena.place_uniform(&mut rng);
-                b.iter(|| arena.step_round(&mut rng));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("torus2d_256", agents), &agents, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut arena = SyncArena::new(Torus2d::new(256), n);
+            arena.place_uniform(&mut rng);
+            b.iter(|| arena.step_round(&mut rng));
+        });
     }
     group.finish();
 }
@@ -91,10 +137,95 @@ fn bench_count_queries(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline comparison: per-round HashMap rebuilds (old) vs dense
+/// touched-list occupancy (new), stepping + a full count sweep per round,
+/// at 1024 and 4096 agents on a 256×256 torus.
+fn bench_engine_vs_arena(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_vs_arena");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for agents in [1024usize, 4096] {
+        group.throughput(Throughput::Elements(agents as u64));
+        group.bench_with_input(
+            BenchmarkId::new("hashmap_arena", agents),
+            &agents,
+            |b, &n| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let mut arena = HashMapArena::new(Torus2d::new(256), n, &mut rng);
+                b.iter(|| {
+                    arena.step_round(&mut rng);
+                    (0..n).map(|a| arena.count(a) as u64).sum::<u64>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_engine", agents),
+            &agents,
+            |b, &n| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let mut engine = Engine::new(Torus2d::new(256), n);
+                engine.place_uniform(&mut rng);
+                b.iter(|| {
+                    engine.step_round(&mut rng);
+                    (0..n).map(|a| engine.count(a) as u64).sum::<u64>()
+                });
+            },
+        );
+        // The chunked deterministic mode, requesting 4 workers. Actual
+        // spawning engages only when the engine's caps allow (>= 4 chunks
+        // per worker AND multiple cores); at these sizes — and on any
+        // single-core box — this measures the chunked-stream path run
+        // inline, i.e. the per-(round, chunk) RNG-derivation overhead the
+        // determinism contract costs, not parallel speedup.
+        group.bench_with_input(
+            BenchmarkId::new("dense_engine_chunked_mode", agents),
+            &agents,
+            |b, &n| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let mut engine = Engine::new(Torus2d::new(256), n)
+                    .with_seed_sequence(SeedSequence::new(7))
+                    .with_threads(4);
+                engine.place_uniform(&mut rng);
+                b.iter(|| {
+                    engine.step_round_parallel();
+                    (0..n).map(|a| engine.count(a) as u64).sum::<u64>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end scenario throughput: a whole Algorithm 1 run through the
+/// spec layer (placement + rounds + estimates), in agent-rounds/s.
+fn bench_scenario_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_run");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let agents = 512usize;
+    let rounds = 64u64;
+    group.throughput(Throughput::Elements(agents as u64 * rounds));
+    group.bench_function(BenchmarkId::new("algorithm1_torus64", agents), |b| {
+        let spec = Scenario::new(TopologySpec::Torus2d { side: 64 }, agents, rounds);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            spec.run(seed)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_arena_round,
     bench_arena_scaling,
-    bench_count_queries
+    bench_count_queries,
+    bench_engine_vs_arena,
+    bench_scenario_run
 );
 criterion_main!(benches);

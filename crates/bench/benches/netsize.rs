@@ -81,5 +81,10 @@ fn bench_burnin(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithm2, bench_degree_estimation, bench_burnin);
+criterion_group!(
+    benches,
+    bench_algorithm2,
+    bench_degree_estimation,
+    bench_burnin
+);
 criterion_main!(benches);

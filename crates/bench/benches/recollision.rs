@@ -42,17 +42,13 @@ fn bench_mc_recollision(c: &mut Criterion) {
     let torus = Torus2d::new(64);
     for trials in [1_000u64, 10_000] {
         group.throughput(Throughput::Elements(trials));
-        group.bench_with_input(
-            BenchmarkId::new("torus64_t64", trials),
-            &trials,
-            |b, &n| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    recollision::mc_recollision_curve(&torus, 0, 64, n, seed, 4)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("torus64_t64", trials), &trials, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                recollision::mc_recollision_curve(&torus, 0, 64, n, seed, 4)
+            });
+        });
     }
     group.finish();
 }
@@ -81,5 +77,10 @@ fn bench_moments(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exact_evolution, bench_mc_recollision, bench_moments);
+criterion_group!(
+    benches,
+    bench_exact_evolution,
+    bench_mc_recollision,
+    bench_moments
+);
 criterion_main!(benches);

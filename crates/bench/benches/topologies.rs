@@ -113,5 +113,10 @@ fn bench_spectral(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_random_neighbor, bench_generators, bench_spectral);
+criterion_group!(
+    benches,
+    bench_random_neighbor,
+    bench_generators,
+    bench_spectral
+);
 criterion_main!(benches);

@@ -17,9 +17,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: repro <list|all|e1..e15...> [--quick|--full] [--seed N] [--out DIR]"
-    );
+    eprintln!("usage: repro <list|all|e1..e15...> [--quick|--full] [--seed N] [--out DIR]");
     std::process::exit(2);
 }
 
@@ -50,7 +48,12 @@ fn main() {
                 out = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "list" => list_only = true,
-            "all" => selected = experiments::all().iter().map(|e| e.id.to_string()).collect(),
+            "all" => {
+                selected = experiments::all()
+                    .iter()
+                    .map(|e| e.id.to_string())
+                    .collect()
+            }
             other if other.starts_with('e') || other.starts_with('E') => {
                 selected.push(other.to_string());
             }

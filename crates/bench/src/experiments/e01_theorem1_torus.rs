@@ -16,7 +16,7 @@
 
 use super::util;
 use crate::report::{Effort, ExperimentReport};
-use antdensity_graphs::{Topology, Torus2d};
+use antdensity_engine::TopologySpec;
 use antdensity_stats::bounds;
 use antdensity_stats::regression::LogLogFit;
 use antdensity_stats::table::{format_sig, Table};
@@ -28,7 +28,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         "Theorem 1: epsilon(t) = c1 * sqrt(log(1/delta)/(t d)) * log(2t) on the 2-d torus",
     );
     let side = effort.size(32, 64);
-    let torus = Torus2d::new(side);
+    let torus = TopologySpec::Torus2d { side };
     let a = torus.num_nodes();
     let delta = 0.1;
     let runs = effort.trials(3, 10);
@@ -38,7 +38,13 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let mut table = Table::new(
         "theorem1_accuracy",
         &[
-            "d", "t", "err_median", "err_q90", "bound_c1_1", "ratio", "coverage_at_bound",
+            "d",
+            "t",
+            "err_median",
+            "err_q90",
+            "bound_c1_1",
+            "ratio",
+            "coverage_at_bound",
         ],
     );
     let mut fit_ts: Vec<f64> = Vec::new();
@@ -48,8 +54,8 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     for &d in &densities {
         let n_agents = ((d * a as f64).round() as usize).max(2) + 1;
         for t in util::pow2_sweep(16, t_max) {
-            let qs = util::algorithm1_error_quantiles(
-                &torus,
+            let qs = util::scenario_error_quantiles(
+                torus,
                 n_agents,
                 t,
                 runs,

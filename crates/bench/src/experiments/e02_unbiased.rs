@@ -7,7 +7,9 @@
 
 use super::util;
 use crate::report::{Effort, ExperimentReport};
-use antdensity_graphs::{generators, AdjGraph, CompleteGraph, Hypercube, Ring, Topology, Torus2d, TorusKd};
+use antdensity_graphs::{
+    generators, AdjGraph, CompleteGraph, Hypercube, Ring, Topology, Torus2d, TorusKd,
+};
 use antdensity_stats::table::{format_sig, Table};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -47,25 +49,65 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let rounds = effort.size(128, 512);
     let mut table = Table::new(
         "unbiasedness",
-        &["topology", "A", "d", "mean_estimate", "ratio", "std_err", "within_5se"],
+        &[
+            "topology",
+            "A",
+            "d",
+            "mean_estimate",
+            "ratio",
+            "std_err",
+            "within_5se",
+        ],
     );
 
     let mut all_ok = true;
     let torus = Torus2d::new(32);
-    all_ok &= check("torus2d_32", &torus, 103, rounds, runs, seed ^ 1, &mut table);
+    all_ok &= check(
+        "torus2d_32",
+        &torus,
+        103,
+        rounds,
+        runs,
+        seed ^ 1,
+        &mut table,
+    );
     let ring = Ring::new(1024);
     all_ok &= check("ring_1024", &ring, 103, rounds, runs, seed ^ 2, &mut table);
     let t3 = TorusKd::new(3, 10);
     all_ok &= check("torus3d_10", &t3, 101, rounds, runs, seed ^ 3, &mut table);
     let hyper = Hypercube::new(10);
-    all_ok &= check("hypercube_10", &hyper, 103, rounds, runs, seed ^ 4, &mut table);
+    all_ok &= check(
+        "hypercube_10",
+        &hyper,
+        103,
+        rounds,
+        runs,
+        seed ^ 4,
+        &mut table,
+    );
     let complete = CompleteGraph::new(1024);
-    all_ok &= check("complete_1024", &complete, 103, rounds, runs, seed ^ 5, &mut table);
+    all_ok &= check(
+        "complete_1024",
+        &complete,
+        103,
+        rounds,
+        runs,
+        seed ^ 5,
+        &mut table,
+    );
     let expander: AdjGraph = {
         let mut rng = SmallRng::seed_from_u64(seed ^ 6);
         generators::random_regular(1024, 8, 500, &mut rng).expect("expander generation")
     };
-    all_ok &= check("regular8_1024", &expander, 103, rounds, runs, seed ^ 7, &mut table);
+    all_ok &= check(
+        "regular8_1024",
+        &expander,
+        103,
+        rounds,
+        runs,
+        seed ^ 7,
+        &mut table,
+    );
 
     table.note("paper: ratio = 1 exactly in expectation on every regular graph");
     report.push_table(table);

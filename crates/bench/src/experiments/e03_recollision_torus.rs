@@ -33,13 +33,31 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let maxp = recollision::exact_max_prob_curve(&torus, start, t_max);
     let mc_lags = effort.size(64, 128);
     let mc_trials = effort.trials(20_000, 100_000);
-    let mc = recollision::mc_recollision_curve(&torus, start, mc_lags, mc_trials, seed, 0_usize.max(antdensity_walks::parallel::default_threads()));
+    let mc = recollision::mc_recollision_curve(
+        &torus,
+        start,
+        mc_lags,
+        mc_trials,
+        seed,
+        antdensity_walks::parallel::default_threads(),
+    );
 
     let mut table = Table::new(
         "recollision_torus",
-        &["m", "P_exact", "P_minus_1_over_A", "envelope", "ratio", "maxprob", "P_mc"],
+        &[
+            "m",
+            "P_exact",
+            "P_minus_1_over_A",
+            "envelope",
+            "ratio",
+            "maxprob",
+            "P_mc",
+        ],
     );
-    let lags: Vec<u64> = (0..=11).map(|k| 1u64 << k).filter(|&m| m <= t_max).collect();
+    let lags: Vec<u64> = (0..=11)
+        .map(|k| 1u64 << k)
+        .filter(|&m| m <= t_max)
+        .collect();
     for &m in &lags {
         let p = exact[m as usize];
         let excess = (p - 1.0 / a).max(0.0);
@@ -126,7 +144,6 @@ mod tests {
             .split(':')
             .nth(1)
             .unwrap()
-            .trim()
             .split_whitespace()
             .next()
             .unwrap()

@@ -35,10 +35,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let ts = [a / 4, a];
 
     // --- pairwise collision counts (Lemma 11) ---
-    let mut pair_table = Table::new(
-        "lemma11_pair_moments",
-        &["t", "k", "E|c_bar|^k", "w_k"],
-    );
+    let mut pair_table = Table::new("lemma11_pair_moments", &["t", "k", "E|c_bar|^k", "w_k"]);
     let mut w_values: Vec<f64> = Vec::new();
     for &t in &ts {
         let cm = recollision::pair_count_moments(&torus, t, max_k, trials, seed ^ t, threads);
@@ -72,7 +69,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let t_vis = ts[1];
     let cm_vis =
         recollision::visit_count_moments(&torus, 0, t_vis, max_k, trials, seed ^ 0x515, threads);
-    let mut visit_table = Table::new("corollary15_visit_moments", &["k", "E|c_bar|^k", "bound_w1"]);
+    let mut visit_table = Table::new(
+        "corollary15_visit_moments",
+        &["k", "E|c_bar|^k", "bound_w1"],
+    );
     let log2t = (2.0 * t_vis as f64).ln();
     let mut vis_ok = true;
     for k in 1..=max_k {
@@ -80,11 +80,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         // Cor. 15 bound shape with w = 1: (t/A) k! log^{k-1}(2t)
         let shape = (t_vis as f64 / a as f64) * factorial(k) * log2t.powi(k as i32 - 1);
         vis_ok &= m <= shape * 16.0; // generous constant slack
-        visit_table.row_owned(vec![
-            k.to_string(),
-            format_sig(m, 5),
-            format_sig(shape, 5),
-        ]);
+        visit_table.row_owned(vec![k.to_string(), format_sig(m, 5), format_sig(shape, 5)]);
     }
     visit_table.note("paper: moments <= (t/A) w^k k! log^{k-1}(2t) for fixed w");
     report.push_table(visit_table);
@@ -94,27 +90,19 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     ));
 
     // --- equalizations (Corollary 16) ---
-    let cm_eq = recollision::equalization_moments(
-        &torus,
-        0,
-        t_vis,
-        max_k,
-        trials,
-        seed ^ 0xE16,
-        threads,
+    let cm_eq =
+        recollision::equalization_moments(&torus, 0, t_vis, max_k, trials, seed ^ 0xE16, threads);
+    let mut eq_table = Table::new(
+        "corollary16_equalization_moments",
+        &["k", "E|c_bar|^k", "bound_w1"],
     );
-    let mut eq_table = Table::new("corollary16_equalization_moments", &["k", "E|c_bar|^k", "bound_w1"]);
     let mut eq_ok = true;
     for k in 1..=max_k {
         let m = cm_eq.abs_moment(k);
         // Cor. 16 bound shape with w = 1: k! log^k(2t)
         let shape = factorial(k) * log2t.powi(k as i32);
         eq_ok &= m <= shape; // w = 1 is already generous here
-        eq_table.row_owned(vec![
-            k.to_string(),
-            format_sig(m, 5),
-            format_sig(shape, 5),
-        ]);
+        eq_table.row_owned(vec![k.to_string(), format_sig(m, 5), format_sig(shape, 5)]);
     }
     eq_table.note("paper: moments <= w^k k! log^k(2t) for fixed w");
     report.push_table(eq_table);

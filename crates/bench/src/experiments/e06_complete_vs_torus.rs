@@ -8,7 +8,7 @@
 
 use super::util;
 use crate::report::{Effort, ExperimentReport};
-use antdensity_graphs::{CompleteGraph, Topology, Torus2d};
+use antdensity_engine::TopologySpec;
 use antdensity_stats::regression::LinearFit;
 use antdensity_stats::table::{format_sig, Table};
 
@@ -19,9 +19,9 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         "Section 1.1: torus error vs complete-graph error — the gap is only ~log(2t)",
     );
     let side = effort.size(32, 64);
-    let torus = Torus2d::new(side);
+    let torus = TopologySpec::Torus2d { side };
     let a = torus.num_nodes();
-    let complete = CompleteGraph::new(a);
+    let complete = TopologySpec::Complete { nodes: a };
     let d = 0.05;
     let n_agents = ((d * a as f64).round() as usize).max(2) + 1;
     let runs = effort.trials(4, 16);
@@ -34,9 +34,9 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let mut log2ts = Vec::new();
     let mut ratios = Vec::new();
     for t in util::pow2_sweep(16, t_max) {
-        let qt = util::algorithm1_error_quantiles(&torus, n_agents, t, runs, seed ^ t, &[0.9])[0];
+        let qt = util::scenario_error_quantiles(torus, n_agents, t, runs, seed ^ t, &[0.9])[0];
         let qc =
-            util::algorithm1_error_quantiles(&complete, n_agents, t, runs, seed ^ t ^ 0xC0, &[0.9])[0];
+            util::scenario_error_quantiles(complete, n_agents, t, runs, seed ^ t ^ 0xC0, &[0.9])[0];
         let ratio = qt / qc;
         let log2t = (2.0 * t as f64).ln();
         log2ts.push(log2t);
@@ -78,12 +78,7 @@ mod tests {
     #[test]
     fn quick_run_shows_bounded_gap() {
         let r = run(Effort::Quick, 11);
-        let last_ratio: f64 = r.tables[0]
-            .rows()
-            .last()
-            .unwrap()[3]
-            .parse()
-            .unwrap();
+        let last_ratio: f64 = r.tables[0].rows().last().unwrap()[3].parse().unwrap();
         // the gap should be a small factor, far below polynomial blowup
         assert!(last_ratio < 10.0, "torus/complete ratio {last_ratio}");
         assert!(last_ratio > 0.5, "ratio suspiciously small {last_ratio}");

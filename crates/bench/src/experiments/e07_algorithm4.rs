@@ -102,7 +102,6 @@ mod tests {
             .split(':')
             .nth(1)
             .unwrap()
-            .trim()
             .split_whitespace()
             .next()
             .unwrap()

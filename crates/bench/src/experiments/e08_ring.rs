@@ -112,7 +112,6 @@ mod tests {
             .split(':')
             .nth(1)
             .unwrap()
-            .trim()
             .split_whitespace()
             .next()
             .unwrap()
@@ -128,7 +127,6 @@ mod tests {
             .split(':')
             .nth(1)
             .unwrap()
-            .trim()
             .split_whitespace()
             .next()
             .unwrap()

@@ -77,14 +77,9 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let mut ratios = Vec::new();
     for t in util::pow2_sweep(16, effort.size(1 << 9, 1 << 11)) {
         let q3 = util::algorithm1_error_quantiles(&torus3, n_agents, t, runs, seed ^ t, &[0.9])[0];
-        let qc = util::algorithm1_error_quantiles(
-            &complete,
-            n_agents,
-            t,
-            runs,
-            seed ^ t ^ 0x3D,
-            &[0.9],
-        )[0];
+        let qc =
+            util::algorithm1_error_quantiles(&complete, n_agents, t, runs, seed ^ t ^ 0x3D, &[0.9])
+                [0];
         let ratio = q3 / qc;
         ratios.push(ratio);
         acc_table.row_owned(vec![
@@ -126,6 +121,9 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        assert!(max_ratio < 6.0, "ratio {max_ratio} should stay constant-ish");
+        assert!(
+            max_ratio < 6.0,
+            "ratio {max_ratio} should stay constant-ish"
+        );
     }
 }

@@ -25,7 +25,13 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let a = effort.size(1024, 4096);
     let mut table = Table::new(
         "expander_recollision",
-        &["degree", "lambda_measured", "fitted_decay_rate", "bound_ok", "R2"],
+        &[
+            "degree",
+            "lambda_measured",
+            "fitted_decay_rate",
+            "bound_ok",
+            "R2",
+        ],
     );
     let mut rates_match = true;
     for &deg in &[8usize, 16] {
@@ -57,8 +63,8 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         }
         let fit = SemiLogFit::fit(&xs, &ys);
         // Lemma 23 upper bound check at every lag
-        let bound_ok = (0..=t_max)
-            .all(|m| exact[m as usize] <= lambda.powi(m as i32) + 1.0 / a as f64 + 1e-9);
+        let bound_ok =
+            (0..=t_max).all(|m| exact[m as usize] <= lambda.powi(m as i32) + 1.0 / a as f64 + 1e-9);
         rates_match &= fit.ratio <= lambda + 0.05 && fit.ratio > 0.2;
         table.row_owned(vec![
             deg.to_string(),
@@ -84,12 +90,16 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let d = 0.05;
     let n_agents = ((d * a as f64).round() as usize).max(2) + 1;
     let runs = effort.trials(4, 12);
-    let mut acc = Table::new("expander_vs_complete", &["t", "q90_expander", "q90_complete", "ratio"]);
+    let mut acc = Table::new(
+        "expander_vs_complete",
+        &["t", "q90_expander", "q90_complete", "ratio"],
+    );
     let mut max_ratio: f64 = 0.0;
     for t in util::pow2_sweep(16, effort.size(1 << 8, 1 << 10)) {
         let qe = util::algorithm1_error_quantiles(&g, n_agents, t, runs, seed ^ t, &[0.9])[0];
         let qc =
-            util::algorithm1_error_quantiles(&complete, n_agents, t, runs, seed ^ t ^ 0xE, &[0.9])[0];
+            util::algorithm1_error_quantiles(&complete, n_agents, t, runs, seed ^ t ^ 0xE, &[0.9])
+                [0];
         let ratio = qe / qc;
         max_ratio = max_ratio.max(ratio);
         acc.row_owned(vec![

@@ -23,7 +23,14 @@ pub fn run(effort: Effort, _seed: u64) -> ExperimentReport {
     };
     let mut table = Table::new(
         "hypercube_recollision",
-        &["dims", "A", "max_violation", "bound_ok", "floor_at_m64", "1_over_sqrtA"],
+        &[
+            "dims",
+            "A",
+            "max_violation",
+            "bound_ok",
+            "floor_at_m64",
+            "1_over_sqrtA",
+        ],
     );
     let mut all_ok = true;
     let mut floors = Vec::new();

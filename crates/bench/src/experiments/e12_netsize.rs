@@ -46,7 +46,15 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let (eps, delta) = (0.3, 0.2);
     let mut acc = Table::new(
         "netsize_accuracy",
-        &["graph", "V", "planned_n", "planned_t", "estimate", "rel_err", "within_eps"],
+        &[
+            "graph",
+            "V",
+            "planned_n",
+            "planned_t",
+            "estimate",
+            "rel_err",
+            "within_eps",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(seed);
     let graphs: Vec<(&str, AdjGraph)> = vec![
@@ -54,7 +62,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             "regular8",
             generators::random_regular(v, 8, 500, &mut rng).expect("regular"),
         ),
-        ("ba_m3", generators::barabasi_albert(v, 3, &mut rng).expect("ba")),
+        (
+            "ba_m3",
+            generators::barabasi_albert(v, 3, &mut rng).expect("ba"),
+        ),
         (
             "ws_k6_b0.2",
             generators::watts_strogatz(v, 6, 0.2, &mut rng).expect("ws"),
@@ -64,16 +75,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     for (name, g) in &graphs {
         let t = 64u64;
         let b = measured_b(g, t, &[0, v / 3, 2 * v / 3]);
-        let plan = planner::plan_for_rounds(
-            t,
-            b,
-            g.num_edges(),
-            g.num_nodes(),
-            eps,
-            delta,
-            0,
-            1.0,
-        );
+        let plan = planner::plan_for_rounds(t, b, g.num_edges(), g.num_nodes(), eps, delta, 0, 1.0);
         let reps = median::repetitions_for(delta).min(11);
         let boosted = median::median_boosted(
             Algorithm2::new(plan.walks, plan.rounds),
@@ -110,7 +112,17 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     };
     let mut qtable = Table::new(
         "torus3d_query_scaling",
-        &["V", "burnin_M", "ours_n", "ours_t", "ours_queries", "ours_err", "katzir_n", "katzir_queries", "katzir_err"],
+        &[
+            "V",
+            "burnin_M",
+            "ours_n",
+            "ours_t",
+            "ours_queries",
+            "ours_err",
+            "katzir_n",
+            "katzir_queries",
+            "katzir_err",
+        ],
     );
     let mut vs = Vec::new();
     let mut ours_q = Vec::new();

@@ -22,7 +22,10 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let v = effort.size(400, 1000);
     let mut rng = SmallRng::seed_from_u64(seed);
     let graphs: Vec<(&str, AdjGraph)> = vec![
-        ("ba_m3", generators::barabasi_albert(v, 3, &mut rng).expect("ba")),
+        (
+            "ba_m3",
+            generators::barabasi_albert(v, 3, &mut rng).expect("ba"),
+        ),
         (
             "ws_k6_b0.1",
             generators::watts_strogatz(v, 6, 0.1, &mut rng).expect("ws"),
@@ -34,10 +37,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     ];
 
     let reps = effort.trials(30, 100);
-    let mut table = Table::new(
-        "degree_error_decay",
-        &["graph", "n_samples", "rms_rel_err"],
-    );
+    let mut table = Table::new("degree_error_decay", &["graph", "n_samples", "rms_rel_err"]);
     let mut exponent_ok = true;
     for (name, g) in &graphs {
         let truth = 1.0 / g.avg_degree();
@@ -58,11 +58,7 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             };
             ns.push(n as f64);
             errs.push(rms.max(1e-12));
-            table.row_owned(vec![
-                name.to_string(),
-                n.to_string(),
-                format_sig(rms, 5),
-            ]);
+            table.row_owned(vec![name.to_string(), n.to_string(), format_sig(rms, 5)]);
         }
         let fit = LogLogFit::fit(&ns, &errs);
         // regular graphs are exact at any n; only check the decay where

@@ -37,7 +37,13 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     // --- TV decay rate vs lambda ---
     let mut tv_table = Table::new(
         "tv_decay",
-        &["graph", "lambda", "fitted_tv_rate", "M_recommended", "TV_at_M"],
+        &[
+            "graph",
+            "lambda",
+            "fitted_tv_rate",
+            "M_recommended",
+            "TV_at_M",
+        ],
     );
     let mut rates_ok = true;
     for (name, g) in &graphs {
@@ -111,7 +117,9 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             format_sig(rel, 3),
         ]);
     }
-    bias_table.note("paper: estimates from under-burned walks are biased (clustered walkers over-collide)");
+    bias_table.note(
+        "paper: estimates from under-burned walks are biased (clustered walkers over-collide)",
+    );
     report.push_table(bias_table);
     let improved = errs[0] > errs[2];
     report.finding(format!(

@@ -42,11 +42,21 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let mut freq_ok = true;
     for &frac in &[0.1f64, 0.25, 0.5] {
         let k = ((num_agents as f64) * frac).round() as usize;
-        let run = FrequencyEstimation::new(num_agents, k, rounds).run(&torus, seed ^ k as u64);
-        let truth = run.true_frequency();
-        let mean = run.mean_frequency().unwrap_or(0.0);
+        // Small property groups (k as low as 3) make a single run's mean
+        // swing by ~15% on seed luck alone; average over a few master
+        // seeds so the check tests the estimator, not the seed.
+        let freq_runs = 3u64;
+        let mut truth = 0.0;
+        let mut mean = 0.0;
+        let mut band = 0.0;
+        for r in 0..freq_runs {
+            let run = FrequencyEstimation::new(num_agents, k, rounds)
+                .run(&torus, seed ^ k as u64 ^ (r << 17));
+            truth = run.true_frequency();
+            mean += run.mean_frequency().unwrap_or(0.0) / freq_runs as f64;
+            band += run.fraction_within(0.3) / freq_runs as f64;
+        }
         let rel = (mean - truth).abs() / truth;
-        let band = run.fraction_within(0.3);
         freq_ok &= rel < 0.15;
         freq_table.row_owned(vec![
             format_sig(truth, 3),
@@ -66,7 +76,14 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
     let runs = effort.trials(6, 20);
     let mut noise_table = Table::new(
         "noisy_detection",
-        &["detect_p", "spurious_s", "raw_mean", "expected_raw", "corrected_mean", "d"],
+        &[
+            "detect_p",
+            "spurious_s",
+            "raw_mean",
+            "expected_raw",
+            "corrected_mean",
+            "d",
+        ],
     );
     let mut noise_ok = true;
     for &(p, s) in &[(1.0f64, 0.0f64), (0.7, 0.0), (0.4, 0.0), (0.7, 0.02)] {
@@ -74,7 +91,12 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         let alg = Algorithm1::new(num_agents, rounds).with_noise(noise);
         let mut raw_sum = 0.0;
         for r in 0..runs {
-            raw_sum += alg.run(&torus, seed ^ 0xB0 ^ (r << 9) ^ (p.to_bits() >> 40) ^ (s.to_bits() >> 44)).mean_estimate();
+            raw_sum += alg
+                .run(
+                    &torus,
+                    seed ^ 0xB0 ^ (r << 9) ^ (p.to_bits() >> 40) ^ (s.to_bits() >> 44),
+                )
+                .mean_estimate();
         }
         let raw_mean = raw_sum / runs as f64;
         let expected = p * d + s;
@@ -112,7 +134,8 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
             .collect();
         let q_biased = antdensity_stats::quantile::quantile(&pooled_biased, 0.9);
         let q_pure =
-            util::algorithm1_error_quantiles(&torus, num_agents, t, runs, seed ^ t ^ 0xF, &[0.9])[0];
+            util::algorithm1_error_quantiles(&torus, num_agents, t, runs, seed ^ t ^ 0xF, &[0.9])
+                [0];
         ts.push(t as f64);
         qb.push(q_biased.max(1e-12));
         bias_table.row_owned(vec![
@@ -144,7 +167,6 @@ mod tests {
             .split(':')
             .nth(1)
             .unwrap()
-            .trim()
             .split_whitespace()
             .next()
             .unwrap()

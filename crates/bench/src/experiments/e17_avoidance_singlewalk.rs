@@ -109,8 +109,13 @@ pub fn run(effort: Effort, seed: u64) -> ExperimentReport {
         let mut ests: Vec<f64> = (0..reps)
             .map(|r| {
                 let mut srng = SmallRng::seed_from_u64(seed ^ r ^ gap);
-                sw.run(&g, 8.0, g.sample_stationary(&mut srng), seed ^ (r << 5) ^ gap)
-                    .estimate
+                sw.run(
+                    &g,
+                    8.0,
+                    g.sample_stationary(&mut srng),
+                    seed ^ (r << 5) ^ gap,
+                )
+                .estimate
             })
             .filter(|e| e.is_finite())
             .collect();

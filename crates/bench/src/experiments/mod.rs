@@ -112,7 +112,8 @@ pub fn all() -> Vec<ExperimentDef> {
         },
         ExperimentDef {
             id: "e16",
-            summary: "Extension (2.1.1/6.1): clustered placement - local density estimation emerges",
+            summary:
+                "Extension (2.1.1/6.1): clustered placement - local density estimation emerges",
             run: e16_local_density::run,
         },
         ExperimentDef {

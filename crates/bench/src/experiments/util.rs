@@ -1,6 +1,7 @@
 //! Shared helpers for experiment modules.
 
 use antdensity_core::algorithm1::Algorithm1;
+use antdensity_engine::{Scenario, TopologySpec};
 use antdensity_graphs::Topology;
 use antdensity_stats::quantile;
 use antdensity_stats::rng::SeedSequence;
@@ -21,6 +22,30 @@ pub(crate) fn algorithm1_error_quantiles<T: Topology + Sync>(
     let alg = Algorithm1::new(num_agents, rounds);
     let per_run = parallel::run_trials(runs, threads, seq, |i, _| {
         alg.run(topo, seq.derive(i ^ 0xE1E1)).relative_errors()
+    });
+    let pooled: Vec<f64> = per_run.into_iter().flatten().collect();
+    quantile::quantiles(&pooled, qs)
+}
+
+/// Scenario-based counterpart of [`algorithm1_error_quantiles`]: pools
+/// per-agent relative errors from `runs` independent executions of an
+/// Algorithm 1 [`Scenario`] on the engine and returns the requested error
+/// quantiles. Trials fan out over threads; each trial runs the scenario
+/// single-threaded (the outer fan-out already saturates the cores), and
+/// every trial is a pure function of `(spec, derived seed)`.
+pub(crate) fn scenario_error_quantiles(
+    topology: TopologySpec,
+    num_agents: usize,
+    rounds: u64,
+    runs: u64,
+    seed: u64,
+    qs: &[f64],
+) -> Vec<f64> {
+    let seq = SeedSequence::new(seed);
+    let threads = parallel::default_threads();
+    let spec = Scenario::new(topology, num_agents, rounds);
+    let per_run = parallel::run_trials(runs, threads, seq, |i, _| {
+        spec.run(seq.derive(i ^ 0xE1E1)).relative_errors()
     });
     let pooled: Vec<f64> = per_run.into_iter().flatten().collect();
     quantile::quantiles(&pooled, qs)
@@ -86,10 +111,28 @@ mod tests {
     }
 
     #[test]
+    fn scenario_quantiles_match_shape_and_order() {
+        let q =
+            scenario_error_quantiles(TopologySpec::Torus2d { side: 8 }, 9, 32, 4, 1, &[0.5, 0.9]);
+        assert_eq!(q.len(), 2);
+        assert!(q[0] <= q[1]);
+    }
+
+    #[test]
+    fn scenario_quantiles_deterministic() {
+        let run =
+            || scenario_error_quantiles(TopologySpec::Complete { nodes: 64 }, 9, 32, 6, 7, &[0.9]);
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn mean_estimate_near_truth() {
         let topo = Torus2d::new(8); // A = 64
         let (mean, se, _) = algorithm1_mean_estimate(&topo, 17, 64, 16, 2);
         let truth = 16.0 / 64.0;
-        assert!((mean - truth).abs() < 6.0 * se + 0.02, "mean {mean} se {se}");
+        assert!(
+            (mean - truth).abs() < 6.0 * se + 0.02,
+            "mean {mean} se {se}"
+        );
     }
 }

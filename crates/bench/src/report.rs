@@ -70,7 +70,11 @@ impl ExperimentReport {
     /// Renders the whole report as text.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("### {} — {}\n\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!(
+            "### {} — {}\n\n",
+            self.id.to_uppercase(),
+            self.title
+        ));
         for t in &self.tables {
             out.push_str(&t.render());
             out.push('\n');
@@ -93,7 +97,13 @@ impl ExperimentReport {
             let slug: String = t
                 .title()
                 .chars()
-                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect::<String>()
                 .split('_')
                 .filter(|s| !s.is_empty())
@@ -143,7 +153,12 @@ mod tests {
         assert_eq!(files.len(), 1);
         let content = std::fs::read_to_string(&files[0]).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
-        assert!(files[0].file_name().unwrap().to_str().unwrap().starts_with("e9_00_my_table"));
+        assert!(files[0]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("e9_00_my_table"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

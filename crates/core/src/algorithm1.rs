@@ -224,11 +224,7 @@ impl DensityRun {
     /// quantity Theorem 1 lower-bounds by `1 − δ`.
     pub fn fraction_within(&self, eps: f64) -> f64 {
         if self.true_density == 0.0 {
-            return self
-                .estimates
-                .iter()
-                .filter(|&&e| e == 0.0)
-                .count() as f64
+            return self.estimates.iter().filter(|&&e| e == 0.0).count() as f64
                 / self.estimates.len() as f64;
         }
         let lo = (1.0 - eps) * self.true_density;
@@ -358,8 +354,7 @@ mod tests {
     #[test]
     fn lazy_movement_still_unbiased() {
         let topo = Torus2d::new(16);
-        let cfg =
-            Algorithm1::new(33, 256).with_movement(MovementModel::lazy(0.2));
+        let cfg = Algorithm1::new(33, 256).with_movement(MovementModel::lazy(0.2));
         let mut grand = 0.0;
         for seed in 0..10 {
             grand += cfg.run(&topo, seed).mean_estimate();

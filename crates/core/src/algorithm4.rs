@@ -93,7 +93,8 @@ impl Algorithm4 {
             assert!(p < torus.num_nodes(), "position {p} out of range");
         }
         let mut counts = vec![0u64; self.num_agents];
-        let mut occupancy: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+        let mut occupancy: std::collections::HashMap<NodeId, u32> =
+            std::collections::HashMap::new();
         for _ in 0..self.rounds {
             for (p, &w) in pos.iter_mut().zip(walking) {
                 if w {
@@ -203,7 +204,7 @@ mod tests {
         let mut err1 = 0.0;
         for seed in 0..5 {
             let r4 = Algorithm4::new(agents, rounds).run(&torus, seed);
-            let r1 = Algorithm1::new(agents, rounds as u64).run(&torus, seed);
+            let r1 = Algorithm1::new(agents, rounds).run(&torus, seed);
             err4 += r4.relative_errors().iter().sum::<f64>() / agents as f64;
             err1 += r1.relative_errors().iter().sum::<f64>() / agents as f64;
         }

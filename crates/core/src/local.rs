@@ -97,8 +97,7 @@ impl ClusteredPlacement {
         // (1-f)/A. TV = patch * max(0, inside - 1/A)... compute directly:
         let inside = f / patch + (1.0 - f) / a;
         let outside = (1.0 - f) / a;
-        0.5 * (patch * (inside - 1.0 / a).abs()
-            + (a - patch) * (1.0 / a - outside).abs())
+        0.5 * (patch * (inside - 1.0 / a).abs() + (a - patch) * (1.0 / a - outside).abs())
     }
 }
 

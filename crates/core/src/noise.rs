@@ -8,131 +8,10 @@
 //! expectation `p·E[count] + s`, the unbiasing correction
 //! `d̃ = (d̃_obs − s)/p` recovers the true density in expectation.
 
-use rand::Rng;
-use rand::RngCore;
-
-/// A noisy collision sensor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CollisionNoise {
-    detect_prob: f64,
-    spurious_rate: f64,
-}
-
-impl CollisionNoise {
-    /// Creates a sensor that detects each true collision independently
-    /// with probability `detect_prob` and additionally reports
-    /// `Poisson(spurious_rate)` phantom collisions per round.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `detect_prob ∉ (0, 1]` or `spurious_rate < 0` (or is not
-    /// finite).
-    pub fn new(detect_prob: f64, spurious_rate: f64) -> Self {
-        assert!(
-            detect_prob > 0.0 && detect_prob <= 1.0,
-            "detection probability must lie in (0,1]"
-        );
-        assert!(
-            spurious_rate >= 0.0 && spurious_rate.is_finite(),
-            "spurious rate must be finite and non-negative"
-        );
-        Self {
-            detect_prob,
-            spurious_rate,
-        }
-    }
-
-    /// A perfect sensor (identity observation).
-    pub fn perfect() -> Self {
-        Self {
-            detect_prob: 1.0,
-            spurious_rate: 0.0,
-        }
-    }
-
-    /// Detection probability `p`.
-    pub fn detect_prob(&self) -> f64 {
-        self.detect_prob
-    }
-
-    /// Spurious-detection rate `s` per round.
-    pub fn spurious_rate(&self) -> f64 {
-        self.spurious_rate
-    }
-
-    /// Passes a true per-round collision count through the sensor.
-    pub fn observe(&self, true_count: u32, rng: &mut dyn RngCore) -> u32 {
-        let mut seen = if self.detect_prob >= 1.0 {
-            true_count
-        } else {
-            sample_binomial(true_count, self.detect_prob, rng)
-        };
-        if self.spurious_rate > 0.0 {
-            seen += sample_poisson(self.spurious_rate, rng);
-        }
-        seen
-    }
-
-    /// Unbiases a density estimate produced under this noise model:
-    /// `(d̃_obs − s)/p`, clamped at 0.
-    pub fn correct(&self, observed_estimate: f64) -> f64 {
-        ((observed_estimate - self.spurious_rate) / self.detect_prob).max(0.0)
-    }
-}
-
-impl Default for CollisionNoise {
-    fn default() -> Self {
-        Self::perfect()
-    }
-}
-
-/// Exact Binomial(n, p) sample by summing Bernoulli draws — per-round
-/// collision counts are tiny (`E = d ≤ 1`), so this is both exact and
-/// fast.
-pub fn sample_binomial(n: u32, p: f64, rng: &mut dyn RngCore) -> u32 {
-    assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
-    if p == 0.0 {
-        return 0;
-    }
-    if p >= 1.0 {
-        return n;
-    }
-    let mut k = 0;
-    for _ in 0..n {
-        if rng.gen_bool(p) {
-            k += 1;
-        }
-    }
-    k
-}
-
-/// Exact Poisson(λ) sample via Knuth's product method (λ is small here;
-/// the loop runs `O(λ)` iterations in expectation).
-///
-/// # Panics
-///
-/// Panics if `lambda` is negative, not finite, or large enough (> 30)
-/// that the product method would underflow.
-pub fn sample_poisson(lambda: f64, rng: &mut dyn RngCore) -> u32 {
-    assert!(
-        lambda >= 0.0 && lambda.is_finite(),
-        "rate must be finite and non-negative"
-    );
-    assert!(lambda <= 30.0, "Knuth sampler only supports small rates");
-    if lambda == 0.0 {
-        return 0;
-    }
-    let l = (-lambda).exp();
-    let mut k = 0u32;
-    let mut p = 1.0;
-    loop {
-        p *= rng.gen_range(0.0..1.0f64);
-        if p <= l {
-            return k;
-        }
-        k += 1;
-    }
-}
+// The sensor and its numerical samplers live in the engine crate (one
+// canonical implementation for the whole workspace); re-exported here
+// under their historical paths.
+pub use antdensity_engine::sampling::{sample_binomial, sample_poisson, CollisionNoise};
 
 #[cfg(test)]
 mod tests {
@@ -178,8 +57,7 @@ mod tests {
             .map(|_| sample_poisson(lambda, &mut rng) as f64)
             .collect();
         let mean = samples.iter().sum::<f64>() / trials as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / trials as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
         assert!((mean - lambda).abs() < 0.05, "mean {mean}");
         assert!((var - lambda).abs() < 0.15, "variance {var}");
     }

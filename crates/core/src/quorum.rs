@@ -83,9 +83,7 @@ impl QuorumSensor {
     fn margin(&self, t: u64) -> f64 {
         let checkpoints = (self.max_rounds as f64).log2().ceil().max(1.0);
         let log_term = (checkpoints / self.delta).ln().max(1.0);
-        self.margin_constant
-            * (log_term * self.threshold / t as f64).sqrt()
-            * (2.0 * t as f64).ln()
+        self.margin_constant * (log_term * self.threshold / t as f64).sqrt() * (2.0 * t as f64).ln()
     }
 
     /// Runs the sensor for a whole population: `num_agents` agents walk on
@@ -95,12 +93,7 @@ impl QuorumSensor {
     /// # Panics
     ///
     /// Panics if `num_agents == 0`.
-    pub fn run<T: Topology>(
-        &self,
-        topo: &T,
-        num_agents: usize,
-        seed: u64,
-    ) -> Vec<QuorumOutcome> {
+    pub fn run<T: Topology>(&self, topo: &T, num_agents: usize, seed: u64) -> Vec<QuorumOutcome> {
         assert!(num_agents > 0, "need at least one agent");
         let seq = SeedSequence::new(seed);
         let mut rng = seq.rng(0);
@@ -250,8 +243,7 @@ mod tests {
         assert_eq!(below, 0, "no agent may vote Below");
         assert!(above >= 250, "above = {above}/256");
         // fast decisions: well under the budget
-        let mean_rounds: f64 =
-            outcomes.iter().map(|o| o.rounds_used as f64).sum::<f64>() / 256.0;
+        let mean_rounds: f64 = outcomes.iter().map(|o| o.rounds_used as f64).sum::<f64>() / 256.0;
         assert!(mean_rounds < 512.0, "mean rounds {mean_rounds}");
     }
 

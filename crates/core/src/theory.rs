@@ -78,11 +78,7 @@ impl TopologyClass {
             Self::TorusKd { dims, .. } => 1.0 / (mf + 1.0).powf(dims as f64 / 2.0) + 1.0 / a,
             Self::Expander { lambda, .. } => lambda.powf(mf) + 1.0 / a,
             Self::Hypercube { .. } => {
-                let geo = if m == 0 {
-                    1.0
-                } else {
-                    (0.9f64).powf(mf - 1.0)
-                };
+                let geo = if m == 0 { 1.0 } else { (0.9f64).powf(mf - 1.0) };
                 geo + 1.0 / a.sqrt()
             }
             Self::Complete { .. } => {
@@ -219,13 +215,20 @@ mod tests {
         let t3 = TopologyClass::TorusKd { dims: 3, nodes: a };
         // torus: log growth — doubling t adds ~ln 2
         let g_torus = torus.b_sum(2048) - torus.b_sum(1024);
-        assert!((g_torus - (2.0f64).ln()).abs() < 0.01, "torus growth {g_torus}");
+        assert!(
+            (g_torus - (2.0f64).ln()).abs() < 0.01,
+            "torus growth {g_torus}"
+        );
         // ring: sqrt growth — B(4t) ~ 2 B(t)
         let r1 = ring.b_sum(1024);
         let r4 = ring.b_sum(4096);
         assert!((r4 / r1 - 2.0).abs() < 0.1, "ring ratio {}", r4 / r1);
         // k = 3: bounded
-        assert!(t3.b_sum(1 << 14) < 3.0, "3-d torus B(t) = {}", t3.b_sum(1 << 14));
+        assert!(
+            t3.b_sum(1 << 14) < 3.0,
+            "3-d torus B(t) = {}",
+            t3.b_sum(1 << 14)
+        );
     }
 
     #[test]

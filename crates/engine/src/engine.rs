@@ -1,0 +1,551 @@
+//! The batched simulation engine: struct-of-arrays agent state, dense
+//! occupancy, and deterministic chunked parallel stepping.
+//!
+//! [`Engine`] holds the whole population as flat arrays (positions,
+//! movement models, group tags) plus [`DenseOccupancy`]/[`GroupOccupancy`]
+//! buffers that are *reset via touched lists* instead of rebuilt from
+//! scratch — the cost per round is O(agents), independent of the node
+//! count and free of hashing.
+//!
+//! Two stepping modes:
+//!
+//! * [`Engine::step_round`] — draws from a caller-supplied RNG in the
+//!   legacy `SyncArena` order (the arena delegates here, so pre-engine
+//!   seeds reproduce bit-for-bit);
+//! * [`Engine::step_round_parallel`] — agents are partitioned into fixed
+//!   [`PARALLEL_CHUNK`]-sized chunks and each chunk draws from an RNG
+//!   derived from `(seed sequence, round, chunk index)`. The stream an
+//!   agent consumes depends only on its chunk, never on the thread that
+//!   happened to run it, so results are **bit-identical for any thread
+//!   count** — the same contract as
+//!   `antdensity_walks::parallel::run_trials`.
+
+use crate::movement::MovementModel;
+use crate::occupancy::{DenseOccupancy, GroupOccupancy, MAX_NODES};
+use crate::step::{step_slice, Interaction};
+use antdensity_graphs::{NodeId, Topology};
+use antdensity_stats::rng::SeedSequence;
+use rand::RngCore;
+
+/// Identifier of an agent within an engine: `0 .. num_agents`.
+pub type AgentId = usize;
+
+/// Identifier of a property group.
+pub type GroupId = usize;
+
+/// Agents per parallel chunk. Fixed (never derived from the thread count)
+/// so that chunk RNG streams — and therefore results — are identical no
+/// matter how many workers execute them.
+pub const PARALLEL_CHUNK: usize = 256;
+
+/// The synchronous multi-agent world of Section 2, batched.
+///
+/// # Example
+///
+/// ```
+/// use antdensity_engine::Engine;
+/// use antdensity_graphs::Torus2d;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut engine = Engine::new(Torus2d::new(16), 10);
+/// engine.place_uniform(&mut rng);
+/// for _ in 0..5 {
+///     engine.step_round(&mut rng);
+/// }
+/// assert_eq!(engine.round(), 5);
+/// let total: u32 = (0..10).map(|a| engine.count(a)).sum();
+/// assert_eq!(total % 2, 0); // collisions are counted by both parties
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine<T: Topology> {
+    topo: T,
+    positions: Vec<u32>,
+    movement: Vec<MovementModel>,
+    groups: Vec<Option<GroupId>>,
+    round: u64,
+    occ: DenseOccupancy,
+    group_occ: GroupOccupancy,
+    interaction: Interaction,
+    placed: bool,
+    seeds: SeedSequence,
+    threads: usize,
+}
+
+impl<T: Topology> Engine<T> {
+    /// Creates an engine with `num_agents` agents, all using the paper's
+    /// pure random walk, unplaced until [`Self::place_uniform`] or
+    /// [`Self::place_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_agents == 0` or the topology has more than
+    /// [`MAX_NODES`] nodes.
+    pub fn new(topo: T, num_agents: usize) -> Self {
+        assert!(num_agents > 0, "arena needs at least one agent");
+        let nodes = topo.num_nodes();
+        assert!(
+            nodes <= MAX_NODES,
+            "dense engine supports at most {MAX_NODES} nodes, got {nodes}"
+        );
+        Self {
+            topo,
+            positions: vec![0; num_agents],
+            movement: vec![MovementModel::Pure; num_agents],
+            groups: vec![None; num_agents],
+            round: 0,
+            occ: DenseOccupancy::new(nodes),
+            group_occ: GroupOccupancy::new(nodes),
+            interaction: Interaction::pure(),
+            placed: false,
+            seeds: SeedSequence::default(),
+            threads: 1,
+        }
+    }
+
+    /// Sets the seed sequence that drives [`Self::step_round_parallel`].
+    pub fn with_seed_sequence(mut self, seeds: SeedSequence) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the worker count for [`Self::step_round_parallel`]. The
+    /// results never depend on this value — only the wall clock does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The topology agents live on.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Population density `d = n/A` under the paper's convention
+    /// (Section 2.1): with `n+1` agents present, `d` counts the *other*
+    /// agents, so a lone agent sees density 0.
+    pub fn density(&self) -> f64 {
+        (self.num_agents() as f64 - 1.0) / self.topo.num_nodes() as f64
+    }
+
+    /// Places every agent at an independent uniformly random node (the
+    /// paper's initial condition) and resets the round counter.
+    pub fn place_uniform(&mut self, rng: &mut dyn RngCore) {
+        for p in self.positions.iter_mut() {
+            *p = self.topo.uniform_node(rng) as u32;
+        }
+        self.round = 0;
+        self.placed = true;
+        self.rebuild_occupancy();
+    }
+
+    /// Places agents at explicit positions (adversarial configurations)
+    /// and resets the round counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the agent count or a
+    /// position is out of range.
+    pub fn place_at(&mut self, positions: &[NodeId]) {
+        assert_eq!(
+            positions.len(),
+            self.positions.len(),
+            "position count must equal agent count"
+        );
+        for &p in positions {
+            assert!(p < self.topo.num_nodes(), "position {p} out of range");
+        }
+        for (slot, &p) in self.positions.iter_mut().zip(positions) {
+            *slot = p as u32;
+        }
+        self.round = 0;
+        self.placed = true;
+        self.rebuild_occupancy();
+    }
+
+    /// Sets one agent's movement model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn set_movement(&mut self, agent: AgentId, model: MovementModel) {
+        self.movement[agent] = model;
+    }
+
+    /// Sets every agent's movement model.
+    pub fn set_movement_all(&mut self, model: &MovementModel) {
+        for m in self.movement.iter_mut() {
+            *m = model.clone();
+        }
+    }
+
+    /// Declares that groups `0..count` exist (even if some end up empty),
+    /// so [`Self::count_in_group`] is queryable for all of them.
+    pub fn declare_groups(&mut self, count: usize) {
+        self.group_occ.ensure_groups(count);
+    }
+
+    /// Assigns `agent` to property `group` (replacing any previous group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn assign_group(&mut self, agent: AgentId, group: GroupId) {
+        self.groups[agent] = Some(group);
+        self.group_occ.ensure_groups(group + 1);
+        if self.placed {
+            self.group_occ.rebuild(&self.positions, &self.groups);
+        }
+    }
+
+    /// The group of `agent`, if any.
+    pub fn group_of(&self, agent: AgentId) -> Option<GroupId> {
+        self.groups[agent]
+    }
+
+    /// Number of agents assigned to `group`.
+    pub fn group_size(&self, group: GroupId) -> usize {
+        self.groups.iter().filter(|g| **g == Some(group)).count()
+    }
+
+    /// Number of declared groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_occ.num_groups()
+    }
+
+    /// Current position of `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is unplaced or `agent` out of range.
+    pub fn position(&self, agent: AgentId) -> NodeId {
+        assert!(self.placed, "arena not placed yet");
+        self.positions[agent] as NodeId
+    }
+
+    /// Enables Section 6.1 cell avoidance: before committing a move whose
+    /// target was occupied at the end of the previous round, the agent
+    /// backs off (stays put) with probability `prob`. Pass `None` to
+    /// restore the paper's exact model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn set_avoidance(&mut self, prob: Option<f64>) {
+        self.interaction.set_avoidance(prob);
+    }
+
+    /// Enables Section 6.1 post-encounter dispersal: an agent that shared
+    /// its cell with someone at the end of the previous round takes *two*
+    /// walk steps this round.
+    pub fn set_flee(&mut self, flee: bool) {
+        self.interaction.flee = flee;
+    }
+
+    /// The active interaction variant.
+    pub fn interaction(&self) -> &Interaction {
+        &self.interaction
+    }
+
+    /// Executes one synchronous round drawing from `rng` in the legacy
+    /// `SyncArena` order (sequential over agents), then refreshes the
+    /// occupancy index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is unplaced.
+    pub fn step_round(&mut self, rng: &mut dyn RngCore) {
+        assert!(self.placed, "place agents before stepping");
+        step_slice(
+            &self.topo,
+            &mut self.positions,
+            &self.movement,
+            &self.occ,
+            &self.interaction,
+            rng,
+        );
+        self.round += 1;
+        self.rebuild_occupancy();
+    }
+
+    /// The paper's `count(position)`: number of *other* agents at
+    /// `agent`'s node at the end of the current round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is unplaced or `agent` out of range.
+    pub fn count(&self, agent: AgentId) -> u32 {
+        assert!(self.placed, "arena not placed yet");
+        self.occ.count(self.positions[agent] as NodeId) - 1
+    }
+
+    /// Number of *other* agents of `group` at `agent`'s node — the
+    /// per-type encounter sensing of Section 5.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is unplaced, or `agent`/`group` out of range.
+    pub fn count_in_group(&self, agent: AgentId, group: GroupId) -> u32 {
+        assert!(self.placed, "arena not placed yet");
+        let p = self.positions[agent] as NodeId;
+        let at_node = self.group_occ.count(group, p);
+        if self.groups[agent] == Some(group) {
+            at_node - 1
+        } else {
+            at_node
+        }
+    }
+
+    /// Total agents occupying `node` in the current round.
+    pub fn occupancy(&self, node: NodeId) -> u32 {
+        self.occ.count(node)
+    }
+
+    /// Number of distinct occupied nodes.
+    pub fn occupied_nodes(&self) -> usize {
+        self.occ.occupied_nodes()
+    }
+
+    /// Iterator over `(agent, position)`.
+    pub fn agent_positions(&self) -> impl Iterator<Item = (AgentId, NodeId)> + '_ {
+        self.positions.iter().map(|&p| p as NodeId).enumerate()
+    }
+
+    fn rebuild_occupancy(&mut self) {
+        self.occ.rebuild(&self.positions);
+        if self.group_occ.num_groups() > 0 {
+            self.group_occ.rebuild(&self.positions, &self.groups);
+        }
+    }
+}
+
+/// One chunk's unit of parallel work: `(chunk index, positions window,
+/// movement window)`. The chunk index alone determines the RNG stream.
+type ChunkWork<'a> = (usize, &'a mut [u32], &'a [MovementModel]);
+
+/// Minimum chunks each spawned worker must have to justify its spawn
+/// cost; below this the chunked loop runs inline. Affects wall clock
+/// only — results are identical either way.
+const MIN_CHUNKS_PER_WORKER: usize = 4;
+
+impl<T: Topology + Sync> Engine<T> {
+    /// Executes one synchronous round with deterministic chunked
+    /// parallelism: agents are split into fixed [`PARALLEL_CHUNK`]-sized
+    /// chunks, chunk `c` of round `r` draws from the stream
+    /// `seeds.subsequence(r).rng(c)`, and chunks are distributed
+    /// round-robin over workers. Output is a pure function of
+    /// `(state, seed sequence, round)` — the thread count is invisible.
+    ///
+    /// The effective worker count is capped by the machine's available
+    /// parallelism and by [`MIN_CHUNKS_PER_WORKER`] (threads are spawned
+    /// per round, so small populations run the chunked loop inline
+    /// instead of paying spawn overhead); both caps change wall clock
+    /// only, never results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is unplaced.
+    pub fn step_round_parallel(&mut self) {
+        assert!(self.placed, "place agents before stepping");
+        let round_seq = self.seeds.subsequence(self.round);
+        let num_chunks = self.positions.len().div_ceil(PARALLEL_CHUNK);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = self
+            .threads
+            .min(num_chunks / MIN_CHUNKS_PER_WORKER)
+            .min(cores)
+            .max(1);
+        if workers == 1 {
+            for (ci, (chunk, models)) in self
+                .positions
+                .chunks_mut(PARALLEL_CHUNK)
+                .zip(self.movement.chunks(PARALLEL_CHUNK))
+                .enumerate()
+            {
+                let mut rng = round_seq.rng(ci as u64);
+                step_slice(
+                    &self.topo,
+                    chunk,
+                    models,
+                    &self.occ,
+                    &self.interaction,
+                    &mut rng,
+                );
+            }
+        } else {
+            let topo = &self.topo;
+            let occ = &self.occ;
+            let interaction = self.interaction;
+            let mut per_worker: Vec<Vec<ChunkWork<'_>>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (ci, (chunk, models)) in self
+                .positions
+                .chunks_mut(PARALLEL_CHUNK)
+                .zip(self.movement.chunks(PARALLEL_CHUNK))
+                .enumerate()
+            {
+                per_worker[ci % workers].push((ci, chunk, models));
+            }
+            std::thread::scope(|scope| {
+                for work in per_worker {
+                    scope.spawn(move || {
+                        for (ci, chunk, models) in work {
+                            let mut rng = round_seq.rng(ci as u64);
+                            step_slice(topo, chunk, models, occ, &interaction, &mut rng);
+                        }
+                    });
+                }
+            });
+        }
+        self.round += 1;
+        self.rebuild_occupancy();
+    }
+
+    /// Runs `rounds` parallel rounds back to back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is unplaced.
+    pub fn run_parallel(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step_round_parallel();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdensity_graphs::{CompleteGraph, Hypercube, Ring, Torus2d};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn occupancy_conserves_agents() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut e = Engine::new(Torus2d::new(8), 20);
+        e.place_uniform(&mut rng);
+        for _ in 0..10 {
+            e.step_round(&mut rng);
+            let total: u32 = (0..e.topology().num_nodes()).map(|v| e.occupancy(v)).sum();
+            assert_eq!(total, 20);
+            assert!(e.occupied_nodes() <= 20);
+        }
+    }
+
+    #[test]
+    fn parallel_round_conserves_agents() {
+        let mut e = Engine::new(Torus2d::new(16), 1000)
+            .with_seed_sequence(SeedSequence::new(5))
+            .with_threads(4);
+        let mut rng = SmallRng::seed_from_u64(2);
+        e.place_uniform(&mut rng);
+        e.run_parallel(8);
+        assert_eq!(e.round(), 8);
+        let total: u32 = (0..e.topology().num_nodes()).map(|v| e.occupancy(v)).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn parallel_is_thread_count_invariant() {
+        let mk = |threads: usize| {
+            let mut e = Engine::new(Hypercube::new(10), 700)
+                .with_seed_sequence(SeedSequence::new(77))
+                .with_threads(threads);
+            let mut rng = SmallRng::seed_from_u64(3);
+            e.place_uniform(&mut rng);
+            e.run_parallel(12);
+            (0..700).map(|a| e.position(a)).collect::<Vec<_>>()
+        };
+        let one = mk(1);
+        assert_eq!(one, mk(2));
+        assert_eq!(one, mk(8));
+    }
+
+    #[test]
+    fn parallel_avoidance_flee_thread_invariant() {
+        let mk = |threads: usize| {
+            let mut e = Engine::new(Ring::new(4096), 600)
+                .with_seed_sequence(SeedSequence::new(9))
+                .with_threads(threads);
+            e.set_avoidance(Some(0.5));
+            e.set_flee(true);
+            let mut rng = SmallRng::seed_from_u64(4);
+            e.place_uniform(&mut rng);
+            e.run_parallel(10);
+            (0..600).map(|a| e.position(a)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(1), mk(7));
+    }
+
+    #[test]
+    fn groups_count_other_members_only() {
+        let mut e = Engine::new(CompleteGraph::new(8), 4);
+        e.assign_group(0, 0);
+        e.assign_group(1, 0);
+        e.assign_group(2, 1);
+        e.place_at(&[3, 3, 3, 3]);
+        assert_eq!(e.count_in_group(0, 0), 1);
+        assert_eq!(e.count_in_group(0, 1), 1);
+        assert_eq!(e.count_in_group(3, 0), 2);
+        assert_eq!(e.count(3), 3);
+        assert_eq!(e.group_size(0), 2);
+        assert_eq!(e.num_groups(), 2);
+    }
+
+    #[test]
+    fn count_matches_occupancy_minus_one() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut e = Engine::new(Torus2d::new(8), 25);
+        e.place_uniform(&mut rng);
+        e.step_round(&mut rng);
+        for a in 0..25 {
+            assert_eq!(e.count(a), e.occupancy(e.position(a)) - 1);
+        }
+    }
+
+    #[test]
+    fn agent_positions_iterates_all() {
+        let mut e = Engine::new(Torus2d::new(4), 3);
+        e.place_at(&[1, 5, 5]);
+        let v: Vec<(AgentId, NodeId)> = e.agent_positions().collect();
+        assert_eq!(v, vec![(0, 1), (1, 5), (2, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "place agents")]
+    fn unplaced_parallel_step_panics() {
+        let mut e = Engine::new(Torus2d::new(4), 2);
+        e.step_round_parallel();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn empty_engine_panics() {
+        let _ = Engine::new(Torus2d::new(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = Engine::new(Torus2d::new(4), 2).with_threads(0);
+    }
+}

@@ -1,0 +1,58 @@
+//! `antdensity-engine` — the batched, deterministic, parallel simulation
+//! engine for *Ant-Inspired Density Estimation via Random Walks*
+//! (Musco, Su, Lynch; PODC 2016).
+//!
+//! Every experiment in the paper reduces to stepping N random-walking
+//! agents on a topology and counting co-located agents per round. This
+//! crate is the production-scale core that makes those sweeps cheap:
+//!
+//! * [`occupancy`] — dense `Vec<u32>` occupancy buffers reset via
+//!   *touched-node lists* instead of per-round `HashMap` rebuilds, plus
+//!   per-group occupancy as one flat `groups × nodes` buffer.
+//! * [`movement`] — the paper's pure random walk and the Section 6.1 /
+//!   Appendix A variants (lazy, biased, stationary, drift).
+//! * [`step`] — the round kernel. A single code path serves both the
+//!   legacy sequential draw order (`antdensity_walks::arena::SyncArena`
+//!   delegates its inner loop here) and chunked execution.
+//! * [`engine`] — [`Engine`]: struct-of-arrays agent state with
+//!   deterministic chunked parallel stepping. Chunk RNG streams are
+//!   derived from `(seed, round, chunk)` via
+//!   [`antdensity_stats::rng::SeedSequence`], so results are
+//!   bit-identical for any thread count — the same contract as
+//!   `antdensity_walks::parallel::run_trials`.
+//! * [`scenario`] — [`Scenario`]: a spec/builder composing topology ×
+//!   movement × estimator (Algorithm 1, Algorithm 4, quorum, relative
+//!   frequency) × noise into one runnable, seedable description.
+//! * [`sampling`] — exact small-parameter binomial/Poisson samplers for
+//!   the noisy-sensing models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use antdensity_engine::scenario::{Scenario, TopologySpec};
+//!
+//! let outcome = Scenario::new(TopologySpec::Torus2d { side: 32 }, 65, 256)
+//!     .with_threads(4)
+//!     .run(42);
+//! // bit-identical for any thread count:
+//! assert_eq!(
+//!     outcome,
+//!     Scenario::new(TopologySpec::Torus2d { side: 32 }, 65, 256).run(42)
+//! );
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod engine;
+pub mod movement;
+pub mod occupancy;
+pub mod sampling;
+pub mod scenario;
+pub mod step;
+
+pub use engine::{AgentId, Engine, GroupId, PARALLEL_CHUNK};
+pub use movement::MovementModel;
+pub use occupancy::{DenseOccupancy, GroupOccupancy, MAX_NODES};
+pub use scenario::{EstimatorSpec, NoiseSpec, Scenario, ScenarioOutcome, TopologySpec};
+pub use step::Interaction;

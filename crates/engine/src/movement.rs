@@ -81,12 +81,7 @@ impl MovementModel {
     ///
     /// Panics if a `Drift` index is out of range for `v`'s degree, or a
     /// `Biased` probability vector length differs from `v`'s degree.
-    pub fn step<T: Topology + ?Sized>(
-        &self,
-        topo: &T,
-        v: NodeId,
-        rng: &mut dyn RngCore,
-    ) -> NodeId {
+    pub fn step<T: Topology + ?Sized>(&self, topo: &T, v: NodeId, rng: &mut dyn RngCore) -> NodeId {
         match self {
             Self::Pure => topo.random_neighbor(v, rng),
             Self::Lazy { stay_prob } => {

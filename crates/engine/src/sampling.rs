@@ -1,0 +1,190 @@
+//! Exact small-parameter discrete samplers shared by the noise models.
+//!
+//! Per-round collision counts are tiny (`E[count] = d ≤ 1`), so summing
+//! Bernoulli draws is both exact and faster than any table method, and
+//! Knuth's product method covers the Poisson rates the paper's noisy
+//! sensing extension (Section 6.1) uses.
+
+use rand::Rng;
+use rand::RngCore;
+
+/// Exact Binomial(n, p) sample by summing Bernoulli draws.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn sample_binomial(n: u32, p: f64, rng: &mut dyn RngCore) -> u32 {
+    assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
+    if p == 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mut k = 0;
+    for _ in 0..n {
+        if rng.gen_bool(p) {
+            k += 1;
+        }
+    }
+    k
+}
+
+/// Exact Poisson(λ) sample via Knuth's product method (O(λ) expected
+/// iterations).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative, not finite, or large enough (> 30)
+/// that the product method would underflow.
+pub fn sample_poisson(lambda: f64, rng: &mut dyn RngCore) -> u32 {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "rate must be finite and non-negative"
+    );
+    assert!(
+        lambda <= 30.0,
+        "Knuth sampler only supports small rates (got {lambda})"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u32;
+    let mut prod: f64 = 1.0;
+    loop {
+        prod *= rng.gen_range(0.0..1.0);
+        if prod <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// The Section 6.1 noisy collision sensor: each true collision is
+/// detected independently with probability `p` and `Poisson(s)` phantom
+/// collisions are added per round. Since the observed count has
+/// expectation `p·E[count] + s`, [`CollisionNoise::correct`] recovers the
+/// true density in expectation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionNoise {
+    detect_prob: f64,
+    spurious_rate: f64,
+}
+
+impl CollisionNoise {
+    /// Creates a sensor that detects each true collision independently
+    /// with probability `detect_prob` and additionally reports
+    /// `Poisson(spurious_rate)` phantom collisions per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detect_prob ∉ (0, 1]` or `spurious_rate < 0` (or is not
+    /// finite).
+    pub fn new(detect_prob: f64, spurious_rate: f64) -> Self {
+        assert!(
+            detect_prob > 0.0 && detect_prob <= 1.0,
+            "detection probability must lie in (0,1]"
+        );
+        assert!(
+            spurious_rate >= 0.0 && spurious_rate.is_finite(),
+            "spurious rate must be finite and non-negative"
+        );
+        Self {
+            detect_prob,
+            spurious_rate,
+        }
+    }
+
+    /// A perfect sensor (identity observation).
+    pub fn perfect() -> Self {
+        Self {
+            detect_prob: 1.0,
+            spurious_rate: 0.0,
+        }
+    }
+
+    /// Detection probability `p`.
+    pub fn detect_prob(&self) -> f64 {
+        self.detect_prob
+    }
+
+    /// Spurious-detection rate `s` per round.
+    pub fn spurious_rate(&self) -> f64 {
+        self.spurious_rate
+    }
+
+    /// Passes a true per-round collision count through the sensor.
+    pub fn observe(&self, true_count: u32, rng: &mut dyn RngCore) -> u32 {
+        let mut seen = if self.detect_prob >= 1.0 {
+            true_count
+        } else {
+            sample_binomial(true_count, self.detect_prob, rng)
+        };
+        if self.spurious_rate > 0.0 {
+            seen += sample_poisson(self.spurious_rate, rng);
+        }
+        seen
+    }
+
+    /// Unbiases a density estimate produced under this noise model:
+    /// `(d̃_obs − s)/p`, clamped at 0.
+    pub fn correct(&self, observed_estimate: f64) -> f64 {
+        ((observed_estimate - self.spurious_rate) / self.detect_prob).max(0.0)
+    }
+}
+
+impl Default for CollisionNoise {
+    /// A perfect sensor.
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sample_binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 1.0, &mut rng), 10);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+    }
+
+    #[test]
+    fn binomial_mean_is_np() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let total: u64 = (0..20_000)
+            .map(|_| sample_binomial(8, 0.25, &mut rng) as u64)
+            .sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let total: u64 = (0..20_000)
+            .map(|_| sample_poisson(1.5, &mut rng) as u64)
+            .sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "small rates")]
+    fn poisson_huge_rate_rejected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = sample_poisson(1e3, &mut rng);
+    }
+}

@@ -1,0 +1,632 @@
+//! Config-driven scenarios: topology × movement × estimator × noise as
+//! one runnable, seedable description.
+//!
+//! A [`Scenario`] composes the axes every experiment in the paper varies —
+//! which graph, how agents move (pure walk plus the Section 6.1
+//! avoidance/flee variants), what is estimated (Algorithm 1, Algorithm 4,
+//! quorum read-out, Section 5.2 relative frequency), and how noisy the
+//! collision sensor is — into a plain-data spec. `run(seed)` builds the
+//! topology, drives the batched [`Engine`] with deterministic chunked
+//! parallelism, and returns a [`ScenarioOutcome`]; the result is a pure
+//! function of `(spec, seed)` for any thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use antdensity_engine::scenario::{Scenario, TopologySpec};
+//!
+//! // 65 agents on a 32x32 torus, Algorithm 1 for 256 rounds.
+//! let outcome = Scenario::new(TopologySpec::Torus2d { side: 32 }, 65, 256).run(42);
+//! assert_eq!(outcome.estimates.len(), 65);
+//! assert!((outcome.mean_estimate() - outcome.true_density).abs() < 0.05);
+//! ```
+
+use crate::engine::Engine;
+use crate::movement::MovementModel;
+use antdensity_graphs::{CompleteGraph, Hypercube, NodeId, Ring, Topology, Torus2d, TorusKd};
+use antdensity_stats::rng::SeedSequence;
+use rand::Rng;
+
+/// Which graph the scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The paper's main stage: a `side × side` torus.
+    Torus2d {
+        /// Side length (A = side²).
+        side: u64,
+    },
+    /// A k-dimensional torus (Section 4.3).
+    TorusKd {
+        /// Number of dimensions.
+        dims: u32,
+        /// Side length per dimension.
+        side: u64,
+    },
+    /// The ring / 1-d torus (Section 4.2).
+    Ring {
+        /// Number of nodes.
+        nodes: u64,
+    },
+    /// The hypercube (Section 4.5).
+    Hypercube {
+        /// Number of dimensions (A = 2^dims).
+        dims: u32,
+    },
+    /// The complete graph — the i.i.d. baseline (Section 1.1).
+    Complete {
+        /// Number of nodes.
+        nodes: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Instantiates the concrete topology.
+    pub fn build(&self) -> BuiltTopology {
+        match *self {
+            Self::Torus2d { side } => BuiltTopology::Torus2d(Torus2d::new(side)),
+            Self::TorusKd { dims, side } => BuiltTopology::TorusKd(TorusKd::new(dims, side)),
+            Self::Ring { nodes } => BuiltTopology::Ring(Ring::new(nodes)),
+            Self::Hypercube { dims } => BuiltTopology::Hypercube(Hypercube::new(dims)),
+            Self::Complete { nodes } => BuiltTopology::Complete(CompleteGraph::new(nodes)),
+        }
+    }
+
+    /// Node count of the topology this spec builds.
+    pub fn num_nodes(&self) -> u64 {
+        match *self {
+            Self::Torus2d { side } => side * side,
+            Self::TorusKd { dims, side } => side.pow(dims),
+            Self::Ring { nodes } => nodes,
+            Self::Hypercube { dims } => 1u64 << dims,
+            Self::Complete { nodes } => nodes,
+        }
+    }
+}
+
+/// A concrete topology built from a [`TopologySpec`] (enum dispatch keeps
+/// [`Scenario::run`] monomorphic and object-safe to store in tables).
+#[derive(Debug, Clone)]
+pub enum BuiltTopology {
+    /// 2-d torus.
+    Torus2d(Torus2d),
+    /// k-d torus.
+    TorusKd(TorusKd),
+    /// Ring.
+    Ring(Ring),
+    /// Hypercube.
+    Hypercube(Hypercube),
+    /// Complete graph.
+    Complete(CompleteGraph),
+}
+
+impl Topology for BuiltTopology {
+    fn num_nodes(&self) -> u64 {
+        match self {
+            Self::Torus2d(t) => t.num_nodes(),
+            Self::TorusKd(t) => t.num_nodes(),
+            Self::Ring(t) => t.num_nodes(),
+            Self::Hypercube(t) => t.num_nodes(),
+            Self::Complete(t) => t.num_nodes(),
+        }
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        match self {
+            Self::Torus2d(t) => t.degree(v),
+            Self::TorusKd(t) => t.degree(v),
+            Self::Ring(t) => t.degree(v),
+            Self::Hypercube(t) => t.degree(v),
+            Self::Complete(t) => t.degree(v),
+        }
+    }
+
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        match self {
+            Self::Torus2d(t) => t.neighbor(v, i),
+            Self::TorusKd(t) => t.neighbor(v, i),
+            Self::Ring(t) => t.neighbor(v, i),
+            Self::Hypercube(t) => t.neighbor(v, i),
+            Self::Complete(t) => t.neighbor(v, i),
+        }
+    }
+
+    fn regular_degree(&self) -> Option<usize> {
+        match self {
+            Self::Torus2d(t) => t.regular_degree(),
+            Self::TorusKd(t) => t.regular_degree(),
+            Self::Ring(t) => t.regular_degree(),
+            Self::Hypercube(t) => t.regular_degree(),
+            Self::Complete(t) => t.regular_degree(),
+        }
+    }
+}
+
+/// The Section 6.1 noisy collision sensor (the canonical
+/// [`CollisionNoise`](crate::sampling::CollisionNoise), under the name
+/// the spec layer has always used).
+pub use crate::sampling::CollisionNoise as NoiseSpec;
+
+/// What the scenario estimates from the accumulated collision counts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorSpec {
+    /// Algorithm 1: every agent walks and returns `d̃ = c/t`.
+    Algorithm1,
+    /// Algorithm 4 (Appendix A): a fair coin splits agents into a
+    /// stationary half and a half drifting along a fixed move; the
+    /// estimate is `d̃ = 2·(c mod t)/t`, the `mod t` removing the
+    /// lockstep collisions of co-located drifting starts. Requires a
+    /// [`TopologySpec::Torus2d`] with `rounds < side` (Theorem 32's
+    /// precondition) — [`Scenario::run`] panics otherwise.
+    Algorithm4,
+    /// Quorum read-out (Section 6.2): run Algorithm 1, then report per
+    /// agent whether `d̃ ≥ threshold`. (The adaptive sequential test
+    /// lives in `antdensity_core::quorum`.)
+    Quorum {
+        /// Density threshold to detect.
+        threshold: f64,
+    },
+    /// Section 5.2 relative frequency: the first `property_agents` agents
+    /// carry the property; every agent tracks both total and
+    /// property-only encounters and estimates `f̃ = d̃_P / d̃`.
+    RelativeFrequency {
+        /// How many agents carry the property.
+        property_agents: usize,
+    },
+}
+
+/// A runnable, seedable simulation description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    topology: TopologySpec,
+    num_agents: usize,
+    rounds: u64,
+    movement: MovementModel,
+    avoidance: Option<f64>,
+    flee: bool,
+    noise: Option<NoiseSpec>,
+    estimator: EstimatorSpec,
+    threads: usize,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: pure random walk, perfect
+    /// sensing, Algorithm 1, single worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_agents == 0` or `rounds == 0`.
+    pub fn new(topology: TopologySpec, num_agents: usize, rounds: u64) -> Self {
+        assert!(num_agents > 0, "need at least one agent");
+        assert!(rounds > 0, "need at least one round");
+        Self {
+            topology,
+            num_agents,
+            rounds,
+            movement: MovementModel::Pure,
+            avoidance: None,
+            flee: false,
+            noise: None,
+            estimator: EstimatorSpec::Algorithm1,
+            threads: 1,
+        }
+    }
+
+    /// Replaces the movement model (ignored by `Algorithm4`, which fixes
+    /// its own stationary/drift split).
+    pub fn with_movement(mut self, movement: MovementModel) -> Self {
+        self.movement = movement;
+        self
+    }
+
+    /// Enables Section 6.1 cell avoidance with back-off probability `prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob ∉ [0, 1]`.
+    pub fn with_avoidance(mut self, prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "avoidance probability in [0,1]"
+        );
+        self.avoidance = Some(prob);
+        self
+    }
+
+    /// Enables Section 6.1 post-encounter dispersal.
+    pub fn with_flee(mut self) -> Self {
+        self.flee = true;
+        self
+    }
+
+    /// Adds collision-detection noise.
+    pub fn with_noise(mut self, noise: NoiseSpec) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Replaces the estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `RelativeFrequency` property population exceeds the
+    /// agent count.
+    pub fn with_estimator(mut self, estimator: EstimatorSpec) -> Self {
+        if let EstimatorSpec::RelativeFrequency { property_agents } = &estimator {
+            assert!(
+                *property_agents <= self.num_agents,
+                "property population exceeds agent count"
+            );
+        }
+        self.estimator = estimator;
+        self
+    }
+
+    /// Sets the worker count for round stepping. Results never depend on
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The topology spec.
+    pub fn topology(&self) -> TopologySpec {
+        self.topology
+    }
+
+    /// Number of agents `n + 1`.
+    pub fn num_agents(&self) -> usize {
+        self.num_agents
+    }
+
+    /// Number of rounds `t`.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Paper-convention true density `d = n/A` of this spec.
+    pub fn true_density(&self) -> f64 {
+        (self.num_agents as f64 - 1.0) / self.topology.num_nodes() as f64
+    }
+
+    /// Executes the scenario. The outcome is a pure function of
+    /// `(self, seed)` — thread count and scheduling are invisible.
+    ///
+    /// # Panics
+    ///
+    /// For `Algorithm4`, panics unless the topology is a 2-d torus with
+    /// `rounds < side` — Theorem 32's precondition (a drifting agent must
+    /// visit `t` distinct cells, or the `c mod t` correction wraps
+    /// legitimate counts). Same check as `antdensity_core::Algorithm4`.
+    pub fn run(&self, seed: u64) -> ScenarioOutcome {
+        if matches!(self.estimator, EstimatorSpec::Algorithm4) {
+            match self.topology {
+                TopologySpec::Torus2d { side } => assert!(
+                    self.rounds < side,
+                    "Theorem 32 requires t < sqrt(A) (= {side}); got t = {}",
+                    self.rounds
+                ),
+                other => panic!("Algorithm 4 is analysed on the 2-d torus only, got {other:?}"),
+            }
+        }
+        let seq = SeedSequence::new(seed);
+        let topo = self.topology.build();
+        let mut engine = Engine::new(topo, self.num_agents)
+            .with_seed_sequence(seq.subsequence(STEP_STREAM))
+            .with_threads(self.threads);
+        engine.set_movement_all(&self.movement);
+        engine.set_avoidance(self.avoidance);
+        engine.set_flee(self.flee);
+
+        // Estimator-specific agent configuration.
+        let mut walking: Option<Vec<bool>> = None;
+        match &self.estimator {
+            EstimatorSpec::Algorithm4 => {
+                let mut coin = seq.rng(ROLE_STREAM);
+                // Move index 2 is the paper's (0, 1) drift step on Torus2d
+                // (the only topology the precondition check lets through).
+                let drift = 2;
+                let w: Vec<bool> = (0..self.num_agents).map(|_| coin.gen_bool(0.5)).collect();
+                for (a, &is_walking) in w.iter().enumerate() {
+                    engine.set_movement(
+                        a,
+                        if is_walking {
+                            MovementModel::Drift { move_index: drift }
+                        } else {
+                            MovementModel::Stationary
+                        },
+                    );
+                }
+                walking = Some(w);
+            }
+            EstimatorSpec::RelativeFrequency { property_agents } => {
+                engine.declare_groups(1);
+                for a in 0..*property_agents {
+                    engine.assign_group(a, 0);
+                }
+            }
+            EstimatorSpec::Algorithm1 | EstimatorSpec::Quorum { .. } => {}
+        }
+
+        engine.place_uniform(&mut seq.rng(PLACEMENT_STREAM));
+
+        let track_groups = matches!(&self.estimator, EstimatorSpec::RelativeFrequency { .. });
+        let mut noise_rng = seq.rng(NOISE_STREAM);
+        let mut counts = vec![0u64; self.num_agents];
+        let mut group_counts = vec![0u64; if track_groups { self.num_agents } else { 0 }];
+        for _ in 0..self.rounds {
+            engine.step_round_parallel();
+            for (a, c) in counts.iter_mut().enumerate() {
+                let seen = engine.count(a);
+                *c += match &self.noise {
+                    None => seen,
+                    Some(noise) => noise.observe(seen, &mut noise_rng),
+                } as u64;
+            }
+            if track_groups {
+                for (a, c) in group_counts.iter_mut().enumerate() {
+                    *c += engine.count_in_group(a, 0) as u64;
+                }
+            }
+        }
+
+        let t = self.rounds as f64;
+        let true_density = engine.density();
+        match &self.estimator {
+            EstimatorSpec::Algorithm1 => ScenarioOutcome {
+                estimates: counts.iter().map(|&c| c as f64 / t).collect(),
+                collision_counts: counts,
+                property_estimates: None,
+                quorum_decisions: None,
+                walking,
+                rounds: self.rounds,
+                true_density,
+            },
+            EstimatorSpec::Algorithm4 => {
+                let corrected: Vec<u64> = counts.iter().map(|&c| c % self.rounds).collect();
+                ScenarioOutcome {
+                    estimates: corrected.iter().map(|&c| 2.0 * c as f64 / t).collect(),
+                    collision_counts: corrected,
+                    property_estimates: None,
+                    quorum_decisions: None,
+                    walking,
+                    rounds: self.rounds,
+                    true_density,
+                }
+            }
+            EstimatorSpec::Quorum { threshold } => {
+                let estimates: Vec<f64> = counts.iter().map(|&c| c as f64 / t).collect();
+                let decisions = estimates.iter().map(|&e| e >= *threshold).collect();
+                ScenarioOutcome {
+                    estimates,
+                    collision_counts: counts,
+                    property_estimates: None,
+                    quorum_decisions: Some(decisions),
+                    walking,
+                    rounds: self.rounds,
+                    true_density,
+                }
+            }
+            EstimatorSpec::RelativeFrequency { .. } => ScenarioOutcome {
+                estimates: counts.iter().map(|&c| c as f64 / t).collect(),
+                collision_counts: counts,
+                property_estimates: Some(group_counts.iter().map(|&c| c as f64 / t).collect()),
+                quorum_decisions: None,
+                walking,
+                rounds: self.rounds,
+                true_density,
+            },
+        }
+    }
+}
+
+// Distinct derivation labels so placement, stepping, role coins, and
+// noise never share a stream.
+const PLACEMENT_STREAM: u64 = 0x504c_4143;
+const STEP_STREAM: u64 = 0x5354_4550;
+const ROLE_STREAM: u64 = 0x524f_4c45;
+const NOISE_STREAM: u64 = 0x4e4f_4953;
+
+/// The result of running a [`Scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Per-agent density estimates `d̃` (for `RelativeFrequency`, the
+    /// overall-density component).
+    pub estimates: Vec<f64>,
+    /// Per-agent collision counts (post-`mod t` for `Algorithm4`).
+    pub collision_counts: Vec<u64>,
+    /// Per-agent property-density estimates `d̃_P`
+    /// (`RelativeFrequency` only).
+    pub property_estimates: Option<Vec<f64>>,
+    /// Per-agent `d̃ ≥ threshold` verdicts (`Quorum` only).
+    pub quorum_decisions: Option<Vec<bool>>,
+    /// Per-agent walking flags (`Algorithm4` only).
+    pub walking: Option<Vec<bool>>,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Paper-convention true density `d = n/A`.
+    pub true_density: f64,
+}
+
+impl ScenarioOutcome {
+    /// Mean of the per-agent estimates.
+    pub fn mean_estimate(&self) -> f64 {
+        self.estimates.iter().sum::<f64>() / self.estimates.len() as f64
+    }
+
+    /// Per-agent relative errors `|d̃ − d| / d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the true density is zero.
+    pub fn relative_errors(&self) -> Vec<f64> {
+        assert!(
+            self.true_density > 0.0,
+            "relative error undefined at zero density"
+        );
+        self.estimates
+            .iter()
+            .map(|e| (e - self.true_density).abs() / self.true_density)
+            .collect()
+    }
+
+    /// Fraction of agents whose estimate lies in `(1±eps)·d`.
+    pub fn fraction_within(&self, eps: f64) -> f64 {
+        if self.true_density == 0.0 {
+            return self.estimates.iter().filter(|&&e| e == 0.0).count() as f64
+                / self.estimates.len() as f64;
+        }
+        let lo = (1.0 - eps) * self.true_density;
+        let hi = (1.0 + eps) * self.true_density;
+        self.estimates
+            .iter()
+            .filter(|&&e| e >= lo && e <= hi)
+            .count() as f64
+            / self.estimates.len() as f64
+    }
+
+    /// Per-agent relative-frequency estimates `f̃ = d̃_P/d̃` (`None` for
+    /// agents with `d̃ = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario did not use `RelativeFrequency`.
+    pub fn frequencies(&self) -> Vec<Option<f64>> {
+        let prop = self
+            .property_estimates
+            .as_ref()
+            .expect("scenario did not estimate frequencies");
+        self.estimates
+            .iter()
+            .zip(prop)
+            .map(|(&d, &dp)| if d > 0.0 { Some(dp / d) } else { None })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm1_is_roughly_unbiased() {
+        let spec = Scenario::new(TopologySpec::Torus2d { side: 16 }, 33, 128);
+        let mut grand = 0.0;
+        for seed in 0..20 {
+            grand += spec.run(seed).mean_estimate();
+        }
+        let mean = grand / 20.0;
+        assert!((mean - 0.125).abs() < 0.012, "grand mean {mean}");
+    }
+
+    #[test]
+    fn outcome_is_thread_count_invariant() {
+        let base = Scenario::new(TopologySpec::Torus2d { side: 32 }, 500, 64);
+        let one = base.clone().with_threads(1).run(9);
+        let many = base.with_threads(8).run(9);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn algorithm4_mod_t_kills_lockstep_counts() {
+        let spec = Scenario::new(TopologySpec::Torus2d { side: 64 }, 129, 48)
+            .with_estimator(EstimatorSpec::Algorithm4);
+        let out = spec.run(3);
+        assert!(out.walking.is_some());
+        for &c in &out.collision_counts {
+            assert!(c < 48, "mod t must bound corrected counts");
+        }
+        // crude accuracy: d = 128/4096 = 0.03125; Algorithm 4 is unbiased
+        let mean: f64 = (0..16).map(|s| spec.run(s).mean_estimate()).sum::<f64>() / 16.0;
+        assert!((mean - 0.03125).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn quorum_decisions_follow_threshold() {
+        let spec = Scenario::new(TopologySpec::Complete { nodes: 256 }, 33, 256)
+            .with_estimator(EstimatorSpec::Quorum { threshold: 0.02 });
+        let out = spec.run(5);
+        let decisions = out.quorum_decisions.as_ref().unwrap();
+        for (d, e) in decisions.iter().zip(&out.estimates) {
+            assert_eq!(*d, *e >= 0.02);
+        }
+        // true density 0.125 is far above 0.02: nearly all agents agree
+        let yes = decisions.iter().filter(|&&d| d).count();
+        assert!(yes as f64 / 33.0 > 0.9, "{yes}/33 above threshold");
+    }
+
+    #[test]
+    fn relative_frequency_tracks_property_share() {
+        let spec = Scenario::new(TopologySpec::Torus2d { side: 16 }, 64, 512).with_estimator(
+            EstimatorSpec::RelativeFrequency {
+                property_agents: 16,
+            },
+        );
+        let out = spec.run(7);
+        let freqs: Vec<f64> = out.frequencies().into_iter().flatten().collect();
+        assert!(!freqs.is_empty());
+        let mean = freqs.iter().sum::<f64>() / freqs.len() as f64;
+        // f_P = 16/64 = 0.25
+        assert!((mean - 0.25).abs() < 0.08, "mean frequency {mean}");
+    }
+
+    #[test]
+    fn noise_shifts_then_corrects() {
+        let clean = Scenario::new(TopologySpec::Complete { nodes: 128 }, 33, 512);
+        let noisy = clean.clone().with_noise(NoiseSpec::new(0.5, 0.2));
+        let e_clean = clean.run(11).mean_estimate();
+        let e_noisy = noisy.run(11).mean_estimate();
+        // E[observed] = p*d + s
+        let predicted = 0.5 * e_clean + 0.2;
+        assert!(
+            (e_noisy - predicted).abs() < 0.05,
+            "{e_noisy} vs {predicted}"
+        );
+    }
+
+    #[test]
+    fn builds_every_topology() {
+        for spec in [
+            TopologySpec::Torus2d { side: 4 },
+            TopologySpec::TorusKd { dims: 3, side: 4 },
+            TopologySpec::Ring { nodes: 16 },
+            TopologySpec::Hypercube { dims: 4 },
+            TopologySpec::Complete { nodes: 16 },
+        ] {
+            let topo = spec.build();
+            assert_eq!(topo.num_nodes(), spec.num_nodes());
+            assert!(topo.regular_degree().is_some());
+            let out = Scenario::new(spec, 8, 16).run(1);
+            assert_eq!(out.estimates.len(), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Theorem 32 requires")]
+    fn algorithm4_rejects_long_runs() {
+        // t >= side wraps drifting walkers around the torus; the mod-t
+        // correction would then corrupt legitimate counts.
+        let _ = Scenario::new(TopologySpec::Torus2d { side: 8 }, 65, 64)
+            .with_estimator(EstimatorSpec::Algorithm4)
+            .run(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-d torus only")]
+    fn algorithm4_rejects_non_torus() {
+        let _ = Scenario::new(TopologySpec::Ring { nodes: 64 }, 9, 8)
+            .with_estimator(EstimatorSpec::Algorithm4)
+            .run(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "property population")]
+    fn oversized_property_group_rejected() {
+        let _ = Scenario::new(TopologySpec::Ring { nodes: 8 }, 4, 8)
+            .with_estimator(EstimatorSpec::RelativeFrequency { property_agents: 5 });
+    }
+}

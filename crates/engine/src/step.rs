@@ -1,0 +1,179 @@
+//! The round-stepping kernels.
+//!
+//! Two kernels share one semantics (the paper's synchronous model with the
+//! Section 6.1 avoidance/flee variants):
+//!
+//! * [`step_slice`] — sequential over a slice of agents, drawing from one
+//!   caller-supplied RNG **in exactly the order the original
+//!   `SyncArena::step_round` did**, so an arena delegating here is
+//!   bit-identical to the pre-engine implementation for any seed.
+//! * The batched engine calls [`step_slice`] once per fixed-size *chunk*
+//!   of agents with a per-`(round, chunk)` derived RNG stream, which makes
+//!   parallel stepping bit-identical for every thread count (the stream an
+//!   agent draws from depends only on its chunk, never on the scheduler).
+//!
+//! Agents sense **stale** occupancy — last round's index — before moving:
+//! in the synchronous model an agent cannot see the simultaneous moves of
+//! others.
+
+use crate::movement::MovementModel;
+use crate::occupancy::DenseOccupancy;
+use antdensity_graphs::{NodeId, Topology};
+use rand::Rng;
+use rand::RngCore;
+
+/// The Section 6.1 interaction variants layered over a movement model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Interaction {
+    /// Back-off probability when the move target was occupied last round
+    /// (`None` disables avoidance entirely, matching the paper's model).
+    pub avoidance: Option<f64>,
+    /// Whether an agent that collided last round takes two steps.
+    pub flee: bool,
+}
+
+impl Interaction {
+    /// The paper's exact model: no avoidance, no flee.
+    pub fn pure() -> Self {
+        Self::default()
+    }
+
+    /// True when no variant is active and the fast path applies.
+    pub fn is_pure(&self) -> bool {
+        self.avoidance.is_none() && !self.flee
+    }
+
+    /// Validates and sets the avoidance probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn set_avoidance(&mut self, prob: Option<f64>) {
+        if let Some(p) = prob {
+            assert!((0.0..=1.0).contains(&p), "avoidance probability in [0,1]");
+        }
+        self.avoidance = prob;
+    }
+}
+
+/// Moves every agent in `positions` one round, reading stale occupancy
+/// from `occ` and drawing from `rng` in the legacy arena's exact order.
+///
+/// `positions` and `movement` are parallel slices (one entry per agent in
+/// this batch). `occ` must hold the *previous* round's counts over the
+/// whole population (it is only read on the avoidance/flee path).
+pub fn step_slice<T: Topology + ?Sized>(
+    topo: &T,
+    positions: &mut [u32],
+    movement: &[MovementModel],
+    occ: &DenseOccupancy,
+    interaction: &Interaction,
+    rng: &mut dyn RngCore,
+) {
+    debug_assert_eq!(positions.len(), movement.len());
+    if interaction.is_pure() {
+        for (pos, model) in positions.iter_mut().zip(movement) {
+            *pos = model.step(topo, *pos as NodeId, rng) as u32;
+        }
+        return;
+    }
+    for (pos, model) in positions.iter_mut().zip(movement) {
+        let cur = *pos as NodeId;
+        let collided = occ.count(cur) >= 2;
+        let mut next = model.step(topo, cur, rng);
+        if let Some(p) = interaction.avoidance {
+            let target_busy = next != cur && occ.count(next) >= 1;
+            if target_busy && rng.gen_bool(p) {
+                next = cur;
+            }
+        }
+        if interaction.flee && collided {
+            next = model.step(topo, next, rng);
+        }
+        *pos = next as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdensity_graphs::Torus2d;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pure_step_advances_all_agents_one_hop() {
+        let t = Torus2d::new(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut pos = vec![0u32, 9, 17, 63];
+        let before = pos.clone();
+        let movement = vec![MovementModel::Pure; 4];
+        let occ = DenseOccupancy::new(t.num_nodes());
+        step_slice(
+            &t,
+            &mut pos,
+            &movement,
+            &occ,
+            &Interaction::pure(),
+            &mut rng,
+        );
+        for (b, a) in before.iter().zip(&pos) {
+            assert_eq!(t.torus_distance(*b as u64, *a as u64), 1);
+        }
+    }
+
+    #[test]
+    fn full_avoidance_freezes_agent_next_to_occupied_target() {
+        // Two agents adjacent on a ring-like torus row; with avoidance 1.0
+        // an agent whose proposed move lands on the other's node stays put.
+        let t = Torus2d::new(4);
+        let mut occ = DenseOccupancy::new(t.num_nodes());
+        occ.rebuild(&[0, 1]);
+        let movement = vec![MovementModel::Pure; 2];
+        let interaction = Interaction {
+            avoidance: Some(1.0),
+            flee: false,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let mut pos = vec![0u32, 1];
+            step_slice(&t, &mut pos, &movement, &occ, &interaction, &mut rng);
+            // agent 0 either stayed (blocked) or moved to an unoccupied node
+            assert!(pos[0] == 0 || pos[0] != 1, "agent 0 landed on busy node");
+        }
+    }
+
+    #[test]
+    fn flee_takes_two_steps_after_collision() {
+        let t = Torus2d::new(16);
+        let mut occ = DenseOccupancy::new(t.num_nodes());
+        occ.rebuild(&[5, 5]);
+        let movement = vec![MovementModel::Drift { move_index: 2 }; 2];
+        let interaction = Interaction {
+            avoidance: None,
+            flee: true,
+        };
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut pos = vec![5u32, 5];
+        step_slice(&t, &mut pos, &movement, &occ, &interaction, &mut rng);
+        // deterministic drift: colliding agents moved two (0,1) hops
+        assert_eq!(pos, vec![t.offset(5, 0, 2) as u32; 2]);
+    }
+
+    #[test]
+    fn interaction_validation() {
+        let mut i = Interaction::pure();
+        assert!(i.is_pure());
+        i.set_avoidance(Some(0.5));
+        assert!(!i.is_pure());
+        i.set_avoidance(None);
+        assert!(i.is_pure());
+    }
+
+    #[test]
+    #[should_panic(expected = "avoidance probability")]
+    fn bad_avoidance_rejected() {
+        let mut i = Interaction::pure();
+        i.set_avoidance(Some(-0.1));
+    }
+}

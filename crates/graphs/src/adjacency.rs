@@ -334,8 +334,7 @@ mod tests {
         assert!(square().is_bipartite()); // even cycle
         let triangle = AdjGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
         assert!(!triangle.is_bipartite()); // odd cycle
-        let odd5 =
-            AdjGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let odd5 = AdjGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         assert!(!odd5.is_bipartite());
     }
 

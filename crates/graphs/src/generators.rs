@@ -194,7 +194,7 @@ pub fn random_regular<R: Rng + ?Sized>(
             "degree {d} must be below node count {n}"
         )));
     }
-    if (n * d as u64) % 2 != 0 {
+    if !(n * d as u64).is_multiple_of(2) {
         return Err(GenerateError::BadParameters(format!(
             "n*d = {} must be even",
             n * d as u64
@@ -318,7 +318,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     beta: f64,
     rng: &mut R,
 ) -> Result<AdjGraph, GenerateError> {
-    if k == 0 || k % 2 != 0 {
+    if k == 0 || !k.is_multiple_of(2) {
         return Err(GenerateError::BadParameters(format!(
             "lattice degree k = {k} must be positive and even"
         )));

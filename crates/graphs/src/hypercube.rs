@@ -47,7 +47,10 @@ impl Hypercube {
     ///
     /// Panics if either vertex is out of range.
     pub fn hamming_distance(&self, a: NodeId, b: NodeId) -> u32 {
-        assert!(a < self.num_nodes() && b < self.num_nodes(), "node out of range");
+        assert!(
+            a < self.num_nodes() && b < self.num_nodes(),
+            "node out of range"
+        );
         (a ^ b).count_ones()
     }
 }

@@ -46,7 +46,9 @@ pub fn walk_matrix_lambda<R: Rng + ?Sized>(
     assert!(max_iters > 0, "need at least one iteration");
     let n = graph.num_nodes() as usize;
     // Top eigenvector of S: phi(v) = sqrt(deg v), normalised.
-    let mut phi: Vec<f64> = (0..n).map(|v| (graph.degree(v as u64) as f64).sqrt()).collect();
+    let mut phi: Vec<f64> = (0..n)
+        .map(|v| (graph.degree(v as u64) as f64).sqrt())
+        .collect();
     normalize(&mut phi);
     // Random start, deflated.
     let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -124,12 +126,7 @@ fn normalize(x: &mut [f64]) {
 /// # Panics
 ///
 /// Panics if `eps ∉ (0, 1)`.
-pub fn mixing_time_from(
-    graph: &AdjGraph,
-    start: u64,
-    eps: f64,
-    max_steps: u64,
-) -> Option<u64> {
+pub fn mixing_time_from(graph: &AdjGraph, start: u64, eps: f64, max_steps: u64) -> Option<u64> {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1)");
     let stationary = WalkDistribution::stationary(graph);
     let mut dist = WalkDistribution::point(graph, start);
@@ -193,7 +190,11 @@ mod tests {
         let g = star_graph(8);
         let mut rng = SmallRng::seed_from_u64(3);
         let est = walk_matrix_lambda(&g, 2000, &mut rng);
-        assert!(est.lambda > 0.999, "bipartite lambda {} must be ~1", est.lambda);
+        assert!(
+            est.lambda > 0.999,
+            "bipartite lambda {} must be ~1",
+            est.lambda
+        );
         assert!(est.gap() < 1e-3);
     }
 
@@ -204,7 +205,11 @@ mod tests {
         let est = walk_matrix_lambda(&g, 2000, &mut rng);
         // Friedman: lambda ~ 2 sqrt(d-1)/d + o(1) ~ 0.66 for d = 8.
         assert!(est.lambda < 0.85, "regular graph lambda {}", est.lambda);
-        assert!(est.lambda > 0.3, "lambda suspiciously small: {}", est.lambda);
+        assert!(
+            est.lambda > 0.3,
+            "lambda suspiciously small: {}",
+            est.lambda
+        );
     }
 
     #[test]

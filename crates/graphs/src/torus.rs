@@ -241,7 +241,7 @@ impl Topology for TorusKd {
     fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
         assert!(i < 2 * self.dims as usize, "move index {i} out of range");
         let dim = (i / 2) as u32;
-        let delta = if i % 2 == 0 { 1 } else { -1 };
+        let delta = if i.is_multiple_of(2) { 1 } else { -1 };
         self.offset(v, dim, delta)
     }
 

@@ -112,8 +112,7 @@ impl Algorithm2 {
                     seed_vertex < graph.num_nodes(),
                     "seed vertex {seed_vertex} out of range"
                 );
-                let pos =
-                    burnin::burn_in(graph, seed_vertex, steps, self.num_walks, &mut rng);
+                let pos = burnin::burn_in(graph, seed_vertex, steps, self.num_walks, &mut rng);
                 queries.burnin = steps * self.num_walks as u64;
                 pos
             }
@@ -133,8 +132,7 @@ impl Algorithm2 {
                 if occ >= 2 {
                     // each of the occ walkers counts (occ-1) others,
                     // weighted by 1/deg(node)
-                    weighted +=
-                        (occ as f64) * (occ as f64 - 1.0) / graph.degree(node) as f64;
+                    weighted += (occ as f64) * (occ as f64 - 1.0) / graph.degree(node) as f64;
                 }
             }
         }
@@ -189,7 +187,10 @@ mod tests {
         let alg = Algorithm2::new(150, 80);
         // median across seeds for robustness
         let mut ests: Vec<f64> = (0..15)
-            .map(|s| alg.run(&g, g.avg_degree(), StartMode::Stationary, s).estimate)
+            .map(|s| {
+                alg.run(&g, g.avg_degree(), StartMode::Stationary, s)
+                    .estimate
+            })
             .collect();
         ests.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = ests[ests.len() / 2];

@@ -141,7 +141,10 @@ mod tests {
     fn deterministic_given_seed() {
         let mut rng = SmallRng::seed_from_u64(5);
         let g = generators::barabasi_albert(50, 2, &mut rng).unwrap();
-        assert_eq!(estimate_avg_degree(&g, 100, 9), estimate_avg_degree(&g, 100, 9));
+        assert_eq!(
+            estimate_avg_degree(&g, 100, 9),
+            estimate_avg_degree(&g, 100, 9)
+        );
     }
 
     #[test]

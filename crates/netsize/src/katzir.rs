@@ -53,7 +53,8 @@ impl Katzir {
         assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1)");
         assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0,1)");
         let v = graph.num_nodes() as f64;
-        let n = c * v * graph.avg_degree() / (eps * eps * delta * graph.sum_degree_squared().sqrt());
+        let n =
+            c * v * graph.avg_degree() / (eps * eps * delta * graph.sum_degree_squared().sqrt());
         n.ceil() as usize
     }
 }

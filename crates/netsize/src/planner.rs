@@ -44,6 +44,7 @@ impl NetsizePlan {
 ///
 /// Panics if `t == 0`, sizes are zero, or `eps`/`delta` are outside
 /// `(0,1)`.
+#[allow(clippy::too_many_arguments)] // mirrors Theorem 27's parameter list
 pub fn plan_for_rounds(
     t: u64,
     b_of_t: f64,
@@ -80,6 +81,7 @@ pub fn plan_for_rounds(
 /// # Panics
 ///
 /// Same conditions as [`plan_for_rounds`]; additionally `t_max == 0`.
+#[allow(clippy::too_many_arguments)] // mirrors Theorem 27's parameter list
 pub fn plan_optimal(
     b_of: &dyn Fn(u64) -> f64,
     edges: u64,
@@ -147,10 +149,7 @@ mod tests {
     #[test]
     fn predicted_queries_add_up() {
         let p = plan_for_rounds(16, 2.0, 500, 250, 0.3, 0.2, 10, 1.0);
-        assert_eq!(
-            p.predicted_queries,
-            p.walks as u64 * (p.burnin + p.rounds)
-        );
+        assert_eq!(p.predicted_queries, p.walks as u64 * (p.burnin + p.rounds));
         let qc = p.predicted_query_count();
         assert_eq!(qc.total(), p.predicted_queries);
     }

@@ -159,7 +159,11 @@ mod tests {
         let g = generators::random_regular(256, 8, 500, &mut rng).unwrap();
         let tight = SingleWalk::new(200, 1);
         let ests: Vec<f64> = (0..15)
-            .map(|s| tight.run(&g, 8.0, g.sample_stationary(&mut rng), s).estimate)
+            .map(|s| {
+                tight
+                    .run(&g, 8.0, g.sample_stationary(&mut rng), s)
+                    .estimate
+            })
             .filter(|e| e.is_finite())
             .collect();
         let med = median(ests);

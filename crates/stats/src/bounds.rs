@@ -154,7 +154,10 @@ pub fn theorem32_epsilon(t: u64, d: f64, delta: f64, c: f64) -> f64 {
 pub fn theorem27_n2t(b_t: f64, edges: f64, vertices: f64, eps: f64, delta: f64, c: f64) -> f64 {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1)");
     assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0,1)");
-    assert!(edges > 0.0 && vertices > 0.0, "graph sizes must be positive");
+    assert!(
+        edges > 0.0 && vertices > 0.0,
+        "graph sizes must be positive"
+    );
     assert!(b_t >= 0.0, "B(t) must be non-negative");
     c * (b_t * edges + vertices) / (eps * eps * delta)
 }
@@ -167,7 +170,10 @@ pub fn theorem27_n2t(b_t: f64, edges: f64, vertices: f64, eps: f64, delta: f64, 
 /// Panics if degrees are non-positive or `eps`/`delta` outside `(0,1)`.
 pub fn theorem31_walks(avg_deg: f64, min_deg: f64, eps: f64, delta: f64, c: f64) -> f64 {
     assert!(avg_deg > 0.0 && min_deg > 0.0, "degrees must be positive");
-    assert!(min_deg <= avg_deg, "min degree cannot exceed average degree");
+    assert!(
+        min_deg <= avg_deg,
+        "min degree cannot exceed average degree"
+    );
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1)");
     assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0,1)");
     c * avg_deg / (min_deg * eps * eps * delta)
@@ -225,8 +231,9 @@ mod tests {
     #[test]
     fn theorem1_epsilon_decays_like_sqrt_t_logt() {
         // eps(t) * sqrt(t) / log(2t) must be constant in t.
-        let f = |t: u64| theorem1_epsilon(t, 0.02, 0.05, 1.0) * (t as f64).sqrt()
-            / (2.0 * t as f64).ln();
+        let f = |t: u64| {
+            theorem1_epsilon(t, 0.02, 0.05, 1.0) * (t as f64).sqrt() / (2.0 * t as f64).ln()
+        };
         let a = f(1 << 8);
         let b = f(1 << 16);
         assert!((a - b).abs() < 1e-12);

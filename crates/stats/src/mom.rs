@@ -26,7 +26,7 @@ pub fn repetitions_for(p_fail: f64, delta: f64) -> usize {
     let gap = 0.5 - p_fail;
     let k = ((1.0 / delta).ln() / (2.0 * gap * gap)).ceil() as usize;
     let k = k.max(1);
-    if k % 2 == 0 {
+    if k.is_multiple_of(2) {
         k + 1
     } else {
         k

@@ -181,14 +181,20 @@ impl SampleStats {
     ///
     /// Panics if `samples` is empty or contains NaN.
     pub fn from_vec(mut samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "SampleStats requires at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "SampleStats requires at least one sample"
+        );
         assert!(
             samples.iter().all(|x| !x.is_nan()),
             "SampleStats cannot contain NaN"
         );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        Self { sorted: samples, mean }
+        Self {
+            sorted: samples,
+            mean,
+        }
     }
 
     /// Number of samples.
@@ -258,7 +264,11 @@ impl SampleStats {
     /// The k-th central moment `E[(x − mean)ᵏ]`.
     pub fn central_moment(&self, k: u32) -> f64 {
         let m = self.mean;
-        self.sorted.iter().map(|x| (x - m).powi(k as i32)).sum::<f64>() / self.len() as f64
+        self.sorted
+            .iter()
+            .map(|x| (x - m).powi(k as i32))
+            .sum::<f64>()
+            / self.len() as f64
     }
 
     /// The k-th absolute central moment `E[|x − mean|ᵏ]`.
@@ -401,8 +411,7 @@ mod tests {
             m.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((m.mean() - mean).abs() < 1e-12);
         assert!((m.variance() - var).abs() < 1e-12);
         assert_eq!(m.min(), -2.0);

@@ -34,11 +34,7 @@ impl LinearFit {
         let my = ys.iter().sum::<f64>() / n;
         let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
         assert!(sxx > 0.0, "all x values coincide; slope undefined");
-        let sxy: f64 = xs
-            .iter()
-            .zip(ys)
-            .map(|(x, y)| (x - mx) * (y - my))
-            .sum();
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
         let slope = sxy / sxx;
         let intercept = my - slope * mx;
         let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
@@ -50,7 +46,11 @@ impl LinearFit {
                 e * e
             })
             .sum();
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
         Self {
             slope,
             intercept,

@@ -57,7 +57,8 @@ impl Table {
             cells.len(),
             self.header.len()
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -135,9 +136,9 @@ impl Table {
         };
         let fmt_row = |cells: &[String]| -> String {
             let mut s = String::from("|");
-            for i in 0..cols {
+            for (i, &w) in widths.iter().enumerate().take(cols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                s.push_str(&format!(" {cell:>w$} |", w = widths[i]));
+                s.push_str(&format!(" {cell:>w$} |"));
             }
             s
         };
@@ -203,7 +204,7 @@ pub fn format_sig(v: f64, prec: usize) -> String {
         return "0".to_string();
     }
     let a = v.abs();
-    if a >= 1e7 || a < 1e-4 {
+    if !(1e-4..1e7).contains(&a) {
         format!("{v:.prec$e}")
     } else if v == v.trunc() && a < 1e7 {
         format!("{}", v as i64)

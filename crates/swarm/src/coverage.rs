@@ -196,11 +196,7 @@ mod tests {
         let sim = DispersionSim::new(32, 64, 8, 0.5);
         let curve = sim.run_clustered(300, 4);
         assert!(curve[0] < 0.05, "starts clustered");
-        assert!(
-            curve[300] > 0.5,
-            "ends spread: {} (adaptive)",
-            curve[300]
-        );
+        assert!(curve[300] > 0.5, "ends spread: {} (adaptive)", curve[300]);
     }
 
     #[test]
@@ -214,7 +210,11 @@ mod tests {
                 .iter()
                 .map(|&s| {
                     let sim = DispersionSim::new(32, 96, 4, 0.25);
-                    let sim = if adaptive { sim } else { sim.without_adaptation() };
+                    let sim = if adaptive {
+                        sim
+                    } else {
+                        sim.without_adaptation()
+                    };
                     let curve = sim.run_clustered(rounds, s);
                     curve[1..].iter().sum::<f64>() / rounds as f64
                 })

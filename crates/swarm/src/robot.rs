@@ -168,8 +168,8 @@ impl SwarmConfig {
             arena.step_round(&mut rng);
             for r in 0..self.num_robots {
                 total[r] += arena.count(r) as u64;
-                for g in 0..groups {
-                    per_group[r][g] += arena.count_in_group(r, g) as u64;
+                for (g, slot) in per_group[r].iter_mut().enumerate() {
+                    *slot += arena.count_in_group(r, g) as u64;
                 }
             }
         }
@@ -216,8 +216,7 @@ mod tests {
     #[test]
     fn group_membership_recorded() {
         let report = SwarmConfig::new(8, 10, 10).with_groups(&[3, 2]).run(3);
-        let groups: Vec<Option<usize>> =
-            report.estimates().iter().map(|e| e.group).collect();
+        let groups: Vec<Option<usize>> = report.estimates().iter().map(|e| e.group).collect();
         assert_eq!(groups[0], Some(0));
         assert_eq!(groups[2], Some(0));
         assert_eq!(groups[3], Some(1));
@@ -230,9 +229,7 @@ mod tests {
     fn frequencies_more_accurate_with_time() {
         let short = SwarmConfig::new(16, 64, 32).with_groups(&[32]).run(4);
         let long = SwarmConfig::new(16, 64, 2048).with_groups(&[32]).run(4);
-        let err = |r: &SwarmReport| {
-            (r.mean_frequency(0).unwrap() - r.true_frequency(0)).abs()
-        };
+        let err = |r: &SwarmReport| (r.mean_frequency(0).unwrap() - r.true_frequency(0)).abs();
         assert!(
             err(&long) <= err(&short) + 0.02,
             "long {} vs short {}",

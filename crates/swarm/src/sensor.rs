@@ -176,7 +176,11 @@ pub fn token_mean_estimate<T: Topology>(
         }
     }
     TokenEstimate {
-        mean: if samples > 0 { sum / samples as f64 } else { 0.0 },
+        mean: if samples > 0 {
+            sum / samples as f64
+        } else {
+            0.0
+        },
         samples,
         revisits,
         distinct: seen.len() as u64,
@@ -186,11 +190,7 @@ pub fn token_mean_estimate<T: Topology>(
 
 /// I.i.d.-sampling baseline: `samples` uniform random alive sensors (with
 /// replacement). This is what the token walk is compared against.
-pub fn iid_mean_estimate<T: Topology>(
-    field: &SensorField<T>,
-    samples: u64,
-    seed: u64,
-) -> f64 {
+pub fn iid_mean_estimate<T: Topology>(field: &SensorField<T>, samples: u64, seed: u64) -> f64 {
     assert!(samples > 0, "need at least one sample");
     let seq = SeedSequence::new(seed);
     let mut rng = seq.rng(0);
@@ -246,7 +246,7 @@ mod tests {
         let est = token_mean_estimate(&field, 0, 1000, 2);
         assert!(est.revisits > 0);
         assert!(est.distinct <= 64);
-        assert_eq!(est.revisits + est.distinct, 1000 + 1 - 0); // revisits + distinct = hops + 1 when nothing else counted... see below
+        assert_eq!(est.revisits + est.distinct, (1000 + 1)); // revisits + distinct = hops + 1 when nothing else counted... see below
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! A [`SyncArena`] holds N agents on a topology. Each round every agent
 //! makes one move (per its [`MovementModel`]), after which the arena
-//! rebuilds its occupancy index so that `count(position)` — the number of
+//! refreshes its occupancy index so that `count(position)` — the number of
 //! *other* agents at an agent's node at the end of the round — can be
 //! answered in O(1), exactly as the paper's sensing primitive.
 //!
@@ -10,18 +10,20 @@
 //! task-group member, …); per-group occupancy supports the Section 5.2
 //! relative-frequency application where agents "separately track
 //! encounters" with agents of a given type.
+//!
+//! Since the engine rewrite, `SyncArena` is a thin façade over
+//! [`antdensity_engine::Engine`]: the inner loop runs on dense
+//! touched-list occupancy buffers instead of per-round `HashMap` rebuilds,
+//! while the RNG draw order of [`SyncArena::step_round`] is preserved
+//! bit-for-bit, so any seed reproduces the pre-engine trajectories
+//! exactly.
 
 use crate::movement::MovementModel;
+use antdensity_engine::Engine;
 use antdensity_graphs::{NodeId, Topology};
-use rand::Rng;
 use rand::RngCore;
-use std::collections::HashMap;
 
-/// Identifier of an agent within an arena: `0 .. num_agents`.
-pub type AgentId = usize;
-
-/// Identifier of a property group.
-pub type GroupId = usize;
+pub use antdensity_engine::{AgentId, GroupId};
 
 /// The synchronous multi-agent world of Section 2.
 ///
@@ -43,17 +45,7 @@ pub type GroupId = usize;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SyncArena<T: Topology> {
-    topo: T,
-    positions: Vec<NodeId>,
-    movement: Vec<MovementModel>,
-    groups: Vec<Option<GroupId>>,
-    num_groups: usize,
-    round: u64,
-    occupancy: HashMap<NodeId, u32>,
-    group_occupancy: Vec<HashMap<NodeId, u32>>,
-    placed: bool,
-    avoidance: Option<f64>,
-    flee: bool,
+    engine: Engine<T>,
 }
 
 impl<T: Topology> SyncArena<T> {
@@ -61,57 +53,60 @@ impl<T: Topology> SyncArena<T> {
     /// pure random walk. Agents are unplaced until [`Self::place_uniform`]
     /// or [`Self::place_at`] is called.
     ///
+    /// The dense engine underneath allocates its occupancy index per
+    /// *node* (O(A) memory, vs the old HashMap's O(agents)) — the trade
+    /// that buys hash-free O(1) sensing. For the paper's regimes
+    /// (`d = n/A` bounded below, so `A = O(n)`) this is the same
+    /// asymptotic footprint.
+    ///
     /// # Panics
     ///
-    /// Panics if `num_agents == 0`.
+    /// Panics if `num_agents == 0`, or if the topology has more than
+    /// `u32::MAX` nodes (positions are stored as dense `u32`; see
+    /// [`antdensity_engine::MAX_NODES`]).
     pub fn new(topo: T, num_agents: usize) -> Self {
-        assert!(num_agents > 0, "arena needs at least one agent");
         Self {
-            topo,
-            positions: vec![0; num_agents],
-            movement: vec![MovementModel::Pure; num_agents],
-            groups: vec![None; num_agents],
-            num_groups: 0,
-            round: 0,
-            occupancy: HashMap::new(),
-            group_occupancy: Vec::new(),
-            placed: false,
-            avoidance: None,
-            flee: false,
+            engine: Engine::new(topo, num_agents),
         }
+    }
+
+    /// The underlying batched engine (for parallel stepping and other
+    /// engine-only features).
+    pub fn engine(&self) -> &Engine<T> {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut Engine<T> {
+        &mut self.engine
     }
 
     /// The topology agents live on.
     pub fn topology(&self) -> &T {
-        &self.topo
+        self.engine.topology()
     }
 
     /// Number of agents.
     pub fn num_agents(&self) -> usize {
-        self.positions.len()
+        self.engine.num_agents()
     }
 
     /// Rounds executed so far.
     pub fn round(&self) -> u64 {
-        self.round
+        self.engine.round()
     }
 
     /// Population density `d = n/A` under the paper's convention
     /// (Section 2.1): with `n+1` agents present, `d` counts the *other*
     /// agents, so a lone agent sees density 0.
     pub fn density(&self) -> f64 {
-        (self.num_agents() as f64 - 1.0) / self.topo.num_nodes() as f64
+        self.engine.density()
     }
 
     /// Places every agent at an independent uniformly random node (the
     /// paper's initial condition) and resets the round counter.
     pub fn place_uniform(&mut self, rng: &mut dyn RngCore) {
-        for p in self.positions.iter_mut() {
-            *p = self.topo.uniform_node(rng);
-        }
-        self.round = 0;
-        self.placed = true;
-        self.rebuild_occupancy();
+        self.engine.place_uniform(rng);
     }
 
     /// Places agents at explicit positions (adversarial configurations,
@@ -123,18 +118,7 @@ impl<T: Topology> SyncArena<T> {
     /// Panics if the slice length differs from the agent count or a
     /// position is out of range.
     pub fn place_at(&mut self, positions: &[NodeId]) {
-        assert_eq!(
-            positions.len(),
-            self.positions.len(),
-            "position count must equal agent count"
-        );
-        for &p in positions {
-            assert!(p < self.topo.num_nodes(), "position {p} out of range");
-        }
-        self.positions.copy_from_slice(positions);
-        self.round = 0;
-        self.placed = true;
-        self.rebuild_occupancy();
+        self.engine.place_at(positions);
     }
 
     /// Sets one agent's movement model.
@@ -143,23 +127,18 @@ impl<T: Topology> SyncArena<T> {
     ///
     /// Panics if `agent` is out of range.
     pub fn set_movement(&mut self, agent: AgentId, model: MovementModel) {
-        self.movement[agent] = model;
+        self.engine.set_movement(agent, model);
     }
 
     /// Sets every agent's movement model.
     pub fn set_movement_all(&mut self, model: &MovementModel) {
-        for m in self.movement.iter_mut() {
-            *m = model.clone();
-        }
+        self.engine.set_movement_all(model);
     }
 
     /// Declares that groups `0..count` exist (even if some end up empty),
     /// so [`Self::count_in_group`] is queryable for all of them.
     pub fn declare_groups(&mut self, count: usize) {
-        if count > self.num_groups {
-            self.num_groups = count;
-            self.group_occupancy.resize_with(count, HashMap::new);
-        }
+        self.engine.declare_groups(count);
     }
 
     /// Assigns `agent` to property `group` (replacing any previous group).
@@ -168,24 +147,17 @@ impl<T: Topology> SyncArena<T> {
     ///
     /// Panics if `agent` is out of range.
     pub fn assign_group(&mut self, agent: AgentId, group: GroupId) {
-        self.groups[agent] = Some(group);
-        if group >= self.num_groups {
-            self.num_groups = group + 1;
-            self.group_occupancy.resize_with(self.num_groups, HashMap::new);
-        }
-        if self.placed {
-            self.rebuild_occupancy();
-        }
+        self.engine.assign_group(agent, group);
     }
 
     /// The group of `agent`, if any.
     pub fn group_of(&self, agent: AgentId) -> Option<GroupId> {
-        self.groups[agent]
+        self.engine.group_of(agent)
     }
 
     /// Number of agents assigned to `group`.
     pub fn group_size(&self, group: GroupId) -> usize {
-        self.groups.iter().filter(|g| **g == Some(group)).count()
+        self.engine.group_size(group)
     }
 
     /// Current position of `agent`.
@@ -194,8 +166,7 @@ impl<T: Topology> SyncArena<T> {
     ///
     /// Panics if the arena is unplaced or `agent` out of range.
     pub fn position(&self, agent: AgentId) -> NodeId {
-        assert!(self.placed, "arena not placed yet");
-        self.positions[agent]
+        self.engine.position(agent)
     }
 
     /// Enables cell avoidance — the first variant the paper sketches in
@@ -214,10 +185,7 @@ impl<T: Topology> SyncArena<T> {
     ///
     /// Panics if `prob` is outside `[0, 1]`.
     pub fn set_avoidance(&mut self, prob: Option<f64>) {
-        if let Some(p) = prob {
-            assert!((0.0..=1.0).contains(&p), "avoidance probability in [0,1]");
-        }
-        self.avoidance = prob;
+        self.engine.set_avoidance(prob);
     }
 
     /// Enables post-encounter dispersal — the second Section 6.1 variant
@@ -229,60 +197,18 @@ impl<T: Topology> SyncArena<T> {
     /// *below* the pure-model prediction — matching the field
     /// observations the paper cites [GPT93, NTD05].
     pub fn set_flee(&mut self, flee: bool) {
-        self.flee = flee;
+        self.engine.set_flee(flee);
     }
 
     /// Executes one synchronous round: every agent moves once, then the
-    /// occupancy index is rebuilt (the paper's `count` reads positions at
-    /// the *end* of the round).
+    /// occupancy index is refreshed (the paper's `count` reads positions
+    /// at the *end* of the round).
     ///
     /// # Panics
     ///
     /// Panics if the arena is unplaced.
     pub fn step_round(&mut self, rng: &mut dyn RngCore) {
-        assert!(self.placed, "place agents before stepping");
-        if self.avoidance.is_none() && !self.flee {
-            for (pos, model) in self.positions.iter_mut().zip(&self.movement) {
-                *pos = model.step(&self.topo, *pos, rng);
-            }
-        } else {
-            // Agents sense last round's occupancy (the stale index) before
-            // moving — they cannot see the simultaneous moves of others,
-            // matching the synchronous model.
-            for i in 0..self.positions.len() {
-                let cur = self.positions[i];
-                let collided = self.occupancy.get(&cur).copied().unwrap_or(0) >= 2;
-                let mut next = self.movement[i].step(&self.topo, cur, rng);
-                if let Some(p) = self.avoidance {
-                    let target_busy = next != cur
-                        && self.occupancy.get(&next).copied().unwrap_or(0) >= 1;
-                    if target_busy && rng.gen_bool(p) {
-                        next = cur;
-                    }
-                }
-                if self.flee && collided {
-                    next = self.movement[i].step(&self.topo, next, rng);
-                }
-                self.positions[i] = next;
-            }
-        }
-        self.round += 1;
-        self.rebuild_occupancy();
-    }
-
-    fn rebuild_occupancy(&mut self) {
-        self.occupancy.clear();
-        for &p in &self.positions {
-            *self.occupancy.entry(p).or_insert(0) += 1;
-        }
-        for g in self.group_occupancy.iter_mut() {
-            g.clear();
-        }
-        for (agent, &p) in self.positions.iter().enumerate() {
-            if let Some(g) = self.groups[agent] {
-                *self.group_occupancy[g].entry(p).or_insert(0) += 1;
-            }
-        }
+        self.engine.step_round(rng);
     }
 
     /// The paper's `count(position)`: number of *other* agents at
@@ -292,9 +218,7 @@ impl<T: Topology> SyncArena<T> {
     ///
     /// Panics if the arena is unplaced or `agent` out of range.
     pub fn count(&self, agent: AgentId) -> u32 {
-        assert!(self.placed, "arena not placed yet");
-        let p = self.positions[agent];
-        self.occupancy[&p] - 1
+        self.engine.count(agent)
     }
 
     /// Number of *other* agents of `group` at `agent`'s node — the
@@ -304,30 +228,22 @@ impl<T: Topology> SyncArena<T> {
     ///
     /// Panics if the arena is unplaced, or `agent`/`group` out of range.
     pub fn count_in_group(&self, agent: AgentId, group: GroupId) -> u32 {
-        assert!(self.placed, "arena not placed yet");
-        assert!(group < self.num_groups, "group {group} unassigned");
-        let p = self.positions[agent];
-        let at_node = self.group_occupancy[group].get(&p).copied().unwrap_or(0);
-        if self.groups[agent] == Some(group) {
-            at_node - 1
-        } else {
-            at_node
-        }
+        self.engine.count_in_group(agent, group)
     }
 
     /// Total agents occupying `node` in the current round.
     pub fn occupancy(&self, node: NodeId) -> u32 {
-        self.occupancy.get(&node).copied().unwrap_or(0)
+        self.engine.occupancy(node)
     }
 
     /// Number of distinct occupied nodes.
     pub fn occupied_nodes(&self) -> usize {
-        self.occupancy.len()
+        self.engine.occupied_nodes()
     }
 
     /// Iterator over `(agent, position)`.
     pub fn agent_positions(&self) -> impl Iterator<Item = (AgentId, NodeId)> + '_ {
-        self.positions.iter().copied().enumerate()
+        self.engine.agent_positions()
     }
 }
 
@@ -487,11 +403,7 @@ mod tests {
         assert_eq!(p1, p2);
     }
 
-    fn encounter_total(
-        avoid: Option<f64>,
-        flee: bool,
-        seed: u64,
-    ) -> u64 {
+    fn encounter_total(avoid: Option<f64>, flee: bool, seed: u64) -> u64 {
         // moderate density (d = 0.125): the regime where both Section 6.1
         // behavioural variants have their documented sign. (At extreme
         // densities near 0.5 the flee effect can invert.)

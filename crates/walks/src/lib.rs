@@ -15,10 +15,15 @@
 //! * [`movement`] — movement models: the paper's pure random walk, plus
 //!   the extensions it sketches (lazy walks, biased/perturbed step
 //!   distributions from Section 6.1, the deterministic drift used by the
-//!   independent-sampling Algorithm 4, and stationary agents).
+//!   independent-sampling Algorithm 4, and stationary agents). Since the
+//!   engine rewrite this module lives in `antdensity_engine` and is
+//!   re-exported here under its historical path.
 //! * [`arena`] — [`arena::SyncArena`]: the synchronous multi-agent world
 //!   with per-round occupancy and `count(position)`, including property
-//!   groups for the Section 5.2 frequency-estimation application.
+//!   groups for the Section 5.2 frequency-estimation application. The
+//!   inner loop delegates to `antdensity_engine::Engine`'s dense
+//!   touched-list occupancy buffers while preserving the historical RNG
+//!   draw order bit-for-bit.
 //! * [`pairwise`] — two-agent and single-agent Monte-Carlo statistics
 //!   (re-collisions, equalizations, visits, range) matching the paper's
 //!   core lemmas; cross-validated against the exact distributions in
@@ -53,7 +58,7 @@
 
 pub mod arena;
 pub mod asynchronous;
-pub mod movement;
+pub use antdensity_engine::movement;
 pub mod pairwise;
 pub mod parallel;
 pub mod trajectory;

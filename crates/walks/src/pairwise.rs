@@ -19,12 +19,7 @@ use rand::RngCore;
 /// Simulates two independent walks from the same start (a collision, per
 /// Lemma 4's setup) for `m` further rounds; returns whether they re-collide
 /// exactly at lag `m`.
-pub fn recollision_at<T: Topology>(
-    topo: &T,
-    start: NodeId,
-    m: u64,
-    rng: &mut dyn RngCore,
-) -> bool {
+pub fn recollision_at<T: Topology>(topo: &T, start: NodeId, m: u64, rng: &mut dyn RngCore) -> bool {
     let mut a = start;
     let mut b = start;
     for _ in 0..m {
@@ -132,12 +127,7 @@ pub fn visit_count<T: Topology>(topo: &T, target: NodeId, t: u64, rng: &mut dyn 
 /// Number of distinct nodes a `t`-step walk from `start` touches
 /// (including the start) — the walk's *range*, the coverage statistic of
 /// Section 6.3.4.
-pub fn distinct_range<T: Topology>(
-    topo: &T,
-    start: NodeId,
-    t: u64,
-    rng: &mut dyn RngCore,
-) -> u64 {
+pub fn distinct_range<T: Topology>(topo: &T, start: NodeId, t: u64, rng: &mut dyn RngCore) -> u64 {
     let mut seen = std::collections::HashSet::new();
     let mut v = start;
     seen.insert(v);
@@ -218,8 +208,8 @@ mod tests {
             }
         }
         assert_eq!(hits[0], trials);
-        for m in 1..=t as usize {
-            let rate = hits[m] as f64 / trials as f64;
+        for (m, &hit_count) in hits.iter().enumerate().skip(1) {
+            let rate = hit_count as f64 / trials as f64;
             assert!(
                 (rate - 1.0 / 16.0).abs() < 0.01,
                 "lag {m} rate {rate} should be 1/16"
@@ -330,7 +320,10 @@ mod tests {
             .sum::<f64>()
             / trials as f64;
         assert!(mean < 0.6 * t as f64, "mean range {mean} vs t {t}");
-        assert!(mean > 0.1 * t as f64, "mean range {mean} suspiciously small");
+        assert!(
+            mean > 0.1 * t as f64,
+            "mean range {mean} suspiciously small"
+        );
     }
 
     #[test]

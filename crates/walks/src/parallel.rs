@@ -51,12 +51,12 @@ where
     let chunk = trials.div_ceil(threads as u64);
     let f_ref = &f;
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for w in 0..threads as u64 {
             let lo = (w * chunk).min(trials);
             let hi = ((w + 1) * chunk).min(trials);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut out = Vec::with_capacity((hi - lo) as usize);
                 for i in lo..hi {
                     let mut rng = seeds.rng(i);
@@ -68,8 +68,7 @@ where
         for h in handles {
             chunks.push(h.join().expect("worker thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     let mut out = Vec::with_capacity(trials as usize);
     for c in chunks {
         out.extend(c);

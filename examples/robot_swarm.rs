@@ -46,10 +46,7 @@ fn main() {
         .run_clustered(rounds, 7);
     println!("  round | spread (adaptive) | spread (plain walk)");
     for &r in &[0usize, 10, 30, 60, 100, 150] {
-        println!(
-            "  {r:>5} | {:>17.3} | {:>19.3}",
-            adaptive[r], control[r]
-        );
+        println!("  {r:>5} | {:>17.3} | {:>19.3}", adaptive[r], control[r]);
     }
     println!();
     println!("Robots that sense a high encounter rate (crowding) take double");

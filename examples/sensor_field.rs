@@ -65,7 +65,10 @@ fn summarize(field: &SensorField<Torus2d>, hops: u64, truth: f64) {
         mean(&token_errs),
         revisit_frac
     );
-    println!("  i.i.d.: mean |err| = {:.4}   (idealised baseline)", mean(&iid_errs));
+    println!(
+        "  i.i.d.: mean |err| = {:.4}   (idealised baseline)",
+        mean(&iid_errs)
+    );
     println!(
         "  repeat-visit penalty: {:.2}x — logarithmic, as Corollary 15 predicts",
         mean(&token_errs) / mean(&iid_errs).max(1e-12)

@@ -67,7 +67,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(two walks from one node; the paper's Lemma 4/20/22/23/25 quantity)\n");
     let mut table = Table::new(
         "recollision landscape",
-        &["m", "ring", "torus2d", "torus3d", "hypercube", "expander", "complete"],
+        &[
+            "m",
+            "ring",
+            "torus2d",
+            "torus3d",
+            "hypercube",
+            "expander",
+            "complete",
+        ],
     );
     for &m in &[1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
         let mut row = vec![m.to_string()];
@@ -76,7 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         table.row_owned(row);
     }
-    table.note("floor = 1/A = 0.000244 (stationary collision rate); slower decay = worse local mixing");
+    table.note(
+        "floor = 1/A = 0.000244 (stationary collision rate); slower decay = worse local mixing",
+    );
     println!("{table}");
 
     println!("What that means for an ant estimating density d = 0.05 (delta = 0.1),");
@@ -87,14 +97,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let big: Vec<(&str, TopologyClass)> = vec![
         ("ring (1-d)", TopologyClass::Ring { nodes: 1 << 40 }),
         ("torus 2-d", TopologyClass::Torus2d { nodes: 1 << 40 }),
-        ("torus 3-d", TopologyClass::TorusKd { dims: 3, nodes: 1 << 40 }),
+        (
+            "torus 3-d",
+            TopologyClass::TorusKd {
+                dims: 3,
+                nodes: 1 << 40,
+            },
+        ),
         ("hypercube", TopologyClass::Hypercube { dims: 40 }),
-        ("expander d=8", TopologyClass::Expander { lambda, nodes: 1 << 40 }),
+        (
+            "expander d=8",
+            TopologyClass::Expander {
+                lambda,
+                nodes: 1 << 40,
+            },
+        ),
         ("complete", TopologyClass::Complete { nodes: 1 << 40 }),
     ];
     let mut acc = Table::new(
         "implied accuracy (Lemma 19, unit constants)",
-        &["topology", "B(1024)", "epsilon(t=1024)", "rounds for eps=0.2"],
+        &[
+            "topology",
+            "B(1024)",
+            "epsilon(t=1024)",
+            "rounds for eps=0.2",
+        ],
     );
     for (name, class) in &big {
         let b = class.b_sum(1024);

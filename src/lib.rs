@@ -11,6 +11,7 @@
 //! |---|---|
 //! | [`stats`] | moments, quantiles, concentration bounds, regression |
 //! | [`graphs`] | tori, rings, hypercubes, expanders, CSR graphs, exact walk distributions |
+//! | [`engine`] | batched deterministic parallel simulation engine: dense occupancy, chunked stepping, scenario specs |
 //! | [`walks`] | the paper's synchronous multi-agent simulation model |
 //! | [`core`] | Algorithm 1 (random-walk density estimation), Algorithm 4, theory |
 //! | [`netsize`] | Section 5.1: network-size estimation via colliding walks |
@@ -20,6 +21,7 @@
 //! the full system inventory.
 
 pub use antdensity_core as core;
+pub use antdensity_engine as engine;
 pub use antdensity_graphs as graphs;
 pub use antdensity_netsize as netsize;
 pub use antdensity_stats as stats;

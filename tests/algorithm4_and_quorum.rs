@@ -60,7 +60,7 @@ fn algorithm4_beats_algorithm1_variance_at_matched_t() {
 #[test]
 fn quorum_sensing_correct_on_both_sides() {
     let torus = Torus2d::new(24); // A = 576
-    // above: d ~ 0.178 vs threshold 0.08
+                                  // above: d ~ 0.178 vs threshold 0.08
     let above = QuorumSensor::new(0.08, 0.05, 1 << 15).run(&torus, 104, 1);
     let wrong_above = above
         .iter()

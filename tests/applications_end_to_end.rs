@@ -80,7 +80,11 @@ fn netsize_works_across_graph_families() {
             0xF0 ^ g.num_edges(),
         );
         let rel = (boosted.estimate - 600.0).abs() / 600.0;
-        assert!(rel < 0.3, "{name}: estimate {} (rel {rel})", boosted.estimate);
+        assert!(
+            rel < 0.3,
+            "{name}: estimate {} (rel {rel})",
+            boosted.estimate
+        );
     }
 }
 

@@ -27,7 +27,10 @@ fn mc_return_curve<T: Topology + Sync>(topo: &T, start: u64, t: u64, trials: u64
             }
         }
     }
-    counts.into_iter().map(|c| c as f64 / trials as f64).collect()
+    counts
+        .into_iter()
+        .map(|c| c as f64 / trials as f64)
+        .collect()
 }
 
 #[test]

@@ -88,8 +88,7 @@ fn lemma12_first_collision_probability() {
     let seq = SeedSequence::new(0x112);
     for path_seed in 0..4u64 {
         let mut rng = seq.rng(path_seed);
-        let path =
-            Trajectory::record(&torus, torus.node(5, 5), t, &MovementModel::Pure, &mut rng);
+        let path = Trajectory::record(&torus, torus.node(5, 5), t, &MovementModel::Pure, &mut rng);
         let trials = 40_000u64;
         let hits = parallel::run_trials(trials, 4, seq.subsequence(path_seed), |_, rng| {
             pairwise::collision_count_against_path(&torus, path.nodes(), rng) >= 1

@@ -30,7 +30,10 @@ fn theorem1_band_covers_90_percent() {
         "q90 error {q90} should sit below the c1 = 1 Theorem 1 bound {bound_c1}"
     );
     // and the bound is not vacuous: the error is within a factor ~10
-    assert!(q90 > bound_c1 / 30.0, "bound should be in the right ballpark");
+    assert!(
+        q90 > bound_c1 / 30.0,
+        "bound should be in the right ballpark"
+    );
 }
 
 #[test]

@@ -1,0 +1,293 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the surface its benches use: [`Criterion::benchmark_group`], group
+//! configuration (`sample_size`, `warm_up_time`, `measurement_time`,
+//! `throughput`), `bench_function`/`bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: per sample, the closure is run in a timed batch
+//! sized to the warm-up estimate; the reported figure is the median
+//! per-iteration time over `sample_size` samples, printed as
+//! `name ... time: [median] (throughput)` — enough to compare kernels
+//! and spot regressions, without upstream's statistics machinery.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from const-folding
+/// benchmark inputs/outputs away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Times a closure over adaptive batches.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its median per-iteration
+    /// wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / iters.max(1);
+
+        // Sampling: split the measurement budget into `sample_size`
+        // batches of equal iteration count.
+        let budget_ns = self.measurement.as_nanos() as u64;
+        let batch = (budget_ns / self.sample_size as u64 / per_iter.max(1)).clamp(1, 1 << 20);
+        let mut samples: Vec<u64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as u64 / batch);
+        }
+        samples.sort_unstable();
+        self.last_median = Duration::from_nanos(samples[samples.len() / 2]);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares the units processed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        self.criterion.report(&full, b.last_median, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        self.benchmark_group(name.clone())
+            .bench_function("", f)
+            .finish();
+        self
+    }
+
+    fn report(&mut self, name: &str, median: Duration, throughput: Option<Throughput>) {
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if !median.is_zero() => {
+                format!(
+                    "  thrpt: {:.3} Melem/s",
+                    n as f64 / median.as_nanos() as f64 * 1e3
+                )
+            }
+            Some(Throughput::Bytes(n)) if !median.is_zero() => {
+                format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 / median.as_nanos() as f64 * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{name:<48} time: [{median:?}]{rate}");
+        self.results.push((name.to_string(), median));
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("sum", 4), |b| {
+            b.iter(|| (0..4u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut c = Criterion::default();
+        quick(&mut c);
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].0.contains("g/sum/4"));
+        assert!(c.results[0].1 > Duration::ZERO);
+    }
+}
