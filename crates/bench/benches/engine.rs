@@ -7,7 +7,7 @@
 //! the dense touched-list engine that `SyncArena` now delegates to, at
 //! 1024 and 4096 agents.
 
-use antdensity_engine::{Engine, Scenario, TopologySpec};
+use antdensity_engine::{Engine, EngineConfig, Scenario, TopologySpec, WorkerPool, STREAM_BLOCK};
 use antdensity_graphs::{CompleteGraph, Hypercube, NodeId, Ring, Topology, Torus2d};
 use antdensity_stats::rng::SeedSequence;
 use antdensity_walks::arena::SyncArena;
@@ -16,7 +16,23 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// `cargo bench -p antdensity-bench --bench engine -- --quick` trims the
+/// matrix and the measurement budget — the CI smoke configuration.
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Measurement budget, shrunk under `--quick`.
+fn measurement() -> Duration {
+    if quick() {
+        Duration::from_millis(250)
+    } else {
+        Duration::from_secs(2)
+    }
+}
 
 /// The pre-engine `SyncArena` hot loop: HashMap occupancy rebuilt from
 /// scratch every round. Baseline for `engine_vs_arena`.
@@ -64,7 +80,7 @@ fn bench_arena_round(c: &mut Criterion) {
     group
         .sample_size(20)
         .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+        .measurement_time(measurement());
     let agents = 1024usize;
     group.throughput(Throughput::Elements(agents as u64));
 
@@ -100,7 +116,7 @@ fn bench_arena_scaling(c: &mut Criterion) {
     group
         .sample_size(15)
         .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+        .measurement_time(measurement());
     for agents in [64usize, 512, 4096] {
         group.throughput(Throughput::Elements(agents as u64));
         group.bench_with_input(BenchmarkId::new("torus2d_256", agents), &agents, |b, &n| {
@@ -118,7 +134,7 @@ fn bench_count_queries(c: &mut Criterion) {
     group
         .sample_size(20)
         .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+        .measurement_time(measurement());
     let agents = 1024usize;
     group.throughput(Throughput::Elements(agents as u64));
     group.bench_function("count_all_agents", |b| {
@@ -145,7 +161,7 @@ fn bench_engine_vs_arena(c: &mut Criterion) {
     group
         .sample_size(15)
         .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+        .measurement_time(measurement());
     for agents in [1024usize, 4096] {
         group.throughput(Throughput::Elements(agents as u64));
         group.bench_with_input(
@@ -198,6 +214,53 @@ fn bench_engine_vs_arena(c: &mut Criterion) {
     group.finish();
 }
 
+/// The worker-pool scaling matrix: persistent-pool parallel stepping
+/// (`pool`) against the pre-pool per-round-spawn implementation
+/// (`spawn`), at 1/2/4/8 workers × 1k/16k/256k agents on a 512×512
+/// torus. Both paths produce bit-identical positions (property-tested in
+/// `crates/engine/tests/determinism.rs`); only the wall clock differs.
+/// `repro bench` emits the same matrix as machine-readable
+/// `BENCH_engine.json`.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(measurement());
+    let agent_grid: &[usize] = if quick() {
+        &[1024, 16_384]
+    } else {
+        &[1024, 16_384, 262_144]
+    };
+    for &agents in agent_grid {
+        group.throughput(Throughput::Elements(agents as u64));
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_function(BenchmarkId::new(format!("pool_{workers}w"), agents), |b| {
+                let mut engine = Engine::new(Torus2d::new(512), agents)
+                    .with_seed_sequence(SeedSequence::new(7))
+                    .with_threads(workers)
+                    .with_worker_pool(Arc::new(WorkerPool::new(workers)))
+                    .with_config(EngineConfig {
+                        schedule_chunk: STREAM_BLOCK,
+                        min_chunks_per_worker: 1,
+                    });
+                let mut rng = SmallRng::seed_from_u64(2);
+                engine.place_uniform(&mut rng);
+                b.iter(|| engine.step_round_parallel());
+            });
+            group.bench_function(BenchmarkId::new(format!("spawn_{workers}w"), agents), |b| {
+                let mut engine = Engine::new(Torus2d::new(512), agents)
+                    .with_seed_sequence(SeedSequence::new(7))
+                    .with_threads(workers);
+                let mut rng = SmallRng::seed_from_u64(2);
+                engine.place_uniform(&mut rng);
+                b.iter(|| engine.step_round_parallel_spawn());
+            });
+        }
+    }
+    group.finish();
+}
+
 /// End-to-end scenario throughput: a whole Algorithm 1 run through the
 /// spec layer (placement + rounds + estimates), in agent-rounds/s.
 fn bench_scenario_run(c: &mut Criterion) {
@@ -205,7 +268,7 @@ fn bench_scenario_run(c: &mut Criterion) {
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+        .measurement_time(measurement());
     let agents = 512usize;
     let rounds = 64u64;
     group.throughput(Throughput::Elements(agents as u64 * rounds));
@@ -226,6 +289,7 @@ criterion_group!(
     bench_arena_scaling,
     bench_count_queries,
     bench_engine_vs_arena,
+    bench_parallel_scaling,
     bench_scenario_run
 );
 criterion_main!(benches);

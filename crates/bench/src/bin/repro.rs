@@ -4,20 +4,22 @@
 //! repro list                 # show all experiments
 //! repro all [--quick]       # run everything
 //! repro e3 e8 [--full]      # run selected experiments
+//! repro bench               # engine throughput -> BENCH_engine.json
 //! options:
 //!   --quick      small grids (default)
 //!   --full       the EXPERIMENTS.md grids
 //!   --seed N     master seed (default 20160725 — PODC'16 day one)
-//!   --out DIR    CSV output directory (default results/)
+//!   --out DIR    CSV/JSON output directory (default results/)
 //! ```
 
 use antdensity_bench::experiments;
+use antdensity_bench::perf;
 use antdensity_bench::report::Effort;
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: repro <list|all|e1..e15...> [--quick|--full] [--seed N] [--out DIR]");
+    eprintln!("usage: repro <list|bench|all|e1..e17...> [--quick|--full] [--seed N] [--out DIR]");
     std::process::exit(2);
 }
 
@@ -31,11 +33,13 @@ fn main() {
     let mut out = PathBuf::from("results");
     let mut selected: Vec<String> = Vec::new();
     let mut list_only = false;
+    let mut bench_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => effort = Effort::Quick,
             "--full" => effort = Effort::Full,
+            "bench" => bench_only = true,
             "--seed" => {
                 i += 1;
                 seed = args
@@ -67,6 +71,27 @@ fn main() {
         for def in experiments::all() {
             println!("  {:>4}  {}", def.id, def.summary);
         }
+        return;
+    }
+    if bench_only {
+        if !selected.is_empty() {
+            eprintln!(
+                "`bench` cannot be combined with experiment ids (got {})",
+                selected.join(", ")
+            );
+            std::process::exit(2);
+        }
+        let t0 = Instant::now();
+        let report = perf::run_engine_bench(effort);
+        print!("{}", report.render());
+        match report.write_json(&out) {
+            Ok(path) => println!("  json: {}", path.display()),
+            Err(e) => {
+                eprintln!("  json write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!("  [bench finished in {:.1}s]", t0.elapsed().as_secs_f64());
         return;
     }
     if selected.is_empty() {

@@ -28,11 +28,17 @@
 //! | E17 | extension (§6.1/§6.3.3): avoidance/flee behaviours; single-walk sizing |
 //!
 //! Run everything with `cargo run -p antdensity-bench --bin repro --release -- all`.
+//!
+//! `repro bench` times the engine's stepping paths and writes the
+//! machine-readable `BENCH_engine.json` ([`perf`]), the perf trajectory
+//! CI tracks from PR to PR.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
+pub use perf::{EngineBenchReport, EngineBenchResult};
 pub use report::{Effort, ExperimentReport};

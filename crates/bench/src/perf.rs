@@ -1,0 +1,400 @@
+//! Machine-readable engine throughput benchmarks: `BENCH_engine.json`.
+//!
+//! The criterion benches (`benches/engine.rs`) are for humans at a
+//! terminal; this module is the tracked perf trajectory. `repro bench`
+//! times the engine's stepping paths — the monomorphized sequential
+//! kernel, the worker-pool parallel path across worker counts, and the
+//! per-round-spawn baseline the pool replaced — and writes one JSON file
+//! that CI uploads as an artifact, so every PR's throughput is
+//! comparable to the last.
+//!
+//! The JSON schema (documented in README.md):
+//!
+//! ```json
+//! {
+//!   "bench": "engine",
+//!   "mode": "quick",
+//!   "topology": "torus2d_512",
+//!   "samples": 5,
+//!   "results": [
+//!     {
+//!       "group": "parallel_scaling",
+//!       "impl": "pool",
+//!       "agents": 16384,
+//!       "workers": 4,
+//!       "effective_workers": 4,
+//!       "ns_per_agent_step": 14.21,
+//!       "msteps_per_sec": 70.37
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! All figures are medians over `samples` timed batches. `workers` is
+//! the *requested* worker count; `effective_workers` is what the
+//! implementation actually ran after its own caps (the spawn baseline
+//! caps at the host's core count, the pool path at the schedule-chunk
+//! supply) — compare rows with matching effective parallelism. Timings
+//! move with the host, but the `pool` / `spawn_baseline` ratio on one
+//! host is the number the worker-pool work is judged by.
+
+use crate::report::Effort;
+use antdensity_engine::{Engine, EngineConfig, WorkerPool, STREAM_BLOCK};
+use antdensity_graphs::Torus2d;
+use antdensity_stats::rng::SeedSequence;
+use antdensity_stats::table::Table;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One timed configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBenchResult {
+    /// Benchmark family (`sequential` or `parallel_scaling`).
+    pub group: &'static str,
+    /// Implementation under test (`mono`, `pool`, `spawn_baseline`).
+    pub implementation: &'static str,
+    /// Population size.
+    pub agents: usize,
+    /// Requested worker count (1 for the sequential group).
+    pub workers: usize,
+    /// Worker count the implementation actually used after its caps.
+    pub effective_workers: usize,
+    /// Median wall-clock per agent-step, nanoseconds.
+    pub ns_per_agent_step: f64,
+    /// Throughput in millions of agent-steps per second.
+    pub msteps_per_sec: f64,
+}
+
+/// The whole `BENCH_engine.json` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBenchReport {
+    /// `quick` or `full`.
+    pub mode: &'static str,
+    /// Median samples per configuration.
+    pub samples: usize,
+    /// All timed configurations.
+    pub results: Vec<EngineBenchResult>,
+}
+
+/// Times `rounds` invocations of `round`, `samples` times, and returns
+/// the median nanoseconds per invocation.
+fn median_ns_per_round<F: FnMut()>(mut round: F, rounds: u64, samples: usize) -> f64 {
+    // warm-up: one batch
+    for _ in 0..rounds {
+        round();
+    }
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..rounds {
+                round();
+            }
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as f64 / rounds as f64
+}
+
+/// Rounds per timed batch: aim for a fixed number of agent-steps so
+/// every configuration gets comparable measurement mass.
+fn rounds_for(agents: usize, effort: Effort) -> u64 {
+    let target_steps = effort.trials(2_000_000, 8_000_000);
+    (target_steps / agents as u64).clamp(4, 4096)
+}
+
+const SIDE: u64 = 512;
+const SAMPLES: usize = 5;
+
+fn result(
+    group: &'static str,
+    implementation: &'static str,
+    agents: usize,
+    workers: usize,
+    effective_workers: usize,
+    ns_per_round: f64,
+) -> EngineBenchResult {
+    let ns_per_agent_step = ns_per_round / agents as f64;
+    EngineBenchResult {
+        group,
+        implementation,
+        agents,
+        workers,
+        effective_workers,
+        ns_per_agent_step,
+        msteps_per_sec: 1e3 / ns_per_agent_step,
+    }
+}
+
+/// Runs the engine benchmark suite. `Quick` times 1k/16k agents (the CI
+/// smoke configuration); `Full` adds 256k agents and more steps per
+/// sample.
+pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
+    let agent_grid: &[usize] = match effort {
+        Effort::Quick => &[1024, 16_384],
+        Effort::Full => &[1024, 16_384, 262_144],
+    };
+    let mut results = Vec::new();
+
+    for &agents in agent_grid {
+        let rounds = rounds_for(agents, effort);
+
+        // Sequential legacy-order path (monomorphized + batched kernel).
+        let mut engine = Engine::new(Torus2d::new(SIDE), agents);
+        let mut rng = SmallRng::seed_from_u64(1);
+        engine.place_uniform(&mut rng);
+        let ns = median_ns_per_round(|| engine.step_round(&mut rng), rounds, SAMPLES);
+        results.push(result("sequential", "mono", agents, 1, 1, ns));
+
+        for workers in [1usize, 2, 4, 8] {
+            // Persistent-pool path. An explicit pool pins the worker
+            // cap regardless of the host's core count, and
+            // STREAM_BLOCK-sized chunks with min_chunks_per_worker: 1
+            // keep the chunk supply from collapsing the worker count at
+            // small populations. Residual caps still apply (e.g. 1024
+            // agents = 4 chunks can feed at most 4 workers), so the
+            // worker count that actually ran is recorded alongside the
+            // requested one.
+            let mut engine = Engine::new(Torus2d::new(SIDE), agents)
+                .with_seed_sequence(SeedSequence::new(7))
+                .with_threads(workers)
+                .with_worker_pool(Arc::new(WorkerPool::new(workers)))
+                .with_config(EngineConfig {
+                    schedule_chunk: STREAM_BLOCK,
+                    min_chunks_per_worker: 1,
+                });
+            let mut rng = SmallRng::seed_from_u64(2);
+            engine.place_uniform(&mut rng);
+            let effective = engine.parallel_workers();
+            let ns = median_ns_per_round(|| engine.step_round_parallel(), rounds, SAMPLES);
+            results.push(result(
+                "parallel_scaling",
+                "pool",
+                agents,
+                workers,
+                effective,
+                ns,
+            ));
+
+            // The pre-pool implementation: per-round thread::scope
+            // spawns, dyn-erased draw chain, per-round parallelism
+            // probe — verbatim what shipped before the worker pool
+            // (including its own caps: it never exceeds the host's core
+            // count, hence the recorded effective worker count).
+            let mut engine = Engine::new(Torus2d::new(SIDE), agents)
+                .with_seed_sequence(SeedSequence::new(7))
+                .with_threads(workers);
+            let mut rng = SmallRng::seed_from_u64(2);
+            engine.place_uniform(&mut rng);
+            let effective = engine.spawn_workers();
+            let ns = median_ns_per_round(|| engine.step_round_parallel_spawn(), rounds, SAMPLES);
+            results.push(result(
+                "parallel_scaling",
+                "spawn_baseline",
+                agents,
+                workers,
+                effective,
+                ns,
+            ));
+        }
+    }
+
+    EngineBenchReport {
+        mode: match effort {
+            Effort::Quick => "quick",
+            Effort::Full => "full",
+        },
+        samples: SAMPLES,
+        results,
+    }
+}
+
+impl EngineBenchReport {
+    /// Serializes to the documented JSON schema (no external deps — the
+    /// workspace is offline, so the writer is hand-rolled).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"engine\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!("  \"topology\": \"torus2d_{SIDE}\",\n"));
+        out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": \"{}\", \"impl\": \"{}\", \"agents\": {}, \
+                 \"workers\": {}, \"effective_workers\": {}, \
+                 \"ns_per_agent_step\": {:.3}, \
+                 \"msteps_per_sec\": {:.3}}}{}\n",
+                r.group,
+                r.implementation,
+                r.agents,
+                r.workers,
+                r.effective_workers,
+                r.ns_per_agent_step,
+                r.msteps_per_sec,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `dir/BENCH_engine.json` and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("BENCH_engine.json");
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Human-readable summary table plus the headline pool-vs-spawn
+    /// speedups.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "engine throughput",
+            &[
+                "group", "impl", "agents", "workers", "eff", "ns/step", "Msteps/s",
+            ],
+        );
+        for r in &self.results {
+            t.row_owned(vec![
+                r.group.to_string(),
+                r.implementation.to_string(),
+                r.agents.to_string(),
+                r.workers.to_string(),
+                r.effective_workers.to_string(),
+                format!("{:.2}", r.ns_per_agent_step),
+                format!("{:.2}", r.msteps_per_sec),
+            ]);
+        }
+        let mut out = t.render();
+        for s in self.pool_speedups() {
+            out.push_str(&format!(
+                "  => pool vs per-round-spawn at {} agents, {} workers requested \
+                 (pool ran {}, spawn ran {}): {:.2}x\n",
+                s.agents, s.workers, s.pool_effective, s.spawn_effective, s.ratio
+            ));
+        }
+        out
+    }
+
+    /// Pool-over-spawn throughput ratios, paired by *requested*
+    /// configuration (same agents, same `with_threads` value): the
+    /// end-to-end answer to "what changed for this config when the pool
+    /// replaced per-round spawns" — kernel gains included. The two
+    /// implementations cap workers differently, so each pair carries
+    /// both effective counts; compare like-for-like parallelism by
+    /// matching those, not the requested figure.
+    pub fn pool_speedups(&self) -> Vec<PoolSpeedup> {
+        let mut out = Vec::new();
+        for pool in self.results.iter().filter(|r| r.implementation == "pool") {
+            if let Some(spawn) = self.results.iter().find(|r| {
+                r.implementation == "spawn_baseline"
+                    && r.agents == pool.agents
+                    && r.workers == pool.workers
+            }) {
+                out.push(PoolSpeedup {
+                    agents: pool.agents,
+                    workers: pool.workers,
+                    pool_effective: pool.effective_workers,
+                    spawn_effective: spawn.effective_workers,
+                    ratio: spawn.ns_per_agent_step / pool.ns_per_agent_step,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One pool-vs-spawn comparison at a requested configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolSpeedup {
+    /// Population size.
+    pub agents: usize,
+    /// Requested worker count (identical for both implementations).
+    pub workers: usize,
+    /// Workers the pool path actually ran.
+    pub pool_effective: usize,
+    /// Workers the spawn baseline actually ran (capped at core count).
+    pub spawn_effective: usize,
+    /// Spawn-baseline time over pool time (higher = pool faster).
+    pub ratio: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> EngineBenchReport {
+        EngineBenchReport {
+            mode: "quick",
+            samples: 5,
+            results: vec![
+                EngineBenchResult {
+                    group: "parallel_scaling",
+                    implementation: "pool",
+                    agents: 1024,
+                    workers: 2,
+                    effective_workers: 2,
+                    ns_per_agent_step: 10.0,
+                    msteps_per_sec: 100.0,
+                },
+                EngineBenchResult {
+                    group: "parallel_scaling",
+                    implementation: "spawn_baseline",
+                    agents: 1024,
+                    workers: 2,
+                    effective_workers: 1,
+                    ns_per_agent_step: 25.0,
+                    msteps_per_sec: 40.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let json = tiny_report().to_json();
+        assert!(json.contains("\"bench\": \"engine\""));
+        assert!(json.contains("\"impl\": \"spawn_baseline\""));
+        assert!(json.contains("\"ns_per_agent_step\": 10.000"));
+        // no trailing comma before the closing bracket
+        assert!(!json.contains(",\n  ]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn speedup_pairs_pool_with_matching_spawn() {
+        let speedups = tiny_report().pool_speedups();
+        assert_eq!(speedups.len(), 1);
+        let s = speedups[0];
+        assert_eq!((s.agents, s.workers), (1024, 2));
+        assert_eq!((s.pool_effective, s.spawn_effective), (2, 1));
+        assert!((s.ratio - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_headline_shows_effective_counts() {
+        let text = tiny_report().render();
+        assert!(text.contains("pool vs per-round-spawn"));
+        assert!(text.contains("pool ran 2, spawn ran 1"));
+        assert!(text.contains("2.50x"));
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join(format!("antdensity_perf_{}", std::process::id()));
+        let path = tiny_report().write_json(&dir).unwrap();
+        assert!(path.ends_with("BENCH_engine.json"));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"results\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,133 @@
+//! Engine tuning knobs, split from the determinism contract.
+//!
+//! Two sizes govern parallel stepping and they are deliberately
+//! different things:
+//!
+//! * [`STREAM_BLOCK`] — the **determinism granularity**. Agents are
+//!   partitioned into fixed 256-agent blocks; block `b` of round `r`
+//!   always draws from the stream `seeds.subsequence(r).rng(b)`. This is
+//!   part of the engine's reproducibility contract (seeds recorded by
+//!   older runs replay bit-for-bit) and is therefore a constant, not a
+//!   knob.
+//! * [`EngineConfig::schedule_chunk`] — the **scheduling granularity**:
+//!   how many agents one unit of worker-pool work covers. Any multiple
+//!   of [`STREAM_BLOCK`] is valid, and because RNG streams attach to
+//!   stream blocks (never to schedule chunks, workers, or threads),
+//!   tuning it changes wall-clock only — results are bit-identical for
+//!   every setting, which the engine's property tests assert.
+
+/// Agents per RNG stream block: the fixed determinism granularity of
+/// [`Engine::step_round_parallel`](crate::Engine::step_round_parallel).
+/// Block `b` of round `r` draws from `seeds.subsequence(r).rng(b)`
+/// regardless of chunking, worker count, or scheduling order.
+pub const STREAM_BLOCK: usize = 256;
+
+/// Wall-clock tuning knobs for parallel stepping. **No setting here ever
+/// changes simulation results** — the deterministic chunk→stream mapping
+/// is anchored to [`STREAM_BLOCK`]-sized blocks, not to these sizes.
+///
+/// # Defaults
+///
+/// | knob | default | meaning |
+/// |---|---|---|
+/// | `schedule_chunk` | 256 (= [`STREAM_BLOCK`]) | agents per unit of pool work |
+/// | `min_chunks_per_worker` | 4 | below this, the chunked loop runs inline |
+///
+/// The defaults reproduce the pre-pool engine's worker policy exactly
+/// (one chunk per stream block, at least 4 chunks per worker, so
+/// parallel dispatch engages from ~2048 agents at 2 workers); larger
+/// `schedule_chunk` values trade scheduling granularity for fewer
+/// queue operations on very large populations.
+///
+/// # Example
+///
+/// ```
+/// use antdensity_engine::{EngineConfig, STREAM_BLOCK};
+///
+/// let cfg = EngineConfig {
+///     schedule_chunk: 8 * STREAM_BLOCK,
+///     ..EngineConfig::default()
+/// };
+/// cfg.validate(); // panics on bad values
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Agents per unit of worker-pool work. Must be a positive multiple
+    /// of [`STREAM_BLOCK`]. Larger chunks mean fewer queue operations
+    /// and better per-task locality; smaller chunks balance better.
+    pub schedule_chunk: usize,
+    /// Minimum schedule chunks each worker must receive before parallel
+    /// dispatch engages; below the threshold the chunked loop runs
+    /// inline on the calling thread (same results, no hand-off cost).
+    pub min_chunks_per_worker: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            schedule_chunk: STREAM_BLOCK,
+            min_chunks_per_worker: 4,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Checks the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule_chunk` is zero or not a multiple of
+    /// [`STREAM_BLOCK`], or if `min_chunks_per_worker` is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.schedule_chunk > 0 && self.schedule_chunk.is_multiple_of(STREAM_BLOCK),
+            "schedule_chunk must be a positive multiple of {STREAM_BLOCK}, got {}",
+            self.schedule_chunk
+        );
+        assert!(
+            self.min_chunks_per_worker > 0,
+            "min_chunks_per_worker must be at least 1"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        EngineConfig::default().validate();
+        assert_eq!(EngineConfig::default().schedule_chunk % STREAM_BLOCK, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn misaligned_chunk_rejected() {
+        EngineConfig {
+            schedule_chunk: STREAM_BLOCK + 1,
+            ..EngineConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn zero_chunk_rejected() {
+        EngineConfig {
+            schedule_chunk: 0,
+            ..EngineConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_min_chunks_rejected() {
+        EngineConfig {
+            min_chunks_per_worker: 0,
+            ..EngineConfig::default()
+        }
+        .validate();
+    }
+}

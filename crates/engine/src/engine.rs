@@ -1,5 +1,6 @@
 //! The batched simulation engine: struct-of-arrays agent state, dense
-//! occupancy, and deterministic chunked parallel stepping.
+//! occupancy, and deterministic parallel stepping on a persistent
+//! worker pool.
 //!
 //! [`Engine`] holds the whole population as flat arrays (positions,
 //! movement models, group tags) plus [`DenseOccupancy`]/[`GroupOccupancy`]
@@ -13,19 +14,29 @@
 //!   legacy `SyncArena` order (the arena delegates here, so pre-engine
 //!   seeds reproduce bit-for-bit);
 //! * [`Engine::step_round_parallel`] — agents are partitioned into fixed
-//!   [`PARALLEL_CHUNK`]-sized chunks and each chunk draws from an RNG
-//!   derived from `(seed sequence, round, chunk index)`. The stream an
-//!   agent consumes depends only on its chunk, never on the thread that
-//!   happened to run it, so results are **bit-identical for any thread
-//!   count** — the same contract as
-//!   `antdensity_walks::parallel::run_trials`.
+//!   [`STREAM_BLOCK`]-sized blocks and block `b` of round `r` draws from
+//!   an RNG derived from `(seed sequence, round, block index)`. The
+//!   stream an agent consumes depends only on its block, never on the
+//!   worker that happened to run it, so results are **bit-identical for
+//!   any worker count, chunk size, or scheduling order** — the same
+//!   contract as `antdensity_walks::parallel::run_trials`. Work is
+//!   dispatched in [`EngineConfig::schedule_chunk`]-sized units onto a
+//!   persistent [`WorkerPool`] (no per-round thread spawns).
+//!
+//! Both modes route pure-walk populations on regular topologies through
+//! the batched monomorphized kernel
+//! ([`crate::step::step_slice_pure_batched`]), which draws the identical
+//! RNG stream — the fast path is invisible in results.
 
+use crate::config::{EngineConfig, STREAM_BLOCK};
 use crate::movement::MovementModel;
 use crate::occupancy::{DenseOccupancy, GroupOccupancy, MAX_NODES};
-use crate::step::{step_slice, Interaction};
+use crate::pool::WorkerPool;
+use crate::step::{step_slice, step_slice_pure_batched, Interaction};
 use antdensity_graphs::{NodeId, Topology};
 use antdensity_stats::rng::SeedSequence;
 use rand::RngCore;
+use std::sync::Arc;
 
 /// Identifier of an agent within an engine: `0 .. num_agents`.
 pub type AgentId = usize;
@@ -33,10 +44,11 @@ pub type AgentId = usize;
 /// Identifier of a property group.
 pub type GroupId = usize;
 
-/// Agents per parallel chunk. Fixed (never derived from the thread count)
-/// so that chunk RNG streams — and therefore results — are identical no
-/// matter how many workers execute them.
-pub const PARALLEL_CHUNK: usize = 256;
+/// Pre-worker-pool name for the parallel determinism granularity, kept
+/// for callers of the original API. The constant it aliases is
+/// [`STREAM_BLOCK`]; scheduling is configured separately via
+/// [`EngineConfig::schedule_chunk`].
+pub const PARALLEL_CHUNK: usize = STREAM_BLOCK;
 
 /// The synchronous multi-agent world of Section 2, batched.
 ///
@@ -71,6 +83,14 @@ pub struct Engine<T: Topology> {
     placed: bool,
     seeds: SeedSequence,
     threads: usize,
+    config: EngineConfig,
+    pool: Option<Arc<WorkerPool>>,
+    /// `regular_degree()` as a sampling span, cached at construction —
+    /// `Some` enables the batched pure-walk kernel.
+    regular_span: Option<u64>,
+    /// Number of agents whose movement model is not `Pure`; the batched
+    /// kernel engages only at zero.
+    impure_movers: usize,
 }
 
 impl<T: Topology> Engine<T> {
@@ -89,6 +109,10 @@ impl<T: Topology> Engine<T> {
             nodes <= MAX_NODES,
             "dense engine supports at most {MAX_NODES} nodes, got {nodes}"
         );
+        let regular_span = topo
+            .regular_degree()
+            .map(|d| d as u64)
+            .filter(|&d| d > 0 && d <= (1 << 32));
         Self {
             topo,
             positions: vec![0; num_agents],
@@ -101,6 +125,10 @@ impl<T: Topology> Engine<T> {
             placed: false,
             seeds: SeedSequence::default(),
             threads: 1,
+            config: EngineConfig::default(),
+            pool: None,
+            regular_span,
+            impure_movers: 0,
         }
     }
 
@@ -120,6 +148,33 @@ impl<T: Topology> Engine<T> {
         assert!(threads > 0, "need at least one worker thread");
         self.threads = threads;
         self
+    }
+
+    /// Replaces the scheduling configuration. Every setting changes wall
+    /// clock only; results are bit-identical for all valid configs (see
+    /// [`EngineConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid ([`EngineConfig::validate`]).
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        config.validate();
+        self.config = config;
+        self
+    }
+
+    /// Dispatches parallel rounds onto an explicit [`WorkerPool`] instead
+    /// of the process-global one — for embedders that isolate workloads,
+    /// and for tests that pin an exact worker count regardless of the
+    /// machine. Results are unaffected.
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The active scheduling configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// The topology agents live on.
@@ -146,7 +201,7 @@ impl<T: Topology> Engine<T> {
 
     /// Places every agent at an independent uniformly random node (the
     /// paper's initial condition) and resets the round counter.
-    pub fn place_uniform(&mut self, rng: &mut dyn RngCore) {
+    pub fn place_uniform<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
         for p in self.positions.iter_mut() {
             *p = self.topo.uniform_node(rng) as u32;
         }
@@ -185,11 +240,23 @@ impl<T: Topology> Engine<T> {
     ///
     /// Panics if `agent` is out of range.
     pub fn set_movement(&mut self, agent: AgentId, model: MovementModel) {
+        let was_pure = matches!(self.movement[agent], MovementModel::Pure);
+        let is_pure = matches!(model, MovementModel::Pure);
+        match (was_pure, is_pure) {
+            (true, false) => self.impure_movers += 1,
+            (false, true) => self.impure_movers -= 1,
+            _ => {}
+        }
         self.movement[agent] = model;
     }
 
     /// Sets every agent's movement model.
     pub fn set_movement_all(&mut self, model: &MovementModel) {
+        self.impure_movers = if matches!(model, MovementModel::Pure) {
+            0
+        } else {
+            self.movement.len()
+        };
         for m in self.movement.iter_mut() {
             *m = model.clone();
         }
@@ -263,23 +330,39 @@ impl<T: Topology> Engine<T> {
         &self.interaction
     }
 
+    /// The batched-kernel span, when the fast path applies this round:
+    /// the paper's exact model (all agents `Pure`, no interaction
+    /// variants) on a regular topology.
+    fn pure_batch_span(&self) -> Option<u64> {
+        if self.impure_movers == 0 && self.interaction.is_pure() {
+            self.regular_span
+        } else {
+            None
+        }
+    }
+
     /// Executes one synchronous round drawing from `rng` in the legacy
     /// `SyncArena` order (sequential over agents), then refreshes the
-    /// occupancy index.
+    /// occupancy index. Generic over the RNG: concrete callers get the
+    /// fully monomorphized kernel, `&mut dyn RngCore` callers the same
+    /// draws through dynamic dispatch.
     ///
     /// # Panics
     ///
     /// Panics if the engine is unplaced.
-    pub fn step_round(&mut self, rng: &mut dyn RngCore) {
+    pub fn step_round<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
         assert!(self.placed, "place agents before stepping");
-        step_slice(
-            &self.topo,
-            &mut self.positions,
-            &self.movement,
-            &self.occ,
-            &self.interaction,
-            rng,
-        );
+        match self.pure_batch_span() {
+            Some(span) => step_slice_pure_batched(&self.topo, span, &mut self.positions, rng),
+            None => step_slice(
+                &self.topo,
+                &mut self.positions,
+                &self.movement,
+                &self.occ,
+                &self.interaction,
+                rng,
+            ),
+        }
         self.round += 1;
         self.rebuild_occupancy();
     }
@@ -335,28 +418,112 @@ impl<T: Topology> Engine<T> {
     }
 }
 
-/// One chunk's unit of parallel work: `(chunk index, positions window,
-/// movement window)`. The chunk index alone determines the RNG stream.
+/// Steps one contiguous window of agents, one RNG stream per
+/// [`STREAM_BLOCK`]-sized block: block `first_block + j` draws from
+/// `round_seq.rng(first_block + j)`. This is the unit both the inline
+/// loop and every pool task execute — scheduling can regroup windows
+/// freely without touching the draw streams.
+#[allow(clippy::too_many_arguments)]
+fn step_window<T: Topology>(
+    topo: &T,
+    positions: &mut [u32],
+    movement: &[MovementModel],
+    occ: &DenseOccupancy,
+    interaction: &Interaction,
+    span: Option<u64>,
+    first_block: usize,
+    round_seq: SeedSequence,
+) {
+    for (j, (block, models)) in positions
+        .chunks_mut(STREAM_BLOCK)
+        .zip(movement.chunks(STREAM_BLOCK))
+        .enumerate()
+    {
+        let mut rng = round_seq.rng((first_block + j) as u64);
+        match span {
+            Some(s) => step_slice_pure_batched(topo, s, block, &mut rng),
+            None => step_slice(topo, block, models, occ, interaction, &mut rng),
+        }
+    }
+}
+
+/// One schedule chunk's unit of pool work: `(first stream-block index,
+/// positions window, movement window)`.
 type ChunkWork<'a> = (usize, &'a mut [u32], &'a [MovementModel]);
 
-/// Minimum chunks each spawned worker must have to justify its spawn
-/// cost; below this the chunked loop runs inline. Affects wall clock
-/// only — results are identical either way.
-const MIN_CHUNKS_PER_WORKER: usize = 4;
+/// `MIN_CHUNKS_PER_WORKER` of the pre-config engine, used by the
+/// [`Engine::step_round_parallel_spawn`] baseline.
+const LEGACY_MIN_CHUNKS_PER_WORKER: usize = 4;
+
+/// The machine's available parallelism, probed once. The OS query is a
+/// syscall costing ~10µs — the pre-pool engine paid it every round
+/// (kept that way in [`Engine::step_round_parallel_spawn`], which
+/// replicates the old implementation verbatim as a baseline).
+fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 impl<T: Topology + Sync> Engine<T> {
-    /// Executes one synchronous round with deterministic chunked
-    /// parallelism: agents are split into fixed [`PARALLEL_CHUNK`]-sized
-    /// chunks, chunk `c` of round `r` draws from the stream
-    /// `seeds.subsequence(r).rng(c)`, and chunks are distributed
-    /// round-robin over workers. Output is a pure function of
-    /// `(state, seed sequence, round)` — the thread count is invisible.
+    /// Worker-task count the next [`Self::step_round_parallel`] call
+    /// will use: the configured thread count, capped so each worker
+    /// gets at least [`EngineConfig::min_chunks_per_worker`] schedule
+    /// chunks and no more workers than the executing pool has threads
+    /// (the machine's available parallelism when dispatching to the
+    /// global pool). `1` means the chunked loop runs inline. Wall
+    /// clock only — results never depend on it; benches record it so
+    /// measurements are labeled with the parallelism that actually ran.
+    pub fn parallel_workers(&self) -> usize {
+        let num_chunks = self.positions.len().div_ceil(self.config.schedule_chunk);
+        self.effective_workers(num_chunks)
+    }
+
+    /// Worker count the [`Self::step_round_parallel_spawn`] baseline
+    /// will use — the pre-pool policy, frozen with the baseline: capped
+    /// by [`STREAM_BLOCK`] chunk count over the legacy
+    /// chunks-per-worker minimum and by the machine's core count
+    /// (probed fresh, exactly as the baseline itself does each round —
+    /// the cached probe is the pool path's optimization).
+    pub fn spawn_workers(&self) -> usize {
+        let num_chunks = self.positions.len().div_ceil(STREAM_BLOCK);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.threads
+            .min(num_chunks / LEGACY_MIN_CHUNKS_PER_WORKER)
+            .min(cores)
+            .max(1)
+    }
+
+    fn effective_workers(&self, num_chunks: usize) -> usize {
+        let pool_cap = match &self.pool {
+            Some(p) => p.threads(),
+            None => available_cores(),
+        };
+        self.threads
+            .min(num_chunks / self.config.min_chunks_per_worker)
+            .min(pool_cap)
+            .max(1)
+    }
+
+    /// Executes one synchronous round with deterministic parallelism:
+    /// agents are split into fixed [`STREAM_BLOCK`]-sized blocks, block
+    /// `b` of round `r` draws from the stream
+    /// `seeds.subsequence(r).rng(b)`, and blocks are grouped into
+    /// [`EngineConfig::schedule_chunk`]-sized work units distributed
+    /// round-robin over tasks on a persistent [`WorkerPool`] (the
+    /// process-global pool unless [`Self::with_worker_pool`] installed
+    /// one). Output is a pure function of `(state, seed sequence,
+    /// round)` — worker count, pool, and chunking are invisible.
     ///
-    /// The effective worker count is capped by the machine's available
-    /// parallelism and by [`MIN_CHUNKS_PER_WORKER`] (threads are spawned
-    /// per round, so small populations run the chunked loop inline
-    /// instead of paying spawn overhead); both caps change wall clock
-    /// only, never results.
+    /// Small populations (fewer than
+    /// `min_chunks_per_worker × schedule_chunk` agents per worker) run
+    /// the chunked loop inline instead of paying the dispatch hand-off;
+    /// the cap changes wall clock only, never results.
     ///
     /// # Panics
     ///
@@ -364,31 +531,91 @@ impl<T: Topology + Sync> Engine<T> {
     pub fn step_round_parallel(&mut self) {
         assert!(self.placed, "place agents before stepping");
         let round_seq = self.seeds.subsequence(self.round);
-        let num_chunks = self.positions.len().div_ceil(PARALLEL_CHUNK);
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let workers = self
-            .threads
-            .min(num_chunks / MIN_CHUNKS_PER_WORKER)
-            .min(cores)
-            .max(1);
+        let sched = self.config.schedule_chunk;
+        let num_chunks = self.positions.len().div_ceil(sched);
+        let workers = self.effective_workers(num_chunks);
+        let span = self.pure_batch_span();
+        if workers == 1 {
+            step_window(
+                &self.topo,
+                &mut self.positions,
+                &self.movement,
+                &self.occ,
+                &self.interaction,
+                span,
+                0,
+                round_seq,
+            );
+        } else {
+            let topo = &self.topo;
+            let occ = &self.occ;
+            let interaction = self.interaction;
+            let blocks_per_chunk = sched / STREAM_BLOCK;
+            let mut per_worker: Vec<Vec<ChunkWork<'_>>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (ci, (chunk, models)) in self
+                .positions
+                .chunks_mut(sched)
+                .zip(self.movement.chunks(sched))
+                .enumerate()
+            {
+                per_worker[ci % workers].push((ci * blocks_per_chunk, chunk, models));
+            }
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = per_worker
+                .into_iter()
+                .map(|work| {
+                    Box::new(move || {
+                        for (first_block, chunk, models) in work {
+                            step_window(
+                                topo,
+                                chunk,
+                                models,
+                                occ,
+                                &interaction,
+                                span,
+                                first_block,
+                                round_seq,
+                            );
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            match &self.pool {
+                Some(pool) => pool.run(tasks),
+                None => WorkerPool::global().run(tasks),
+            }
+        }
+        self.round += 1;
+        self.rebuild_occupancy();
+    }
+
+    /// The engine's original parallel round: per-round `thread::scope`
+    /// spawns and the dyn-erased draw chain, kept verbatim as the
+    /// measurable baseline for the worker pool and the monomorphized
+    /// kernels (`crates/bench/benches/engine.rs`, `repro bench`).
+    /// Bit-identical results to [`Self::step_round_parallel`] — only the
+    /// wall clock differs — which the engine property tests assert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is unplaced.
+    pub fn step_round_parallel_spawn(&mut self) {
+        assert!(self.placed, "place agents before stepping");
+        let round_seq = self.seeds.subsequence(self.round);
+        // One policy, one place: the same per-round computation (fresh
+        // parallelism probe included) the benches record as the
+        // baseline's effective worker count.
+        let workers = self.spawn_workers();
         if workers == 1 {
             for (ci, (chunk, models)) in self
                 .positions
-                .chunks_mut(PARALLEL_CHUNK)
-                .zip(self.movement.chunks(PARALLEL_CHUNK))
+                .chunks_mut(STREAM_BLOCK)
+                .zip(self.movement.chunks(STREAM_BLOCK))
                 .enumerate()
             {
                 let mut rng = round_seq.rng(ci as u64);
-                step_slice(
-                    &self.topo,
-                    chunk,
-                    models,
-                    &self.occ,
-                    &self.interaction,
-                    &mut rng,
-                );
+                let rng: &mut dyn RngCore = &mut rng;
+                step_slice(&self.topo, chunk, models, &self.occ, &self.interaction, rng);
             }
         } else {
             let topo = &self.topo;
@@ -398,8 +625,8 @@ impl<T: Topology + Sync> Engine<T> {
                 (0..workers).map(|_| Vec::new()).collect();
             for (ci, (chunk, models)) in self
                 .positions
-                .chunks_mut(PARALLEL_CHUNK)
-                .zip(self.movement.chunks(PARALLEL_CHUNK))
+                .chunks_mut(STREAM_BLOCK)
+                .zip(self.movement.chunks(STREAM_BLOCK))
                 .enumerate()
             {
                 per_worker[ci % workers].push((ci, chunk, models));
@@ -409,7 +636,8 @@ impl<T: Topology + Sync> Engine<T> {
                     scope.spawn(move || {
                         for (ci, chunk, models) in work {
                             let mut rng = round_seq.rng(ci as u64);
-                            step_slice(topo, chunk, models, occ, &interaction, &mut rng);
+                            let rng: &mut dyn RngCore = &mut rng;
+                            step_slice(topo, chunk, models, occ, &interaction, rng);
                         }
                     });
                 }
@@ -469,7 +697,12 @@ mod tests {
         let mk = |threads: usize| {
             let mut e = Engine::new(Hypercube::new(10), 700)
                 .with_seed_sequence(SeedSequence::new(77))
-                .with_threads(threads);
+                .with_threads(threads)
+                .with_worker_pool(Arc::new(WorkerPool::new(threads)))
+                .with_config(EngineConfig {
+                    min_chunks_per_worker: 1,
+                    ..EngineConfig::default()
+                });
             let mut rng = SmallRng::seed_from_u64(3);
             e.place_uniform(&mut rng);
             e.run_parallel(12);
@@ -485,7 +718,12 @@ mod tests {
         let mk = |threads: usize| {
             let mut e = Engine::new(Ring::new(4096), 600)
                 .with_seed_sequence(SeedSequence::new(9))
-                .with_threads(threads);
+                .with_threads(threads)
+                .with_worker_pool(Arc::new(WorkerPool::new(threads)))
+                .with_config(EngineConfig {
+                    schedule_chunk: STREAM_BLOCK,
+                    min_chunks_per_worker: 1,
+                });
             e.set_avoidance(Some(0.5));
             e.set_flee(true);
             let mut rng = SmallRng::seed_from_u64(4);
@@ -531,6 +769,24 @@ mod tests {
     }
 
     #[test]
+    fn impure_mover_bookkeeping_tracks_model_changes() {
+        let mut e = Engine::new(Torus2d::new(8), 4);
+        assert!(e.pure_batch_span().is_some());
+        e.set_movement(1, MovementModel::Stationary);
+        assert!(e.pure_batch_span().is_none());
+        e.set_movement(1, MovementModel::Pure);
+        assert!(e.pure_batch_span().is_some());
+        e.set_movement_all(&MovementModel::lazy(0.5));
+        assert!(e.pure_batch_span().is_none());
+        e.set_movement_all(&MovementModel::Pure);
+        assert!(e.pure_batch_span().is_some());
+        e.set_avoidance(Some(0.3));
+        assert!(e.pure_batch_span().is_none());
+        e.set_avoidance(None);
+        assert!(e.pure_batch_span().is_some());
+    }
+
+    #[test]
     #[should_panic(expected = "place agents")]
     fn unplaced_parallel_step_panics() {
         let mut e = Engine::new(Torus2d::new(4), 2);
@@ -547,5 +803,14 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = Engine::new(Torus2d::new(4), 2).with_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn bad_config_rejected() {
+        let _ = Engine::new(Torus2d::new(4), 2).with_config(EngineConfig {
+            schedule_chunk: 100,
+            ..EngineConfig::default()
+        });
     }
 }

@@ -11,15 +11,25 @@
 //!   per-group occupancy as one flat `groups × nodes` buffer.
 //! * [`movement`] — the paper's pure random walk and the Section 6.1 /
 //!   Appendix A variants (lazy, biased, stationary, drift).
-//! * [`step`] — the round kernel. A single code path serves both the
-//!   legacy sequential draw order (`antdensity_walks::arena::SyncArena`
-//!   delegates its inner loop here) and chunked execution.
+//! * [`step`] — the round kernels, generic over topology *and* RNG so
+//!   concrete call sites monomorphize with zero per-draw virtual
+//!   dispatch. One code path serves the legacy sequential draw order
+//!   (`antdensity_walks::arena::SyncArena` delegates its inner loop
+//!   here); a batched pure-walk kernel bulk-samples move indices
+//!   chunk-at-a-time while drawing the identical RNG stream.
 //! * [`engine`] — [`Engine`]: struct-of-arrays agent state with
-//!   deterministic chunked parallel stepping. Chunk RNG streams are
-//!   derived from `(seed, round, chunk)` via
+//!   deterministic parallel stepping. RNG streams are derived per
+//!   `(seed, round, STREAM_BLOCK-sized block)` via
 //!   [`antdensity_stats::rng::SeedSequence`], so results are
-//!   bit-identical for any thread count — the same contract as
-//!   `antdensity_walks::parallel::run_trials`.
+//!   bit-identical for any worker count or scheduling — the same
+//!   contract as `antdensity_walks::parallel::run_trials`.
+//! * [`pool`] — [`WorkerPool`]: persistent worker threads that parallel
+//!   stepping and trial fan-out dispatch onto, replacing per-round
+//!   `thread::scope` spawns. One process-global pool by default.
+//! * [`config`] — [`EngineConfig`]: wall-clock scheduling knobs
+//!   (schedule chunk size, inline threshold), decoupled from the
+//!   [`STREAM_BLOCK`] determinism granularity so tuning never changes
+//!   results.
 //! * [`scenario`] — [`Scenario`]: a spec/builder composing topology ×
 //!   movement × estimator (Algorithm 1, Algorithm 4, quorum, relative
 //!   frequency) × noise into one runnable, seedable description.
@@ -44,15 +54,19 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod config;
 pub mod engine;
 pub mod movement;
 pub mod occupancy;
+pub mod pool;
 pub mod sampling;
 pub mod scenario;
 pub mod step;
 
+pub use config::{EngineConfig, STREAM_BLOCK};
 pub use engine::{AgentId, Engine, GroupId, PARALLEL_CHUNK};
 pub use movement::MovementModel;
 pub use occupancy::{DenseOccupancy, GroupOccupancy, MAX_NODES};
+pub use pool::WorkerPool;
 pub use scenario::{EstimatorSpec, NoiseSpec, Scenario, ScenarioOutcome, TopologySpec};
 pub use step::Interaction;

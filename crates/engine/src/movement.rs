@@ -77,11 +77,22 @@ impl MovementModel {
 
     /// Executes one round of movement from `v` on `topo`.
     ///
+    /// Generic over both the topology and the RNG: with concrete types
+    /// the entire draw (walk step, lazy coin, biased scan) monomorphizes
+    /// with zero virtual dispatch, while `&mut dyn RngCore` callers keep
+    /// working (`R = dyn RngCore`) and consume the identical bit-stream.
+    ///
     /// # Panics
     ///
     /// Panics if a `Drift` index is out of range for `v`'s degree, or a
     /// `Biased` probability vector length differs from `v`'s degree.
-    pub fn step<T: Topology + ?Sized>(&self, topo: &T, v: NodeId, rng: &mut dyn RngCore) -> NodeId {
+    #[inline]
+    pub fn step<T: Topology, R: RngCore + ?Sized>(
+        &self,
+        topo: &T,
+        v: NodeId,
+        rng: &mut R,
+    ) -> NodeId {
         match self {
             Self::Pure => topo.random_neighbor(v, rng),
             Self::Lazy { stay_prob } => {

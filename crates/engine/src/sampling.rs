@@ -1,12 +1,62 @@
-//! Exact small-parameter discrete samplers shared by the noise models.
+//! Exact small-parameter discrete samplers shared by the noise models,
+//! plus the engine's batched uniform-index sampler.
 //!
 //! Per-round collision counts are tiny (`E[count] = d ≤ 1`), so summing
 //! Bernoulli draws is both exact and faster than any table method, and
 //! Knuth's product method covers the Poisson rates the paper's noisy
 //! sensing extension (Section 6.1) uses.
+//!
+//! [`fill_uniform_indices`] is the hot-loop complement: it fills a whole
+//! index buffer chunk-at-a-time instead of running one independent
+//! bounded draw per agent, hoisting the power-of-two check (and the
+//! Lemire rejection zone) out of the loop while consuming **exactly**
+//! the RNG stream a sequence of `gen_range(0..span)` calls would.
 
 use rand::Rng;
 use rand::RngCore;
+
+/// Fills `buf` with independent uniform samples from `[0, span)`,
+/// consuming `rng` exactly as `buf.len()` successive
+/// `rng.gen_range(0..span)` calls would — same values, same number of
+/// `next_u64` draws, in the same order. This is the batched sampling
+/// path of the step kernels: the per-draw span classification (bitmask
+/// for power-of-two spans, Lemire multiply-shift rejection otherwise) is
+/// hoisted out of the loop, and with a concrete `R` the whole fill
+/// monomorphizes into one tight loop over raw generator output.
+///
+/// Samples are truncated to `u32`; the engine's node/degree domain is
+/// capped at `u32::MAX` ([`crate::occupancy::MAX_NODES`]), so the cast
+/// is lossless for every span the engine uses.
+///
+/// # Panics
+///
+/// Panics if `span == 0` or `span > u32::MAX + 1`.
+pub fn fill_uniform_indices<R: RngCore + ?Sized>(span: u64, buf: &mut [u32], rng: &mut R) {
+    assert!(span > 0, "cannot sample empty range");
+    assert!(
+        span <= (1 << 32),
+        "batched samples are u32; span {span} out of range"
+    );
+    if span.is_power_of_two() {
+        let mask = span - 1;
+        for slot in buf.iter_mut() {
+            *slot = (rng.next_u64() & mask) as u32;
+        }
+        return;
+    }
+    // Lemire multiply-shift with the rejection zone precomputed once for
+    // the whole buffer — bit-for-bit the vendored `gen_range` algorithm.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    for slot in buf.iter_mut() {
+        *slot = loop {
+            let v = rng.next_u64();
+            let m = (v as u128) * (span as u128);
+            if (m as u64) <= zone {
+                break (m >> 64) as u32;
+            }
+        };
+    }
+}
 
 /// Exact Binomial(n, p) sample by summing Bernoulli draws.
 ///
@@ -186,5 +236,52 @@ mod tests {
     fn poisson_huge_rate_rejected() {
         let mut rng = SmallRng::seed_from_u64(5);
         let _ = sample_poisson(1e3, &mut rng);
+    }
+
+    #[test]
+    fn batched_fill_matches_sequential_gen_range() {
+        // The batched path must consume the RNG exactly as per-agent
+        // `gen_range` draws do — including rejection re-draws for
+        // non-power-of-two spans.
+        for span in [1u64, 2, 3, 4, 5, 6, 7, 8, 10, 12, 100, 65_536, 65_537] {
+            for seed in 0..8 {
+                let mut batched_rng = SmallRng::seed_from_u64(seed);
+                let mut buf = [0u32; 97];
+                fill_uniform_indices(span, &mut buf, &mut batched_rng);
+                let mut seq_rng = SmallRng::seed_from_u64(seed);
+                for (i, &b) in buf.iter().enumerate() {
+                    let expect: u64 = seq_rng.gen_range(0..span);
+                    assert_eq!(b as u64, expect, "span {span} seed {seed} draw {i}");
+                }
+                // Identical residual state: the *next* draw agrees too.
+                assert_eq!(batched_rng.next_u64(), seq_rng.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fill_through_dyn_rng_is_identical() {
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        let mut buf_a = [0u32; 33];
+        let mut buf_b = [0u32; 33];
+        fill_uniform_indices(6, &mut buf_a, &mut a);
+        let dyn_rng: &mut dyn RngCore = &mut b;
+        fill_uniform_indices(6, &mut buf_b, dyn_rng);
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn batched_fill_rejects_zero_span() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        fill_uniform_indices(0, &mut [0u32; 4], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batched_fill_rejects_oversized_span() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        fill_uniform_indices((1 << 32) + 1, &mut [0u32; 4], &mut rng);
     }
 }

@@ -21,8 +21,10 @@
 //! assert!((outcome.mean_estimate() - outcome.true_density).abs() < 0.05);
 //! ```
 
+use crate::config::EngineConfig;
 use crate::engine::Engine;
 use crate::movement::MovementModel;
+use crate::pool::WorkerPool;
 use antdensity_graphs::{CompleteGraph, Hypercube, NodeId, Ring, Topology, Torus2d, TorusKd};
 use antdensity_stats::rng::SeedSequence;
 use rand::Rng;
@@ -130,6 +132,18 @@ impl Topology for BuiltTopology {
         }
     }
 
+    // Delegating hoists the enum dispatch out of the per-agent loop and
+    // reaches each topology's branchless batched kernel.
+    fn apply_moves(&self, positions: &mut [u32], moves: &[u32]) {
+        match self {
+            Self::Torus2d(t) => t.apply_moves(positions, moves),
+            Self::TorusKd(t) => t.apply_moves(positions, moves),
+            Self::Ring(t) => t.apply_moves(positions, moves),
+            Self::Hypercube(t) => t.apply_moves(positions, moves),
+            Self::Complete(t) => t.apply_moves(positions, moves),
+        }
+    }
+
     fn regular_degree(&self) -> Option<usize> {
         match self {
             Self::Torus2d(t) => t.regular_degree(),
@@ -175,7 +189,7 @@ pub enum EstimatorSpec {
 }
 
 /// A runnable, seedable simulation description.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     topology: TopologySpec,
     num_agents: usize,
@@ -186,6 +200,33 @@ pub struct Scenario {
     noise: Option<NoiseSpec>,
     estimator: EstimatorSpec,
     threads: usize,
+    engine_config: EngineConfig,
+    pool: Option<std::sync::Arc<WorkerPool>>,
+}
+
+/// Spec equality: the pool is execution infrastructure, not part of the
+/// description (outcomes are pool-independent by contract), so it is
+/// compared by identity — two specs sharing a pool, or both using the
+/// global one, are equal when their parameters are.
+impl PartialEq for Scenario {
+    fn eq(&self, other: &Self) -> bool {
+        let pools_match = match (&self.pool, &other.pool) {
+            (None, None) => true,
+            (Some(a), Some(b)) => std::sync::Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        pools_match
+            && self.topology == other.topology
+            && self.num_agents == other.num_agents
+            && self.rounds == other.rounds
+            && self.movement == other.movement
+            && self.avoidance == other.avoidance
+            && self.flee == other.flee
+            && self.noise == other.noise
+            && self.estimator == other.estimator
+            && self.threads == other.threads
+            && self.engine_config == other.engine_config
+    }
 }
 
 impl Scenario {
@@ -208,6 +249,8 @@ impl Scenario {
             noise: None,
             estimator: EstimatorSpec::Algorithm1,
             threads: 1,
+            engine_config: EngineConfig::default(),
+            pool: None,
         }
     }
 
@@ -273,6 +316,28 @@ impl Scenario {
         self
     }
 
+    /// Replaces the engine scheduling configuration. Wall clock only —
+    /// outcomes are bit-identical for every valid config (see
+    /// [`EngineConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid ([`EngineConfig::validate`]).
+    pub fn with_engine_config(mut self, config: EngineConfig) -> Self {
+        config.validate();
+        self.engine_config = config;
+        self
+    }
+
+    /// Steps rounds on an explicit [`WorkerPool`] instead of the
+    /// process-global one — for embedders that isolate workloads, and
+    /// for tests that pin a real worker count regardless of the host's
+    /// core count. Outcomes are unaffected.
+    pub fn with_worker_pool(mut self, pool: std::sync::Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// The topology spec.
     pub fn topology(&self) -> TopologySpec {
         self.topology
@@ -317,7 +382,11 @@ impl Scenario {
         let topo = self.topology.build();
         let mut engine = Engine::new(topo, self.num_agents)
             .with_seed_sequence(seq.subsequence(STEP_STREAM))
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_config(self.engine_config);
+        if let Some(pool) = &self.pool {
+            engine = engine.with_worker_pool(std::sync::Arc::clone(pool));
+        }
         engine.set_movement_all(&self.movement);
         engine.set_avoidance(self.avoidance);
         engine.set_flee(self.flee);
@@ -529,6 +598,34 @@ mod tests {
         let one = base.clone().with_threads(1).run(9);
         let many = base.with_threads(8).run(9);
         assert_eq!(one, many);
+    }
+
+    #[test]
+    fn outcome_is_engine_config_invariant() {
+        use crate::config::{EngineConfig, STREAM_BLOCK};
+        let base = Scenario::new(TopologySpec::Torus2d { side: 32 }, 1500, 24);
+        let reference = base.clone().run(9);
+        // An explicit pool pins real multi-worker dispatch even on
+        // single-core CI hosts (the global pool would cap at the core
+        // count and collapse every tuned run to the inline path).
+        let pool = std::sync::Arc::new(crate::pool::WorkerPool::new(4));
+        for blocks_per_chunk in [1usize, 2, 8] {
+            for min_chunks in [1usize, 4] {
+                let tuned = base
+                    .clone()
+                    .with_threads(4)
+                    .with_worker_pool(std::sync::Arc::clone(&pool))
+                    .with_engine_config(EngineConfig {
+                        schedule_chunk: blocks_per_chunk * STREAM_BLOCK,
+                        min_chunks_per_worker: min_chunks,
+                    })
+                    .run(9);
+                assert_eq!(
+                    reference, tuned,
+                    "config {blocks_per_chunk}x{STREAM_BLOCK}/{min_chunks} changed results"
+                );
+            }
+        }
     }
 
     #[test]

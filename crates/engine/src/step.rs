@@ -1,23 +1,36 @@
 //! The round-stepping kernels.
 //!
-//! Two kernels share one semantics (the paper's synchronous model with the
-//! Section 6.1 avoidance/flee variants):
+//! Three kernels share one semantics (the paper's synchronous model with
+//! the Section 6.1 avoidance/flee variants):
 //!
 //! * [`step_slice`] — sequential over a slice of agents, drawing from one
 //!   caller-supplied RNG **in exactly the order the original
 //!   `SyncArena::step_round` did**, so an arena delegating here is
-//!   bit-identical to the pre-engine implementation for any seed.
-//! * The batched engine calls [`step_slice`] once per fixed-size *chunk*
-//!   of agents with a per-`(round, chunk)` derived RNG stream, which makes
-//!   parallel stepping bit-identical for every thread count (the stream an
-//!   agent draws from depends only on its chunk, never on the scheduler).
+//!   bit-identical to the pre-engine implementation for any seed. The
+//!   function is generic over both the topology and the RNG: concrete
+//!   call sites monomorphize the whole draw chain (no per-draw vtable),
+//!   while `&mut dyn RngCore` callers keep working and consume the
+//!   identical bit-stream.
+//! * [`step_slice_pure_batched`] — the fast path for the paper's exact
+//!   model (pure walks, no interaction variants) on regular topologies:
+//!   move indices are sampled into a stack buffer chunk-at-a-time via
+//!   [`crate::sampling::fill_uniform_indices`], then applied. The draws
+//!   it makes are bit-for-bit the draws `step_slice` would make for the
+//!   same agents, so the two kernels are interchangeable per block.
+//! * The batched engine calls one of these once per fixed-size *stream
+//!   block* of agents with a per-`(round, block)` derived RNG stream,
+//!   which makes parallel stepping bit-identical for every worker count
+//!   (the stream an agent draws from depends only on its block, never on
+//!   the scheduler).
 //!
 //! Agents sense **stale** occupancy — last round's index — before moving:
 //! in the synchronous model an agent cannot see the simultaneous moves of
-//! others.
+//! others. The stale read happens only on the avoidance/flee paths; the
+//! pure model never touches the occupancy index while stepping.
 
 use crate::movement::MovementModel;
 use crate::occupancy::DenseOccupancy;
+use crate::sampling::fill_uniform_indices;
 use antdensity_graphs::{NodeId, Topology};
 use rand::Rng;
 use rand::RngCore;
@@ -62,13 +75,13 @@ impl Interaction {
 /// `positions` and `movement` are parallel slices (one entry per agent in
 /// this batch). `occ` must hold the *previous* round's counts over the
 /// whole population (it is only read on the avoidance/flee path).
-pub fn step_slice<T: Topology + ?Sized>(
+pub fn step_slice<T: Topology, R: RngCore + ?Sized>(
     topo: &T,
     positions: &mut [u32],
     movement: &[MovementModel],
     occ: &DenseOccupancy,
     interaction: &Interaction,
-    rng: &mut dyn RngCore,
+    rng: &mut R,
 ) {
     debug_assert_eq!(positions.len(), movement.len());
     if interaction.is_pure() {
@@ -79,7 +92,6 @@ pub fn step_slice<T: Topology + ?Sized>(
     }
     for (pos, model) in positions.iter_mut().zip(movement) {
         let cur = *pos as NodeId;
-        let collided = occ.count(cur) >= 2;
         let mut next = model.step(topo, cur, rng);
         if let Some(p) = interaction.avoidance {
             let target_busy = next != cur && occ.count(next) >= 1;
@@ -87,17 +99,54 @@ pub fn step_slice<T: Topology + ?Sized>(
                 next = cur;
             }
         }
-        if interaction.flee && collided {
+        // The stale collision read is needed only when fleeing is on;
+        // short-circuit keeps the avoidance-only path free of it. (The
+        // read consumes no RNG, so hoisting it past the move draw leaves
+        // the draw order untouched.)
+        if interaction.flee && occ.count(cur) >= 2 {
             next = model.step(topo, next, rng);
         }
         *pos = next as u32;
     }
 }
 
+/// Stack-buffer size of the batched kernel: big enough to amortize the
+/// per-fill span classification, small enough to stay in L1.
+const SAMPLE_BATCH: usize = 128;
+
+/// The pure-model fast path: every agent walks to a uniformly random
+/// move on a topology whose every node has degree `span`. Move indices
+/// are bulk-sampled into a stack buffer ([`fill_uniform_indices`]) and
+/// then applied in a second tight loop.
+///
+/// Draws are bit-for-bit the draws [`step_slice`] makes for
+/// `MovementModel::Pure` agents under [`Interaction::pure`] — one
+/// uniform `[0, span)` sample per agent in agent order — so callers may
+/// switch between the kernels per block without changing results. (On
+/// [`antdensity_graphs::CompleteGraph`], whose walk resamples uniformly
+/// over all `A` nodes, `span = degree = A` consumes the same bits as its
+/// `uniform_node` override.)
+///
+/// The caller asserts the preconditions: `span == degree(v)` for every
+/// `v`, all agents `MovementModel::Pure`, interaction pure.
+pub fn step_slice_pure_batched<T: Topology, R: RngCore + ?Sized>(
+    topo: &T,
+    span: u64,
+    positions: &mut [u32],
+    rng: &mut R,
+) {
+    let mut idx = [0u32; SAMPLE_BATCH];
+    for block in positions.chunks_mut(SAMPLE_BATCH) {
+        let buf = &mut idx[..block.len()];
+        fill_uniform_indices(span, buf, rng);
+        topo.apply_moves(block, buf);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use antdensity_graphs::Torus2d;
+    use antdensity_graphs::{CompleteGraph, Hypercube, Ring, Torus2d};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -158,6 +207,86 @@ mod tests {
         step_slice(&t, &mut pos, &movement, &occ, &interaction, &mut rng);
         // deterministic drift: colliding agents moved two (0,1) hops
         assert_eq!(pos, vec![t.offset(5, 0, 2) as u32; 2]);
+    }
+
+    #[test]
+    fn dyn_rng_draw_order_matches_monomorphized() {
+        // The generic kernel with R = SmallRng must reproduce the legacy
+        // dyn-erased draws exactly, for every interaction variant.
+        let t = Torus2d::new(16);
+        let mut occ = DenseOccupancy::new(t.num_nodes());
+        occ.rebuild(&[3, 3, 40, 41, 90, 200, 200, 200]);
+        let movement = vec![MovementModel::Pure; 8];
+        for interaction in [
+            Interaction::pure(),
+            Interaction {
+                avoidance: Some(0.5),
+                flee: false,
+            },
+            Interaction {
+                avoidance: Some(0.25),
+                flee: true,
+            },
+            Interaction {
+                avoidance: None,
+                flee: true,
+            },
+        ] {
+            for seed in 0..20 {
+                let start = [3u32, 3, 40, 41, 90, 200, 200, 200];
+                let mut mono_pos = start;
+                let mut mono_rng = SmallRng::seed_from_u64(seed);
+                step_slice(
+                    &t,
+                    &mut mono_pos,
+                    &movement,
+                    &occ,
+                    &interaction,
+                    &mut mono_rng,
+                );
+                let mut dyn_pos = start;
+                let mut base = SmallRng::seed_from_u64(seed);
+                let dyn_rng: &mut dyn RngCore = &mut base;
+                step_slice(&t, &mut dyn_pos, &movement, &occ, &interaction, dyn_rng);
+                assert_eq!(mono_pos, dyn_pos, "{interaction:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pure_kernel_matches_step_slice() {
+        // Same draws, same destinations, same residual RNG state — on a
+        // power-of-two degree (torus), a non-power-of-two degree
+        // (hypercube dims=5), degree 2 (ring), and the complete graph's
+        // uniform-resample walk.
+        fn check<T: Topology>(topo: T, span: u64, n: usize, seed: u64) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut reference: Vec<u32> = (0..n)
+                .map(|i| (i as u64 % topo.num_nodes()) as u32)
+                .collect();
+            let mut batched = reference.clone();
+            let movement = vec![MovementModel::Pure; n];
+            let occ = DenseOccupancy::new(topo.num_nodes());
+            step_slice(
+                &topo,
+                &mut reference,
+                &movement,
+                &occ,
+                &Interaction::pure(),
+                &mut rng,
+            );
+            let after_ref = rng.next_u64();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            step_slice_pure_batched(&topo, span, &mut batched, &mut rng);
+            assert_eq!(reference, batched);
+            assert_eq!(after_ref, rng.next_u64(), "residual RNG state differs");
+        }
+        for seed in 0..6 {
+            check(Torus2d::new(16), 4, 1000, seed);
+            check(Hypercube::new(5), 5, 321, seed);
+            check(Ring::new(77), 2, 130, seed);
+            check(CompleteGraph::new(1000), 1000, 500, seed);
+        }
     }
 
     #[test]

@@ -46,15 +46,18 @@ impl CompleteGraph {
 }
 
 impl Topology for CompleteGraph {
+    #[inline]
     fn num_nodes(&self) -> u64 {
         self.nodes
     }
 
+    #[inline]
     fn degree(&self, v: NodeId) -> usize {
         assert!(v < self.nodes, "node {v} out of range");
         self.nodes as usize
     }
 
+    #[inline]
     fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
         assert!(v < self.nodes, "node {v} out of range");
         assert!((i as u64) < self.nodes, "move index {i} out of range");
@@ -62,10 +65,24 @@ impl Topology for CompleteGraph {
     }
 
     /// Stepping is uniform resampling, so walking never needs the O(A)
-    /// move list: override with a direct uniform draw.
-    fn random_neighbor(&self, v: NodeId, rng: &mut dyn rand::RngCore) -> NodeId {
+    /// move list: override with a direct uniform draw. Consumes the same
+    /// RNG bits as the default (`span = degree = A` either way), so
+    /// generic kernels that go through `degree`/`neighbor` are
+    /// bit-identical to this override.
+    fn random_neighbor<R: rand::RngCore + ?Sized>(&self, v: NodeId, rng: &mut R) -> NodeId {
         assert!(v < self.nodes, "node {v} out of range");
         self.uniform_node(rng)
+    }
+
+    /// Batched stepping is a copy: move index `i` *is* the destination.
+    #[inline]
+    fn apply_moves(&self, positions: &mut [u32], moves: &[u32]) {
+        assert_eq!(positions.len(), moves.len(), "one move per position");
+        debug_assert!(
+            moves.iter().all(|&i| (i as u64) < self.nodes),
+            "move index out of range"
+        );
+        positions.copy_from_slice(moves);
     }
 
     fn regular_degree(&self) -> Option<usize> {

@@ -1,0 +1,204 @@
+//! Division by a runtime-invariant divisor via multiply-shift.
+//!
+//! The walk kernels decode torus node ids into coordinates every step
+//! (`x = v mod side`, `y = v / side`), and a 64-bit hardware division
+//! costs ~20–40 cycles — it dominates the whole agent-step once RNG
+//! dispatch is monomorphized away. [`FastDiv`] precomputes a
+//! Granlund–Montgomery magic multiplier once per topology so the per-step
+//! quotient becomes one widening multiply plus a shift (~3 cycles),
+//! exact for every dividend below `2^32` — which covers every node id
+//! the dense engine can produce (positions are `u32`).
+//!
+//! Dividends at or above `2^32` (possible through the public topology
+//! API on gigantic graphs) transparently fall back to hardware division,
+//! so results are identical everywhere.
+
+/// A precomputed divisor. `div(v)` equals `v / d` for every `v`, taking
+/// the multiply-shift fast path whenever `v < 2^32`.
+///
+/// # Example
+///
+/// ```
+/// use antdensity_graphs::fastdiv::FastDiv;
+///
+/// let d = FastDiv::new(48);
+/// assert_eq!(d.div(1000), 1000 / 48);
+/// assert_eq!(d.rem(1000), 1000 % 48);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FastDiv {
+    divisor: u64,
+    magic: u64,
+    shift: u32,
+}
+
+/// Sentinel shift marking divisors too large for the 32-bit-dividend
+/// magic scheme; `div` then always uses hardware division.
+const HW_ONLY: u32 = u32::MAX;
+
+impl FastDiv {
+    /// Precomputes the magic multiplier for `d`.
+    ///
+    /// For `d ≤ 2^32` the multiplier is `ceil(2^(32+l)/d)` with
+    /// `l = ceil(log2 d)`; the classical correctness bound
+    /// `2^(32+l) ≤ magic·d ≤ 2^(32+l) + 2^l` then makes the
+    /// multiply-shift quotient exact for all dividends below `2^32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "division by zero");
+        if d <= (1u64 << 32) {
+            let l = 64 - (d - 1).leading_zeros();
+            let shift = 32 + l;
+            let magic = (1u128 << shift).div_ceil(d as u128) as u64;
+            Self {
+                divisor: d,
+                magic,
+                shift,
+            }
+        } else {
+            Self {
+                divisor: d,
+                magic: 0,
+                shift: HW_ONLY,
+            }
+        }
+    }
+
+    /// The divisor `d`.
+    #[inline]
+    pub fn divisor(&self) -> u64 {
+        self.divisor
+    }
+
+    /// `v / d`, exactly.
+    #[inline]
+    pub fn div(&self, v: u64) -> u64 {
+        if self.shift == HW_ONLY || v > u32::MAX as u64 {
+            v / self.divisor
+        } else {
+            ((v as u128 * self.magic as u128) >> self.shift) as u64
+        }
+    }
+
+    /// `v / d` for dividends already known to fit in `u32` — the inner
+    /// loop variant with no dividend range test. Exact under the same
+    /// guarantee as [`Self::div`].
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `v` exceeds `u32::MAX`.
+    #[inline]
+    pub fn div32(&self, v: u64) -> u64 {
+        debug_assert!(v <= u32::MAX as u64, "div32 dividend {v} out of range");
+        if self.shift == HW_ONLY {
+            v / self.divisor
+        } else {
+            ((v as u128 * self.magic as u128) >> self.shift) as u64
+        }
+    }
+
+    /// `v % d`, exactly.
+    #[inline]
+    pub fn rem(&self, v: u64) -> u64 {
+        v - self.div(v) * self.divisor
+    }
+
+    /// `(v / d, v % d)` with one quotient computation.
+    #[inline]
+    pub fn div_rem(&self, v: u64) -> (u64, u64) {
+        let q = self.div(v);
+        (q, v - q * self.divisor)
+    }
+
+    /// [`Self::div_rem`] for dividends already known to fit in `u32`
+    /// (see [`Self::div32`]).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `v` exceeds `u32::MAX`.
+    #[inline]
+    pub fn div_rem32(&self, v: u64) -> (u64, u64) {
+        let q = self.div32(v);
+        (q, v - q * self.divisor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_over_small_grid() {
+        for d in 1..=70u64 {
+            let f = FastDiv::new(d);
+            for v in 0..5_000u64 {
+                assert_eq!(f.div(v), v / d, "{v}/{d}");
+                assert_eq!(f.rem(v), v % d, "{v}%{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_at_u32_boundaries() {
+        for d in [
+            1u64,
+            2,
+            3,
+            5,
+            7,
+            255,
+            256,
+            257,
+            65_535,
+            65_536,
+            65_537,
+            (1 << 31) - 1,
+            1 << 31,
+            (1 << 32) - 1,
+            1 << 32,
+        ] {
+            let f = FastDiv::new(d);
+            for v in [
+                0u64,
+                1,
+                d - 1,
+                d,
+                d + 1,
+                d.saturating_mul(3),
+                u32::MAX as u64 - 1,
+                u32::MAX as u64,
+            ] {
+                assert_eq!(f.div(v), v / d, "{v}/{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_fallback_above_u32() {
+        let f = FastDiv::new(48);
+        for v in [u32::MAX as u64 + 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(f.div(v), v / 48);
+            assert_eq!(f.rem(v), v % 48);
+        }
+        let huge = FastDiv::new((1 << 32) + 7);
+        assert_eq!(huge.div(u64::MAX), u64::MAX / ((1 << 32) + 7));
+    }
+
+    #[test]
+    fn div_rem_agrees() {
+        let f = FastDiv::new(513);
+        for v in (0..2_000_000u64).step_by(997) {
+            assert_eq!(f.div_rem(v), (v / 513, v % 513));
+        }
+        assert_eq!(f.divisor(), 513);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_rejected() {
+        let _ = FastDiv::new(0);
+    }
+}

@@ -56,21 +56,51 @@ impl Hypercube {
 }
 
 impl Topology for Hypercube {
+    #[inline]
     fn num_nodes(&self) -> u64 {
         1u64 << self.dims
     }
 
+    #[inline]
     fn degree(&self, v: NodeId) -> usize {
         assert!(v < self.num_nodes(), "node {v} out of range");
         self.dims as usize
     }
 
+    // Degree d = dims is a power of two for the common d ∈ {1,2,4,8,16,…}
+    // cubes; the generic `random_neighbor` default reduces to a d-bit
+    // mask there (the vendored sampler special-cases power-of-two spans),
+    // so no per-type override is needed.
+    #[inline]
     fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
         assert!(v < self.num_nodes(), "node {v} out of range");
         assert!(i < self.dims as usize, "move index {i} out of range");
         v ^ (1u64 << i)
     }
 
+    /// Branchless batched stepping: one XOR per agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims > 32` — larger cubes cannot pack every node id
+    /// into the `u32` positions this API requires, and a 32-bit XOR
+    /// would silently flip the wrong coordinate.
+    #[inline]
+    fn apply_moves(&self, positions: &mut [u32], moves: &[u32]) {
+        assert_eq!(positions.len(), moves.len(), "one move per position");
+        assert!(
+            self.dims <= 32,
+            "u32-packed stepping supports at most 32 dimensions, got {}",
+            self.dims
+        );
+        for (p, &i) in positions.iter_mut().zip(moves) {
+            debug_assert!((*p as u64) < self.num_nodes(), "node {p} out of range");
+            debug_assert!((i as usize) < self.dims as usize, "move {i} out of range");
+            *p ^= 1u32 << (i & 31);
+        }
+    }
+
+    #[inline]
     fn regular_degree(&self) -> Option<usize> {
         Some(self.dims as usize)
     }

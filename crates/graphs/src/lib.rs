@@ -45,6 +45,7 @@
 pub mod adjacency;
 pub mod complete;
 pub mod dist;
+pub mod fastdiv;
 pub mod generators;
 pub mod hypercube;
 pub mod spectral;
@@ -54,6 +55,7 @@ pub mod torus;
 pub use adjacency::AdjGraph;
 pub use complete::CompleteGraph;
 pub use dist::WalkDistribution;
+pub use fastdiv::FastDiv;
 pub use hypercube::Hypercube;
 pub use topology::{NodeId, Topology};
 pub use torus::{Ring, Torus2d, TorusKd};

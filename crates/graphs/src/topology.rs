@@ -44,15 +44,55 @@ pub trait Topology {
     fn neighbor(&self, v: NodeId, i: usize) -> NodeId;
 
     /// Uniformly random move from `v` — one step of the paper's walk.
-    fn random_neighbor(&self, v: NodeId, rng: &mut dyn RngCore) -> NodeId {
+    ///
+    /// Generic over the RNG so concrete call sites monomorphize: with a
+    /// concrete `R` the whole draw (xoshiro output, Lemire bound, bitmask
+    /// fast path for power-of-two degrees) inlines into the caller with
+    /// zero virtual dispatch. Passing `&mut dyn RngCore` still works
+    /// (`R = dyn RngCore`) and reproduces the exact same bit-stream — the
+    /// draw algorithm does not depend on `R`.
+    fn random_neighbor<R: RngCore + ?Sized>(&self, v: NodeId, rng: &mut R) -> NodeId
+    where
+        Self: Sized,
+    {
         let d = self.degree(v);
         debug_assert!(d > 0, "node {v} has no moves");
         self.neighbor(v, rng.gen_range(0..d))
     }
 
     /// Uniformly random node — the paper's initial placement.
-    fn uniform_node(&self, rng: &mut dyn RngCore) -> NodeId {
+    fn uniform_node<R: RngCore + ?Sized>(&self, rng: &mut R) -> NodeId
+    where
+        Self: Sized,
+    {
         rng.gen_range(0..self.num_nodes())
+    }
+
+    /// Applies precomputed move indices to a block of packed positions:
+    /// `positions[j] = neighbor(positions[j], moves[j])` for every `j` —
+    /// the second loop of a batched walk kernel, after the indices were
+    /// bulk-sampled.
+    ///
+    /// The `u32` packing guarantees every id is below `2^32`, which lets
+    /// structured topologies override this with branchless, division-free
+    /// loops (tori use a precomputed reciprocal and add-mod-side wraps;
+    /// the hypercube a bare XOR). Overrides must produce exactly
+    /// [`Topology::neighbor`]'s value for every in-range input; for
+    /// out-of-range positions or move indices they may panic or produce
+    /// unspecified positions (debug builds assert). Only meaningful on
+    /// topologies with at most `2^32` nodes — larger graphs cannot pack
+    /// their ids into `u32` at all (the dense engine enforces this via
+    /// its `MAX_NODES` cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length; implementations may panic
+    /// on out-of-range entries.
+    fn apply_moves(&self, positions: &mut [u32], moves: &[u32]) {
+        assert_eq!(positions.len(), moves.len(), "one move per position");
+        for (p, &i) in positions.iter_mut().zip(moves) {
+            *p = self.neighbor(*p as NodeId, i as usize) as u32;
+        }
     }
 
     /// If every node has the same degree, that degree.
@@ -135,6 +175,9 @@ impl<T: Topology + ?Sized> Topology for &T {
     }
     fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
         (**self).neighbor(v, i)
+    }
+    fn apply_moves(&self, positions: &mut [u32], moves: &[u32]) {
+        (**self).apply_moves(positions, moves)
     }
     fn regular_degree(&self) -> Option<usize> {
         (**self).regular_degree()

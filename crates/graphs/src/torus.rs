@@ -12,6 +12,7 @@
 //! the +1 and −1 moves coincide and are listed twice, preserving the exact
 //! uniform-move walk distribution.
 
+use crate::fastdiv::FastDiv;
 use crate::topology::{NodeId, Topology};
 
 /// The two-dimensional `side × side` torus (`A = side²` nodes).
@@ -19,6 +20,10 @@ use crate::topology::{NodeId, Topology};
 /// Node ids are row-major: `v = y·side + x`. Moves are ordered
 /// `[x+1, x−1, y+1, y−1]`, matching the paper's step set
 /// `{(1,0), (−1,0), (0,1), (0,−1)}`.
+///
+/// Coordinate decoding uses a precomputed [`FastDiv`] reciprocal, so the
+/// per-step `id → (x, y) → id` round-trip is multiply/shift arithmetic —
+/// no hardware division on the walk's hot path.
 ///
 /// # Example
 ///
@@ -33,6 +38,7 @@ use crate::topology::{NodeId, Topology};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Torus2d {
     side: u64,
+    div: FastDiv,
 }
 
 impl Torus2d {
@@ -44,7 +50,10 @@ impl Torus2d {
     pub fn new(side: u64) -> Self {
         assert!(side > 0, "torus side must be positive");
         side.checked_mul(side).expect("side^2 overflows u64");
-        Self { side }
+        Self {
+            side,
+            div: FastDiv::new(side),
+        }
     }
 
     /// Side length √A.
@@ -57,6 +66,7 @@ impl Torus2d {
     /// # Panics
     ///
     /// Panics if either coordinate is out of range.
+    #[inline]
     pub fn node(&self, x: u64, y: u64) -> NodeId {
         assert!(x < self.side && y < self.side, "coordinate out of range");
         y * self.side + x
@@ -67,9 +77,11 @@ impl Torus2d {
     /// # Panics
     ///
     /// Panics if `v` is out of range.
+    #[inline]
     pub fn coord(&self, v: NodeId) -> (u64, u64) {
         assert!(v < self.num_nodes(), "node {v} out of range");
-        (v % self.side, v / self.side)
+        let (y, x) = self.div.div_rem(v);
+        (x, y)
     }
 
     /// Minimal signed displacement `(dx, dy)` from `from` to `to`, each
@@ -90,6 +102,7 @@ impl Torus2d {
     }
 
     /// The node reached from `v` by offset `(dx, dy)` with wrap-around.
+    #[inline]
     pub fn offset(&self, v: NodeId, dx: i64, dy: i64) -> NodeId {
         let (x, y) = self.coord(v);
         let s = self.side as i64;
@@ -100,31 +113,83 @@ impl Torus2d {
 }
 
 impl Topology for Torus2d {
+    #[inline]
     fn num_nodes(&self) -> u64 {
         self.side * self.side
     }
 
+    #[inline]
     fn degree(&self, v: NodeId) -> usize {
         assert!(v < self.num_nodes(), "node {v} out of range");
         4
     }
 
+    /// Single-coordinate wrap with compare/select instead of the general
+    /// `offset` path's `rem_euclid` — unit moves can only wrap by one
+    /// period, so the modular reduction needs no hardware division. (A
+    /// fully select-based variant measured *slower*: the per-arm form
+    /// keeps the dependency chains short.)
+    #[inline]
     fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
         assert!(i < 4, "move index {i} out of range");
+        let (x, y) = self.coord(v);
+        let s = self.side;
         match i {
-            0 => self.offset(v, 1, 0),
-            1 => self.offset(v, -1, 0),
-            2 => self.offset(v, 0, 1),
-            _ => self.offset(v, 0, -1),
+            0 => y * s + if x + 1 == s { 0 } else { x + 1 },
+            1 => y * s + if x == 0 { s - 1 } else { x - 1 },
+            2 => (if y + 1 == s { 0 } else { y + 1 }) * s + x,
+            _ => (if y == 0 { s - 1 } else { y - 1 }) * s + x,
         }
     }
 
+    /// Bitmask fast path: degree 4 is a power of two, so the move index
+    /// is two raw RNG bits — exactly the bits `gen_range(0..4)` consumes
+    /// (the vendored Lemire sampler masks for power-of-two spans), so the
+    /// draw stream is unchanged.
+    #[inline]
+    fn random_neighbor<R: rand::RngCore + ?Sized>(&self, v: NodeId, rng: &mut R) -> NodeId {
+        self.neighbor(v, (rng.next_u64() & 3) as usize)
+    }
+
+    /// Branchless batched stepping: a unit move is *addition mod side*
+    /// per coordinate (`x−1 ≡ x + (side−1)`), so each agent is two table
+    /// loads, two add-compare-subtract wraps, and a multiply-shift
+    /// coordinate decode ([`FastDiv`]) — no division and no
+    /// data-dependent branch on the random move index. Packed `u32`
+    /// positions guarantee the reciprocal's dividend range.
+    #[inline]
+    fn apply_moves(&self, positions: &mut [u32], moves: &[u32]) {
+        assert_eq!(positions.len(), moves.len(), "one move per position");
+        let s = self.side;
+        // Move i adds (dx[i], dy[i]) mod side, with ordering
+        // [x+1, x−1, y+1, y−1].
+        let dx = [1u64, s - 1, 0, 0];
+        let dy = [0u64, 0, 1, s - 1];
+        for (p, &i) in positions.iter_mut().zip(moves) {
+            let v = *p as u64;
+            debug_assert!(v < self.num_nodes(), "node {v} out of range");
+            debug_assert!((i as usize) < 4, "move index {i} out of range");
+            let (y, x) = self.div.div_rem32(v);
+            let mut nx = x + dx[i as usize & 3];
+            if nx >= s {
+                nx -= s;
+            }
+            let mut ny = y + dy[i as usize & 3];
+            if ny >= s {
+                ny -= s;
+            }
+            *p = (ny * s + nx) as u32;
+        }
+    }
+
+    #[inline]
     fn regular_degree(&self) -> Option<usize> {
         Some(4)
     }
 }
 
 /// Reduces `d` to the representative of `d mod s` in `(−s/2, s/2]`.
+#[inline]
 fn signed_wrap(d: i64, s: i64) -> i64 {
     let m = d.rem_euclid(s);
     if m > s / 2 {
@@ -177,6 +242,7 @@ impl TorusKd {
     /// # Panics
     ///
     /// Panics if `v` or `dim` is out of range.
+    #[inline]
     pub fn coord(&self, v: NodeId, dim: u32) -> u64 {
         assert!(v < self.nodes, "node {v} out of range");
         assert!(dim < self.dims, "dimension {dim} out of range");
@@ -204,12 +270,15 @@ impl TorusKd {
     }
 
     /// The node reached from `v` by moving `delta` in dimension `dim`.
+    #[inline]
     pub fn offset(&self, v: NodeId, dim: u32, delta: i64) -> NodeId {
-        let c = self.coord(v, dim) as i64;
-        let s = self.side as i64;
-        let nc = (c + delta).rem_euclid(s) as u64;
+        assert!(v < self.nodes, "node {v} out of range");
+        assert!(dim < self.dims, "dimension {dim} out of range");
         let base = self.side.pow(dim);
-        v - self.coord(v, dim) * base + nc * base
+        let c = (v / base) % self.side;
+        let s = self.side as i64;
+        let nc = (c as i64 + delta).rem_euclid(s) as u64;
+        v - c * base + nc * base
     }
 
     /// Minimal signed displacement in dimension `dim` from `from` to `to`.
@@ -229,15 +298,22 @@ impl TorusKd {
 }
 
 impl Topology for TorusKd {
+    #[inline]
     fn num_nodes(&self) -> u64 {
         self.nodes
     }
 
+    #[inline]
     fn degree(&self, v: NodeId) -> usize {
         assert!(v < self.nodes, "node {v} out of range");
         2 * self.dims as usize
     }
 
+    // Degree 2k is a power of two whenever k is; the generic
+    // `random_neighbor` default already reduces to a bitmask draw in
+    // that case (the vendored sampler special-cases power-of-two spans),
+    // so no per-type override is needed here.
+    #[inline]
     fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
         assert!(i < 2 * self.dims as usize, "move index {i} out of range");
         let dim = (i / 2) as u32;
@@ -245,6 +321,7 @@ impl Topology for TorusKd {
         self.offset(v, dim, delta)
     }
 
+    #[inline]
     fn regular_degree(&self) -> Option<usize> {
         Some(2 * self.dims as usize)
     }
@@ -282,25 +359,65 @@ impl Ring {
 }
 
 impl Topology for Ring {
+    #[inline]
     fn num_nodes(&self) -> u64 {
         self.nodes
     }
 
+    #[inline]
     fn degree(&self, v: NodeId) -> usize {
         assert!(v < self.nodes, "node {v} out of range");
         2
     }
 
+    /// Unit moves wrap by at most one period, so the modular reduction
+    /// is a branchless compare/select — no division on the hot path.
+    #[inline]
     fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
         assert!(i < 2, "move index {i} out of range");
+        assert!(v < self.nodes, "node {v} out of range");
         let s = self.nodes;
         if i == 0 {
-            (v + 1) % s
+            if v + 1 == s {
+                0
+            } else {
+                v + 1
+            }
+        } else if v == 0 {
+            s - 1
         } else {
-            (v + s - 1) % s
+            v - 1
         }
     }
 
+    /// Bitmask fast path: degree 2 means the move index is one raw RNG
+    /// bit — the same bit `gen_range(0..2)` consumes, so the draw stream
+    /// is unchanged.
+    #[inline]
+    fn random_neighbor<R: rand::RngCore + ?Sized>(&self, v: NodeId, rng: &mut R) -> NodeId {
+        self.neighbor(v, (rng.next_u64() & 1) as usize)
+    }
+
+    /// Branchless batched stepping: `−1 ≡ +(nodes−1) mod nodes`, so each
+    /// agent is one table load and an add-compare-subtract wrap.
+    #[inline]
+    fn apply_moves(&self, positions: &mut [u32], moves: &[u32]) {
+        assert_eq!(positions.len(), moves.len(), "one move per position");
+        let s = self.nodes;
+        let delta = [1u64, s - 1];
+        for (p, &i) in positions.iter_mut().zip(moves) {
+            let v = *p as u64;
+            debug_assert!(v < s, "node {v} out of range");
+            debug_assert!((i as usize) < 2, "move index {i} out of range");
+            let mut n = v + delta[i as usize & 1];
+            if n >= s {
+                n -= s;
+            }
+            *p = n as u32;
+        }
+    }
+
+    #[inline]
     fn regular_degree(&self) -> Option<usize> {
         Some(2)
     }

@@ -5,7 +5,7 @@ use antdensity_graphs::generators;
 use antdensity_graphs::{AdjGraph, Hypercube, NodeId, Ring, Topology, Torus2d, TorusKd};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Checks neighbor symmetry with multiplicity: count of u in N(v) equals
 /// count of v in N(u). This is the property that makes the uniform
@@ -180,5 +180,42 @@ proptest! {
         let k = 4usize;
         let g = generators::watts_strogatz(n, k, beta, &mut rng).unwrap();
         prop_assert_eq!(g.num_edges(), n * k as u64 / 2);
+    }
+
+    #[test]
+    fn apply_moves_matches_neighbor_everywhere(seed in any::<u64>()) {
+        // Every branchless batched override must equal the scalar
+        // `neighbor` on random positions and random valid move indices
+        // (TorusKd exercises the trait's default implementation).
+        fn check<T: Topology>(topo: &T, rng: &mut SmallRng) {
+            let degree = topo.regular_degree().unwrap() as u32;
+            let n = 257; // not a multiple of any internal batch size
+            let positions: Vec<u32> = (0..n)
+                .map(|_| rng.gen_range(0..topo.num_nodes()) as u32)
+                .collect();
+            let moves: Vec<u32> = (0..n).map(|_| rng.gen_range(0..degree)).collect();
+            let mut batched = positions.clone();
+            topo.apply_moves(&mut batched, &moves);
+            for j in 0..n as usize {
+                assert_eq!(
+                    batched[j] as NodeId,
+                    topo.neighbor(positions[j] as NodeId, moves[j] as usize),
+                    "agent {j} at {} move {}",
+                    positions[j],
+                    moves[j]
+                );
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        check(&Torus2d::new(2), &mut rng);
+        check(&Torus2d::new(3), &mut rng);
+        check(&Torus2d::new(37), &mut rng);
+        check(&Torus2d::new(1024), &mut rng);
+        check(&Ring::new(1), &mut rng);
+        check(&Ring::new(97), &mut rng);
+        check(&Hypercube::new(1), &mut rng);
+        check(&Hypercube::new(13), &mut rng);
+        check(&TorusKd::new(3, 5), &mut rng);
+        check(&antdensity_graphs::CompleteGraph::new(513), &mut rng);
     }
 }

@@ -2,21 +2,27 @@
 //!
 //! Every trial gets its own RNG stream derived from
 //! `(master seed, trial index)`, so results are bit-identical regardless
-//! of the number of worker threads. Threads process contiguous chunks and
-//! results are concatenated in trial order.
+//! of the number of workers. Trials are processed as contiguous chunks
+//! dispatched onto the process-global persistent
+//! [`WorkerPool`](antdensity_engine::WorkerPool) — no per-call thread
+//! spawns — and results are concatenated in trial order.
 
+use antdensity_engine::WorkerPool;
 use antdensity_stats::rng::SeedSequence;
 use rand::rngs::SmallRng;
 
-/// Runs `trials` independent trials of `f` across `threads` workers.
+/// Runs `trials` independent trials of `f` split across `threads` units
+/// of pool work.
 ///
 /// `f(trial_index, rng)` receives a [`SmallRng`] seeded from
 /// `seeds.derive(trial_index)`. The returned vector is ordered by trial
-/// index and identical for any `threads ≥ 1`.
+/// index and identical for any `threads ≥ 1` — the work units execute on
+/// the global [`WorkerPool`] (plus the calling thread, which helps),
+/// and the stream a trial consumes depends only on its index.
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0` or a worker thread panics.
+/// Panics if `threads == 0` or a trial panics.
 ///
 /// # Example
 ///
@@ -31,6 +37,27 @@ use rand::rngs::SmallRng;
 /// assert_eq!(sequential, parallel);
 /// ```
 pub fn run_trials<T, F>(trials: u64, threads: usize, seeds: SeedSequence, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, &mut SmallRng) -> T + Sync,
+{
+    run_trials_on(WorkerPool::global(), trials, threads, seeds, f)
+}
+
+/// [`run_trials`] dispatching onto an explicit pool — for embedders that
+/// isolate workloads and tests that pin a worker count. Results are
+/// identical for every pool and every `threads` value.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a trial panics.
+pub fn run_trials_on<T, F>(
+    pool: &WorkerPool,
+    trials: u64,
+    threads: usize,
+    seeds: SeedSequence,
+    f: F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(u64, &mut SmallRng) -> T + Sync,
@@ -50,34 +77,33 @@ where
     }
     let chunk = trials.div_ceil(threads as u64);
     let f_ref = &f;
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for w in 0..threads as u64 {
-            let lo = (w * chunk).min(trials);
-            let hi = ((w + 1) * chunk).min(trials);
-            handles.push(scope.spawn(move || {
+    let mut slots: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+        .iter_mut()
+        .enumerate()
+        .map(|(w, slot)| {
+            let lo = (w as u64 * chunk).min(trials);
+            let hi = ((w as u64 + 1) * chunk).min(trials);
+            Box::new(move || {
                 let mut out = Vec::with_capacity((hi - lo) as usize);
                 for i in lo..hi {
                     let mut rng = seeds.rng(i);
                     out.push(f_ref(i, &mut rng));
                 }
-                out
-            }));
-        }
-        for h in handles {
-            chunks.push(h.join().expect("worker thread panicked"));
-        }
-    });
+                *slot = out;
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run(tasks);
     let mut out = Vec::with_capacity(trials as usize);
-    for c in chunks {
+    for c in slots {
         out.extend(c);
     }
     out
 }
 
 /// A sensible worker count for Monte-Carlo fan-out: the available
-/// parallelism, capped so tiny jobs don't pay spawn overhead.
+/// parallelism, capped so tiny jobs don't pay dispatch overhead.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -98,6 +124,21 @@ mod tests {
         let t8 = run_trials(53, 8, seq, work);
         assert_eq!(t1, t3);
         assert_eq!(t1, t8);
+    }
+
+    #[test]
+    fn results_independent_of_pool_size() {
+        let seq = SeedSequence::new(321);
+        let work = |i: u64, rng: &mut SmallRng| -> (u64, u64) { (i, rng.gen::<u64>()) };
+        let reference = run_trials(37, 1, seq, work);
+        for pool_threads in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(pool_threads);
+            assert_eq!(
+                reference,
+                run_trials_on(&pool, 37, 5, seq, work),
+                "pool size {pool_threads}"
+            );
+        }
     }
 
     #[test]
@@ -141,5 +182,15 @@ mod tests {
     fn zero_threads_panics() {
         let seq = SeedSequence::new(1);
         let _: Vec<u8> = run_trials(10, 0, seq, |_, _| 0u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 5 fails")]
+    fn trial_panic_propagates_with_original_message() {
+        let seq = SeedSequence::new(1);
+        let _: Vec<u8> = run_trials(8, 4, seq, |i, _| {
+            assert!(i != 5, "trial 5 fails");
+            0u8
+        });
     }
 }
