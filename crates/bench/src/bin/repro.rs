@@ -1,26 +1,267 @@
 //! `repro` — regenerate the paper's quantitative claims.
 //!
 //! ```text
-//! repro list                 # show all experiments
-//! repro all [--quick]       # run everything
-//! repro e3 e8 [--full]      # run selected experiments
-//! repro bench               # engine throughput -> BENCH_engine.json
+//! repro list                        # show all experiments
+//! repro all [--quick]               # run everything
+//! repro e3 e8 [--full]              # run selected experiments
+//! repro bench                       # engine throughput -> BENCH_engine.json
+//! repro bench --compare [BASE]      # …then gate against a baseline JSON
+//! repro sweep SPEC [--quick]        # run a declarative parameter sweep
 //! options:
-//!   --quick      small grids (default)
-//!   --full       the EXPERIMENTS.md grids
-//!   --seed N     master seed (default 20160725 — PODC'16 day one)
-//!   --out DIR    CSV/JSON output directory (default results/)
+//!   --quick           small grids (default for experiments)
+//!   --full            the EXPERIMENTS.md grids
+//!   --seed N          master seed for experiments (default 20160725 —
+//!                     PODC'16 day one; sweeps read their seed from the spec)
+//!   --out DIR         CSV/JSON output directory (default results/)
+//!   --tolerance F     bench gate: allowed fractional regression (default 0.25)
+//! sweep options:
+//!   --workers N       worker threads for shard fan-out (results never depend on it)
+//!   --resume          continue from DIR/<name>.ckpt if present
+//!   --max-shards K    stop after K newly executed shards (checkpoint survives)
+//!   --no-checkpoint   do not write a checkpoint file
+//! exit codes: 0 ok; 1 perf gate regressed / IO failure; 2 usage; 3 partial sweep
 //! ```
 
 use antdensity_bench::experiments;
 use antdensity_bench::perf;
 use antdensity_bench::report::Effort;
+use antdensity_sweep as sweep;
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: repro <list|bench|all|e1..e17...> [--quick|--full] [--seed N] [--out DIR]");
+    eprintln!(
+        "usage: repro <list|bench|sweep SPEC|all|e1..e17...> [--quick|--full] [--seed N] \
+         [--out DIR] [--compare [BASELINE]] [--tolerance F] [--workers N] [--resume] \
+         [--max-shards K] [--no-checkpoint]"
+    );
     std::process::exit(2);
+}
+
+struct Cli {
+    effort: Effort,
+    seed: u64,
+    out: PathBuf,
+    selected: Vec<String>,
+    list_only: bool,
+    bench_only: bool,
+    compare: Option<PathBuf>,
+    tolerance: f64,
+    sweep_spec: Option<PathBuf>,
+    workers: Option<usize>,
+    resume: bool,
+    max_shards: Option<usize>,
+    no_checkpoint: bool,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        effort: Effort::Quick,
+        seed: 20_160_725,
+        out: PathBuf::from("results"),
+        selected: Vec::new(),
+        list_only: false,
+        bench_only: false,
+        compare: None,
+        tolerance: 0.25,
+        sweep_spec: None,
+        workers: None,
+        resume: false,
+        max_shards: None,
+        no_checkpoint: false,
+    };
+    let mut i = 0;
+    let mut expect_sweep_spec = false;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if expect_sweep_spec && !arg.starts_with("--") {
+            cli.sweep_spec = Some(PathBuf::from(arg));
+            expect_sweep_spec = false;
+            i += 1;
+            continue;
+        }
+        match arg {
+            "--quick" => cli.effort = Effort::Quick,
+            "--full" => cli.effort = Effort::Full,
+            "bench" => cli.bench_only = true,
+            "sweep" => expect_sweep_spec = true,
+            "--seed" => {
+                i += 1;
+                cli.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                cli.out = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--compare" => {
+                // optional path operand; defaults to the committed baseline
+                if let Some(next) = args.get(i + 1).filter(|n| !n.starts_with("--")) {
+                    cli.compare = Some(PathBuf::from(next));
+                    i += 1;
+                } else {
+                    cli.compare = Some(PathBuf::from("BENCH_baseline.json"));
+                }
+            }
+            "--tolerance" => {
+                i += 1;
+                cli.tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| usage());
+            }
+            "--workers" => {
+                i += 1;
+                cli.workers = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&w| w > 0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--resume" => cli.resume = true,
+            "--max-shards" => {
+                i += 1;
+                cli.max_shards = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--no-checkpoint" => cli.no_checkpoint = true,
+            "list" => cli.list_only = true,
+            "all" => {
+                cli.selected = experiments::all()
+                    .iter()
+                    .map(|e| e.id.to_string())
+                    .collect()
+            }
+            other if other.starts_with('e') || other.starts_with('E') => {
+                cli.selected.push(other.to_string());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if expect_sweep_spec {
+        eprintln!("`sweep` needs a spec file path");
+        usage();
+    }
+    cli
+}
+
+fn run_bench(cli: &Cli) {
+    let t0 = Instant::now();
+    let report = perf::run_engine_bench(cli.effort);
+    print!("{}", report.render());
+    match report.write_json(&cli.out) {
+        Ok(path) => println!("  json: {}", path.display()),
+        Err(e) => {
+            eprintln!("  json write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("  [bench finished in {:.1}s]", t0.elapsed().as_secs_f64());
+
+    if let Some(baseline_path) = &cli.compare {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                std::process::exit(1);
+            }
+        };
+        let baseline = perf::parse_json(&text).unwrap_or_else(|e| {
+            eprintln!("baseline {} is malformed: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        let cmp = perf::compare(&report, &baseline, cli.tolerance).unwrap_or_else(|e| {
+            eprintln!("comparison failed: {e}");
+            std::process::exit(1);
+        });
+        print!("{}", cmp.render());
+        if cmp.regressed() {
+            eprintln!(
+                "perf gate FAILED: median throughput ratio {:.3} below {:.2}",
+                cmp.median_ratio,
+                1.0 - cli.tolerance
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read sweep spec {}: {e}", spec_path.display());
+            std::process::exit(1);
+        }
+    };
+    let spec = sweep::SweepSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("sweep spec {}: {e}", spec_path.display());
+        std::process::exit(2);
+    });
+    let checkpoint = if cli.no_checkpoint {
+        None
+    } else {
+        Some(cli.out.join(format!("{}.ckpt", spec.name)))
+    };
+    let opts = sweep::SweepOptions {
+        quick: cli.effort == Effort::Quick,
+        workers: cli
+            .workers
+            .unwrap_or_else(antdensity_walks::parallel::default_threads),
+        checkpoint: checkpoint.clone(),
+        resume: cli.resume,
+        max_shards: cli.max_shards,
+        ..sweep::SweepOptions::default()
+    };
+    let t0 = Instant::now();
+    let outcome = sweep::run_sweep(&spec, &opts).unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(1);
+    });
+    let report = sweep::build_report(&outcome);
+    print!("{}", report.render());
+    match report.write(&cli.out) {
+        Ok((json, csv)) => {
+            println!("  json: {}", json.display());
+            println!("  csv:  {}", csv.display());
+        }
+        Err(e) => {
+            eprintln!("  report write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "  [sweep {} ran {} shard{} (+{} resumed) in {:.1}s]",
+        report.name,
+        outcome.executed,
+        if outcome.executed == 1 { "" } else { "s" },
+        outcome.resumed,
+        t0.elapsed().as_secs_f64()
+    );
+    if outcome.complete {
+        if let Some(ck) = &checkpoint {
+            let _ = std::fs::remove_file(ck); // finished: nothing to resume
+        }
+    } else if let Some(ck) = &checkpoint {
+        println!(
+            "  partial run — resume with: repro sweep {} --resume --out {}  (checkpoint {})",
+            spec_path.display(),
+            cli.out.display(),
+            ck.display()
+        );
+        std::process::exit(3);
+    } else {
+        println!("  partial run and --no-checkpoint: progress was discarded");
+        std::process::exit(3);
+    }
 }
 
 fn main() {
@@ -28,92 +269,54 @@ fn main() {
     if args.is_empty() {
         usage();
     }
-    let mut effort = Effort::Quick;
-    let mut seed: u64 = 20_160_725;
-    let mut out = PathBuf::from("results");
-    let mut selected: Vec<String> = Vec::new();
-    let mut list_only = false;
-    let mut bench_only = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => effort = Effort::Quick,
-            "--full" => effort = Effort::Full,
-            "bench" => bench_only = true,
-            "--seed" => {
-                i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--out" => {
-                i += 1;
-                out = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "list" => list_only = true,
-            "all" => {
-                selected = experiments::all()
-                    .iter()
-                    .map(|e| e.id.to_string())
-                    .collect()
-            }
-            other if other.starts_with('e') || other.starts_with('E') => {
-                selected.push(other.to_string());
-            }
-            _ => usage(),
-        }
-        i += 1;
-    }
+    let cli = parse_cli(&args);
 
-    if list_only {
+    if cli.list_only {
         println!("available experiments:");
         for def in experiments::all() {
             println!("  {:>4}  {}", def.id, def.summary);
         }
         return;
     }
-    if bench_only {
-        if !selected.is_empty() {
+    if let Some(spec_path) = cli.sweep_spec.clone() {
+        if cli.bench_only || !cli.selected.is_empty() {
+            eprintln!("`sweep` cannot be combined with `bench` or experiment ids");
+            std::process::exit(2);
+        }
+        run_sweep_cmd(&cli, &spec_path);
+        return;
+    }
+    if cli.bench_only {
+        if !cli.selected.is_empty() {
             eprintln!(
                 "`bench` cannot be combined with experiment ids (got {})",
-                selected.join(", ")
+                cli.selected.join(", ")
             );
             std::process::exit(2);
         }
-        let t0 = Instant::now();
-        let report = perf::run_engine_bench(effort);
-        print!("{}", report.render());
-        match report.write_json(&out) {
-            Ok(path) => println!("  json: {}", path.display()),
-            Err(e) => {
-                eprintln!("  json write failed: {e}");
-                std::process::exit(1);
-            }
-        }
-        println!("  [bench finished in {:.1}s]", t0.elapsed().as_secs_f64());
+        run_bench(&cli);
         return;
     }
-    if selected.is_empty() {
+    if cli.selected.is_empty() {
         usage();
     }
 
-    let mode = match effort {
+    let mode = match cli.effort {
         Effort::Quick => "quick",
         Effort::Full => "full",
     };
-    println!("# antdensity repro — mode: {mode}, seed: {seed}\n");
+    println!("# antdensity repro — mode: {mode}, seed: {}\n", cli.seed);
     let t_all = Instant::now();
-    for id in &selected {
+    for id in &cli.selected {
         let Some(def) = experiments::find(id) else {
             eprintln!("unknown experiment id: {id}");
             std::process::exit(2);
         };
         let t0 = Instant::now();
-        let report = (def.run)(effort, seed);
+        let report = (def.run)(cli.effort, cli.seed);
         let elapsed = t0.elapsed();
         print!("{}", report.render());
-        match report.write_csv(&out) {
+        match report.write_csv(&cli.out) {
             Ok(files) => {
                 for f in files {
                     println!("  csv: {}", f.display());

@@ -31,7 +31,14 @@
 //!
 //! `repro bench` times the engine's stepping paths and writes the
 //! machine-readable `BENCH_engine.json` ([`perf`]), the perf trajectory
-//! CI tracks from PR to PR.
+//! CI tracks from PR to PR; `repro bench --compare` gates the result
+//! against the committed `BENCH_baseline.json` (median-of-ratios, 25%
+//! tolerance — [`perf::compare`]).
+//!
+//! `repro sweep SPEC` runs a declarative parameter-grid sweep
+//! (`antdensity-sweep`): committed specs under `specs/` replace
+//! hand-written experiment binaries for grid-shaped studies, with
+//! checkpoint/resume and bit-identical aggregates.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -40,5 +47,5 @@ pub mod experiments;
 pub mod perf;
 pub mod report;
 
-pub use perf::{EngineBenchReport, EngineBenchResult};
+pub use perf::{BenchComparison, CompareRow, EngineBenchReport, EngineBenchResult};
 pub use report::{Effort, ExperimentReport};

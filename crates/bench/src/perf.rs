@@ -313,6 +313,208 @@ impl EngineBenchReport {
     }
 }
 
+/// Parses a `BENCH_engine.json` file written by
+/// [`EngineBenchReport::to_json`] (one result object per line — the
+/// schema this module owns, so a hand-rolled reader suffices offline).
+///
+/// # Errors
+///
+/// Returns a message for missing top-level fields or malformed result
+/// lines.
+pub fn parse_json(text: &str) -> Result<EngineBenchReport, String> {
+    fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\": \"");
+        let start = line.find(&tag)? + tag.len();
+        let end = line[start..].find('"')? + start;
+        Some(&line[start..end])
+    }
+    fn num_field(line: &str, key: &str) -> Option<f64> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+    // Interned &'static labels keep the parsed report type-identical to
+    // a freshly measured one.
+    fn intern(s: &str) -> Result<&'static str, String> {
+        for known in [
+            "sequential",
+            "parallel_scaling",
+            "mono",
+            "pool",
+            "spawn_baseline",
+        ] {
+            if s == known {
+                return Ok(known);
+            }
+        }
+        Err(format!("unknown group/impl label `{s}`"))
+    }
+
+    let mode = match str_field(text, "mode") {
+        Some("quick") => "quick",
+        Some("full") => "full",
+        other => return Err(format!("missing or unknown mode {other:?}")),
+    };
+    let samples = num_field(text, "samples").ok_or("missing samples field")? as usize;
+    let mut results = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"group\":")) {
+        let parse = || -> Option<EngineBenchResult> {
+            Some(EngineBenchResult {
+                group: intern(str_field(line, "group")?).ok()?,
+                implementation: intern(str_field(line, "impl")?).ok()?,
+                agents: num_field(line, "agents")? as usize,
+                workers: num_field(line, "workers")? as usize,
+                effective_workers: num_field(line, "effective_workers")? as usize,
+                ns_per_agent_step: num_field(line, "ns_per_agent_step")?,
+                msteps_per_sec: num_field(line, "msteps_per_sec")?,
+            })
+        };
+        results.push(parse().ok_or_else(|| format!("malformed result line: {line}"))?);
+    }
+    if results.is_empty() {
+        return Err("no result entries found".into());
+    }
+    Ok(EngineBenchReport {
+        mode,
+        samples,
+        results,
+    })
+}
+
+/// One matched configuration in a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Benchmark family.
+    pub group: &'static str,
+    /// Implementation under test.
+    pub implementation: &'static str,
+    /// Population size.
+    pub agents: usize,
+    /// Requested workers.
+    pub workers: usize,
+    /// Baseline throughput (Msteps/s, median over samples).
+    pub baseline_msteps: f64,
+    /// Current throughput.
+    pub current_msteps: f64,
+    /// `current / baseline` (above 1 = faster than baseline).
+    pub ratio: f64,
+}
+
+/// The CI perf-regression gate: current run vs a committed baseline.
+///
+/// Configs are matched on `(group, impl, agents, workers)`. The gate
+/// statistic is the **median** of the per-config throughput ratios —
+/// per-config figures are already medians over timed batches, and the
+/// median-of-ratios ignores a few noisy outlier configs (CI neighbours,
+/// cache state) while still catching a real slowdown, which drags most
+/// configs down together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// Matched configurations.
+    pub rows: Vec<CompareRow>,
+    /// Current-run configs absent from the baseline (ignored by the gate).
+    pub unmatched: usize,
+    /// Median of the per-config ratios.
+    pub median_ratio: f64,
+    /// Allowed fractional regression (0.25 = fail below 0.75×).
+    pub tolerance: f64,
+}
+
+impl BenchComparison {
+    /// Whether the gate fails: the median config lost more than
+    /// `tolerance` of its baseline throughput.
+    pub fn regressed(&self) -> bool {
+        self.median_ratio < 1.0 - self.tolerance
+    }
+
+    /// Comparison table plus the gate verdict.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "perf vs baseline",
+            &["group", "impl", "agents", "workers", "base", "now", "ratio"],
+        );
+        for r in &self.rows {
+            t.row_owned(vec![
+                r.group.to_string(),
+                r.implementation.to_string(),
+                r.agents.to_string(),
+                r.workers.to_string(),
+                format!("{:.2}", r.baseline_msteps),
+                format!("{:.2}", r.current_msteps),
+                format!("{:.3}", r.ratio),
+            ]);
+        }
+        t.note("base/now in Msteps/s (medians); ratio = now/base, higher is faster");
+        let mut out = t.render();
+        out.push_str(&format!(
+            "  => median throughput ratio {:.3} over {} matched configs \
+             ({} unmatched), gate at {:.2}: {}\n",
+            self.median_ratio,
+            self.rows.len(),
+            self.unmatched,
+            1.0 - self.tolerance,
+            if self.regressed() { "REGRESSED" } else { "ok" }
+        ));
+        out.push_str(
+            "  => note: baselines are host-specific; a uniform shift across every \
+             config usually means a different machine, not a regression\n",
+        );
+        out
+    }
+}
+
+/// Compares `current` against `baseline` with the given fractional
+/// tolerance.
+///
+/// # Errors
+///
+/// Returns an error if no configuration matches between the two
+/// reports (nothing to gate on).
+pub fn compare(
+    current: &EngineBenchReport,
+    baseline: &EngineBenchReport,
+    tolerance: f64,
+) -> Result<BenchComparison, String> {
+    let mut rows = Vec::new();
+    let mut unmatched = 0usize;
+    for cur in &current.results {
+        match baseline.results.iter().find(|b| {
+            b.group == cur.group
+                && b.implementation == cur.implementation
+                && b.agents == cur.agents
+                && b.workers == cur.workers
+        }) {
+            Some(base) => rows.push(CompareRow {
+                group: cur.group,
+                implementation: cur.implementation,
+                agents: cur.agents,
+                workers: cur.workers,
+                baseline_msteps: base.msteps_per_sec,
+                current_msteps: cur.msteps_per_sec,
+                ratio: cur.msteps_per_sec / base.msteps_per_sec,
+            }),
+            None => unmatched += 1,
+        }
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no configurations match the baseline (baseline mode `{}`, current `{}`)",
+            baseline.mode, current.mode
+        ));
+    }
+    let ratios: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
+    Ok(BenchComparison {
+        median_ratio: antdensity_stats::quantile::median(&ratios),
+        rows,
+        unmatched,
+        tolerance,
+    })
+}
+
 /// One pool-vs-spawn comparison at a requested configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolSpeedup {
@@ -386,6 +588,99 @@ mod tests {
         assert!(text.contains("pool vs per-round-spawn"));
         assert!(text.contains("pool ran 2, spawn ran 1"));
         assert!(text.contains("2.50x"));
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let report = tiny_report();
+        let parsed = parse_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.mode, report.mode);
+        assert_eq!(parsed.samples, report.samples);
+        assert_eq!(parsed.results.len(), report.results.len());
+        for (a, b) in parsed.results.iter().zip(&report.results) {
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.implementation, b.implementation);
+            assert_eq!(
+                (a.agents, a.workers, a.effective_workers),
+                (b.agents, b.workers, b.effective_workers)
+            );
+            assert!((a.msteps_per_sec - b.msteps_per_sec).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{}").is_err());
+        assert!(parse_json("not json at all").is_err());
+        let broken = tiny_report()
+            .to_json()
+            .replace("\"agents\": 1024", "\"agents\": oops");
+        assert!(parse_json(&broken).is_err());
+    }
+
+    fn scaled_report(factor: f64) -> EngineBenchReport {
+        let mut r = tiny_report();
+        for res in &mut r.results {
+            res.msteps_per_sec *= factor;
+            res.ns_per_agent_step /= factor;
+        }
+        r
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let base = tiny_report();
+        let same = compare(&base, &base, 0.25).unwrap();
+        assert!((same.median_ratio - 1.0).abs() < 1e-12);
+        assert!(!same.regressed());
+
+        let slightly_slower = compare(&scaled_report(0.85), &base, 0.25).unwrap();
+        assert!(
+            !slightly_slower.regressed(),
+            "15% loss is inside the 25% gate"
+        );
+
+        let much_slower = compare(&scaled_report(0.5), &base, 0.25).unwrap();
+        assert!(much_slower.regressed());
+        assert!((much_slower.median_ratio - 0.5).abs() < 1e-9);
+        let text = much_slower.render();
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("median throughput ratio 0.500"));
+    }
+
+    #[test]
+    fn gate_uses_median_not_worst_case() {
+        // one outlier config tanks, the rest hold: the gate stays green
+        let base = EngineBenchReport {
+            mode: "quick",
+            samples: 5,
+            results: (0..5)
+                .map(|i| EngineBenchResult {
+                    group: "parallel_scaling",
+                    implementation: "pool",
+                    agents: 1024 << i,
+                    workers: 2,
+                    effective_workers: 2,
+                    ns_per_agent_step: 10.0,
+                    msteps_per_sec: 100.0,
+                })
+                .collect(),
+        };
+        let mut current = base.clone();
+        current.results[0].msteps_per_sec *= 0.1;
+        let cmp = compare(&current, &base, 0.25).unwrap();
+        assert_eq!(cmp.rows.len(), 5);
+        assert!(!cmp.regressed(), "median ratio {}", cmp.median_ratio);
+    }
+
+    #[test]
+    fn compare_requires_overlap() {
+        let base = tiny_report();
+        let mut foreign = tiny_report();
+        for r in &mut foreign.results {
+            r.agents += 1;
+        }
+        assert!(compare(&foreign, &base, 0.25).is_err());
     }
 
     #[test]

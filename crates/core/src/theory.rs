@@ -10,6 +10,7 @@
 //! | hypercube | `(9/10)^{m−1} + 1/√A` (Lemma 25) | `O(1)` for t = O(√A) | matches i.i.d. |
 //! | complete | `1/A` exactly | `1 + t/A` | Chernoff baseline |
 
+use antdensity_engine::{EstimatorSpec, TopologySpec};
 use antdensity_stats::bounds;
 
 /// The topology families the paper analyses, with the parameters entering
@@ -154,6 +155,53 @@ impl TopologyClass {
         }
         None
     }
+
+    /// The theory class matching an engine
+    /// [`TopologySpec`] — the bridge the sweep orchestrator uses to put a
+    /// predicted-accuracy column next to each measured cell. Returns
+    /// `None` for a `TorusKd` with `dims < 3` (the paper analyses k ≥ 3;
+    /// `dims == 2` is [`TopologyClass::Torus2d`], expressed that way in
+    /// specs).
+    pub fn from_spec(spec: TopologySpec) -> Option<Self> {
+        match spec {
+            TopologySpec::Torus2d { side } => Some(Self::Torus2d { nodes: side * side }),
+            TopologySpec::TorusKd { dims, side } if dims >= 3 => Some(Self::TorusKd {
+                dims,
+                nodes: side.pow(dims),
+            }),
+            TopologySpec::TorusKd { .. } => None,
+            TopologySpec::Ring { nodes } => Some(Self::Ring { nodes }),
+            TopologySpec::Hypercube { dims } => Some(Self::Hypercube { dims }),
+            TopologySpec::Complete { nodes } => Some(Self::Complete { nodes }),
+        }
+    }
+}
+
+/// The paper's predicted relative-error bound (unit constants) for an
+/// estimator running `t` rounds at density `d` with failure probability
+/// `delta` on `topology` — Theorem 1 / Lemma 19 shapes for Algorithm 1
+/// (and its quorum read-out, which thresholds Algorithm 1 estimates),
+/// Theorem 32's independent-sampling shape for Algorithm 4. Relative
+/// frequency composes two estimates, so no single-theorem bound applies
+/// and `None` is returned; likewise for topologies outside the paper's
+/// analysis ([`TopologyClass::from_spec`]).
+pub fn predicted_epsilon(
+    topology: TopologySpec,
+    estimator: &EstimatorSpec,
+    t: u64,
+    d: f64,
+    delta: f64,
+) -> Option<f64> {
+    match estimator {
+        EstimatorSpec::Algorithm1 | EstimatorSpec::Quorum { .. } => {
+            Some(TopologyClass::from_spec(topology)?.epsilon(t, d, delta))
+        }
+        EstimatorSpec::Algorithm4 => match topology {
+            TopologySpec::Torus2d { .. } => Some(bounds::theorem32_epsilon(t, d, delta, 1.0)),
+            _ => None,
+        },
+        EstimatorSpec::RelativeFrequency { .. } => None,
+    }
 }
 
 /// The harmonic number `H_n = Σ_{i=1..n} 1/i`.
@@ -184,6 +232,60 @@ mod tests {
         let exact: f64 = (1..=99u64).map(|i| 1.0 / i as f64).sum();
         assert!((harmonic(99) - exact).abs() < 1e-12);
         assert!((harmonic(100) - (exact + 0.01)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_spec_matches_node_counts() {
+        let cases = [
+            TopologySpec::Torus2d { side: 32 },
+            TopologySpec::TorusKd { dims: 3, side: 8 },
+            TopologySpec::Ring { nodes: 512 },
+            TopologySpec::Hypercube { dims: 10 },
+            TopologySpec::Complete { nodes: 4096 },
+        ];
+        for spec in cases {
+            let class = TopologyClass::from_spec(spec).unwrap();
+            assert_eq!(class.nodes(), spec.num_nodes(), "{spec}");
+        }
+        assert!(TopologyClass::from_spec(TopologySpec::TorusKd { dims: 2, side: 8 }).is_none());
+    }
+
+    #[test]
+    fn predicted_epsilon_shapes() {
+        let torus = TopologySpec::Torus2d { side: 64 };
+        let e1 = predicted_epsilon(torus, &EstimatorSpec::Algorithm1, 256, 0.05, 0.1).unwrap();
+        let e1_longer =
+            predicted_epsilon(torus, &EstimatorSpec::Algorithm1, 4096, 0.05, 0.1).unwrap();
+        assert!(e1_longer < e1, "more rounds tighten the bound");
+        // quorum thresholds Algorithm 1 estimates: same bound
+        let eq = predicted_epsilon(
+            torus,
+            &EstimatorSpec::Quorum { threshold: 0.1 },
+            256,
+            0.05,
+            0.1,
+        )
+        .unwrap();
+        assert_eq!(eq, e1);
+        // Algorithm 4 is torus-only and sqrt-shaped
+        assert!(predicted_epsilon(torus, &EstimatorSpec::Algorithm4, 32, 0.05, 0.1).is_some());
+        assert!(predicted_epsilon(
+            TopologySpec::Ring { nodes: 64 },
+            &EstimatorSpec::Algorithm4,
+            32,
+            0.05,
+            0.1
+        )
+        .is_none());
+        // relative frequency has no single-theorem bound
+        assert!(predicted_epsilon(
+            torus,
+            &EstimatorSpec::RelativeFrequency { property_agents: 4 },
+            32,
+            0.05,
+            0.1
+        )
+        .is_none());
     }
 
     #[test]

@@ -45,6 +45,86 @@ pub enum MovementModel {
     },
 }
 
+impl std::fmt::Display for MovementModel {
+    /// Canonical spec-file syntax: `pure`, `lazy:<stay_prob>`,
+    /// `stationary`, `drift:<move_index>`, `biased:<p0>,<p1>,…`.
+    /// Round-trips through [`FromStr`](std::str::FromStr).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Pure => write!(f, "pure"),
+            Self::Lazy { stay_prob } => write!(f, "lazy:{stay_prob}"),
+            Self::Stationary => write!(f, "stationary"),
+            Self::Drift { move_index } => write!(f, "drift:{move_index}"),
+            Self::Biased { move_probs } => {
+                write!(f, "biased:")?;
+                for (i, p) in move_probs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for MovementModel {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax (the sweep
+    /// spec-file axis format). Validates the same invariants as the
+    /// builder methods, returning `Err` instead of panicking.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        match s {
+            "pure" => return Ok(Self::Pure),
+            "stationary" => return Ok(Self::Stationary),
+            _ => {}
+        }
+        if let Some(arg) = s.strip_prefix("lazy:") {
+            let stay_prob: f64 = arg
+                .trim()
+                .parse()
+                .map_err(|_| format!("movement `{s}`: bad stay probability `{arg}`"))?;
+            if !(0.0..=1.0).contains(&stay_prob) {
+                return Err(format!("movement `{s}`: stay probability outside [0,1]"));
+            }
+            return Ok(Self::Lazy { stay_prob });
+        }
+        if let Some(arg) = s.strip_prefix("drift:") {
+            let move_index: usize = arg
+                .trim()
+                .parse()
+                .map_err(|_| format!("movement `{s}`: bad move index `{arg}`"))?;
+            return Ok(Self::Drift { move_index });
+        }
+        if let Some(arg) = s.strip_prefix("biased:") {
+            let move_probs: Vec<f64> = arg
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("movement `{s}`: bad probability `{p}`"))
+                })
+                .collect::<Result<_, _>>()?;
+            if move_probs.iter().any(|&p| p < 0.0) {
+                return Err(format!(
+                    "movement `{s}`: probabilities must be non-negative"
+                ));
+            }
+            let total: f64 = move_probs.iter().sum();
+            if total > 1.0 + 1e-9 {
+                return Err(format!("movement `{s}`: probabilities sum to {total} > 1"));
+            }
+            return Ok(Self::Biased { move_probs });
+        }
+        Err(format!(
+            "unknown movement `{s}` (expected pure, lazy:<p>, stationary, drift:<i>, biased:<p0>,…)"
+        ))
+    }
+}
+
 impl MovementModel {
     /// A lazy walk staying put with probability `stay_prob`.
     ///

@@ -191,6 +191,49 @@ impl Default for CollisionNoise {
     }
 }
 
+impl std::fmt::Display for CollisionNoise {
+    /// Canonical spec-file syntax: `sense:<detect_prob>:<spurious_rate>`.
+    /// Round-trips through [`FromStr`](std::str::FromStr).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sense:{}:{}", self.detect_prob, self.spurious_rate)
+    }
+}
+
+impl std::str::FromStr for CollisionNoise {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax (the sweep
+    /// spec-file axis format). Validates the same invariants as
+    /// [`CollisionNoise::new`], returning `Err` instead of panicking.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .trim()
+            .strip_prefix("sense:")
+            .ok_or_else(|| format!("noise `{s}`: expected `sense:<detect>:<spurious>`"))?;
+        let (p, rate) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("noise `{s}`: expected `sense:<detect>:<spurious>`"))?;
+        let detect_prob: f64 = p
+            .trim()
+            .parse()
+            .map_err(|_| format!("noise `{s}`: bad detection probability `{p}`"))?;
+        let spurious_rate: f64 = rate
+            .trim()
+            .parse()
+            .map_err(|_| format!("noise `{s}`: bad spurious rate `{rate}`"))?;
+        if !(detect_prob > 0.0 && detect_prob <= 1.0) {
+            return Err(format!("noise `{s}`: detection probability outside (0,1]"));
+        }
+        if !(spurious_rate >= 0.0 && spurious_rate.is_finite()) {
+            return Err(format!("noise `{s}`: spurious rate must be non-negative"));
+        }
+        Ok(Self {
+            detect_prob,
+            spurious_rate,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

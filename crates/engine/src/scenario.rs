@@ -61,6 +61,71 @@ pub enum TopologySpec {
     },
 }
 
+impl std::fmt::Display for TopologySpec {
+    /// Canonical spec-file syntax: `torus2d:32`, `toruskd:3x8`,
+    /// `ring:1024`, `hypercube:10`, `complete:1024`. Round-trips through
+    /// [`FromStr`](std::str::FromStr).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Self::Torus2d { side } => write!(f, "torus2d:{side}"),
+            Self::TorusKd { dims, side } => write!(f, "toruskd:{dims}x{side}"),
+            Self::Ring { nodes } => write!(f, "ring:{nodes}"),
+            Self::Hypercube { dims } => write!(f, "hypercube:{dims}"),
+            Self::Complete { nodes } => write!(f, "complete:{nodes}"),
+        }
+    }
+}
+
+impl std::str::FromStr for TopologySpec {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax (the sweep
+    /// spec-file axis format).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, arg) = match s.split_once(':') {
+            Some((k, a)) => (k.trim(), a.trim()),
+            None => return Err(format!("topology `{s}`: expected `kind:params`")),
+        };
+        let num = |a: &str, what: &str| -> Result<u64, String> {
+            a.parse::<u64>()
+                .map_err(|_| format!("topology `{s}`: bad {what} `{a}`"))
+                .and_then(|v| {
+                    if v == 0 {
+                        Err(format!("topology `{s}`: {what} must be positive"))
+                    } else {
+                        Ok(v)
+                    }
+                })
+        };
+        match kind {
+            "torus2d" => Ok(Self::Torus2d {
+                side: num(arg, "side")?,
+            }),
+            "toruskd" => {
+                let (d, side) = arg
+                    .split_once('x')
+                    .ok_or_else(|| format!("topology `{s}`: expected `toruskd:<dims>x<side>`"))?;
+                Ok(Self::TorusKd {
+                    dims: num(d, "dims")? as u32,
+                    side: num(side, "side")?,
+                })
+            }
+            "ring" => Ok(Self::Ring {
+                nodes: num(arg, "node count")?,
+            }),
+            "hypercube" => Ok(Self::Hypercube {
+                dims: num(arg, "dims")? as u32,
+            }),
+            "complete" => Ok(Self::Complete {
+                nodes: num(arg, "node count")?,
+            }),
+            other => Err(format!(
+                "unknown topology kind `{other}` (expected torus2d, toruskd, ring, hypercube, complete)"
+            )),
+        }
+    }
+}
+
 impl TopologySpec {
     /// Instantiates the concrete topology.
     pub fn build(&self) -> BuiltTopology {
@@ -186,6 +251,54 @@ pub enum EstimatorSpec {
         /// How many agents carry the property.
         property_agents: usize,
     },
+}
+
+impl std::fmt::Display for EstimatorSpec {
+    /// Canonical spec-file syntax: `alg1`, `alg4`, `quorum:<threshold>`,
+    /// `relfreq:<property_agents>`. Round-trips through
+    /// [`FromStr`](std::str::FromStr).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Algorithm1 => write!(f, "alg1"),
+            Self::Algorithm4 => write!(f, "alg4"),
+            Self::Quorum { threshold } => write!(f, "quorum:{threshold}"),
+            Self::RelativeFrequency { property_agents } => write!(f, "relfreq:{property_agents}"),
+        }
+    }
+}
+
+impl std::str::FromStr for EstimatorSpec {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        match s {
+            "alg1" => return Ok(Self::Algorithm1),
+            "alg4" => return Ok(Self::Algorithm4),
+            _ => {}
+        }
+        if let Some(arg) = s.strip_prefix("quorum:") {
+            let threshold: f64 = arg
+                .trim()
+                .parse()
+                .map_err(|_| format!("estimator `{s}`: bad threshold `{arg}`"))?;
+            if !(threshold.is_finite() && threshold > 0.0) {
+                return Err(format!("estimator `{s}`: threshold must be positive"));
+            }
+            return Ok(Self::Quorum { threshold });
+        }
+        if let Some(arg) = s.strip_prefix("relfreq:") {
+            let property_agents: usize = arg
+                .trim()
+                .parse()
+                .map_err(|_| format!("estimator `{s}`: bad property population `{arg}`"))?;
+            return Ok(Self::RelativeFrequency { property_agents });
+        }
+        Err(format!(
+            "unknown estimator `{s}` (expected alg1, alg4, quorum:<threshold>, relfreq:<agents>)"
+        ))
+    }
 }
 
 /// A runnable, seedable simulation description.
@@ -718,6 +831,64 @@ mod tests {
         let _ = Scenario::new(TopologySpec::Ring { nodes: 64 }, 9, 8)
             .with_estimator(EstimatorSpec::Algorithm4)
             .run(1);
+    }
+
+    #[test]
+    fn topology_spec_display_round_trips() {
+        for spec in [
+            TopologySpec::Torus2d { side: 32 },
+            TopologySpec::TorusKd { dims: 3, side: 8 },
+            TopologySpec::Ring { nodes: 1024 },
+            TopologySpec::Hypercube { dims: 10 },
+            TopologySpec::Complete { nodes: 4096 },
+        ] {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<TopologySpec>().unwrap(), spec, "{text}");
+        }
+        assert!("torus2d:0".parse::<TopologySpec>().is_err());
+        assert!("moebius:7".parse::<TopologySpec>().is_err());
+        assert!("toruskd:8".parse::<TopologySpec>().is_err());
+    }
+
+    #[test]
+    fn estimator_spec_display_round_trips() {
+        for spec in [
+            EstimatorSpec::Algorithm1,
+            EstimatorSpec::Algorithm4,
+            EstimatorSpec::Quorum { threshold: 0.125 },
+            EstimatorSpec::RelativeFrequency {
+                property_agents: 16,
+            },
+        ] {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<EstimatorSpec>().unwrap(), spec, "{text}");
+        }
+        assert!("quorum:-1".parse::<EstimatorSpec>().is_err());
+        assert!("alg2".parse::<EstimatorSpec>().is_err());
+    }
+
+    #[test]
+    fn movement_and_noise_display_round_trip() {
+        use crate::movement::MovementModel;
+        for m in [
+            MovementModel::Pure,
+            MovementModel::Lazy { stay_prob: 0.25 },
+            MovementModel::Stationary,
+            MovementModel::Drift { move_index: 2 },
+            MovementModel::Biased {
+                move_probs: vec![0.125, 0.5, 0.25],
+            },
+        ] {
+            let text = m.to_string();
+            assert_eq!(text.parse::<MovementModel>().unwrap(), m, "{text}");
+        }
+        assert!("lazy:1.5".parse::<MovementModel>().is_err());
+        assert!("biased:0.9,0.9".parse::<MovementModel>().is_err());
+
+        let noise = NoiseSpec::new(0.8, 0.05);
+        assert_eq!(noise.to_string().parse::<NoiseSpec>().unwrap(), noise);
+        assert!("sense:0:0.1".parse::<NoiseSpec>().is_err());
+        assert!("sense:0.5".parse::<NoiseSpec>().is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `C = deḡ·Σcⱼ/(n(n−1)t)`, and returns `Â = 1/C`; Theorem 27 shows
 //! `n²t = Θ((B(t)·deḡ + 1)/(ε²δ)·|V|)` suffices. Increasing `t` trades
 //! walks for steps, beating the collisions-in-one-round approach of
-//! Katzir et al. [KLSC14] whenever burn-in (mixing) is expensive —
+//! Katzir et al. \[KLSC14\] whenever burn-in (mixing) is expensive —
 //! Section 5.1.5 works the comparison on k-dimensional tori.
 //!
 //! Components:

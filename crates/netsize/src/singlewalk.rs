@@ -1,4 +1,4 @@
-//! Single-walk network-size estimation (the [LL12]/[KBM12] approach the
+//! Single-walk network-size estimation (the \[LL12\]/\[KBM12\] approach the
 //! paper contrasts with in Section 5.1: "One approach is to run a single
 //! random walk and count repeat node visits").
 //!

@@ -91,6 +91,116 @@ impl Histogram {
         self.overflow
     }
 
+    /// Lower bound of the binned range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the binned range (exclusive).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Merges another histogram into this one (streaming parallel
+    /// reduction: shard-local histograms combine into the sweep-level
+    /// aggregate without retaining samples). Bin counts add, so the
+    /// result is identical to having pushed every observation into one
+    /// histogram — in any merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi,
+            "histogram bounds differ"
+        );
+        assert_eq!(self.bins.len(), other.bins.len(), "bin counts differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+
+    /// Approximate `q`-quantile from the binned counts, interpolating
+    /// uniformly within the containing bin. Underflow mass is treated as
+    /// sitting at `lo`, overflow mass at `hi` — so the result is always
+    /// within `[lo, hi]` and exact to one bin width for in-range data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(self.count > 0, "quantile of empty histogram");
+        assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+        let target = q * self.count as f64;
+        let mut seen = self.underflow as f64;
+        if target <= seen {
+            return self.lo;
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c as f64;
+            if target <= next {
+                let (blo, bhi) = self.bin_edges(i);
+                let frac = (target - seen) / c as f64;
+                return blo + frac * (bhi - blo);
+            }
+            seen = next;
+        }
+        self.hi
+    }
+
+    /// The exact internal state
+    /// `(lo, hi, bins, underflow, overflow, count)` — for bit-exact
+    /// persistence. Round-trips through [`Histogram::from_parts`].
+    pub fn raw_parts(&self) -> (f64, f64, &[u64], u64, u64, u64) {
+        (
+            self.lo,
+            self.hi,
+            &self.bins,
+            self.underflow,
+            self.overflow,
+            self.count,
+        )
+    }
+
+    /// Reconstructs a histogram from [`Histogram::raw_parts`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty bin vector, non-finite bounds, `lo >= hi`, or
+    /// a total count smaller than the sum of the recorded counts.
+    pub fn from_parts(
+        lo: f64,
+        hi: f64,
+        bins: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+        count: u64,
+    ) -> Self {
+        assert!(!bins.is_empty(), "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "lo must be strictly below hi");
+        let binned: u64 = bins.iter().sum();
+        assert!(
+            binned + underflow + overflow == count,
+            "recorded counts do not sum to the total"
+        );
+        Self {
+            lo,
+            hi,
+            bins,
+            underflow,
+            overflow,
+            count,
+        }
+    }
+
     /// The bin densities normalised so the histogram integrates to 1
     /// (under/overflow excluded from the numerator but included in n).
     pub fn densities(&self) -> Vec<f64> {
@@ -279,6 +389,73 @@ mod tests {
         h.push(100.0);
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut whole = Histogram::new(0.0, 1.0, 8);
+        let mut a = Histogram::new(0.0, 1.0, 8);
+        let mut b = Histogram::new(0.0, 1.0, 8);
+        for i in 0..200 {
+            let x = (i as f64 * 0.7919) % 1.4 - 0.2; // exercises under/overflow
+            whole.push(x);
+            if i % 3 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds differ")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.merge(&Histogram::new(0.0, 2.0, 4));
+    }
+
+    #[test]
+    fn quantile_tracks_exact_quantile_to_bin_width() {
+        let mut h = Histogram::new(0.0, 1.0, 1000);
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 500.0).collect();
+        xs.iter().for_each(|&x| h.push(x));
+        for q in [0.1, 0.5, 0.9] {
+            let exact = crate::quantile::quantile(&xs, q);
+            assert!(
+                (h.quantile(q) - exact).abs() < 2.0 / 1000.0,
+                "q={q}: {} vs {exact}",
+                h.quantile(q)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(0.5);
+        h.push(10.0);
+        h.push(20.0);
+        assert_eq!(h.quantile(1.0), 1.0);
+        assert_eq!(h.quantile(0.9), 1.0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let mut h = Histogram::new(-1.0, 3.0, 16);
+        for i in 0..100 {
+            h.push(i as f64 * 0.05 - 1.2);
+        }
+        let (lo, hi, bins, under, over, count) = h.raw_parts();
+        let rebuilt = Histogram::from_parts(lo, hi, bins.to_vec(), under, over, count);
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not sum")]
+    fn from_parts_checks_totals() {
+        let _ = Histogram::from_parts(0.0, 1.0, vec![1, 2], 0, 0, 5);
     }
 
     #[test]

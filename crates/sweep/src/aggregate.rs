@@ -1,0 +1,241 @@
+//! Streaming per-cell aggregates.
+//!
+//! A sweep cell may pool millions of per-agent samples (agents × trials),
+//! so nothing is buffered: every metric streams into O(1)-memory
+//! accumulators from `antdensity_stats` — Welford moments for means and
+//! spreads, a fixed-bin histogram for error quantiles, exact counters
+//! for band coverage. Aggregates merge associatively
+//! ([`CellAggregate::merge`]) and serialize bit-exactly (checkpoints),
+//! so a killed-and-resumed sweep reports the identical numbers.
+
+use crate::spec::Cell;
+use antdensity_engine::{EstimatorSpec, ScenarioOutcome};
+use antdensity_stats::histogram::Histogram;
+use antdensity_stats::moments::StreamingMoments;
+
+/// Relative-error histogram range: `[0, HIST_HI)` with [`HIST_BINS`]
+/// bins (resolution `HIST_HI / HIST_BINS` ≈ 0.8%). Errors above the
+/// range land in the overflow counter and clamp quantiles to `HIST_HI`.
+pub const HIST_HI: f64 = 4.0;
+/// Number of histogram bins.
+pub const HIST_BINS: usize = 512;
+
+/// Streaming aggregate over every trial of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellAggregate {
+    /// Trials recorded.
+    pub trials: u64,
+    /// Per-agent density estimates `d̃` (all estimators).
+    pub est: StreamingMoments,
+    /// Per-agent relative errors of the cell's primary metric —
+    /// `|d̃−d|/d` for Algorithm 1/4/quorum, `|f̃−f|/f` for relative
+    /// frequency (agents with undefined `f̃` excluded).
+    pub err: StreamingMoments,
+    /// The same errors binned for quantile read-out.
+    pub err_hist: Histogram,
+    /// How many error samples fell within the spec's `band`.
+    pub within: u64,
+    /// Estimator-specific secondary stream: quorum decision correctness
+    /// (0/1 per agent) or relative-frequency estimates `f̃`; empty for
+    /// Algorithm 1/4.
+    pub aux: StreamingMoments,
+}
+
+impl Default for CellAggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CellAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self {
+            trials: 0,
+            est: StreamingMoments::new(),
+            err: StreamingMoments::new(),
+            err_hist: Histogram::new(0.0, HIST_HI, HIST_BINS),
+            within: 0,
+            aux: StreamingMoments::new(),
+        }
+    }
+
+    /// Streams one trial's [`ScenarioOutcome`] into the aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome shape does not match the cell's estimator
+    /// (missing quorum decisions / frequency estimates) — the runner
+    /// always pairs them correctly.
+    pub fn record_trial(&mut self, cell: &Cell, outcome: &ScenarioOutcome, band: f64) {
+        self.trials += 1;
+        for &e in &outcome.estimates {
+            self.est.push(e);
+        }
+        match &cell.estimator {
+            EstimatorSpec::Algorithm1 | EstimatorSpec::Algorithm4 => {
+                for e in outcome.relative_errors() {
+                    self.push_err(e, band);
+                }
+            }
+            EstimatorSpec::Quorum { threshold } => {
+                for e in outcome.relative_errors() {
+                    self.push_err(e, band);
+                }
+                let truth = outcome.true_density >= *threshold;
+                let decisions = outcome
+                    .quorum_decisions
+                    .as_ref()
+                    .expect("quorum cell without decisions");
+                for &d in decisions {
+                    self.aux.push(if d == truth { 1.0 } else { 0.0 });
+                }
+            }
+            EstimatorSpec::RelativeFrequency { property_agents } => {
+                let f_true = *property_agents as f64 / cell.num_agents as f64;
+                for f in outcome.frequencies().into_iter().flatten() {
+                    self.aux.push(f);
+                    self.push_err((f - f_true).abs() / f_true, band);
+                }
+            }
+        }
+    }
+
+    fn push_err(&mut self, e: f64, band: f64) {
+        self.err.push(e);
+        self.err_hist.push(e);
+        if e <= band {
+            self.within += 1;
+        }
+    }
+
+    /// Merges another aggregate (streaming parallel reduction). Bin
+    /// counts and counters add; moments merge via the Welford
+    /// combination rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram shapes differ (never happens between
+    /// aggregates built by this crate).
+    pub fn merge(&mut self, other: &CellAggregate) {
+        self.trials += other.trials;
+        self.est.merge(&other.est);
+        self.err.merge(&other.err);
+        self.err_hist.merge(&other.err_hist);
+        self.within += other.within;
+        self.aux.merge(&other.aux);
+    }
+
+    /// Approximate error quantile from the histogram (one-bin-width
+    /// resolution, clamped to [`HIST_HI`] for overflow mass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no error samples were recorded.
+    pub fn err_quantile(&self, q: f64) -> f64 {
+        self.err_hist.quantile(q)
+    }
+
+    /// Fraction of error samples within the band.
+    pub fn within_fraction(&self) -> f64 {
+        if self.err.count() == 0 {
+            return 0.0;
+        }
+        self.within as f64 / self.err.count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+    use antdensity_engine::Scenario;
+
+    fn demo_cells() -> Vec<Cell> {
+        SweepSpec::parse(
+            "
+            name = t
+            trials = 2
+            topology = complete:64
+            density = 0.2
+            rounds = 32
+            estimator = alg1, quorum:0.05, relfreq:0.5
+            ",
+        )
+        .unwrap()
+        .resolve(false)
+        .unwrap()
+        .cells
+    }
+
+    fn run_cell(cell: &Cell, seed: u64) -> ScenarioOutcome {
+        let mut s = Scenario::new(cell.topology, cell.num_agents, cell.rounds)
+            .with_movement(cell.movement.clone())
+            .with_estimator(cell.estimator.clone());
+        if let Some(n) = cell.noise {
+            s = s.with_noise(n);
+        }
+        s.run(seed)
+    }
+
+    #[test]
+    fn records_each_estimator_family() {
+        for cell in &demo_cells() {
+            let mut agg = CellAggregate::new();
+            for seed in 0..3 {
+                agg.record_trial(cell, &run_cell(cell, seed), 0.2);
+            }
+            assert_eq!(agg.trials, 3);
+            assert!(agg.est.count() >= 3 * cell.num_agents as u64);
+            assert!(agg.err.count() > 0, "{cell:?}");
+            assert_eq!(agg.err.count(), agg.err_hist.count());
+            match cell.estimator {
+                EstimatorSpec::Quorum { .. } => {
+                    // d = 0.2 ≫ 0.05: decisions should be mostly correct
+                    assert!(agg.aux.mean() > 0.8, "quorum accuracy {}", agg.aux.mean());
+                }
+                EstimatorSpec::RelativeFrequency { .. } => {
+                    assert!((agg.aux.mean() - 0.5).abs() < 0.2, "f̃ {}", agg.aux.mean());
+                }
+                _ => assert_eq!(agg.aux.count(), 0),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let cells = demo_cells();
+        let cell = &cells[0];
+        let outcomes: Vec<ScenarioOutcome> = (0..6).map(|s| run_cell(cell, s)).collect();
+        let mut whole = CellAggregate::new();
+        for o in &outcomes {
+            whole.record_trial(cell, o, 0.2);
+        }
+        let mut left = CellAggregate::new();
+        let mut right = CellAggregate::new();
+        for o in &outcomes[..2] {
+            left.record_trial(cell, o, 0.2);
+        }
+        for o in &outcomes[2..] {
+            right.record_trial(cell, o, 0.2);
+        }
+        left.merge(&right);
+        assert_eq!(left.trials, whole.trials);
+        assert_eq!(left.within, whole.within);
+        assert_eq!(left.err_hist, whole.err_hist);
+        assert_eq!(left.est.count(), whole.est.count());
+        assert!((left.est.mean() - whole.est.mean()).abs() < 1e-12);
+        assert!((left.err.variance() - whole.err.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn within_fraction_counts_band() {
+        let mut agg = CellAggregate::new();
+        for e in [0.05, 0.1, 0.3, 0.5] {
+            agg.push_err(e, 0.2);
+        }
+        assert_eq!(agg.within, 2);
+        assert_eq!(agg.within_fraction(), 0.5);
+        assert!(agg.err_quantile(0.0) >= 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Bit-exact sweep checkpoints.
+//!
+//! A checkpoint records every completed shard's [`CellAggregate`] with
+//! all floating-point state serialized as raw IEEE-754 bit patterns
+//! (hex `u64`), so `full run` and `run → kill → resume` produce
+//! **bit-identical** aggregates — the property
+//! `crates/sweep/tests/determinism.rs` pins. Checkpoints bind to the
+//! resolved spec's fingerprint; resuming against an edited spec or a
+//! different effort mode is rejected.
+//!
+//! The format is a plain text file:
+//!
+//! ```text
+//! antdensity-sweep-checkpoint v1
+//! fingerprint <hex16>
+//! cells <total> hist_bins <bins>
+//! shard <index> trials <trials> within <count>
+//! est <count> <mean> <m2> <min> <max>      # f64s as hex bit patterns
+//! err <count> <mean> <m2> <min> <max>
+//! aux <count> <mean> <m2> <min> <max>
+//! hist <lo> <hi> <underflow> <overflow> <count> <bin0> <bin1> …
+//! end
+//! ```
+//!
+//! Writes go through a temp file + rename so a kill mid-write leaves
+//! the previous checkpoint intact rather than a torn file.
+
+use crate::aggregate::CellAggregate;
+use antdensity_stats::histogram::Histogram;
+use antdensity_stats::moments::StreamingMoments;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Completed-shard state for one sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of the resolved spec this checkpoint belongs to.
+    pub fingerprint: u64,
+    /// Total shard count of the sweep (for sanity checks on resume).
+    pub cells: usize,
+    /// Aggregates of completed shards, keyed by shard index.
+    pub shards: BTreeMap<usize, CellAggregate>,
+}
+
+const MAGIC: &str = "antdensity-sweep-checkpoint v1";
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64(tok: &str) -> Result<f64, String> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bit pattern `{tok}`"))
+}
+
+fn parse_int<T: std::str::FromStr>(tok: &str) -> Result<T, String> {
+    tok.parse().map_err(|_| format!("bad integer `{tok}`"))
+}
+
+fn moments_line(label: &str, m: &StreamingMoments) -> String {
+    let (count, mean, m2, min, max) = m.raw_parts();
+    format!(
+        "{label} {count} {} {} {} {}\n",
+        f64_hex(mean),
+        f64_hex(m2),
+        f64_hex(min),
+        f64_hex(max)
+    )
+}
+
+fn parse_moments(label: &str, line: &str) -> Result<StreamingMoments, String> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    if toks.len() != 6 || toks[0] != label {
+        return Err(format!("expected `{label} …` line, got `{line}`"));
+    }
+    Ok(StreamingMoments::from_raw(
+        parse_int(toks[1])?,
+        parse_f64(toks[2])?,
+        parse_f64(toks[3])?,
+        parse_f64(toks[4])?,
+        parse_f64(toks[5])?,
+    ))
+}
+
+/// Renders the checkpoint text for a borrowed shard map — the runner
+/// serializes its live state every wave without cloning aggregates.
+fn render_text(fingerprint: u64, cells: usize, shards: &BTreeMap<usize, CellAggregate>) -> String {
+    let hist_bins = shards
+        .values()
+        .next()
+        .map_or(crate::aggregate::HIST_BINS, |a| a.err_hist.num_bins());
+    let mut out =
+        format!("{MAGIC}\nfingerprint {fingerprint:016x}\ncells {cells} hist_bins {hist_bins}\n");
+    for (&idx, agg) in shards {
+        out.push_str(&format!(
+            "shard {idx} trials {} within {}\n",
+            agg.trials, agg.within
+        ));
+        out.push_str(&moments_line("est", &agg.est));
+        out.push_str(&moments_line("err", &agg.err));
+        out.push_str(&moments_line("aux", &agg.aux));
+        let (lo, hi, bins, under, over, count) = agg.err_hist.raw_parts();
+        out.push_str(&format!(
+            "hist {} {} {under} {over} {count}",
+            f64_hex(lo),
+            f64_hex(hi)
+        ));
+        for b in bins {
+            out.push_str(&format!(" {b}"));
+        }
+        out.push_str("\nend\n");
+    }
+    out
+}
+
+/// Atomically writes a checkpoint (temp file + rename) straight from a
+/// borrowed shard map.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the parent directory, the temp
+/// file, or the rename.
+pub fn save_shards(
+    path: &Path,
+    fingerprint: u64,
+    cells: usize,
+    shards: &BTreeMap<usize, CellAggregate>,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, render_text(fingerprint, cells, shards))?;
+    std::fs::rename(&tmp, path)
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for a sweep with `cells` shards.
+    pub fn new(fingerprint: u64, cells: usize) -> Self {
+        Self {
+            fingerprint,
+            cells,
+            shards: BTreeMap::new(),
+        }
+    }
+
+    /// Serializes to the checkpoint text format.
+    pub fn to_text(&self) -> String {
+        render_text(self.fingerprint, self.cells, &self.shards)
+    }
+
+    /// Parses the checkpoint text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first structural problem (bad
+    /// magic, malformed line, truncated shard block, duplicate or
+    /// out-of-range shard index).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err("not a sweep checkpoint (bad magic line)".into());
+        }
+        let fp_line = lines.next().ok_or("missing fingerprint line")?;
+        let fingerprint = match fp_line.split_whitespace().collect::<Vec<_>>()[..] {
+            ["fingerprint", hex] => {
+                u64::from_str_radix(hex, 16).map_err(|_| format!("bad fingerprint `{hex}`"))?
+            }
+            _ => return Err(format!("expected `fingerprint <hex>`, got `{fp_line}`")),
+        };
+        let cells_line = lines.next().ok_or("missing cells line")?;
+        let (cells, hist_bins) = match cells_line.split_whitespace().collect::<Vec<_>>()[..] {
+            ["cells", c, "hist_bins", b] => (parse_int::<usize>(c)?, parse_int::<usize>(b)?),
+            _ => {
+                return Err(format!(
+                    "expected `cells <n> hist_bins <b>`, got `{cells_line}`"
+                ))
+            }
+        };
+
+        let mut shards = BTreeMap::new();
+        while let Some(header) = lines.next() {
+            if header.trim().is_empty() {
+                continue;
+            }
+            let (idx, trials, within) = match header.split_whitespace().collect::<Vec<_>>()[..] {
+                ["shard", i, "trials", t, "within", w] => (
+                    parse_int::<usize>(i)?,
+                    parse_int::<u64>(t)?,
+                    parse_int::<u64>(w)?,
+                ),
+                _ => return Err(format!("expected `shard …` header, got `{header}`")),
+            };
+            if idx >= cells {
+                return Err(format!("shard index {idx} out of range (cells = {cells})"));
+            }
+            let est = parse_moments("est", lines.next().ok_or("truncated shard block")?)?;
+            let err = parse_moments("err", lines.next().ok_or("truncated shard block")?)?;
+            let aux = parse_moments("aux", lines.next().ok_or("truncated shard block")?)?;
+            let hist_line = lines.next().ok_or("truncated shard block")?;
+            let toks: Vec<&str> = hist_line.split_whitespace().collect();
+            if toks.len() != 6 + hist_bins || toks[0] != "hist" {
+                return Err(format!(
+                    "expected `hist` line with {hist_bins} bins, got `{hist_line}`"
+                ));
+            }
+            let lo = parse_f64(toks[1])?;
+            let hi = parse_f64(toks[2])?;
+            let under: u64 = parse_int(toks[3])?;
+            let over: u64 = parse_int(toks[4])?;
+            let count: u64 = parse_int(toks[5])?;
+            let bins: Vec<u64> = toks[6..]
+                .iter()
+                .map(|t| parse_int(t))
+                .collect::<Result<_, _>>()?;
+            let err_hist = Histogram::from_parts(lo, hi, bins, under, over, count);
+            if lines.next() != Some("end") {
+                return Err(format!("shard {idx}: missing `end` terminator"));
+            }
+            let agg = CellAggregate {
+                trials,
+                est,
+                err,
+                err_hist,
+                within,
+                aux,
+            };
+            if shards.insert(idx, agg).is_some() {
+                return Err(format!("duplicate shard {idx}"));
+            }
+        }
+        Ok(Self {
+            fingerprint,
+            cells,
+            shards,
+        })
+    }
+
+    /// Writes the checkpoint atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the parent directory, the
+    /// temp file, or the rename.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        save_shards(path, self.fingerprint, self.cells, &self.shards)
+    }
+
+    /// Loads and parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message for unreadable files or the parse
+    /// error for malformed content.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_aggregate(salt: u64) -> CellAggregate {
+        let mut agg = CellAggregate::new();
+        agg.trials = 3;
+        for i in 0..40 {
+            let x = ((i + salt) as f64 * 0.77).sin().abs();
+            agg.est.push(x);
+            agg.err.push(x * 0.5);
+            agg.err_hist.push(x * 0.5);
+            if x * 0.5 <= 0.2 {
+                agg.within += 1;
+            }
+        }
+        agg
+    }
+
+    #[test]
+    fn text_round_trip_is_bit_exact() {
+        let mut ck = Checkpoint::new(0xDEAD_BEEF_1234_5678, 10);
+        ck.shards.insert(0, demo_aggregate(1));
+        ck.shards.insert(7, demo_aggregate(2));
+        let parsed = Checkpoint::parse(&ck.to_text()).unwrap();
+        assert_eq!(parsed, ck);
+        // continuing a restored accumulator matches the original bit for bit
+        let mut orig = ck.shards[&7].clone();
+        let mut restored = parsed.shards[&7].clone();
+        orig.est.push(0.123456789);
+        restored.est.push(0.123456789);
+        assert_eq!(orig.est, restored.est);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("antdensity_ckpt_{}", std::process::id()));
+        let path = dir.join("demo.ckpt");
+        let mut ck = Checkpoint::new(42, 3);
+        ck.shards.insert(2, demo_aggregate(5));
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        // overwrite is atomic-ish: no .tmp left behind
+        ck.shards.insert(0, demo_aggregate(6));
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().shards.len(), 2);
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_corrupt_inputs() {
+        let mut ck = Checkpoint::new(1, 4);
+        ck.shards.insert(1, demo_aggregate(0));
+        let good = ck.to_text();
+        for (mutation, needle) in [
+            (good.replace(MAGIC, "something else"), "bad magic"),
+            (good.replace("shard 1", "shard 9"), "out of range"),
+            (good.replace("est ", "wat "), "expected `est"),
+            (good.replace("\nend\n", "\n"), "end"),
+        ] {
+            let err = Checkpoint::parse(&mutation).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let ck = Checkpoint::new(9, 100);
+        assert_eq!(Checkpoint::parse(&ck.to_text()).unwrap(), ck);
+    }
+}

@@ -1,0 +1,301 @@
+//! Sharded sweep execution on the workspace's persistent worker pool.
+//!
+//! The resolved grid's cells are the shards. Shard `i` is a **pure
+//! function** of `(resolved spec, i)`: its trials draw from
+//! `SeedSequence::new(seed).subsequence(SHARD_STREAM ^ i).derive(trial)`
+//! — the same per-(shard, seed) stream discipline the engine uses for
+//! stream blocks — so any subset of shards can run anywhere, in any
+//! order, on any worker count, and the aggregates come out bit-identical.
+//!
+//! Shards are dispatched in waves onto the existing
+//! [`WorkerPool`] (via
+//! [`antdensity_walks::parallel::run_trials_on`], the workspace's
+//! deterministic fan-out primitive); after each wave the full completed
+//! state is checkpointed. Killing the process loses at most one wave of
+//! work, and [`run_sweep`] with `resume` picks up from the checkpoint.
+
+use crate::aggregate::CellAggregate;
+use crate::checkpoint::Checkpoint;
+use crate::spec::{ResolvedSweep, SweepSpec};
+use antdensity_engine::{Scenario, WorkerPool};
+use antdensity_stats::rng::SeedSequence;
+use antdensity_walks::parallel;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Stream label separating shard seed derivation from every other
+/// consumer of the sweep's master seed.
+const SHARD_STREAM: u64 = 0x5348_4152_4400_0000; // "SHARD"
+
+/// Execution options for [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Quick (CI smoke) or full effort; part of the resolved spec and
+    /// its fingerprint.
+    pub quick: bool,
+    /// Worker threads for shard fan-out (results never depend on it).
+    pub workers: usize,
+    /// Explicit pool (tests pin real worker counts); `None` = the
+    /// process-global pool.
+    pub pool: Option<Arc<WorkerPool>>,
+    /// Checkpoint file path; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Load the checkpoint (if it exists) and skip completed shards.
+    pub resume: bool,
+    /// Stop after this many newly executed shards (the checkpoint still
+    /// covers them) — `repro sweep --max-shards`, and how the
+    /// determinism suite simulates a mid-run kill.
+    pub max_shards: Option<usize>,
+    /// Shards per wave between checkpoint writes.
+    pub checkpoint_every: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            workers: parallel::default_threads(),
+            pool: None,
+            checkpoint: None,
+            resume: false,
+            max_shards: None,
+            checkpoint_every: 8,
+        }
+    }
+}
+
+/// The result of a (possibly partial) sweep execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The resolved spec the shards ran against.
+    pub resolved: ResolvedSweep,
+    /// Aggregates by shard index; `None` for shards not yet executed
+    /// (only when stopped early via `max_shards`).
+    pub aggregates: Vec<Option<CellAggregate>>,
+    /// Whether every shard has completed.
+    pub complete: bool,
+    /// Shards executed by *this* invocation (excludes resumed ones).
+    pub executed: usize,
+    /// Shards restored from the checkpoint.
+    pub resumed: usize,
+}
+
+/// Executes shard `index` of a resolved sweep: all `trials` scenario
+/// runs of the cell, streamed into a fresh [`CellAggregate`]. Pure —
+/// every call with the same arguments returns the identical aggregate.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+pub fn run_shard(resolved: &ResolvedSweep, index: usize) -> CellAggregate {
+    let cell = &resolved.cells[index];
+    let seq = SeedSequence::new(resolved.seed).subsequence(SHARD_STREAM ^ index as u64);
+    let mut scenario = Scenario::new(cell.topology, cell.num_agents, cell.rounds)
+        .with_movement(cell.movement.clone())
+        .with_estimator(cell.estimator.clone());
+    if let Some(noise) = cell.noise {
+        scenario = scenario.with_noise(noise);
+    }
+    let mut agg = CellAggregate::new();
+    for trial in 0..resolved.trials {
+        let outcome = scenario.run(seq.derive(trial));
+        agg.record_trial(cell, &outcome, resolved.band);
+    }
+    agg
+}
+
+/// Resolves `spec` under `opts` and executes its shards, checkpointing
+/// each wave and resuming from a prior checkpoint when asked.
+///
+/// # Errors
+///
+/// Returns an error if the spec fails to resolve, a resume checkpoint
+/// is unreadable/malformed, or the checkpoint's fingerprint or shard
+/// count does not match the resolved spec.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, String> {
+    let resolved = spec.resolve(opts.quick)?;
+    let mut done: BTreeMap<usize, CellAggregate> = BTreeMap::new();
+    let mut resumed = 0usize;
+
+    if opts.resume {
+        if let Some(path) = &opts.checkpoint {
+            if path.exists() {
+                let ck = Checkpoint::load(path)?;
+                if ck.fingerprint != resolved.fingerprint {
+                    return Err(format!(
+                        "checkpoint {} belongs to a different sweep configuration \
+                         (fingerprint {:016x}, expected {:016x}) — delete it or rerun \
+                         with the original spec and mode",
+                        path.display(),
+                        ck.fingerprint,
+                        resolved.fingerprint
+                    ));
+                }
+                if ck.cells != resolved.cells.len() {
+                    return Err(format!(
+                        "checkpoint {} records {} cells, spec resolves to {}",
+                        path.display(),
+                        ck.cells,
+                        resolved.cells.len()
+                    ));
+                }
+                resumed = ck.shards.len();
+                done = ck.shards;
+            }
+        }
+    }
+
+    let pending: Vec<usize> = (0..resolved.cells.len())
+        .filter(|i| !done.contains_key(i))
+        .collect();
+    let budget = opts.max_shards.unwrap_or(usize::MAX);
+    let workers = opts.workers.max(1);
+    let wave_size = opts.checkpoint_every.max(1);
+    let pool: &WorkerPool = opts.pool.as_deref().unwrap_or_else(|| WorkerPool::global());
+
+    let mut executed = 0usize;
+    for wave in pending.chunks(wave_size) {
+        if executed >= budget {
+            break;
+        }
+        let wave = &wave[..wave.len().min(budget - executed)];
+        // Unused per-trial RNG (shards derive their own streams), but
+        // run_trials_on is the workspace's deterministic pool fan-out.
+        let seq = SeedSequence::new(resolved.seed);
+        let results = parallel::run_trials_on(pool, wave.len() as u64, workers, seq, |i, _| {
+            run_shard(&resolved, wave[i as usize])
+        });
+        for (&idx, agg) in wave.iter().zip(results) {
+            done.insert(idx, agg);
+        }
+        executed += wave.len();
+        if let Some(path) = &opts.checkpoint {
+            crate::checkpoint::save_shards(path, resolved.fingerprint, resolved.cells.len(), &done)
+                .map_err(|e| format!("checkpoint write failed: {e}"))?;
+        }
+    }
+
+    let aggregates: Vec<Option<CellAggregate>> =
+        (0..resolved.cells.len()).map(|i| done.remove(&i)).collect();
+    let complete = aggregates.iter().all(Option::is_some);
+    Ok(SweepOutcome {
+        resolved,
+        aggregates,
+        complete,
+        executed,
+        resumed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::parse(
+            "
+            name = runner_test
+            seed = 11
+            trials = 2
+            topology = torus2d:8, complete:64
+            density = 0.1
+            rounds = 8, 16
+            estimator = alg1
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_shard_is_pure() {
+        let resolved = tiny_spec().resolve(false).unwrap();
+        assert_eq!(run_shard(&resolved, 1), run_shard(&resolved, 1));
+        assert_ne!(
+            run_shard(&resolved, 0).est,
+            run_shard(&resolved, 1).est,
+            "different shards draw different streams"
+        );
+    }
+
+    #[test]
+    fn full_run_completes_all_shards() {
+        let out = run_sweep(&tiny_spec(), &SweepOptions::default()).unwrap();
+        assert!(out.complete);
+        assert_eq!(out.executed, 4);
+        assert_eq!(out.resumed, 0);
+        assert!(out.aggregates.iter().all(|a| a.is_some()));
+        for agg in out.aggregates.iter().flatten() {
+            assert_eq!(agg.trials, 2);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let spec = tiny_spec();
+        let base = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        for workers in [1, 2, 5] {
+            let opts = SweepOptions {
+                workers,
+                pool: Some(Arc::new(WorkerPool::new(workers))),
+                ..SweepOptions::default()
+            };
+            let out = run_sweep(&spec, &opts).unwrap();
+            assert_eq!(out.aggregates, base.aggregates, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn max_shards_stops_early_with_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("antdensity_runner_{}", std::process::id()));
+        let ckpt = dir.join("partial.ckpt");
+        let spec = tiny_spec();
+        let opts = SweepOptions {
+            checkpoint: Some(ckpt.clone()),
+            max_shards: Some(3),
+            checkpoint_every: 2,
+            ..SweepOptions::default()
+        };
+        let partial = run_sweep(&spec, &opts).unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.executed, 3);
+        assert_eq!(partial.aggregates.iter().filter(|a| a.is_some()).count(), 3);
+        let ck = Checkpoint::load(&ckpt).unwrap();
+        assert_eq!(ck.shards.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("antdensity_runner_fp_{}", std::process::id()));
+        let ckpt = dir.join("sweep.ckpt");
+        let spec = tiny_spec();
+        let opts = SweepOptions {
+            checkpoint: Some(ckpt.clone()),
+            max_shards: Some(1),
+            ..SweepOptions::default()
+        };
+        run_sweep(&spec, &opts).unwrap();
+        // editing the spec (different seed) must invalidate the checkpoint
+        let mut edited = spec.clone();
+        edited.seed += 1;
+        let resume = SweepOptions {
+            checkpoint: Some(ckpt.clone()),
+            resume: true,
+            ..SweepOptions::default()
+        };
+        let err = run_sweep(&edited, &resume).unwrap_err();
+        assert!(err.contains("different sweep configuration"), "{err}");
+        // quick mode resolves a different grid: also rejected
+        let err = run_sweep(
+            &spec,
+            &SweepOptions {
+                quick: true,
+                ..resume.clone()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("different sweep configuration"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,724 @@
+//! Declarative sweep specifications: parse, validate, expand.
+//!
+//! A sweep spec is a small text file describing a parameter grid —
+//! topology × density × estimator × movement × noise × rounds — plus
+//! how many seeded trials to run per grid cell. [`SweepSpec::parse`]
+//! reads the file format, [`SweepSpec::resolve`] applies the effort mode
+//! (quick/full) and expands the grid into a deterministic, stable-order
+//! list of [`Cell`]s — the shards the runner executes.
+//!
+//! # File format
+//!
+//! Line-oriented `key = value`; `#` starts a comment; lists are
+//! comma-separated. Axis tokens reuse the engine's canonical spec syntax
+//! (`TopologySpec`/`MovementModel`/`CollisionNoise` `FromStr`):
+//!
+//! ```text
+//! # Algorithm 1 accuracy vs rounds (Theorem 1 table)
+//! name     = alg1_accuracy
+//! seed     = 20160725
+//! trials   = 8              # seeds per cell (full mode)
+//! quick_trials = 2          # seeds per cell under --quick
+//! quick_max_rounds = 128    # drop larger rounds under --quick
+//!
+//! topology  = torus2d:32, ring:1024, hypercube:10, complete:1024
+//! density   = 0.02, 0.05, 0.1, 0.2
+//! rounds    = 16, 32, 64, 128, 256, 512
+//! estimator = alg1                      # alg1 | alg4 | quorum:<thr> | relfreq:<share>
+//! movement  = pure                      # pure | lazy:<p> | stationary | drift:<i>
+//! noise     = none                      # none | sense:<detect>:<spurious>
+//! ```
+//!
+//! `estimator`, `movement`, and `noise` default to `alg1` / `pure` /
+//! `none` when omitted. `relfreq:<share>` takes the property *share*
+//! (fraction of the population, in `(0, 1]`), resolved into a concrete
+//! agent count per cell. Biased walks carry comma-separated
+//! probabilities and are therefore not expressible in the comma-split
+//! axis list — drive those through the library API.
+
+use antdensity_engine::{EstimatorSpec, MovementModel, NoiseSpec, TopologySpec};
+use antdensity_stats::rng::splitmix64;
+
+/// One estimator axis value. Unlike [`EstimatorSpec`], the relative
+/// frequency variant carries a population *share* so a single token can
+/// scale across densities; [`SweepSpec::resolve`] fixes the concrete
+/// agent count per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorAxis {
+    /// Algorithm 1.
+    Algorithm1,
+    /// Algorithm 4 (2-d torus, `rounds < side` only).
+    Algorithm4,
+    /// Quorum read-out at a density threshold.
+    Quorum {
+        /// Density threshold to detect.
+        threshold: f64,
+    },
+    /// Relative frequency with `share · num_agents` property agents.
+    RelFreq {
+        /// Fraction of the population carrying the property, in `(0, 1]`.
+        share: f64,
+    },
+}
+
+impl std::fmt::Display for EstimatorAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Algorithm1 => write!(f, "alg1"),
+            Self::Algorithm4 => write!(f, "alg4"),
+            Self::Quorum { threshold } => write!(f, "quorum:{threshold}"),
+            Self::RelFreq { share } => write!(f, "relfreq:{share}"),
+        }
+    }
+}
+
+impl std::str::FromStr for EstimatorAxis {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        // `relfreq:` carries a *share* here (the engine token takes an
+        // agent count), so it is intercepted before delegating the rest
+        // of the grammar to EstimatorSpec — one source of truth for
+        // alg1/alg4/quorum token syntax and validation.
+        if let Some(arg) = s.strip_prefix("relfreq:") {
+            let share: f64 = arg
+                .trim()
+                .parse()
+                .map_err(|_| format!("estimator `{s}`: bad share `{arg}`"))?;
+            if !(share > 0.0 && share <= 1.0) {
+                return Err(format!("estimator `{s}`: share must lie in (0,1]"));
+            }
+            return Ok(Self::RelFreq { share });
+        }
+        match s.parse::<EstimatorSpec>()? {
+            EstimatorSpec::Algorithm1 => Ok(Self::Algorithm1),
+            EstimatorSpec::Algorithm4 => Ok(Self::Algorithm4),
+            EstimatorSpec::Quorum { threshold } => Ok(Self::Quorum { threshold }),
+            // unreachable: the prefix above consumed every relfreq token
+            EstimatorSpec::RelativeFrequency { .. } => {
+                Err(format!("estimator `{s}`: expected relfreq:<share>"))
+            }
+        }
+    }
+}
+
+/// A parsed (but not yet expanded) sweep specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (output-file stem).
+    pub name: String,
+    /// Master seed; every shard and trial stream derives from it.
+    pub seed: u64,
+    /// Seeds per cell in full mode.
+    pub trials: u64,
+    /// Seeds per cell in quick mode (default: `max(1, trials / 4)`).
+    pub quick_trials: Option<u64>,
+    /// Quick mode drops rounds entries above this value.
+    pub quick_max_rounds: Option<u64>,
+    /// Relative-error band reported as "fraction within" (default 0.2).
+    pub band: f64,
+    /// Failure probability for the reported error quantile and the
+    /// theory-bound column: both use `1 − delta` (default 0.1).
+    pub delta: f64,
+    /// Topology axis.
+    pub topologies: Vec<TopologySpec>,
+    /// Density axis (paper convention `d = n/A`).
+    pub densities: Vec<f64>,
+    /// Rounds axis.
+    pub rounds: Vec<u64>,
+    /// Estimator axis.
+    pub estimators: Vec<EstimatorAxis>,
+    /// Movement axis.
+    pub movements: Vec<MovementModel>,
+    /// Noise axis (`None` = perfect sensing).
+    pub noises: Vec<Option<NoiseSpec>>,
+}
+
+/// One expanded grid cell — the unit of sharded execution. Everything a
+/// worker needs to run the cell's trials is a pure function of this
+/// struct plus the sweep seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Position in the expanded grid (also the shard id).
+    pub index: usize,
+    /// Topology.
+    pub topology: TopologySpec,
+    /// Requested density (the axis value; the realised `d = n/A` follows
+    /// from `num_agents`).
+    pub density: f64,
+    /// Agents placed (`n + 1` in paper convention).
+    pub num_agents: usize,
+    /// Rounds per trial.
+    pub rounds: u64,
+    /// Concrete estimator (relfreq share already resolved to agents).
+    pub estimator: EstimatorSpec,
+    /// Movement model.
+    pub movement: MovementModel,
+    /// Collision-sensing noise (`None` = perfect).
+    pub noise: Option<NoiseSpec>,
+}
+
+impl Cell {
+    /// Realised paper-convention density `d = n/A`.
+    pub fn true_density(&self) -> f64 {
+        (self.num_agents as f64 - 1.0) / self.topology.num_nodes() as f64
+    }
+
+    /// Noise axis token for reports (`none` for perfect sensing).
+    pub fn noise_label(&self) -> String {
+        match &self.noise {
+            None => "none".to_string(),
+            Some(n) => n.to_string(),
+        }
+    }
+}
+
+/// A grid combination that was dropped at expansion, with the reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedCell {
+    /// Human-readable cell label (axis tokens).
+    pub label: String,
+    /// Why it cannot run.
+    pub reason: String,
+}
+
+/// A fully resolved sweep: effort applied, grid expanded, fingerprinted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedSweep {
+    /// Sweep name.
+    pub name: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Seeds per cell after effort scaling.
+    pub trials: u64,
+    /// Relative-error band for the "fraction within" column.
+    pub band: f64,
+    /// Failure probability for quantile/bound columns.
+    pub delta: f64,
+    /// `"quick"` or `"full"`.
+    pub mode: &'static str,
+    /// The expanded grid, in stable shard order.
+    pub cells: Vec<Cell>,
+    /// Combinations dropped at expansion.
+    pub skipped: Vec<SkippedCell>,
+    /// Hash of the resolved configuration — checkpoints bind to it, so a
+    /// resume against an edited spec (or a different effort mode) is
+    /// rejected instead of silently mixing aggregates.
+    pub fingerprint: u64,
+}
+
+impl SweepSpec {
+    /// Parses the spec file format (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for syntax errors,
+    /// unknown or duplicate keys, bad axis tokens, out-of-range values,
+    /// or missing required keys (`name`, `trials`, `topology`,
+    /// `density`, `rounds`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut name: Option<String> = None;
+        let mut seed: Option<u64> = None;
+        let mut trials: Option<u64> = None;
+        let mut quick_trials: Option<u64> = None;
+        let mut quick_max_rounds: Option<u64> = None;
+        let mut band: Option<f64> = None;
+        let mut delta: Option<f64> = None;
+        let mut topologies: Option<Vec<TopologySpec>> = None;
+        let mut densities: Option<Vec<f64>> = None;
+        let mut rounds: Option<Vec<u64>> = None;
+        let mut estimators: Option<Vec<EstimatorAxis>> = None;
+        let mut movements: Option<Vec<MovementModel>> = None;
+        let mut noises: Option<Vec<Option<NoiseSpec>>> = None;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.split_once('#') {
+                Some((before, _)) => before.trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let dup = |set: bool| -> Result<(), String> {
+                if set {
+                    Err(format!("line {}: duplicate key `{key}`", lineno + 1))
+                } else {
+                    Ok(())
+                }
+            };
+            let at = |e: String| format!("line {}: {e}", lineno + 1);
+            match key {
+                "name" => {
+                    dup(name.is_some())?;
+                    if value.is_empty()
+                        || !value
+                            .chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                    {
+                        return Err(at(format!(
+                            "name `{value}` must be non-empty [A-Za-z0-9_-] (it names output files)"
+                        )));
+                    }
+                    name = Some(value.to_string());
+                }
+                "seed" => {
+                    dup(seed.is_some())?;
+                    seed = Some(
+                        value
+                            .parse()
+                            .map_err(|_| at(format!("bad seed `{value}`")))?,
+                    );
+                }
+                "trials" => {
+                    dup(trials.is_some())?;
+                    let v: u64 = value
+                        .parse()
+                        .map_err(|_| at(format!("bad trials `{value}`")))?;
+                    if v == 0 {
+                        return Err(at("trials must be positive".into()));
+                    }
+                    trials = Some(v);
+                }
+                "quick_trials" => {
+                    dup(quick_trials.is_some())?;
+                    let v: u64 = value
+                        .parse()
+                        .map_err(|_| at(format!("bad quick_trials `{value}`")))?;
+                    if v == 0 {
+                        return Err(at("quick_trials must be positive".into()));
+                    }
+                    quick_trials = Some(v);
+                }
+                "quick_max_rounds" => {
+                    dup(quick_max_rounds.is_some())?;
+                    quick_max_rounds = Some(
+                        value
+                            .parse()
+                            .map_err(|_| at(format!("bad quick_max_rounds `{value}`")))?,
+                    );
+                }
+                "band" => {
+                    dup(band.is_some())?;
+                    let v: f64 = value
+                        .parse()
+                        .map_err(|_| at(format!("bad band `{value}`")))?;
+                    if !(v > 0.0 && v.is_finite()) {
+                        return Err(at("band must be positive".into()));
+                    }
+                    band = Some(v);
+                }
+                "delta" => {
+                    dup(delta.is_some())?;
+                    let v: f64 = value
+                        .parse()
+                        .map_err(|_| at(format!("bad delta `{value}`")))?;
+                    if !(v > 0.0 && v < 1.0) {
+                        return Err(at("delta must lie in (0,1)".into()));
+                    }
+                    delta = Some(v);
+                }
+                "topology" => {
+                    dup(topologies.is_some())?;
+                    topologies = Some(parse_list(value).map_err(at)?);
+                }
+                "density" => {
+                    dup(densities.is_some())?;
+                    let ds: Vec<f64> = value
+                        .split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse::<f64>()
+                                .map_err(|_| at(format!("bad density `{v}`")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if ds.iter().any(|&d| !(d > 0.0 && d <= 1.0)) {
+                        return Err(at("densities must lie in (0,1]".into()));
+                    }
+                    densities = Some(ds);
+                }
+                "rounds" => {
+                    dup(rounds.is_some())?;
+                    let rs: Vec<u64> = value
+                        .split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse::<u64>()
+                                .map_err(|_| at(format!("bad rounds `{v}`")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if rs.contains(&0) {
+                        return Err(at("rounds must be positive".into()));
+                    }
+                    rounds = Some(rs);
+                }
+                "estimator" => {
+                    dup(estimators.is_some())?;
+                    estimators = Some(parse_list(value).map_err(at)?);
+                }
+                "movement" => {
+                    dup(movements.is_some())?;
+                    movements = Some(parse_list(value).map_err(at)?);
+                }
+                "noise" => {
+                    dup(noises.is_some())?;
+                    let ns: Vec<Option<NoiseSpec>> = value
+                        .split(',')
+                        .map(|v| {
+                            let v = v.trim();
+                            if v == "none" {
+                                Ok(None)
+                            } else {
+                                v.parse::<NoiseSpec>().map(Some).map_err(&at)
+                            }
+                        })
+                        .collect::<Result<_, _>>()?;
+                    noises = Some(ns);
+                }
+                other => return Err(at(format!("unknown key `{other}`"))),
+            }
+        }
+
+        let missing = |what: &str| format!("missing required key `{what}`");
+        Ok(Self {
+            name: name.ok_or_else(|| missing("name"))?,
+            seed: seed.unwrap_or(20_160_725),
+            trials: trials.ok_or_else(|| missing("trials"))?,
+            quick_trials,
+            quick_max_rounds,
+            band: band.unwrap_or(0.2),
+            delta: delta.unwrap_or(0.1),
+            topologies: topologies.ok_or_else(|| missing("topology"))?,
+            densities: densities.ok_or_else(|| missing("density"))?,
+            rounds: rounds.ok_or_else(|| missing("rounds"))?,
+            estimators: estimators.unwrap_or_else(|| vec![EstimatorAxis::Algorithm1]),
+            movements: movements.unwrap_or_else(|| vec![MovementModel::Pure]),
+            noises: noises.unwrap_or_else(|| vec![None]),
+        })
+    }
+
+    /// Applies the effort mode and expands the grid into shard-ordered
+    /// cells. Cell order is the nested axis order (topology, density,
+    /// estimator, movement, noise, rounds) and is part of the
+    /// determinism contract: shard `i` always describes the same cell
+    /// for a given resolved spec.
+    ///
+    /// Invalid combinations are dropped with a recorded reason:
+    /// Algorithm 4 off the 2-d torus or with `rounds ≥ side` (Theorem
+    /// 32's precondition), and Algorithm 4 paired with any movement
+    /// other than the first axis entry (it fixes its own
+    /// stationary/drift split, so extra movement values would duplicate
+    /// work).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if quick filtering empties the rounds axis.
+    pub fn resolve(&self, quick: bool) -> Result<ResolvedSweep, String> {
+        let trials = if quick {
+            self.quick_trials
+                .unwrap_or_else(|| (self.trials / 4).max(1))
+        } else {
+            self.trials
+        };
+        let rounds: Vec<u64> = match (quick, self.quick_max_rounds) {
+            (true, Some(cap)) => {
+                let kept: Vec<u64> = self.rounds.iter().copied().filter(|&r| r <= cap).collect();
+                if kept.is_empty() {
+                    return Err(format!("quick_max_rounds = {cap} drops every rounds entry"));
+                }
+                kept
+            }
+            _ => self.rounds.clone(),
+        };
+
+        let mut cells = Vec::new();
+        let mut skipped = Vec::new();
+        for &topology in &self.topologies {
+            let a = topology.num_nodes();
+            for &density in &self.densities {
+                let num_agents = ((density * a as f64).round() as usize).max(2) + 1;
+                for estimator in &self.estimators {
+                    for (mi, movement) in self.movements.iter().enumerate() {
+                        for noise in &self.noises {
+                            for &r in &rounds {
+                                let label = format!(
+                                    "{topology} d={density} {estimator} {movement} {} t={r}",
+                                    noise.map_or("none".to_string(), |n| n.to_string()),
+                                );
+                                let skip = |reason: &str, skipped: &mut Vec<SkippedCell>| {
+                                    skipped.push(SkippedCell {
+                                        label: label.clone(),
+                                        reason: reason.to_string(),
+                                    });
+                                };
+                                let resolved_estimator = match estimator {
+                                    EstimatorAxis::Algorithm1 => EstimatorSpec::Algorithm1,
+                                    EstimatorAxis::Algorithm4 => {
+                                        if mi != 0 {
+                                            skip(
+                                                "alg4 fixes its own movement; kept for the first \
+                                                 movement axis entry only",
+                                                &mut skipped,
+                                            );
+                                            continue;
+                                        }
+                                        match topology {
+                                            TopologySpec::Torus2d { side } if r < side => {
+                                                EstimatorSpec::Algorithm4
+                                            }
+                                            TopologySpec::Torus2d { side } => {
+                                                skip(
+                                                    &format!(
+                                                        "alg4 requires rounds < side (= {side}), \
+                                                         Theorem 32"
+                                                    ),
+                                                    &mut skipped,
+                                                );
+                                                continue;
+                                            }
+                                            _ => {
+                                                skip(
+                                                    "alg4 is analysed on the 2-d torus only",
+                                                    &mut skipped,
+                                                );
+                                                continue;
+                                            }
+                                        }
+                                    }
+                                    EstimatorAxis::Quorum { threshold } => EstimatorSpec::Quorum {
+                                        threshold: *threshold,
+                                    },
+                                    EstimatorAxis::RelFreq { share } => {
+                                        let property_agents = ((share * num_agents as f64).round()
+                                            as usize)
+                                            .clamp(1, num_agents);
+                                        EstimatorSpec::RelativeFrequency { property_agents }
+                                    }
+                                };
+                                cells.push(Cell {
+                                    index: cells.len(),
+                                    topology,
+                                    density,
+                                    num_agents,
+                                    rounds: r,
+                                    estimator: resolved_estimator,
+                                    movement: movement.clone(),
+                                    noise: *noise,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut resolved = ResolvedSweep {
+            name: self.name.clone(),
+            seed: self.seed,
+            trials,
+            band: self.band,
+            delta: self.delta,
+            mode: if quick { "quick" } else { "full" },
+            cells,
+            skipped,
+            fingerprint: 0,
+        };
+        resolved.fingerprint = resolved.compute_fingerprint();
+        Ok(resolved)
+    }
+}
+
+/// Splits a comma-separated axis list and parses each token.
+fn parse_list<T: std::str::FromStr<Err = String>>(value: &str) -> Result<Vec<T>, String> {
+    value.split(',').map(|v| v.trim().parse()).collect()
+}
+
+impl ResolvedSweep {
+    /// Canonical description of everything that determines results: the
+    /// fingerprint input.
+    fn canonical(&self) -> String {
+        let mut s = format!(
+            "sweep {} seed {} trials {} band {} delta {} mode {}\n",
+            self.name, self.seed, self.trials, self.band, self.delta, self.mode
+        );
+        for c in &self.cells {
+            s.push_str(&format!(
+                "cell {} {} agents {} rounds {} {} {} {}\n",
+                c.index,
+                c.topology,
+                c.num_agents,
+                c.rounds,
+                c.estimator,
+                c.movement,
+                c.noise_label(),
+            ));
+        }
+        s
+    }
+
+    /// SplitMix64-chained hash of [`Self::canonical`].
+    fn compute_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.canonical().bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "
+        # demo sweep
+        name    = demo
+        seed    = 7
+        trials  = 4
+        quick_trials = 2
+        quick_max_rounds = 16
+
+        topology  = torus2d:8, ring:64   # two stages
+        density   = 0.05, 0.2
+        rounds    = 8, 16, 32
+        estimator = alg1, quorum:0.1
+        movement  = pure
+        noise     = none, sense:0.8:0.05
+    ";
+
+    #[test]
+    fn parses_and_expands_full_grid() {
+        let spec = SweepSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.trials, 4);
+        let full = spec.resolve(false).unwrap();
+        assert_eq!(full.mode, "full");
+        // 2 topo × 2 density × 2 estimator × 1 movement × 2 noise × 3 rounds
+        assert_eq!(full.cells.len(), 48);
+        assert!(full.skipped.is_empty());
+        // stable shard order: index field matches position
+        for (i, c) in full.cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn quick_mode_scales_trials_and_rounds() {
+        let spec = SweepSpec::parse(SPEC).unwrap();
+        let quick = spec.resolve(true).unwrap();
+        assert_eq!(quick.mode, "quick");
+        assert_eq!(quick.trials, 2);
+        assert!(quick.cells.iter().all(|c| c.rounds <= 16));
+        assert_eq!(quick.cells.len(), 32);
+        // effort is part of the fingerprint: quick never resumes full
+        let full = spec.resolve(false).unwrap();
+        assert_ne!(quick.fingerprint, full.fingerprint);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_spec_sensitive() {
+        let spec = SweepSpec::parse(SPEC).unwrap();
+        let a = spec.resolve(false).unwrap();
+        let b = spec.resolve(false).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        let mut edited = spec.clone();
+        edited.seed += 1;
+        assert_ne!(
+            edited.resolve(false).unwrap().fingerprint,
+            a.fingerprint,
+            "seed must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn alg4_cells_filtered_with_reasons() {
+        let text = "
+            name = a4
+            trials = 2
+            topology = torus2d:16, ring:64
+            density = 0.1
+            rounds = 8, 32
+            estimator = alg4
+            movement = pure, lazy:0.5
+        ";
+        let resolved = SweepSpec::parse(text).unwrap().resolve(false).unwrap();
+        // torus2d:16 keeps t=8 only (t=32 ≥ side); ring drops both; the
+        // lazy movement duplicates drop too.
+        assert_eq!(resolved.cells.len(), 1);
+        let c = &resolved.cells[0];
+        assert_eq!(c.rounds, 8);
+        assert_eq!(c.estimator, EstimatorSpec::Algorithm4);
+        assert_eq!(resolved.skipped.len(), 7);
+        assert!(resolved
+            .skipped
+            .iter()
+            .any(|s| s.reason.contains("Theorem 32")));
+        assert!(resolved
+            .skipped
+            .iter()
+            .any(|s| s.reason.contains("2-d torus only")));
+        assert!(resolved
+            .skipped
+            .iter()
+            .any(|s| s.reason.contains("fixes its own movement")));
+    }
+
+    #[test]
+    fn relfreq_share_resolves_per_cell() {
+        let text = "
+            name = rf
+            trials = 1
+            topology = complete:100
+            density = 0.1, 0.5
+            rounds = 8
+            estimator = relfreq:0.25
+        ";
+        let resolved = SweepSpec::parse(text).unwrap().resolve(false).unwrap();
+        assert_eq!(resolved.cells.len(), 2);
+        // d=0.1 → 11 agents → 3 property; d=0.5 → 51 agents → 13
+        match resolved.cells[0].estimator {
+            EstimatorSpec::RelativeFrequency { property_agents } => assert_eq!(property_agents, 3),
+            ref other => panic!("unexpected estimator {other:?}"),
+        }
+        match resolved.cells[1].estimator {
+            EstimatorSpec::RelativeFrequency { property_agents } => assert_eq!(property_agents, 13),
+            ref other => panic!("unexpected estimator {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for (text, needle) in [
+            ("trials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = 4", "missing required key `name`"),
+            ("name = x\ntrials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = 4\nname = y", "duplicate"),
+            ("name = x\ntrials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = 4\nfoo = 1", "unknown key"),
+            ("name = x\ntrials = 2\ntopology = klein:8\ndensity = 0.1\nrounds = 4", "unknown topology"),
+            ("name = x\ntrials = 2\ntopology = ring:8\ndensity = 1.5\nrounds = 4", "densities"),
+            ("name = x\ntrials = 0\ntopology = ring:8\ndensity = 0.1\nrounds = 4", "trials must be positive"),
+            ("name = bad name\ntrials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = 4", "name"),
+            ("name = x\ntrials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = 4\nestimator = relfreq:1.5", "share"),
+        ] {
+            let err = SweepSpec::parse(text).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn quick_cap_below_all_rounds_errors() {
+        let text = "
+            name = x
+            trials = 2
+            quick_max_rounds = 2
+            topology = ring:8
+            density = 0.1
+            rounds = 4, 8
+        ";
+        let spec = SweepSpec::parse(text).unwrap();
+        assert!(spec.resolve(true).unwrap_err().contains("drops every"));
+        assert!(spec.resolve(false).is_ok());
+    }
+}

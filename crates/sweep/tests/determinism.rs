@@ -1,0 +1,153 @@
+//! The sweep determinism contract: a full run and a
+//! run-kill-at-shard-k-then-resume run produce **bit-identical**
+//! aggregates and byte-identical reports, for every kill point and
+//! every worker count. This is the property that makes checkpoints
+//! trustworthy — resuming never changes science.
+
+use antdensity_engine::WorkerPool;
+use antdensity_sweep::{build_report, run_sweep, SweepOptions, SweepSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn spec() -> SweepSpec {
+    // Small but heterogeneous: two topologies, two densities, three
+    // estimator families, optional noise — 16 shards, every aggregate
+    // path (est/err/hist/within/aux) exercised.
+    SweepSpec::parse(
+        "
+        name = determinism
+        seed = 20160725
+        trials = 2
+        topology = torus2d:8, complete:64
+        density = 0.1, 0.3
+        rounds = 6
+        estimator = alg1, alg4, quorum:0.05, relfreq:0.5
+        noise = none
+        ",
+    )
+    .unwrap()
+}
+
+fn tmp_ckpt(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "antdensity_sweep_det_{}_{tag}.ckpt",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn full_equals_kill_and_resume_bit_for_bit_across_worker_counts() {
+    let spec = spec();
+    let reference = run_sweep(&spec, &SweepOptions::default()).unwrap();
+    assert!(reference.complete);
+    let n = reference.aggregates.len();
+    assert!(n >= 8, "grid should have several shards, got {n}");
+    let ref_report = build_report(&reference);
+    let (ref_json, ref_csv) = (ref_report.to_json(), ref_report.to_csv());
+
+    for workers in [1usize, 2, 4] {
+        let pool = Arc::new(WorkerPool::new(workers));
+        for k in [1, n / 2, n - 1] {
+            let ckpt = tmp_ckpt(&format!("{workers}_{k}"));
+            let _ = std::fs::remove_file(&ckpt);
+
+            // phase 1: "killed" after k shards (the checkpoint survives)
+            let partial = run_sweep(
+                &spec,
+                &SweepOptions {
+                    workers,
+                    pool: Some(Arc::clone(&pool)),
+                    checkpoint: Some(ckpt.clone()),
+                    max_shards: Some(k),
+                    checkpoint_every: 2,
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(!partial.complete);
+            assert_eq!(partial.executed, k);
+
+            // phase 2: resume with a *different* worker count
+            let resumed = run_sweep(
+                &spec,
+                &SweepOptions {
+                    workers: workers + 1,
+                    pool: Some(Arc::new(WorkerPool::new(workers + 1))),
+                    checkpoint: Some(ckpt.clone()),
+                    resume: true,
+                    checkpoint_every: 3,
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(resumed.complete, "workers={workers} k={k}");
+            assert_eq!(resumed.resumed, k);
+            assert_eq!(resumed.executed, n - k);
+
+            // bit-identical aggregates (moments, histograms, counters)…
+            assert_eq!(
+                resumed.aggregates, reference.aggregates,
+                "workers={workers} k={k}"
+            );
+            // …and byte-identical reports
+            let report = build_report(&resumed);
+            assert_eq!(report.to_json(), ref_json, "workers={workers} k={k}");
+            assert_eq!(report.to_csv(), ref_csv, "workers={workers} k={k}");
+
+            let _ = std::fs::remove_file(&ckpt);
+        }
+    }
+}
+
+#[test]
+fn resume_from_every_checkpoint_file_state_is_exact() {
+    // Drive the sweep one shard at a time, reloading the checkpoint
+    // from disk between every step — the file (not process memory) is
+    // the only carrier of state, as after a real kill -9.
+    let spec = spec();
+    let reference = run_sweep(&spec, &SweepOptions::default()).unwrap();
+    let n = reference.aggregates.len();
+    let ckpt = tmp_ckpt("stepwise");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let mut last = None;
+    for step in 0..n {
+        let out = run_sweep(
+            &spec,
+            &SweepOptions {
+                checkpoint: Some(ckpt.clone()),
+                resume: true,
+                max_shards: Some(1),
+                checkpoint_every: 1,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.resumed, step);
+        assert_eq!(out.executed, 1);
+        last = Some(out);
+    }
+    let last = last.unwrap();
+    assert!(last.complete);
+    assert_eq!(last.aggregates, reference.aggregates);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn checkpoint_every_and_pool_choice_never_change_results() {
+    let spec = spec();
+    let reference = run_sweep(&spec, &SweepOptions::default()).unwrap();
+    for every in [1usize, 5, 64] {
+        let out = run_sweep(
+            &spec,
+            &SweepOptions {
+                checkpoint_every: every,
+                workers: 3,
+                pool: Some(Arc::new(WorkerPool::new(2))),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.aggregates, reference.aggregates, "every={every}");
+    }
+}

@@ -4,7 +4,7 @@
 //! `(master seed, trial index)`, so results are bit-identical regardless
 //! of the number of workers. Trials are processed as contiguous chunks
 //! dispatched onto the process-global persistent
-//! [`WorkerPool`](antdensity_engine::WorkerPool) — no per-call thread
+//! [`WorkerPool`] — no per-call thread
 //! spawns — and results are concatenated in trial order.
 
 use antdensity_engine::WorkerPool;

@@ -16,6 +16,7 @@
 //! | [`core`] | Algorithm 1 (random-walk density estimation), Algorithm 4, theory |
 //! | [`netsize`] | Section 5.1: network-size estimation via colliding walks |
 //! | [`swarm`] | Sections 5.2/6.3: robot swarms and sensor-network sampling |
+//! | [`sweep`] | declarative parameter-grid sweeps: deterministic shards, checkpoint/resume, streaming aggregates |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the full system inventory.
@@ -26,4 +27,5 @@ pub use antdensity_graphs as graphs;
 pub use antdensity_netsize as netsize;
 pub use antdensity_stats as stats;
 pub use antdensity_swarm as swarm;
+pub use antdensity_sweep as sweep;
 pub use antdensity_walks as walks;
