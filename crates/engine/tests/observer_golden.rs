@@ -1,0 +1,174 @@
+//! Golden vectors pinning `Scenario::run`'s exact outcomes across the
+//! observer-pipeline refactor.
+//!
+//! The committed file `tests/golden/scenario_outcomes.txt` was generated
+//! from the pre-observer (legacy match-arm) implementation of
+//! `Scenario::run`, with every float serialized as its IEEE-754 bit
+//! pattern. The streaming observer pipeline must reproduce each outcome
+//! **bit for bit** — any drift in RNG stream layout, noise draw order,
+//! estimator math, or snapshot bookkeeping fails here first.
+//!
+//! Regenerate (only when the determinism contract is *deliberately*
+//! changed) with:
+//!
+//! ```text
+//! cargo test -p antdensity-engine --test observer_golden -- --ignored regenerate
+//! ```
+
+use antdensity_engine::{EstimatorSpec, NoiseSpec, Scenario, ScenarioOutcome, TopologySpec};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/scenario_outcomes.txt"
+);
+
+const MAGIC: &str = "antdensity-observer-golden v1";
+
+/// The pinned grid: every topology family the paper analyses × every
+/// estimator × perfect and noisy sensing × two seeds. Algorithm 4 cases
+/// off the 2-d torus are skipped (its Theorem 32 precondition), and its
+/// torus runs use `rounds < side`.
+fn cases() -> Vec<(String, Scenario, u64)> {
+    let topologies = [
+        TopologySpec::Torus2d { side: 8 },
+        TopologySpec::Ring { nodes: 64 },
+        TopologySpec::Hypercube { dims: 6 },
+        TopologySpec::Complete { nodes: 64 },
+    ];
+    let estimators = [
+        EstimatorSpec::Algorithm1,
+        EstimatorSpec::Algorithm4,
+        EstimatorSpec::Quorum { threshold: 0.1 },
+        EstimatorSpec::RelativeFrequency { property_agents: 4 },
+    ];
+    let noises = [None, Some(NoiseSpec::new(0.8, 0.1))];
+    let mut out = Vec::new();
+    for topology in topologies {
+        for estimator in &estimators {
+            if matches!(estimator, EstimatorSpec::Algorithm4)
+                && !matches!(topology, TopologySpec::Torus2d { .. })
+            {
+                continue;
+            }
+            let rounds = if matches!(estimator, EstimatorSpec::Algorithm4) {
+                6 // < side = 8
+            } else {
+                16
+            };
+            for noise in noises {
+                for seed in [1u64, 2] {
+                    let mut scenario =
+                        Scenario::new(topology, 12, rounds).with_estimator(estimator.clone());
+                    if let Some(n) = noise {
+                        scenario = scenario.with_noise(n);
+                    }
+                    let label = format!(
+                        "{topology} agents 12 rounds {rounds} {estimator} noise {} seed {seed}",
+                        noise.map_or("none".to_string(), |n| n.to_string()),
+                    );
+                    out.push((label, scenario, seed));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn hex_list(vs: &[f64]) -> String {
+    vs.iter().map(|&v| hex(v)).collect::<Vec<_>>().join(" ")
+}
+
+fn bit_list(vs: &[bool]) -> String {
+    vs.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Serializes one outcome exactly (floats as bit patterns) so golden
+/// comparison is a string equality with readable diffs.
+fn render(label: &str, outcome: &ScenarioOutcome) -> String {
+    let mut s = format!("case {label}\n");
+    s.push_str(&format!("rounds {}\n", outcome.rounds));
+    s.push_str(&format!("true_density {}\n", hex(outcome.true_density)));
+    s.push_str(&format!("estimates {}\n", hex_list(&outcome.estimates)));
+    s.push_str(&format!(
+        "counts {}\n",
+        outcome
+            .collision_counts
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    s.push_str(&format!(
+        "property {}\n",
+        outcome
+            .property_estimates
+            .as_deref()
+            .map_or("-".to_string(), hex_list)
+    ));
+    s.push_str(&format!(
+        "decisions {}\n",
+        outcome
+            .quorum_decisions
+            .as_deref()
+            .map_or("-".to_string(), bit_list)
+    ));
+    s.push_str(&format!(
+        "walking {}\n",
+        outcome.walking.as_deref().map_or("-".to_string(), bit_list)
+    ));
+    s.push_str("end\n");
+    s
+}
+
+fn render_all() -> String {
+    let mut text = format!("{MAGIC}\n");
+    for (label, scenario, seed) in cases() {
+        text.push_str(&render(&label, &scenario.run(seed)));
+    }
+    text
+}
+
+#[test]
+fn scenario_outcomes_match_committed_golden_vectors() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run the ignored `regenerate` test and commit the output");
+    let current = render_all();
+    // Compare case by case for a readable failure.
+    let split = |t: &str| -> Vec<String> {
+        t.split("case ")
+            .skip(1)
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+    };
+    let golden_cases = split(&golden);
+    let current_cases = split(&current);
+    assert_eq!(
+        golden_cases.len(),
+        current_cases.len(),
+        "case grid changed — regenerate the golden file deliberately"
+    );
+    for (g, c) in golden_cases.iter().zip(&current_cases) {
+        assert_eq!(
+            g,
+            c,
+            "outcome drifted from the pre-refactor golden vector for `case {}`",
+            g.lines().next().unwrap_or("?")
+        );
+    }
+    assert_eq!(golden, current);
+}
+
+/// Regenerates the golden file from the current implementation. Kept
+/// `#[ignore]`d: running it is a *deliberate* decision to re-pin the
+/// determinism contract.
+#[test]
+#[ignore = "rewrites the golden vectors; run only to deliberately re-pin"]
+fn regenerate() {
+    let path = std::path::Path::new(GOLDEN_PATH);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(path, render_all()).unwrap();
+}
