@@ -7,6 +7,7 @@
 //! repro bench                       # engine throughput -> BENCH_engine.json
 //! repro bench --compare [BASE]      # …then gate against a baseline JSON
 //! repro sweep SPEC [--quick]        # run a declarative parameter sweep
+//! repro sweep SPEC --dry-run        # print the expanded/fused plan, run nothing
 //! options:
 //!   --quick           small grids (default for experiments)
 //!   --full            the EXPERIMENTS.md grids
@@ -17,8 +18,12 @@
 //! sweep options:
 //!   --workers N       worker threads for shard fan-out (results never depend on it)
 //!   --resume          continue from DIR/<name>.ckpt if present
-//!   --max-shards K    stop after K newly executed shards (checkpoint survives)
+//!   --max-shards K    stop after K newly executed fused shards (checkpoint survives)
 //!   --no-checkpoint   do not write a checkpoint file
+//!   --no-fuse         one simulation per cell instead of per fused shard
+//!                     (bit-identical report, strictly more work — the cross-check)
+//!   --dry-run         print cell/shard/trial counts and the fused-vs-unfused
+//!                     simulation work, then exit without running
 //! exit codes: 0 ok; 1 perf gate regressed / IO failure; 2 usage; 3 partial sweep
 //! ```
 
@@ -33,7 +38,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <list|bench|sweep SPEC|all|e1..e17...> [--quick|--full] [--seed N] \
          [--out DIR] [--compare [BASELINE]] [--tolerance F] [--workers N] [--resume] \
-         [--max-shards K] [--no-checkpoint]"
+         [--max-shards K] [--no-checkpoint] [--no-fuse] [--dry-run]"
     );
     std::process::exit(2);
 }
@@ -52,6 +57,8 @@ struct Cli {
     resume: bool,
     max_shards: Option<usize>,
     no_checkpoint: bool,
+    no_fuse: bool,
+    dry_run: bool,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -69,6 +76,8 @@ fn parse_cli(args: &[String]) -> Cli {
         resume: false,
         max_shards: None,
         no_checkpoint: false,
+        no_fuse: false,
+        dry_run: false,
     };
     let mut i = 0;
     let mut expect_sweep_spec = false;
@@ -132,6 +141,8 @@ fn parse_cli(args: &[String]) -> Cli {
                 );
             }
             "--no-checkpoint" => cli.no_checkpoint = true,
+            "--no-fuse" => cli.no_fuse = true,
+            "--dry-run" => cli.dry_run = true,
             "list" => cli.list_only = true,
             "all" => {
                 cli.selected = experiments::all()
@@ -194,6 +205,58 @@ fn run_bench(cli: &Cli) {
     }
 }
 
+/// `repro sweep SPEC --dry-run`: print what would run — expanded cells,
+/// fused shards, trials, and the fused-vs-unfused simulation work —
+/// without executing anything or touching the filesystem.
+fn dry_run(spec: &sweep::SweepSpec, quick: bool) {
+    let resolved = spec.resolve(quick).unwrap_or_else(|e| {
+        eprintln!("sweep spec does not resolve: {e}");
+        std::process::exit(2);
+    });
+    let (fused_sims, unfused_sims) = resolved.simulation_counts();
+    let (fused_rounds, unfused_rounds) = resolved.simulated_round_counts();
+    println!(
+        "sweep {} ({} mode) — dry run, nothing executed",
+        resolved.name, resolved.mode
+    );
+    println!(
+        "  grid cells:       {} ({} skipped combination{})",
+        resolved.cells.len(),
+        resolved.skipped.len(),
+        if resolved.skipped.len() == 1 { "" } else { "s" }
+    );
+    println!("  fused shards:     {}", resolved.fused.len());
+    println!("  trials per cell:  {}", resolved.trials);
+    println!(
+        "  simulations:      {fused_sims} fused vs {unfused_sims} unfused ({:.2}x fewer passes)",
+        unfused_sims as f64 / fused_sims as f64
+    );
+    println!(
+        "  simulated rounds: {fused_rounds} fused vs {unfused_rounds} unfused ({:.2}x less work)",
+        unfused_rounds as f64 / fused_rounds as f64
+    );
+    println!("  fingerprint:      {:016x}", resolved.fingerprint);
+    for shard in &resolved.fused {
+        let taps: Vec<String> = shard
+            .taps
+            .iter()
+            .map(|t| format!("{}@{}", t.estimator, t.schedule()))
+            .collect();
+        let base = &resolved.cells[shard.cells[0]];
+        println!(
+            "    shard {:>3}: {} agents {} {} {} — {} cell{} [{}]",
+            shard.index,
+            base.topology,
+            base.num_agents,
+            base.movement,
+            base.noise_label(),
+            shard.cells.len(),
+            if shard.cells.len() == 1 { "" } else { "s" },
+            taps.join(", "),
+        );
+    }
+}
+
 fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
     let text = match std::fs::read_to_string(spec_path) {
         Ok(t) => t,
@@ -206,6 +269,10 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
         eprintln!("sweep spec {}: {e}", spec_path.display());
         std::process::exit(2);
     });
+    if cli.dry_run {
+        dry_run(&spec, cli.effort == Effort::Quick);
+        return;
+    }
     let checkpoint = if cli.no_checkpoint {
         None
     } else {
@@ -213,6 +280,7 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
     };
     let opts = sweep::SweepOptions {
         quick: cli.effort == Effort::Quick,
+        fuse: !cli.no_fuse,
         workers: cli
             .workers
             .unwrap_or_else(antdensity_walks::parallel::default_threads),
@@ -226,6 +294,7 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
         eprintln!("sweep failed: {e}");
         std::process::exit(1);
     });
+    let wall_s = t0.elapsed().as_secs_f64();
     let report = sweep::build_report(&outcome);
     print!("{}", report.render());
     match report.write(&cli.out) {
@@ -238,13 +307,24 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
             std::process::exit(1);
         }
     }
+    let timing = sweep::SweepTiming::from_outcome(&outcome, opts.fuse, wall_s);
+    match timing.write(&cli.out) {
+        Ok(path) => println!("  timing: {}", path.display()),
+        Err(e) => {
+            eprintln!("  timing write failed: {e}");
+            std::process::exit(1);
+        }
+    }
     println!(
-        "  [sweep {} ran {} shard{} (+{} resumed) in {:.1}s]",
+        "  [sweep {} ran {} shard{} (+{} resumed), {} simulation{} / {} rounds{}, in {wall_s:.1}s]",
         report.name,
         outcome.executed,
         if outcome.executed == 1 { "" } else { "s" },
         outcome.resumed,
-        t0.elapsed().as_secs_f64()
+        outcome.simulations,
+        if outcome.simulations == 1 { "" } else { "s" },
+        outcome.simulated_rounds,
+        if opts.fuse { "" } else { " (unfused)" },
     );
     if outcome.complete {
         if let Some(ck) = &checkpoint {

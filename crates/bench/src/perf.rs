@@ -202,6 +202,8 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
         }
     }
 
+    bench_observer_fusion(effort, &mut results);
+
     EngineBenchReport {
         mode: match effort {
             Effort::Quick => "quick",
@@ -209,6 +211,81 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
         },
         samples: SAMPLES,
         results,
+    }
+}
+
+/// The multi-estimator single-pass group: one fused
+/// [`Scenario::run_streamed`] pass (Algorithm 1 + quorum + relative
+/// frequency taps, each on a 4-checkpoint rounds schedule) against the
+/// twelve dedicated `Scenario::run` invocations it replaces. Both
+/// implementations deliver the identical set of outcomes, so throughput
+/// is counted in **delivered** agent-steps — the rounds the unfused
+/// path must simulate — making the fused rows' higher Msteps/s exactly
+/// the observer-pipeline win.
+fn bench_observer_fusion(effort: Effort, results: &mut Vec<EngineBenchResult>) {
+    use antdensity_engine::{EstimatorSpec, ObserverTap, Scenario, Schedule, TopologySpec};
+
+    let agent_grid: &[usize] = match effort {
+        Effort::Quick => &[1024],
+        Effort::Full => &[1024, 4096],
+    };
+    let checkpoints: [u64; 4] = [16, 32, 64, 128];
+    for &agents in agent_grid {
+        let topology = TopologySpec::Torus2d { side: 256 };
+        let estimators = [
+            EstimatorSpec::Algorithm1,
+            EstimatorSpec::Quorum { threshold: 0.1 },
+            EstimatorSpec::RelativeFrequency {
+                property_agents: agents / 4,
+            },
+        ];
+        let delivered_steps: u64 =
+            agents as u64 * checkpoints.iter().sum::<u64>() * estimators.len() as u64;
+        let base = Scenario::new(topology, agents, *checkpoints.last().expect("non-empty"));
+        let taps: Vec<ObserverTap> = estimators
+            .iter()
+            .map(|e| ObserverTap {
+                estimator: e.clone(),
+                schedule: Schedule::new(checkpoints.to_vec()).expect("static schedule"),
+            })
+            .collect();
+
+        let mut seed = 0u64;
+        let fused_ns = median_ns_per_round(
+            || {
+                seed += 1;
+                std::hint::black_box(base.run_streamed(seed, &taps));
+            },
+            1,
+            SAMPLES,
+        );
+        let mut seed = 0u64;
+        let unfused_ns = median_ns_per_round(
+            || {
+                seed += 1;
+                for estimator in &estimators {
+                    for &rounds in &checkpoints {
+                        let scenario = Scenario::new(topology, agents, rounds)
+                            .with_estimator(estimator.clone());
+                        std::hint::black_box(scenario.run(seed));
+                    }
+                }
+            },
+            1,
+            SAMPLES,
+        );
+        for (implementation, ns) in [("fused", fused_ns), ("unfused", unfused_ns)] {
+            let ns_per_delivered_step = ns / delivered_steps as f64;
+            results.push(EngineBenchResult {
+                group: "observer_fusion",
+                implementation,
+                agents,
+                workers: 1,
+                effective_workers: 1,
+                ns_per_agent_step: ns_per_delivered_step,
+                msteps_per_sec: 1e3 / ns_per_delivered_step,
+            });
+        }
     }
 }
 
@@ -282,7 +359,31 @@ impl EngineBenchReport {
                 s.agents, s.workers, s.pool_effective, s.spawn_effective, s.ratio
             ));
         }
+        for (agents, ratio) in self.fusion_speedups() {
+            out.push_str(&format!(
+                "  => fused observer pass vs dedicated per-(estimator, rounds) runs \
+                 at {agents} agents: {ratio:.2}x\n"
+            ));
+        }
         out
+    }
+
+    /// Fused-over-unfused delivered-throughput ratios of the
+    /// `observer_fusion` group, by agent count.
+    pub fn fusion_speedups(&self) -> Vec<(usize, f64)> {
+        let of = |imp: &str, agents: usize| {
+            self.results.iter().find(|r| {
+                r.group == "observer_fusion" && r.implementation == imp && r.agents == agents
+            })
+        };
+        self.results
+            .iter()
+            .filter(|r| r.group == "observer_fusion" && r.implementation == "fused")
+            .filter_map(|f| {
+                of("unfused", f.agents)
+                    .map(|u| (f.agents, u.ns_per_agent_step / f.ns_per_agent_step))
+            })
+            .collect()
     }
 
     /// Pool-over-spawn throughput ratios, paired by *requested*
@@ -343,9 +444,12 @@ pub fn parse_json(text: &str) -> Result<EngineBenchReport, String> {
         for known in [
             "sequential",
             "parallel_scaling",
+            "observer_fusion",
             "mono",
             "pool",
             "spawn_baseline",
+            "fused",
+            "unfused",
         ] {
             if s == known {
                 return Ok(known);
@@ -559,6 +663,40 @@ mod tests {
                 },
             ],
         }
+    }
+
+    #[test]
+    fn fusion_speedups_pair_fused_with_unfused() {
+        let mut r = tiny_report();
+        r.results.push(EngineBenchResult {
+            group: "observer_fusion",
+            implementation: "fused",
+            agents: 1024,
+            workers: 1,
+            effective_workers: 1,
+            ns_per_agent_step: 2.0,
+            msteps_per_sec: 500.0,
+        });
+        r.results.push(EngineBenchResult {
+            group: "observer_fusion",
+            implementation: "unfused",
+            agents: 1024,
+            workers: 1,
+            effective_workers: 1,
+            ns_per_agent_step: 9.0,
+            msteps_per_sec: 111.1,
+        });
+        let speedups = r.fusion_speedups();
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, 1024);
+        assert!((speedups[0].1 - 4.5).abs() < 1e-9);
+        assert!(r.render().contains("fused observer pass"));
+        // fusion labels survive the JSON round trip
+        let parsed = parse_json(&r.to_json()).unwrap();
+        assert!(parsed
+            .results
+            .iter()
+            .any(|x| x.group == "observer_fusion" && x.implementation == "unfused"));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! paper's exact model.
 
 use crate::noise::CollisionNoise;
+use antdensity_engine::observer::{Alg1Observer, EncounterTallies, Observer, RoundEvents};
 use antdensity_graphs::Topology;
 use antdensity_stats::moments::SampleStats;
 use antdensity_stats::rng::SeedSequence;
@@ -110,35 +111,45 @@ impl Algorithm1 {
         self.run_arena(&mut arena, &mut rng)
     }
 
+    /// The synchronous round loop: the arena emits each round's
+    /// encounter events once and the shared observer tallies accumulate
+    /// them — the estimate math lives in
+    /// [`antdensity_engine::observer`], not here.
     fn run_arena<T: Topology>(
         &self,
         arena: &mut SyncArena<&T>,
         rng: &mut rand::rngs::SmallRng,
     ) -> DensityRun {
         let n_agents = self.num_agents;
-        let mut counts = vec![0u64; n_agents];
-        for _ in 0..self.rounds {
+        let mut tallies = EncounterTallies::new(n_agents, false);
+        let mut raw = vec![0u32; n_agents];
+        let mut seen = vec![0u32; n_agents];
+        for round in 1..=self.rounds {
             arena.step_round(rng);
+            for (a, slot) in raw.iter_mut().enumerate() {
+                *slot = arena.count(a);
+            }
             match &self.noise {
-                None => {
-                    for (a, c) in counts.iter_mut().enumerate() {
-                        *c += arena.count(a) as u64;
-                    }
-                }
+                None => seen.copy_from_slice(&raw),
                 Some(noise) => {
-                    for (a, c) in counts.iter_mut().enumerate() {
-                        *c += noise.observe(arena.count(a), rng) as u64;
+                    for (slot, &c) in seen.iter_mut().zip(&raw) {
+                        *slot = noise.observe(c, rng);
                     }
                 }
             }
+            tallies.record(&RoundEvents {
+                round,
+                counts: &seen,
+                raw_counts: &raw,
+                group_counts: None,
+            });
         }
-        let t = self.rounds as f64;
-        let estimates = counts.iter().map(|&c| c as f64 / t).collect();
+        let outcome = Alg1Observer.snapshot(&tallies, arena.density());
         DensityRun {
-            estimates,
-            collision_counts: counts,
-            rounds: self.rounds,
-            true_density: arena.density(),
+            estimates: outcome.estimates,
+            collision_counts: outcome.collision_counts,
+            rounds: outcome.rounds,
+            true_density: outcome.true_density,
         }
     }
 }

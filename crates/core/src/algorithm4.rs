@@ -15,6 +15,7 @@
 //! `d̃ = 2·(c mod t)/t`.
 
 use crate::algorithm1::DensityRun;
+use antdensity_engine::observer::{Alg4Observer, EncounterTallies, Observer, RoundEvents};
 use antdensity_graphs::{NodeId, Topology, Torus2d};
 use antdensity_stats::rng::SeedSequence;
 use rand::Rng;
@@ -92,10 +93,14 @@ impl Algorithm4 {
         for &p in &pos {
             assert!(p < torus.num_nodes(), "position {p} out of range");
         }
-        let mut counts = vec![0u64; self.num_agents];
+        // The deterministic drift simulation emits per-round encounter
+        // events; the stationary/mobile `c mod t` correction itself is
+        // the shared `Alg4Observer` snapshot.
+        let mut tallies = EncounterTallies::new(self.num_agents, false);
+        let mut round_counts = vec![0u32; self.num_agents];
         let mut occupancy: std::collections::HashMap<NodeId, u32> =
             std::collections::HashMap::new();
-        for _ in 0..self.rounds {
+        for round in 1..=self.rounds {
             for (p, &w) in pos.iter_mut().zip(walking) {
                 if w {
                     *p = torus.offset(*p, 0, 1); // the paper's (0, 1) step
@@ -105,22 +110,28 @@ impl Algorithm4 {
             for &p in &pos {
                 *occupancy.entry(p).or_insert(0) += 1;
             }
-            for (c, &p) in counts.iter_mut().zip(&pos) {
-                *c += (occupancy[&p] - 1) as u64;
+            for (c, &p) in round_counts.iter_mut().zip(&pos) {
+                *c = occupancy[&p] - 1;
             }
+            tallies.record(&RoundEvents {
+                round,
+                counts: &round_counts,
+                raw_counts: &round_counts,
+                group_counts: None,
+            });
         }
-        // c := c mod t, then d~ = 2c/t.
-        let t = self.rounds;
-        let corrected: Vec<u64> = counts.iter().map(|&c| c % t).collect();
-        let estimates = corrected
-            .iter()
-            .map(|&c| 2.0 * c as f64 / t as f64)
-            .collect();
-        DensityRun::from_parts(
-            estimates,
-            corrected,
-            t,
+        let observer = Alg4Observer {
+            walking: walking.to_vec(),
+        };
+        let outcome = observer.snapshot(
+            &tallies,
             (self.num_agents as f64 - 1.0) / torus.num_nodes() as f64,
+        );
+        DensityRun::from_parts(
+            outcome.estimates,
+            outcome.collision_counts,
+            outcome.rounds,
+            outcome.true_density,
         )
     }
 }

@@ -10,6 +10,9 @@
 //! Properties in nature: successful forager, nestmate vs enemy; in robot
 //! swarms: task-group membership, event detection.
 
+use antdensity_engine::observer::{
+    Alg1Observer, EncounterTallies, Observer, RelFreqObserver, RoundEvents,
+};
 use antdensity_graphs::Topology;
 use antdensity_stats::rng::SeedSequence;
 use antdensity_walks::arena::SyncArena;
@@ -152,22 +155,51 @@ impl FrequencyEstimation {
             arena.assign_group(a, 0);
         }
         arena.place_uniform(&mut rng);
-        let mut total = vec![0u64; self.num_agents];
-        let mut prop = vec![0u64; self.num_agents];
-        for _ in 0..self.rounds {
+        // The arena emits per-round events; the dual total/property
+        // tally and the ratio estimator live in the shared observer
+        // layer ([`RelFreqObserver`]), not in this loop.
+        let n = self.num_agents;
+        let track = self.num_property > 0;
+        let mut tallies = EncounterTallies::new(n, track);
+        let mut counts = vec![0u32; n];
+        let mut group_counts = vec![0u32; if track { n } else { 0 }];
+        for round in 1..=self.rounds {
             arena.step_round(&mut rng);
-            for a in 0..self.num_agents {
-                total[a] += arena.count(a) as u64;
-                if self.num_property > 0 {
-                    prop[a] += arena.count_in_group(a, 0) as u64;
-                }
+            for (a, slot) in counts.iter_mut().enumerate() {
+                *slot = arena.count(a);
             }
+            for (a, slot) in group_counts.iter_mut().enumerate() {
+                *slot = arena.count_in_group(a, 0);
+            }
+            tallies.record(&RoundEvents {
+                round,
+                counts: &counts,
+                raw_counts: &counts,
+                group_counts: track.then_some(group_counts.as_slice()),
+            });
         }
-        let t = self.rounds as f64;
-        let estimates = (0..self.num_agents)
-            .map(|a| FrequencyEstimate {
-                density: total[a] as f64 / t,
-                property_density: prop[a] as f64 / t,
+        let d_true = (n as f64 - 1.0) / topo.num_nodes() as f64;
+        let (density, property_density) = if track {
+            let o = RelFreqObserver.snapshot(&tallies, d_true);
+            (
+                o.estimates,
+                o.property_estimates
+                    .expect("relative-frequency snapshots carry property estimates"),
+            )
+        } else {
+            // No property holders: the property stream is identically 0.
+            (
+                Alg1Observer.snapshot(&tallies, d_true).estimates,
+                vec![0.0; n],
+            )
+        };
+        let estimates = density
+            .into_iter()
+            .zip(property_density)
+            .enumerate()
+            .map(|(a, (d, dp))| FrequencyEstimate {
+                density: d,
+                property_density: dp,
                 has_property: a < self.num_property,
             })
             .collect();

@@ -60,4 +60,5 @@ pub mod theory;
 pub use algorithm1::{Algorithm1, DensityRun};
 pub use algorithm4::Algorithm4;
 pub use noise::CollisionNoise;
+pub use quorum::SequentialQuorum;
 pub use theory::TopologyClass;

@@ -15,6 +15,8 @@
 //! agents far from it decide quickly — the behaviour the paper's future
 //! work section anticipates.
 
+use antdensity_engine::observer::{EncounterTallies, Observer, RoundEvents};
+use antdensity_engine::ScenarioOutcome;
 use antdensity_graphs::Topology;
 use antdensity_stats::rng::SeedSequence;
 use antdensity_walks::arena::SyncArena;
@@ -88,7 +90,9 @@ impl QuorumSensor {
 
     /// Runs the sensor for a whole population: `num_agents` agents walk on
     /// `topo`; each decides independently at the first checkpoint where
-    /// its running estimate clears the margin.
+    /// its running estimate clears the margin. The round loop only
+    /// emits encounter events — the stopping rule itself is the
+    /// incremental [`SequentialQuorum`] observer.
     ///
     /// # Panics
     ///
@@ -99,58 +103,24 @@ impl QuorumSensor {
         let mut rng = seq.rng(0);
         let mut arena = SyncArena::new(topo, num_agents);
         arena.place_uniform(&mut rng);
-        let mut counts = vec![0u64; num_agents];
-        let mut outcome: Vec<Option<QuorumOutcome>> = vec![None; num_agents];
-        let mut undecided = num_agents;
-        let mut next_checkpoint = 2u64;
-        for t in 1..=self.max_rounds {
+        let mut observer = SequentialQuorum::new(*self, num_agents);
+        let mut counts = vec![0u32; num_agents];
+        for round in 1..=self.max_rounds {
             arena.step_round(&mut rng);
-            for (a, c) in counts.iter_mut().enumerate() {
-                if outcome[a].is_none() {
-                    *c += arena.count(a) as u64;
-                }
+            for (a, slot) in counts.iter_mut().enumerate() {
+                *slot = arena.count(a);
             }
-            if t == next_checkpoint || t == self.max_rounds {
-                let margin = self.margin(t);
-                for a in 0..num_agents {
-                    if outcome[a].is_some() {
-                        continue;
-                    }
-                    let est = counts[a] as f64 / t as f64;
-                    let decision = if est > self.threshold + margin {
-                        Some(QuorumDecision::Above)
-                    } else if est < self.threshold - margin {
-                        Some(QuorumDecision::Below)
-                    } else {
-                        None
-                    };
-                    if let Some(d) = decision {
-                        outcome[a] = Some(QuorumOutcome {
-                            decision: d,
-                            rounds_used: t,
-                            estimate: est,
-                        });
-                        undecided -= 1;
-                    }
-                }
-                if undecided == 0 {
-                    break;
-                }
-                next_checkpoint = next_checkpoint.saturating_mul(2);
+            observer.on_round(&RoundEvents {
+                round,
+                counts: &counts,
+                raw_counts: &counts,
+                group_counts: None,
+            });
+            if observer.all_decided() {
+                break;
             }
         }
-        let t_final = self.max_rounds;
-        outcome
-            .into_iter()
-            .enumerate()
-            .map(|(a, o)| {
-                o.unwrap_or(QuorumOutcome {
-                    decision: QuorumDecision::Undecided,
-                    rounds_used: t_final,
-                    estimate: counts[a] as f64 / t_final as f64,
-                })
-            })
-            .collect()
+        observer.outcomes()
     }
 
     /// The threshold being tested.
@@ -161,6 +131,160 @@ impl QuorumSensor {
     /// The failure-probability target.
     pub fn delta(&self) -> f64 {
         self.delta
+    }
+}
+
+/// The quorum stopping rule as an incremental observer: per-agent
+/// sequential-test state updated from each round's encounter events.
+///
+/// Counts accumulate only while an agent is undecided; at geometric
+/// checkpoints (`t = 2^k`, plus the budget boundary) every undecided
+/// agent compares its running estimate against the threshold with the
+/// sensor's margin and freezes its outcome as soon as the margin
+/// separates them. Feeding the same event stream always produces the
+/// same outcomes — the observer is a pure fold.
+///
+/// Implements [`Observer`], so it can tap a fused
+/// [`Scenario::run_streamed`](antdensity_engine::Scenario::run_streamed)
+/// pass alongside the batch estimators.
+#[derive(Debug, Clone)]
+pub struct SequentialQuorum {
+    sensor: QuorumSensor,
+    counts: Vec<u64>,
+    decided: Vec<Option<QuorumOutcome>>,
+    undecided: usize,
+    next_checkpoint: u64,
+    rounds_seen: u64,
+}
+
+impl SequentialQuorum {
+    /// Fresh per-agent state for `num_agents` agents under `sensor`'s
+    /// threshold, margin, and round budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_agents == 0`.
+    pub fn new(sensor: QuorumSensor, num_agents: usize) -> Self {
+        assert!(num_agents > 0, "need at least one agent");
+        Self {
+            sensor,
+            counts: vec![0; num_agents],
+            decided: vec![None; num_agents],
+            undecided: num_agents,
+            next_checkpoint: 2,
+            rounds_seen: 0,
+        }
+    }
+
+    /// Whether every agent has frozen a decision (the driver may stop
+    /// stepping).
+    pub fn all_decided(&self) -> bool {
+        self.undecided == 0
+    }
+
+    /// Rounds consumed so far.
+    pub fn rounds_seen(&self) -> u64 {
+        self.rounds_seen
+    }
+
+    /// Final per-agent outcomes: frozen decisions as recorded, agents
+    /// still undecided report `Undecided` with their running estimate
+    /// over the rounds actually observed (the full budget when the
+    /// driver ran it out; fewer when a shorter fused pass fed the
+    /// observer).
+    pub fn outcomes(&self) -> Vec<QuorumOutcome> {
+        let t_final = self.rounds_seen.max(1);
+        self.decided
+            .iter()
+            .enumerate()
+            .map(|(a, o)| {
+                o.unwrap_or(QuorumOutcome {
+                    decision: QuorumDecision::Undecided,
+                    rounds_used: t_final,
+                    estimate: self.counts[a] as f64 / t_final as f64,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Observer for SequentialQuorum {
+    fn on_round(&mut self, ev: &RoundEvents<'_>) {
+        assert_eq!(ev.counts.len(), self.counts.len(), "agent count mismatch");
+        if self.rounds_seen >= self.sensor.max_rounds {
+            return; // budget exhausted: later events are not observed
+        }
+        assert_eq!(
+            ev.round,
+            self.rounds_seen + 1,
+            "rounds must arrive in order"
+        );
+        self.rounds_seen = ev.round;
+        let t = self.rounds_seen;
+        for (a, c) in self.counts.iter_mut().enumerate() {
+            if self.decided[a].is_none() {
+                *c += u64::from(ev.counts[a]);
+            }
+        }
+        if t == self.next_checkpoint || t == self.sensor.max_rounds {
+            let margin = self.sensor.margin(t);
+            for a in 0..self.counts.len() {
+                if self.decided[a].is_some() {
+                    continue;
+                }
+                let est = self.counts[a] as f64 / t as f64;
+                let decision = if est > self.sensor.threshold + margin {
+                    Some(QuorumDecision::Above)
+                } else if est < self.sensor.threshold - margin {
+                    Some(QuorumDecision::Below)
+                } else {
+                    None
+                };
+                if let Some(d) = decision {
+                    self.decided[a] = Some(QuorumOutcome {
+                        decision: d,
+                        rounds_used: t,
+                        estimate: est,
+                    });
+                    self.undecided -= 1;
+                }
+            }
+            if self.undecided > 0 {
+                self.next_checkpoint = self.next_checkpoint.saturating_mul(2);
+            }
+        }
+    }
+
+    /// Snapshot as a [`ScenarioOutcome`]: frozen agents report their
+    /// decision-time estimate and `decision == Above` as the verdict;
+    /// undecided agents report their running estimate and the verdict of
+    /// a plain threshold read-out.
+    fn snapshot(&self, _tallies: &EncounterTallies, true_density: f64) -> ScenarioOutcome {
+        let t = self.rounds_seen.max(1) as f64;
+        let estimates: Vec<f64> = self
+            .decided
+            .iter()
+            .enumerate()
+            .map(|(a, o)| o.map_or(self.counts[a] as f64 / t, |o| o.estimate))
+            .collect();
+        let decisions = self
+            .decided
+            .iter()
+            .zip(&estimates)
+            .map(|(o, &est)| match o {
+                Some(o) => o.decision == QuorumDecision::Above,
+                None => est >= self.sensor.threshold,
+            })
+            .collect();
+        ScenarioOutcome {
+            estimates,
+            collision_counts: self.counts.clone(),
+            property_estimates: None,
+            quorum_decisions: Some(decisions),
+            walking: None,
+            rounds: self.rounds_seen,
+            true_density,
+        }
     }
 }
 
@@ -318,6 +442,74 @@ mod tests {
     #[should_panic(expected = "threshold must be positive")]
     fn rejects_zero_threshold() {
         let _ = QuorumSensor::new(0.0, 0.1, 100);
+    }
+
+    #[test]
+    fn sequential_quorum_folds_events_incrementally() {
+        use antdensity_engine::observer::EncounterTallies;
+        // Agent 0 collides twice every round (estimate 2.0 ≫ 0.5),
+        // agent 1 never (0.0 ≪ 0.5): both decide at the first
+        // checkpoint; agent 2 hugs the threshold and stays undecided.
+        let sensor = QuorumSensor::new(0.5, 0.1, 8).with_margin_constant(0.2);
+        let mut sq = SequentialQuorum::new(sensor, 3);
+        let mut tallies = EncounterTallies::new(3, false);
+        for round in 1..=8u64 {
+            let row = [2u32, 0, u32::from(round % 2 == 0)];
+            let ev = RoundEvents {
+                round,
+                counts: &row,
+                raw_counts: &row,
+                group_counts: None,
+            };
+            tallies.record(&ev);
+            sq.on_round(&ev);
+        }
+        assert_eq!(sq.rounds_seen(), 8);
+        let outcomes = sq.outcomes();
+        assert_eq!(outcomes[0].decision, QuorumDecision::Above);
+        assert_eq!(outcomes[1].decision, QuorumDecision::Below);
+        assert_eq!(
+            outcomes[0].rounds_used, 2,
+            "decided at the first checkpoint"
+        );
+        assert_eq!(outcomes[2].decision, QuorumDecision::Undecided);
+        // frozen counts: agent 0 stopped accumulating when it decided
+        let snap = sq.snapshot(&tallies, 0.5);
+        assert_eq!(snap.collision_counts[0], 4);
+        assert_eq!(snap.quorum_decisions, Some(vec![true, false, true]));
+        assert_eq!(snap.estimates[0], 2.0);
+        // events past the budget are ignored, not a panic
+        let row = [9u32, 9, 9];
+        sq.on_round(&RoundEvents {
+            round: 9,
+            counts: &row,
+            raw_counts: &row,
+            group_counts: None,
+        });
+        assert_eq!(sq.rounds_seen(), 8);
+    }
+
+    #[test]
+    fn sequential_quorum_outcomes_use_rounds_actually_observed() {
+        // A fused pass may stop well short of the sensor's budget; the
+        // undecided estimate must divide by the rounds the observer saw,
+        // not the unconsumed budget.
+        let sensor = QuorumSensor::new(0.5, 0.1, 512);
+        let mut sq = SequentialQuorum::new(sensor, 1);
+        for round in 1..=4u64 {
+            let row = [1u32];
+            sq.on_round(&RoundEvents {
+                round,
+                counts: &row,
+                raw_counts: &row,
+                group_counts: None,
+            });
+        }
+        let outcomes = sq.outcomes();
+        // estimate 1.0 sits inside the early wide margins: undecided
+        assert_eq!(outcomes[0].decision, QuorumDecision::Undecided);
+        assert_eq!(outcomes[0].rounds_used, 4);
+        assert_eq!(outcomes[0].estimate, 1.0, "4 collisions / 4 rounds");
     }
 
     #[test]

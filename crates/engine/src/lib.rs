@@ -33,6 +33,11 @@
 //! * [`scenario`] — [`Scenario`]: a spec/builder composing topology ×
 //!   movement × estimator (Algorithm 1, Algorithm 4, quorum, relative
 //!   frequency) × noise into one runnable, seedable description.
+//! * [`observer`] — the streaming estimator pipeline: the driver emits
+//!   per-round encounter events once, [`Observer`]s consume them
+//!   incrementally, and [`Scenario::run_streamed`] snapshots several
+//!   estimators and whole accuracy-vs-rounds curves from **one**
+//!   simulation pass, bit-identical to dedicated runs.
 //! * [`sampling`] — exact small-parameter binomial/Poisson samplers for
 //!   the noisy-sensing models.
 //!
@@ -57,6 +62,7 @@
 pub mod config;
 pub mod engine;
 pub mod movement;
+pub mod observer;
 pub mod occupancy;
 pub mod pool;
 pub mod sampling;
@@ -66,7 +72,13 @@ pub mod step;
 pub use config::{EngineConfig, STREAM_BLOCK};
 pub use engine::{AgentId, Engine, GroupId, PARALLEL_CHUNK};
 pub use movement::MovementModel;
+pub use observer::{
+    Alg1Observer, Alg4Observer, EncounterTallies, Observer, QuorumObserver, RecordingObserver,
+    RelFreqObserver, RoundEvents, Schedule, SimFamily, UnbiasedObserver,
+};
 pub use occupancy::{DenseOccupancy, GroupOccupancy, MAX_NODES};
 pub use pool::WorkerPool;
-pub use scenario::{EstimatorSpec, NoiseSpec, Scenario, ScenarioOutcome, TopologySpec};
+pub use scenario::{
+    EstimatorSpec, NoiseSpec, ObserverTap, Scenario, ScenarioOutcome, TopologySpec,
+};
 pub use step::Interaction;

@@ -10,6 +10,13 @@
 //! parallelism, and returns a [`ScenarioOutcome`]; the result is a pure
 //! function of `(spec, seed)` for any thread count.
 //!
+//! Estimation itself is the streaming observer pipeline of
+//! [`crate::observer`]: the driver emits each round's encounter events
+//! once and observers snapshot estimates at rounds-checkpoints.
+//! [`Scenario::run_streamed`] exposes the fused form — several
+//! estimators and whole accuracy-vs-rounds curves from **one**
+//! simulation pass, bit-identical to running each combination alone.
+//!
 //! # Example
 //!
 //! ```
@@ -24,6 +31,7 @@
 use crate::config::EngineConfig;
 use crate::engine::Engine;
 use crate::movement::MovementModel;
+use crate::observer::{observer_for, EncounterTallies, Observer, RoundEvents, Schedule, SimFamily};
 use crate::pool::WorkerPool;
 use antdensity_graphs::{CompleteGraph, Hypercube, NodeId, Ring, Topology, Torus2d, TorusKd};
 use antdensity_stats::rng::SeedSequence;
@@ -400,21 +408,59 @@ impl Scenario {
         self
     }
 
+    /// Replaces the estimator, validating it against the scenario at
+    /// build time (so a bad spec fails here with a clear message, not
+    /// rounds-deep inside [`Self::run`]).
+    ///
+    /// # Errors
+    ///
+    /// * `RelativeFrequency` with a property population exceeding the
+    ///   agent count;
+    /// * `Algorithm4` off the 2-d torus, or with `rounds ≥ side`
+    ///   (Theorem 32's precondition: a drifting agent must visit `t`
+    ///   distinct cells, or the `c mod t` correction wraps legitimate
+    ///   counts).
+    pub fn try_with_estimator(mut self, estimator: EstimatorSpec) -> Result<Self, String> {
+        match &estimator {
+            EstimatorSpec::RelativeFrequency { property_agents } => {
+                if *property_agents > self.num_agents {
+                    return Err(format!(
+                        "relative-frequency property population exceeds agent count: \
+                         {property_agents} property agents > {} agents",
+                        self.num_agents
+                    ));
+                }
+            }
+            EstimatorSpec::Algorithm4 => match self.topology {
+                TopologySpec::Torus2d { side } if self.rounds < side => {}
+                TopologySpec::Torus2d { side } => {
+                    return Err(format!(
+                        "Theorem 32 requires t < sqrt(A) (= {side}); got t = {}",
+                        self.rounds
+                    ))
+                }
+                other => {
+                    return Err(format!(
+                        "Algorithm 4 is analysed on the 2-d torus only, got {other:?}"
+                    ))
+                }
+            },
+            EstimatorSpec::Algorithm1 | EstimatorSpec::Quorum { .. } => {}
+        }
+        self.estimator = estimator;
+        Ok(self)
+    }
+
     /// Replaces the estimator.
     ///
     /// # Panics
     ///
-    /// Panics if a `RelativeFrequency` property population exceeds the
-    /// agent count.
-    pub fn with_estimator(mut self, estimator: EstimatorSpec) -> Self {
-        if let EstimatorSpec::RelativeFrequency { property_agents } = &estimator {
-            assert!(
-                *property_agents <= self.num_agents,
-                "property population exceeds agent count"
-            );
+    /// Panics where [`Self::try_with_estimator`] errors.
+    pub fn with_estimator(self, estimator: EstimatorSpec) -> Self {
+        match self.try_with_estimator(estimator) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
-        self.estimator = estimator;
-        self
     }
 
     /// Sets the worker count for round stepping. Results never depend on
@@ -474,23 +520,101 @@ impl Scenario {
     /// Executes the scenario. The outcome is a pure function of
     /// `(self, seed)` — thread count and scheduling are invisible.
     ///
+    /// A thin driver over [`Self::run_streamed`]: one tap, one
+    /// checkpoint at `rounds`.
+    ///
     /// # Panics
     ///
     /// For `Algorithm4`, panics unless the topology is a 2-d torus with
-    /// `rounds < side` — Theorem 32's precondition (a drifting agent must
-    /// visit `t` distinct cells, or the `c mod t` correction wraps
-    /// legitimate counts). Same check as `antdensity_core::Algorithm4`.
+    /// `rounds < side` — Theorem 32's precondition. Same check as
+    /// `antdensity_core::Algorithm4`.
     pub fn run(&self, seed: u64) -> ScenarioOutcome {
-        if matches!(self.estimator, EstimatorSpec::Algorithm4) {
+        let tap = ObserverTap {
+            estimator: self.estimator.clone(),
+            schedule: Schedule::single(self.rounds),
+        };
+        self.run_streamed(seed, std::slice::from_ref(&tap))
+            .pop()
+            .expect("one tap in, one outcome list out")
+            .pop()
+            .expect("one checkpoint in, one outcome out")
+    }
+
+    /// Executes **one** simulation pass and snapshots every observer tap
+    /// at each of its rounds-checkpoints: `result[i][j]` is tap `i`'s
+    /// outcome at its `j`-th checkpoint, **bit-identical** to
+    /// `self.with_estimator(taps[i].estimator)` run for exactly
+    /// `taps[i].schedule.points()[j]` rounds (RNG streams are derived
+    /// per round, so a shorter run draws a strict prefix of a longer
+    /// one; the golden-vector and replay suites pin this contract).
+    ///
+    /// The scenario's own `estimator` and `rounds` are superseded by the
+    /// taps; topology, movement, interaction variants, noise, and
+    /// threading still come from `self`. The pass runs to the largest
+    /// checkpoint of any tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty, if the taps' estimators do not share
+    /// one simulation family ([`SimFamily::fuse`]), or if an
+    /// `Algorithm4` tap violates Theorem 32's precondition (non-torus
+    /// topology, or a checkpoint at `rounds ≥ side`).
+    pub fn run_streamed(&self, seed: u64, taps: &[ObserverTap]) -> Vec<Vec<ScenarioOutcome>> {
+        self.drive(seed, taps, None)
+    }
+
+    /// [`Self::run_streamed`], additionally recording the raw per-round
+    /// event stream — the replay harness of the observer-equivalence
+    /// property suite (`tests/observer_replay.rs`) and a debugging tap.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::run_streamed`].
+    pub fn run_recorded(
+        &self,
+        seed: u64,
+        taps: &[ObserverTap],
+    ) -> (
+        Vec<Vec<ScenarioOutcome>>,
+        crate::observer::RecordingObserver,
+    ) {
+        let mut recorder = crate::observer::RecordingObserver::default();
+        let results = self.drive(seed, taps, Some(&mut recorder));
+        (results, recorder)
+    }
+
+    fn drive(
+        &self,
+        seed: u64,
+        taps: &[ObserverTap],
+        mut recorder: Option<&mut crate::observer::RecordingObserver>,
+    ) -> Vec<Vec<ScenarioOutcome>> {
+        assert!(!taps.is_empty(), "need at least one observer tap");
+        let family = taps[0].estimator.sim_family();
+        let family = taps.iter().skip(1).fold(family, |f, tap| {
+            f.fuse(tap.estimator.sim_family()).unwrap_or_else(|| {
+                panic!(
+                    "estimator {} cannot share a simulation pass with the preceding taps \
+                     (incompatible simulation families)",
+                    tap.estimator
+                )
+            })
+        });
+        let max_rounds = taps
+            .iter()
+            .map(|t| t.schedule.max())
+            .max()
+            .expect("taps are non-empty");
+        if matches!(family, SimFamily::Alg4) {
             match self.topology {
                 TopologySpec::Torus2d { side } => assert!(
-                    self.rounds < side,
-                    "Theorem 32 requires t < sqrt(A) (= {side}); got t = {}",
-                    self.rounds
+                    max_rounds < side,
+                    "Theorem 32 requires t < sqrt(A) (= {side}); got t = {max_rounds}"
                 ),
                 other => panic!("Algorithm 4 is analysed on the 2-d torus only, got {other:?}"),
             }
         }
+
         let seq = SeedSequence::new(seed);
         let topo = self.topology.build();
         let mut engine = Engine::new(topo, self.num_agents)
@@ -504,10 +628,11 @@ impl Scenario {
         engine.set_avoidance(self.avoidance);
         engine.set_flee(self.flee);
 
-        // Estimator-specific agent configuration.
+        // Family-specific agent configuration (identical RNG consumption
+        // to the per-estimator runs being fused).
         let mut walking: Option<Vec<bool>> = None;
-        match &self.estimator {
-            EstimatorSpec::Algorithm4 => {
+        match family {
+            SimFamily::Alg4 => {
                 let mut coin = seq.rng(ROLE_STREAM);
                 // Move index 2 is the paper's (0, 1) drift step on Torus2d
                 // (the only topology the precondition check lets through).
@@ -525,83 +650,104 @@ impl Scenario {
                 }
                 walking = Some(w);
             }
-            EstimatorSpec::RelativeFrequency { property_agents } => {
+            SimFamily::Standard {
+                property_agents: Some(property_agents),
+            } => {
                 engine.declare_groups(1);
-                for a in 0..*property_agents {
+                for a in 0..property_agents {
                     engine.assign_group(a, 0);
                 }
             }
-            EstimatorSpec::Algorithm1 | EstimatorSpec::Quorum { .. } => {}
+            SimFamily::Standard {
+                property_agents: None,
+            } => {}
         }
 
         engine.place_uniform(&mut seq.rng(PLACEMENT_STREAM));
 
-        let track_groups = matches!(&self.estimator, EstimatorSpec::RelativeFrequency { .. });
-        let mut noise_rng = seq.rng(NOISE_STREAM);
-        let mut counts = vec![0u64; self.num_agents];
-        let mut group_counts = vec![0u64; if track_groups { self.num_agents } else { 0 }];
-        for _ in 0..self.rounds {
-            engine.step_round_parallel();
-            for (a, c) in counts.iter_mut().enumerate() {
-                let seen = engine.count(a);
-                *c += match &self.noise {
-                    None => seen,
-                    Some(noise) => noise.observe(seen, &mut noise_rng),
-                } as u64;
+        let track_groups = matches!(
+            family,
+            SimFamily::Standard {
+                property_agents: Some(_)
             }
-            if track_groups {
-                for (a, c) in group_counts.iter_mut().enumerate() {
-                    *c += engine.count_in_group(a, 0) as u64;
+        );
+        let n = self.num_agents;
+        let mut noise_rng = seq.rng(NOISE_STREAM);
+        let mut tallies = EncounterTallies::new(n, track_groups);
+        let mut observers: Vec<Box<dyn Observer>> = taps
+            .iter()
+            .map(|t| observer_for(&t.estimator, walking.as_deref()))
+            .collect();
+        let mut results: Vec<Vec<ScenarioOutcome>> = taps.iter().map(|_| Vec::new()).collect();
+        let mut raw = vec![0u32; n];
+        let mut seen = vec![0u32; n];
+        let mut group_buf: Option<Vec<u32>> = track_groups.then(|| vec![0u32; n]);
+        let true_density = engine.density();
+
+        for round in 1..=max_rounds {
+            engine.step_round_parallel();
+            for (a, slot) in raw.iter_mut().enumerate() {
+                *slot = engine.count(a);
+            }
+            // Noise draws happen once, in agent order — exactly the
+            // stream a dedicated per-estimator run would consume.
+            match &self.noise {
+                None => seen.copy_from_slice(&raw),
+                Some(noise) => {
+                    for (slot, &c) in seen.iter_mut().zip(&raw) {
+                        *slot = noise.observe(c, &mut noise_rng);
+                    }
+                }
+            }
+            if let Some(gb) = &mut group_buf {
+                for (a, slot) in gb.iter_mut().enumerate() {
+                    *slot = engine.count_in_group(a, 0);
+                }
+            }
+            let ev = RoundEvents {
+                round,
+                counts: &seen,
+                raw_counts: &raw,
+                group_counts: group_buf.as_deref(),
+            };
+            tallies.record(&ev);
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.on_round(&ev);
+            }
+            for obs in &mut observers {
+                obs.on_round(&ev);
+            }
+            for ((tap, obs), out) in taps.iter().zip(&observers).zip(&mut results) {
+                if tap.schedule.contains(round) {
+                    out.push(obs.snapshot(&tallies, true_density));
                 }
             }
         }
+        results
+    }
+}
 
-        let t = self.rounds as f64;
-        let true_density = engine.density();
-        match &self.estimator {
-            EstimatorSpec::Algorithm1 => ScenarioOutcome {
-                estimates: counts.iter().map(|&c| c as f64 / t).collect(),
-                collision_counts: counts,
-                property_estimates: None,
-                quorum_decisions: None,
-                walking,
-                rounds: self.rounds,
-                true_density,
-            },
-            EstimatorSpec::Algorithm4 => {
-                let corrected: Vec<u64> = counts.iter().map(|&c| c % self.rounds).collect();
-                ScenarioOutcome {
-                    estimates: corrected.iter().map(|&c| 2.0 * c as f64 / t).collect(),
-                    collision_counts: corrected,
-                    property_estimates: None,
-                    quorum_decisions: None,
-                    walking,
-                    rounds: self.rounds,
-                    true_density,
-                }
-            }
-            EstimatorSpec::Quorum { threshold } => {
-                let estimates: Vec<f64> = counts.iter().map(|&c| c as f64 / t).collect();
-                let decisions = estimates.iter().map(|&e| e >= *threshold).collect();
-                ScenarioOutcome {
-                    estimates,
-                    collision_counts: counts,
-                    property_estimates: None,
-                    quorum_decisions: Some(decisions),
-                    walking,
-                    rounds: self.rounds,
-                    true_density,
-                }
-            }
-            EstimatorSpec::RelativeFrequency { .. } => ScenarioOutcome {
-                estimates: counts.iter().map(|&c| c as f64 / t).collect(),
-                collision_counts: counts,
-                property_estimates: Some(group_counts.iter().map(|&c| c as f64 / t).collect()),
-                quorum_decisions: None,
-                walking,
-                rounds: self.rounds,
-                true_density,
-            },
+/// One estimator tapping a shared simulation pass, snapshotting at each
+/// checkpoint of its schedule (see [`Scenario::run_streamed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserverTap {
+    /// The estimator reading the event stream.
+    pub estimator: EstimatorSpec,
+    /// The rounds-checkpoints at which it snapshots.
+    pub schedule: Schedule,
+}
+
+impl ObserverTap {
+    /// The classic single-checkpoint tap: `estimator` read out once
+    /// after `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn single(estimator: EstimatorSpec, rounds: u64) -> Self {
+        Self {
+            estimator,
+            schedule: Schedule::single(rounds),
         }
     }
 }
@@ -896,5 +1042,102 @@ mod tests {
     fn oversized_property_group_rejected() {
         let _ = Scenario::new(TopologySpec::Ring { nodes: 8 }, 4, 8)
             .with_estimator(EstimatorSpec::RelativeFrequency { property_agents: 5 });
+    }
+
+    #[test]
+    fn try_with_estimator_reports_clear_errors() {
+        let base = Scenario::new(TopologySpec::Ring { nodes: 8 }, 4, 8);
+        let err = base
+            .clone()
+            .try_with_estimator(EstimatorSpec::RelativeFrequency { property_agents: 5 })
+            .unwrap_err();
+        assert!(
+            err.contains("5 property agents > 4 agents"),
+            "error should name both counts: {err}"
+        );
+        // alg4 preconditions fail at build time, not rounds-deep in run()
+        let err = base
+            .try_with_estimator(EstimatorSpec::Algorithm4)
+            .unwrap_err();
+        assert!(err.contains("2-d torus only"), "{err}");
+        let err = Scenario::new(TopologySpec::Torus2d { side: 8 }, 4, 8)
+            .try_with_estimator(EstimatorSpec::Algorithm4)
+            .unwrap_err();
+        assert!(err.contains("Theorem 32"), "{err}");
+        // valid configurations pass through
+        assert!(Scenario::new(TopologySpec::Torus2d { side: 8 }, 4, 7)
+            .try_with_estimator(EstimatorSpec::Algorithm4)
+            .is_ok());
+    }
+
+    /// The fusion determinism contract at the engine level: one
+    /// streamed pass with several estimator taps and a multi-checkpoint
+    /// schedule equals the dedicated `(estimator, rounds)` runs bit for
+    /// bit.
+    #[test]
+    fn streamed_pass_is_bit_identical_to_dedicated_runs() {
+        use antdensity_stats::schedule::Schedule;
+        let base = Scenario::new(TopologySpec::Torus2d { side: 16 }, 40, 64)
+            .with_noise(NoiseSpec::new(0.8, 0.1));
+        let schedule = Schedule::new(vec![8, 16, 32, 64]).unwrap();
+        let taps = vec![
+            ObserverTap {
+                estimator: EstimatorSpec::Algorithm1,
+                schedule: schedule.clone(),
+            },
+            ObserverTap {
+                estimator: EstimatorSpec::Quorum { threshold: 0.1 },
+                schedule: Schedule::new(vec![16, 64]).unwrap(),
+            },
+            ObserverTap {
+                estimator: EstimatorSpec::RelativeFrequency {
+                    property_agents: 10,
+                },
+                schedule: Schedule::single(32),
+            },
+        ];
+        let fused = base.run_streamed(9, &taps);
+        assert_eq!(fused.len(), 3);
+        for (tap, outcomes) in taps.iter().zip(&fused) {
+            assert_eq!(outcomes.len(), tap.schedule.len());
+            for (&rounds, outcome) in tap.schedule.points().iter().zip(outcomes) {
+                let dedicated = Scenario::new(TopologySpec::Torus2d { side: 16 }, 40, rounds)
+                    .with_noise(NoiseSpec::new(0.8, 0.1))
+                    .with_estimator(tap.estimator.clone())
+                    .run(9);
+                assert_eq!(
+                    *outcome, dedicated,
+                    "tap {} at t={rounds} drifted from its dedicated run",
+                    tap.estimator
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_alg4_schedule_matches_dedicated_runs() {
+        use antdensity_stats::schedule::Schedule;
+        let taps = [ObserverTap {
+            estimator: EstimatorSpec::Algorithm4,
+            schedule: Schedule::new(vec![8, 16, 24]).unwrap(),
+        }];
+        let fused =
+            Scenario::new(TopologySpec::Torus2d { side: 32 }, 65, 24).run_streamed(3, &taps);
+        for (&rounds, outcome) in taps[0].schedule.points().iter().zip(&fused[0]) {
+            let dedicated = Scenario::new(TopologySpec::Torus2d { side: 32 }, 65, rounds)
+                .with_estimator(EstimatorSpec::Algorithm4)
+                .run(3);
+            assert_eq!(*outcome, dedicated, "alg4 at t={rounds}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible simulation families")]
+    fn alg4_cannot_fuse_with_standard_taps() {
+        let taps = [
+            ObserverTap::single(EstimatorSpec::Algorithm1, 8),
+            ObserverTap::single(EstimatorSpec::Algorithm4, 8),
+        ];
+        let _ = Scenario::new(TopologySpec::Torus2d { side: 16 }, 10, 8).run_streamed(1, &taps);
     }
 }

@@ -1,0 +1,125 @@
+//! Observer-equivalence property suite: every observer, replayed over a
+//! **recorded** event stream, reproduces the legacy `Scenario::run`
+//! outcome bit for bit — across all four topology families × every
+//! estimator × noisy and perfect sensing.
+//!
+//! Together with `observer_golden.rs` (which pins `Scenario::run` itself
+//! to pre-refactor vectors) this closes the loop: legacy outcome ==
+//! streamed outcome == replay-from-recording outcome.
+
+use antdensity_engine::observer::{observer_for, RecordingObserver};
+use antdensity_engine::{EstimatorSpec, NoiseSpec, ObserverTap, Scenario, TopologySpec};
+
+fn topologies() -> [TopologySpec; 4] {
+    [
+        TopologySpec::Torus2d { side: 8 },
+        TopologySpec::Ring { nodes: 64 },
+        TopologySpec::Hypercube { dims: 6 },
+        TopologySpec::Complete { nodes: 64 },
+    ]
+}
+
+fn estimators() -> [EstimatorSpec; 4] {
+    [
+        EstimatorSpec::Algorithm1,
+        EstimatorSpec::Algorithm4,
+        EstimatorSpec::Quorum { threshold: 0.1 },
+        EstimatorSpec::RelativeFrequency { property_agents: 5 },
+    ]
+}
+
+#[test]
+fn every_observer_replayed_over_recorded_events_matches_legacy_outcome() {
+    for topology in topologies() {
+        for estimator in estimators() {
+            let alg4 = matches!(estimator, EstimatorSpec::Algorithm4);
+            if alg4 && !matches!(topology, TopologySpec::Torus2d { .. }) {
+                continue; // Theorem 32: Algorithm 4 lives on the 2-d torus
+            }
+            let rounds = if alg4 { 6 } else { 20 };
+            for noise in [None, Some(NoiseSpec::new(0.7, 0.15))] {
+                for seed in [1u64, 5, 9] {
+                    let mut scenario =
+                        Scenario::new(topology, 14, rounds).with_estimator(estimator.clone());
+                    if let Some(n) = noise {
+                        scenario = scenario.with_noise(n);
+                    }
+                    // The reference: the (golden-pinned) scenario outcome.
+                    let legacy = scenario.run(seed);
+
+                    // Record the event stream once…
+                    let tap = ObserverTap::single(estimator.clone(), rounds);
+                    let (streamed, recording) =
+                        scenario.run_recorded(seed, std::slice::from_ref(&tap));
+                    assert_eq!(
+                        streamed[0][0], legacy,
+                        "streamed outcome drifted: {topology} {estimator} seed {seed}"
+                    );
+                    assert_eq!(recording.rounds.len() as u64, rounds);
+
+                    // …then replay a *fresh* observer over the recording.
+                    let mut observer = observer_for(&estimator, legacy.walking.as_deref());
+                    let replayed = recording.replay(observer.as_mut(), legacy.true_density);
+                    assert_eq!(
+                        replayed, legacy,
+                        "replayed outcome drifted: {topology} {estimator} noise {noise:?} \
+                         seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recording_is_noise_faithful() {
+    // The recorded stream carries both pre- and post-noise counts; under
+    // perfect sensing they are identical, under noise they may differ
+    // but cumulative post-noise counts must match the outcome's tallies.
+    let scenario = Scenario::new(TopologySpec::Complete { nodes: 64 }, 16, 12)
+        .with_noise(NoiseSpec::new(0.5, 0.3));
+    let tap = ObserverTap::single(EstimatorSpec::Algorithm1, 12);
+    let (outcomes, rec) = scenario.run_recorded(4, std::slice::from_ref(&tap));
+    let mut totals = vec![0u64; 16];
+    let mut raw_totals = vec![0u64; 16];
+    for round in &rec.rounds {
+        for (t, &c) in totals.iter_mut().zip(&round.counts) {
+            *t += u64::from(c);
+        }
+        for (t, &c) in raw_totals.iter_mut().zip(&round.raw_counts) {
+            *t += u64::from(c);
+        }
+    }
+    assert_eq!(totals, outcomes[0][0].collision_counts);
+    assert_ne!(
+        totals, raw_totals,
+        "a 0.5-detect / 0.3-spurious sensor over 12 rounds × 16 agents should perturb counts"
+    );
+}
+
+/// A replayed recording of a *fused* multi-estimator pass serves every
+/// member estimator — one stream, many consumers.
+#[test]
+fn one_recording_feeds_every_standard_estimator() {
+    let scenario = Scenario::new(TopologySpec::Torus2d { side: 8 }, 14, 20)
+        .with_estimator(EstimatorSpec::RelativeFrequency { property_agents: 5 });
+    let taps = [
+        ObserverTap::single(EstimatorSpec::RelativeFrequency { property_agents: 5 }, 20),
+        ObserverTap::single(EstimatorSpec::Algorithm1, 20),
+        ObserverTap::single(EstimatorSpec::Quorum { threshold: 0.2 }, 20),
+    ];
+    let (_, recording) = scenario.run_recorded(7, &taps);
+    let mut _rec = RecordingObserver::default();
+    for estimator in [
+        EstimatorSpec::Algorithm1,
+        EstimatorSpec::Quorum { threshold: 0.2 },
+        EstimatorSpec::RelativeFrequency { property_agents: 5 },
+    ] {
+        let dedicated = Scenario::new(TopologySpec::Torus2d { side: 8 }, 14, 20)
+            .with_estimator(estimator.clone())
+            .run(7);
+        let mut observer = observer_for(&estimator, None);
+        let replayed = recording.replay(observer.as_mut(), dedicated.true_density);
+        assert_eq!(replayed, dedicated, "{estimator}");
+    }
+}

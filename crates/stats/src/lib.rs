@@ -22,6 +22,10 @@
 //!   trick from Section 5.1.2).
 //! * [`rng`] — SplitMix64 seed derivation so that every simulation in the
 //!   workspace is reproducible from a single master seed.
+//! * [`schedule`] — checkpoint schedules (the round counts at which a
+//!   streaming estimator snapshots): validated sorted sets, sized by
+//!   `max`, generated geometrically by `log_spaced` for dense
+//!   accuracy-vs-rounds curves.
 //! * [`table`] — ASCII table / CSV rendering shared by the experiment
 //!   harness and the examples.
 //!
@@ -47,6 +51,7 @@ pub mod moments;
 pub mod quantile;
 pub mod regression;
 pub mod rng;
+pub mod schedule;
 pub mod table;
 
 pub use bounds::{chernoff_rounds, theorem1_epsilon, theorem1_rounds};
@@ -54,4 +59,5 @@ pub use moments::{CentralMoments, SampleStats, StreamingMoments};
 pub use quantile::quantile;
 pub use regression::{LinearFit, LogLogFit};
 pub use rng::SeedSequence;
+pub use schedule::Schedule;
 pub use table::Table;

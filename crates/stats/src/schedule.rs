@@ -1,0 +1,171 @@
+//! Checkpoint schedules: the sorted sets of round counts at which a
+//! streaming estimator snapshots its state.
+//!
+//! The observer pipeline runs one simulation pass and reads estimates
+//! out at several `rounds` checkpoints; a [`Schedule`] is the canonical
+//! representation of those checkpoints — strictly increasing, positive,
+//! deduplicated — sized by [`Schedule::max`] (the rounds one fused pass
+//! must run) and generated geometrically by [`Schedule::log_spaced`]
+//! (the sweep spec grammar's `rounds = log:<lo>:<hi>:<per-doubling>`
+//! axis, the natural abscissae for accuracy-vs-rounds curves).
+
+/// A strictly increasing, deduplicated list of positive round
+/// checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    points: Vec<u64>,
+}
+
+impl Schedule {
+    /// Builds a schedule from arbitrary checkpoint values: sorted,
+    /// deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `points` is empty or contains a zero.
+    pub fn new(mut points: Vec<u64>) -> Result<Self, String> {
+        if points.is_empty() {
+            return Err("schedule needs at least one checkpoint".into());
+        }
+        if points.contains(&0) {
+            return Err("checkpoints must be positive round counts".into());
+        }
+        points.sort_unstable();
+        points.dedup();
+        Ok(Self { points })
+    }
+
+    /// The one-checkpoint schedule (a classic fixed-`t` run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn single(rounds: u64) -> Self {
+        assert!(rounds > 0, "checkpoints must be positive round counts");
+        Self {
+            points: vec![rounds],
+        }
+    }
+
+    /// Geometrically spaced checkpoints from `lo` to `hi` (both
+    /// included): `points_per_doubling` checkpoints per factor of two,
+    /// rounded to distinct integers — the natural grid for
+    /// accuracy-vs-rounds curves, and cheap to read out of one fused
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0`, `lo > hi`, or `points_per_doubling == 0`.
+    pub fn log_spaced(lo: u64, hi: u64, points_per_doubling: u32) -> Self {
+        assert!(lo > 0, "checkpoints must be positive round counts");
+        assert!(lo <= hi, "empty range");
+        assert!(
+            points_per_doubling > 0,
+            "need at least one point per doubling"
+        );
+        let ratio = 2f64.powf(1.0 / f64::from(points_per_doubling));
+        let mut points = Vec::new();
+        let mut x = lo as f64;
+        while x < hi as f64 {
+            points.push(x.round() as u64);
+            x *= ratio;
+        }
+        points.push(hi);
+        Self::new(points).expect("constructed points are positive and non-empty")
+    }
+
+    /// The checkpoints, ascending.
+    pub fn points(&self) -> &[u64] {
+        &self.points
+    }
+
+    /// Number of checkpoints.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the schedule is empty (never — kept for the usual
+    /// `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The final checkpoint — the rounds one fused simulation pass must
+    /// execute to serve every snapshot.
+    pub fn max(&self) -> u64 {
+        *self.points.last().expect("schedules are non-empty")
+    }
+
+    /// Whether `rounds` is a checkpoint.
+    pub fn contains(&self, rounds: u64) -> bool {
+        self.points.binary_search(&rounds).is_ok()
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    /// Comma-separated checkpoint list (`16,32,64`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = Schedule::new(vec![64, 16, 32, 16]).unwrap();
+        assert_eq!(s.points(), &[16, 32, 64]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.max(), 64);
+        assert!(s.contains(32));
+        assert!(!s.contains(33));
+    }
+
+    #[test]
+    fn rejects_empty_and_zero() {
+        assert!(Schedule::new(vec![]).is_err());
+        assert!(Schedule::new(vec![8, 0]).is_err());
+    }
+
+    #[test]
+    fn single_is_one_checkpoint() {
+        let s = Schedule::single(128);
+        assert_eq!(s.points(), &[128]);
+        assert_eq!(s.max(), 128);
+    }
+
+    #[test]
+    fn log_spaced_hits_endpoints_and_grows_geometrically() {
+        let s = Schedule::log_spaced(16, 512, 1);
+        assert_eq!(s.points(), &[16, 32, 64, 128, 256, 512]);
+        let dense = Schedule::log_spaced(16, 128, 2);
+        assert_eq!(dense.points().first(), Some(&16));
+        assert_eq!(dense.max(), 128);
+        assert!(dense.len() > 4, "{dense}");
+        // the committed alg1_accuracy axis: 3 points per doubling
+        assert_eq!(
+            Schedule::log_spaced(16, 512, 3).points(),
+            &[16, 20, 25, 32, 40, 51, 64, 81, 102, 128, 161, 203, 256, 323, 406, 512]
+        );
+    }
+
+    #[test]
+    fn display_is_comma_separated() {
+        assert_eq!(Schedule::new(vec![8, 4]).unwrap().to_string(), "4,8");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive round counts")]
+    fn single_zero_panics() {
+        let _ = Schedule::single(0);
+    }
+}

@@ -16,14 +16,21 @@
 //! The pipeline ([`run_spec_text`] end to end, or the modules à la
 //! carte):
 //!
-//! 1. [`spec`] parses the file and expands the grid into a stable-order
-//!    list of cells — the **shards**.
+//! 1. [`spec`] parses the file, expands the grid into a stable-order
+//!    list of cells, and **fuses** cells that differ only on estimator
+//!    and rounds into shards ([`FusedShard`]) sharing one simulation
+//!    family.
 //! 2. [`runner`] executes shards on the workspace's persistent
-//!    [`WorkerPool`](antdensity_engine::WorkerPool). Shard `i` is a pure
-//!    function of `(resolved spec, i)`: its trials derive RNG streams
-//!    from `(sweep seed, shard index, trial index)`, so results are
-//!    bit-identical for any worker count, scheduling, or interruption
-//!    pattern.
+//!    [`WorkerPool`](antdensity_engine::WorkerPool): each trial is one
+//!    streaming pass
+//!    ([`Scenario::run_streamed`](antdensity_engine::Scenario::run_streamed))
+//!    whose observers snapshot every member cell's `(estimator, rounds)`
+//!    combination. Shard `i` is a pure function of `(resolved spec, i)`:
+//!    its trials derive RNG streams from `(sweep seed, shard index,
+//!    trial index)`, so results are bit-identical for any worker count,
+//!    scheduling, interruption pattern — or fusion setting (`--no-fuse`
+//!    re-simulates per cell from the same streams and lands on the same
+//!    bits).
 //! 3. [`aggregate`] streams per-agent metrics into O(1)-memory
 //!    accumulators (`antdensity_stats` moments + histogram) — no
 //!    per-trial vectors are retained.
@@ -49,9 +56,11 @@ pub mod spec;
 
 pub use aggregate::CellAggregate;
 pub use checkpoint::Checkpoint;
-pub use report::{build_report, SweepReport};
-pub use runner::{run_shard, run_sweep, SweepOptions, SweepOutcome};
-pub use spec::{Cell, EstimatorAxis, ResolvedSweep, SkippedCell, SweepSpec};
+pub use report::{build_report, SweepReport, SweepTiming};
+pub use runner::{run_shard, run_shard_unfused, run_sweep, SweepOptions, SweepOutcome};
+pub use spec::{
+    Cell, EstimatorAxis, FusedShard, ResolvedSweep, ShardTap, SkippedCell, SweepSpec, TapCheckpoint,
+};
 
 /// Parses a spec file's text, runs the sweep, and builds the report —
 /// the whole pipeline behind `repro sweep`.

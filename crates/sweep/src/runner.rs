@@ -1,23 +1,33 @@
 //! Sharded sweep execution on the workspace's persistent worker pool.
 //!
-//! The resolved grid's cells are the shards. Shard `i` is a **pure
-//! function** of `(resolved spec, i)`: its trials draw from
-//! `SeedSequence::new(seed).subsequence(SHARD_STREAM ^ i).derive(trial)`
-//! — the same per-(shard, seed) stream discipline the engine uses for
-//! stream blocks — so any subset of shards can run anywhere, in any
-//! order, on any worker count, and the aggregates come out bit-identical.
+//! Since the observer pipeline landed, the unit of execution is the
+//! **fused shard** ([`crate::spec::FusedShard`]): grid cells identical
+//! up to estimator and rounds, served by *one* simulation pass per
+//! trial ([`Scenario::run_streamed`]) whose observers snapshot every
+//! member cell's `(estimator, rounds)` combination along the way.
 //!
-//! Shards are dispatched in waves onto the existing
-//! [`WorkerPool`] (via
+//! Shard `i` is a **pure function** of `(resolved spec, i)`: its trials
+//! draw from
+//! `SeedSequence::new(seed).subsequence(SHARD_STREAM ^ i).derive(trial)`
+//! — so any subset of shards can run anywhere, in any order, on any
+//! worker count, and the aggregates come out bit-identical. The unfused
+//! path ([`SweepOptions::fuse`] `= false`, `repro sweep --no-fuse`)
+//! runs each member cell as its own simulation from the *same* streams;
+//! because a `t`-round run draws a strict prefix of a `t' > t`-round
+//! run, fused and unfused aggregates are **bit-identical** — the
+//! property `tests/determinism.rs` pins and CI cross-checks
+//! byte-for-byte on reports.
+//!
+//! Shards are dispatched in waves onto the existing [`WorkerPool`] (via
 //! [`antdensity_walks::parallel::run_trials_on`], the workspace's
 //! deterministic fan-out primitive); after each wave the full completed
-//! state is checkpointed. Killing the process loses at most one wave of
+//! state is checkpointed. Killing a sweep loses at most one wave of
 //! work, and [`run_sweep`] with `resume` picks up from the checkpoint.
 
 use crate::aggregate::CellAggregate;
 use crate::checkpoint::Checkpoint;
-use crate::spec::{ResolvedSweep, SweepSpec};
-use antdensity_engine::{Scenario, WorkerPool};
+use crate::spec::{FusedShard, ResolvedSweep, SweepSpec};
+use antdensity_engine::{ObserverTap, Scenario, WorkerPool};
 use antdensity_stats::rng::SeedSequence;
 use antdensity_walks::parallel;
 use std::collections::BTreeMap;
@@ -34,6 +44,11 @@ pub struct SweepOptions {
     /// Quick (CI smoke) or full effort; part of the resolved spec and
     /// its fingerprint.
     pub quick: bool,
+    /// Run each shard as one fused simulation pass (default). `false`
+    /// re-simulates every member cell separately — same RNG streams,
+    /// bit-identical aggregates, strictly more work; kept as the
+    /// cross-check path (`repro sweep --no-fuse`).
+    pub fuse: bool,
     /// Worker threads for shard fan-out (results never depend on it).
     pub workers: usize,
     /// Explicit pool (tests pin real worker counts); `None` = the
@@ -55,6 +70,7 @@ impl Default for SweepOptions {
     fn default() -> Self {
         Self {
             quick: false,
+            fuse: true,
             workers: parallel::default_threads(),
             pool: None,
             checkpoint: None,
@@ -70,53 +86,115 @@ impl Default for SweepOptions {
 pub struct SweepOutcome {
     /// The resolved spec the shards ran against.
     pub resolved: ResolvedSweep,
-    /// Aggregates by shard index; `None` for shards not yet executed
-    /// (only when stopped early via `max_shards`).
+    /// Aggregates by cell index; `None` for cells whose shard has not
+    /// yet executed (only when stopped early via `max_shards`).
     pub aggregates: Vec<Option<CellAggregate>>,
     /// Whether every shard has completed.
     pub complete: bool,
-    /// Shards executed by *this* invocation (excludes resumed ones).
+    /// Fused shards executed by *this* invocation (excludes resumed
+    /// ones).
     pub executed: usize,
-    /// Shards restored from the checkpoint.
+    /// Fused shards restored from the checkpoint.
     pub resumed: usize,
+    /// Simulation passes this invocation ran (`trials` per fused shard,
+    /// `trials × member cells` unfused).
+    pub simulations: u64,
+    /// Rounds this invocation simulated, summed over those passes.
+    pub simulated_rounds: u64,
 }
 
-/// Executes shard `index` of a resolved sweep: all `trials` scenario
-/// runs of the cell, streamed into a fresh [`CellAggregate`]. Pure —
-/// every call with the same arguments returns the identical aggregate.
+/// Builds the base scenario a shard's cells share (everything but
+/// estimator and rounds).
+fn base_scenario(resolved: &ResolvedSweep, shard: &FusedShard, rounds: u64) -> Scenario {
+    let base = &resolved.cells[shard.cells[0]];
+    let mut scenario =
+        Scenario::new(base.topology, base.num_agents, rounds).with_movement(base.movement.clone());
+    if let Some(noise) = base.noise {
+        scenario = scenario.with_noise(noise);
+    }
+    scenario
+}
+
+/// Executes fused shard `index`: one simulation pass per trial,
+/// snapshotted at every member cell's `(estimator, rounds)` checkpoint,
+/// streamed into per-cell [`CellAggregate`]s. Pure — every call with
+/// the same arguments returns identical aggregates, and they are
+/// bit-identical to [`run_shard_unfused`].
 ///
 /// # Panics
 ///
 /// Panics if `index` is out of range.
-pub fn run_shard(resolved: &ResolvedSweep, index: usize) -> CellAggregate {
-    let cell = &resolved.cells[index];
+pub fn run_shard(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, CellAggregate)> {
+    let shard = &resolved.fused[index];
     let seq = SeedSequence::new(resolved.seed).subsequence(SHARD_STREAM ^ index as u64);
-    let mut scenario = Scenario::new(cell.topology, cell.num_agents, cell.rounds)
-        .with_movement(cell.movement.clone())
-        .with_estimator(cell.estimator.clone());
-    if let Some(noise) = cell.noise {
-        scenario = scenario.with_noise(noise);
-    }
-    let mut agg = CellAggregate::new();
+    let scenario = base_scenario(resolved, shard, shard.max_rounds());
+    let taps: Vec<ObserverTap> = shard
+        .taps
+        .iter()
+        .map(|t| ObserverTap {
+            estimator: t.estimator.clone(),
+            schedule: t.schedule(),
+        })
+        .collect();
+    let mut aggs: BTreeMap<usize, CellAggregate> = shard
+        .cells
+        .iter()
+        .map(|&c| (c, CellAggregate::new()))
+        .collect();
     for trial in 0..resolved.trials {
-        let outcome = scenario.run(seq.derive(trial));
-        agg.record_trial(cell, &outcome, resolved.band);
+        let outcomes = scenario.run_streamed(seq.derive(trial), &taps);
+        for (tap, tap_outcomes) in shard.taps.iter().zip(&outcomes) {
+            for (cp, outcome) in tap.checkpoints.iter().zip(tap_outcomes) {
+                for &cell_idx in &cp.cells {
+                    aggs.get_mut(&cell_idx)
+                        .expect("checkpoint cells are shard members")
+                        .record_trial(&resolved.cells[cell_idx], outcome, resolved.band);
+                }
+            }
+        }
     }
-    agg
+    aggs.into_iter().collect()
 }
 
-/// Resolves `spec` under `opts` and executes its shards, checkpointing
-/// each wave and resuming from a prior checkpoint when asked.
+/// Executes shard `index` without fusion: every member cell is its own
+/// full simulation, drawing the same per-(shard, trial) streams as
+/// [`run_shard`] — the bit-identity cross-check path.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+pub fn run_shard_unfused(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, CellAggregate)> {
+    let shard = &resolved.fused[index];
+    let seq = SeedSequence::new(resolved.seed).subsequence(SHARD_STREAM ^ index as u64);
+    shard
+        .cells
+        .iter()
+        .map(|&cell_idx| {
+            let cell = &resolved.cells[cell_idx];
+            let scenario =
+                base_scenario(resolved, shard, cell.rounds).with_estimator(cell.estimator.clone());
+            let mut agg = CellAggregate::new();
+            for trial in 0..resolved.trials {
+                let outcome = scenario.run(seq.derive(trial));
+                agg.record_trial(cell, &outcome, resolved.band);
+            }
+            (cell_idx, agg)
+        })
+        .collect()
+}
+
+/// Resolves `spec` under `opts` and executes its fused shards,
+/// checkpointing each wave and resuming from a prior checkpoint when
+/// asked.
 ///
 /// # Errors
 ///
 /// Returns an error if the spec fails to resolve, a resume checkpoint
-/// is unreadable/malformed, or the checkpoint's fingerprint or shard
+/// is unreadable/malformed, or the checkpoint's fingerprint or cell
 /// count does not match the resolved spec.
 pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, String> {
     let resolved = spec.resolve(opts.quick)?;
     let mut done: BTreeMap<usize, CellAggregate> = BTreeMap::new();
-    let mut resumed = 0usize;
 
     if opts.resume {
         if let Some(path) = &opts.checkpoint {
@@ -140,21 +218,36 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                         resolved.cells.len()
                     ));
                 }
-                resumed = ck.shards.len();
                 done = ck.shards;
             }
         }
     }
 
-    let pending: Vec<usize> = (0..resolved.cells.len())
-        .filter(|i| !done.contains_key(i))
+    // A shard is complete iff every member cell's aggregate is present
+    // (checkpoints are keyed by cell, so partial waves restore cleanly).
+    let shard_done = |done: &BTreeMap<usize, CellAggregate>, s: &FusedShard| {
+        s.cells.iter().all(|c| done.contains_key(c))
+    };
+    let resumed = resolved
+        .fused
+        .iter()
+        .filter(|s| shard_done(&done, s))
+        .count();
+    let pending: Vec<usize> = resolved
+        .fused
+        .iter()
+        .filter(|s| !shard_done(&done, s))
+        .map(|s| s.index)
         .collect();
     let budget = opts.max_shards.unwrap_or(usize::MAX);
     let workers = opts.workers.max(1);
     let wave_size = opts.checkpoint_every.max(1);
     let pool: &WorkerPool = opts.pool.as_deref().unwrap_or_else(|| WorkerPool::global());
+    let fuse = opts.fuse;
 
     let mut executed = 0usize;
+    let mut simulations = 0u64;
+    let mut simulated_rounds = 0u64;
     for wave in pending.chunks(wave_size) {
         if executed >= budget {
             break;
@@ -164,10 +257,25 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
         // run_trials_on is the workspace's deterministic pool fan-out.
         let seq = SeedSequence::new(resolved.seed);
         let results = parallel::run_trials_on(pool, wave.len() as u64, workers, seq, |i, _| {
-            run_shard(&resolved, wave[i as usize])
+            let shard = wave[i as usize];
+            if fuse {
+                run_shard(&resolved, shard)
+            } else {
+                run_shard_unfused(&resolved, shard)
+            }
         });
-        for (&idx, agg) in wave.iter().zip(results) {
-            done.insert(idx, agg);
+        for (&shard_idx, cell_aggs) in wave.iter().zip(results) {
+            let shard = &resolved.fused[shard_idx];
+            if fuse {
+                simulations += resolved.trials;
+                simulated_rounds += shard.max_rounds() * resolved.trials;
+            } else {
+                simulations += resolved.trials * shard.cells.len() as u64;
+                simulated_rounds += shard.unfused_rounds() * resolved.trials;
+            }
+            for (cell_idx, agg) in cell_aggs {
+                done.insert(cell_idx, agg);
+            }
         }
         executed += wave.len();
         if let Some(path) = &opts.checkpoint {
@@ -185,6 +293,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
         complete,
         executed,
         resumed,
+        simulations,
+        simulated_rounds,
     })
 }
 
@@ -208,12 +318,20 @@ mod tests {
     }
 
     #[test]
-    fn run_shard_is_pure() {
+    fn run_shard_is_pure_and_matches_unfused() {
         let resolved = tiny_spec().resolve(false).unwrap();
+        // 4 cells fuse into 2 shards (one per topology, rounds fused)
+        assert_eq!(resolved.cells.len(), 4);
+        assert_eq!(resolved.fused.len(), 2);
         assert_eq!(run_shard(&resolved, 1), run_shard(&resolved, 1));
+        assert_eq!(
+            run_shard(&resolved, 0),
+            run_shard_unfused(&resolved, 0),
+            "fused and unfused execution must agree bit for bit"
+        );
         assert_ne!(
-            run_shard(&resolved, 0).est,
-            run_shard(&resolved, 1).est,
+            run_shard(&resolved, 0)[0].1.est,
+            run_shard(&resolved, 1)[0].1.est,
             "different shards draw different streams"
         );
     }
@@ -222,12 +340,33 @@ mod tests {
     fn full_run_completes_all_shards() {
         let out = run_sweep(&tiny_spec(), &SweepOptions::default()).unwrap();
         assert!(out.complete);
-        assert_eq!(out.executed, 4);
+        assert_eq!(out.executed, 2);
         assert_eq!(out.resumed, 0);
+        // fused: one pass of max rounds per (shard, trial)
+        assert_eq!(out.simulations, 2 * 2);
+        assert_eq!(out.simulated_rounds, 2 * 16 * 2);
         assert!(out.aggregates.iter().all(|a| a.is_some()));
         for agg in out.aggregates.iter().flatten() {
             assert_eq!(agg.trials, 2);
         }
+    }
+
+    #[test]
+    fn no_fuse_runs_more_simulations_same_aggregates() {
+        let spec = tiny_spec();
+        let fused = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        let unfused = run_sweep(
+            &spec,
+            &SweepOptions {
+                fuse: false,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fused.aggregates, unfused.aggregates);
+        assert_eq!(unfused.simulations, 4 * 2);
+        assert_eq!(unfused.simulated_rounds, 2 * (8 + 16) * 2);
+        assert!(unfused.simulated_rounds > fused.simulated_rounds);
     }
 
     #[test]
@@ -252,16 +391,17 @@ mod tests {
         let spec = tiny_spec();
         let opts = SweepOptions {
             checkpoint: Some(ckpt.clone()),
-            max_shards: Some(3),
-            checkpoint_every: 2,
+            max_shards: Some(1),
+            checkpoint_every: 1,
             ..SweepOptions::default()
         };
         let partial = run_sweep(&spec, &opts).unwrap();
         assert!(!partial.complete);
-        assert_eq!(partial.executed, 3);
-        assert_eq!(partial.aggregates.iter().filter(|a| a.is_some()).count(), 3);
+        assert_eq!(partial.executed, 1);
+        // shard 0 covers the first topology's two rounds-cells
+        assert_eq!(partial.aggregates.iter().filter(|a| a.is_some()).count(), 2);
         let ck = Checkpoint::load(&ckpt).unwrap();
-        assert_eq!(ck.shards.len(), 3);
+        assert_eq!(ck.shards.len(), 2, "cell-keyed checkpoint entries");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

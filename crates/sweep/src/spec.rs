@@ -23,7 +23,7 @@
 //!
 //! topology  = torus2d:32, ring:1024, hypercube:10, complete:1024
 //! density   = 0.02, 0.05, 0.1, 0.2
-//! rounds    = 16, 32, 64, 128, 256, 512
+//! rounds    = 16, 32, 64, 128, 256, 512   # or log:<lo>:<hi>:<per-doubling>
 //! estimator = alg1                      # alg1 | alg4 | quorum:<thr> | relfreq:<share>
 //! movement  = pure                      # pure | lazy:<p> | stationary | drift:<i>
 //! noise     = none                      # none | sense:<detect>:<spurious>
@@ -36,8 +36,9 @@
 //! probabilities and are therefore not expressible in the comma-split
 //! axis list — drive those through the library API.
 
-use antdensity_engine::{EstimatorSpec, MovementModel, NoiseSpec, TopologySpec};
+use antdensity_engine::{EstimatorSpec, MovementModel, NoiseSpec, SimFamily, TopologySpec};
 use antdensity_stats::rng::splitmix64;
+use antdensity_stats::schedule::Schedule;
 
 /// One estimator axis value. Unlike [`EstimatorSpec`], the relative
 /// frequency variant carries a population *share* so a single token can
@@ -183,6 +184,75 @@ pub struct SkippedCell {
     pub reason: String,
 }
 
+/// One checkpoint of a [`ShardTap`]: the fused pass snapshots the tap's
+/// estimator after `rounds` rounds and fans the outcome out to `cells`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TapCheckpoint {
+    /// Rounds at which the snapshot is taken.
+    pub rounds: u64,
+    /// Member cells reported at this checkpoint (more than one only when
+    /// the grid contains duplicate axis values).
+    pub cells: Vec<usize>,
+}
+
+/// One estimator tapping a fused shard's shared event stream, with its
+/// checkpoint schedule mapped back to grid cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTap {
+    /// The estimator (resolved form).
+    pub estimator: EstimatorSpec,
+    /// Snapshot checkpoints, ascending in rounds.
+    pub checkpoints: Vec<TapCheckpoint>,
+}
+
+impl ShardTap {
+    /// The tap's checkpoint rounds as a [`Schedule`].
+    pub fn schedule(&self) -> Schedule {
+        Schedule::new(self.checkpoints.iter().map(|c| c.rounds).collect())
+            .expect("taps have at least one positive checkpoint")
+    }
+}
+
+/// One fused shard — the unit of sharded execution since the observer
+/// pipeline landed. Member cells are identical up to estimator and
+/// rounds and share one simulation family
+/// ([`antdensity_engine::SimFamily`]), so each trial is **one**
+/// simulation pass of `max_rounds` rounds snapshotted at every member's
+/// checkpoint; the unfused path (`--no-fuse`) runs each member cell
+/// separately from the *same* per-(shard, trial) RNG stream and lands on
+/// bit-identical aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedShard {
+    /// Shard id (position in the plan; the RNG stream label).
+    pub index: usize,
+    /// Member cell indices, ascending.
+    pub cells: Vec<usize>,
+    /// Estimator taps over the shared pass.
+    pub taps: Vec<ShardTap>,
+}
+
+impl FusedShard {
+    /// Rounds the fused pass must execute: the largest checkpoint of any
+    /// tap.
+    pub fn max_rounds(&self) -> u64 {
+        self.taps
+            .iter()
+            .flat_map(|t| t.checkpoints.iter().map(|c| c.rounds))
+            .max()
+            .expect("shards have at least one checkpoint")
+    }
+
+    /// Total rounds dedicated per-cell runs would execute for the same
+    /// snapshots.
+    pub fn unfused_rounds(&self) -> u64 {
+        self.taps
+            .iter()
+            .flat_map(|t| t.checkpoints.iter())
+            .map(|c| c.rounds * c.cells.len() as u64)
+            .sum()
+    }
+}
+
 /// A fully resolved sweep: effort applied, grid expanded, fingerprinted.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResolvedSweep {
@@ -198,8 +268,12 @@ pub struct ResolvedSweep {
     pub delta: f64,
     /// `"quick"` or `"full"`.
     pub mode: &'static str,
-    /// The expanded grid, in stable shard order.
+    /// The expanded grid, in stable order (cell index = grid position).
     pub cells: Vec<Cell>,
+    /// The fusion plan: cells grouped into shards that share one
+    /// simulation pass. This — not the cell list — is the unit of
+    /// execution, checkpoint waves, and RNG stream derivation.
+    pub fused: Vec<FusedShard>,
     /// Combinations dropped at expansion.
     pub skipped: Vec<SkippedCell>,
     /// Hash of the resolved configuration — checkpoints bind to it, so a
@@ -343,18 +417,7 @@ impl SweepSpec {
                 }
                 "rounds" => {
                     dup(rounds.is_some())?;
-                    let rs: Vec<u64> = value
-                        .split(',')
-                        .map(|v| {
-                            v.trim()
-                                .parse::<u64>()
-                                .map_err(|_| at(format!("bad rounds `{v}`")))
-                        })
-                        .collect::<Result<_, _>>()?;
-                    if rs.contains(&0) {
-                        return Err(at("rounds must be positive".into()));
-                    }
-                    rounds = Some(rs);
+                    rounds = Some(parse_rounds(value).map_err(at)?);
                 }
                 "estimator" => {
                     dup(estimators.is_some())?;
@@ -516,6 +579,7 @@ impl SweepSpec {
             }
         }
 
+        let fused = plan_fusion(&cells);
         let mut resolved = ResolvedSweep {
             name: self.name.clone(),
             seed: self.seed,
@@ -524,6 +588,7 @@ impl SweepSpec {
             delta: self.delta,
             mode: if quick { "quick" } else { "full" },
             cells,
+            fused,
             skipped,
             fingerprint: 0,
         };
@@ -532,17 +597,148 @@ impl SweepSpec {
     }
 }
 
+/// Groups cells into fused shards: first-fit over the stable cell order,
+/// matching on everything but estimator and rounds, with
+/// [`SimFamily::fuse`] arbitrating estimator compatibility (Algorithm 4
+/// never joins the standard family; relative-frequency taps must agree
+/// on the property-group size). Deterministic — shard order and
+/// membership are pure functions of the cell list, and part of the
+/// resolved fingerprint.
+fn plan_fusion(cells: &[Cell]) -> Vec<FusedShard> {
+    let mut groups: Vec<(SimFamily, FusedShard)> = Vec::new();
+    for cell in cells {
+        let family = cell.estimator.sim_family();
+        let pos = groups.iter().position(|(f, shard)| {
+            let base = &cells[shard.cells[0]];
+            base.topology == cell.topology
+                && base.num_agents == cell.num_agents
+                && base.movement == cell.movement
+                && base.noise == cell.noise
+                && f.fuse(family).is_some()
+        });
+        match pos {
+            Some(i) => {
+                let (f, shard) = &mut groups[i];
+                *f = f.fuse(family).expect("checked by position predicate");
+                shard.cells.push(cell.index);
+                add_tap(shard, cell);
+            }
+            None => {
+                let mut shard = FusedShard {
+                    index: groups.len(),
+                    cells: vec![cell.index],
+                    taps: Vec::new(),
+                };
+                add_tap(&mut shard, cell);
+                groups.push((family, shard));
+            }
+        }
+    }
+    groups.into_iter().map(|(_, shard)| shard).collect()
+}
+
+/// Registers `cell` on its shard's tap for the cell's estimator,
+/// inserting the rounds checkpoint in sorted position.
+fn add_tap(shard: &mut FusedShard, cell: &Cell) {
+    let tap = match shard
+        .taps
+        .iter()
+        .position(|t| t.estimator == cell.estimator)
+    {
+        Some(i) => &mut shard.taps[i],
+        None => {
+            shard.taps.push(ShardTap {
+                estimator: cell.estimator.clone(),
+                checkpoints: Vec::new(),
+            });
+            shard.taps.last_mut().expect("just pushed")
+        }
+    };
+    match tap
+        .checkpoints
+        .binary_search_by_key(&cell.rounds, |c| c.rounds)
+    {
+        Ok(i) => tap.checkpoints[i].cells.push(cell.index),
+        Err(i) => tap.checkpoints.insert(
+            i,
+            TapCheckpoint {
+                rounds: cell.rounds,
+                cells: vec![cell.index],
+            },
+        ),
+    }
+}
+
 /// Splits a comma-separated axis list and parses each token.
 fn parse_list<T: std::str::FromStr<Err = String>>(value: &str) -> Result<Vec<T>, String> {
     value.split(',').map(|v| v.trim().parse()).collect()
 }
 
+/// Parses the rounds axis: a comma-separated list of round counts, or
+/// `log:<lo>:<hi>:<per-doubling>` — geometric checkpoints via
+/// [`Schedule::log_spaced`], the natural dense abscissae for
+/// accuracy-vs-rounds curves under the fused observer pipeline.
+fn parse_rounds(value: &str) -> Result<Vec<u64>, String> {
+    if let Some(rest) = value.strip_prefix("log:") {
+        let bad = || format!("rounds `{value}`: expected log:<lo>:<hi>:<points-per-doubling>");
+        let parts: Vec<&str> = rest.split(':').collect();
+        if parts.len() != 3 {
+            return Err(bad());
+        }
+        let lo: u64 = parts[0].trim().parse().map_err(|_| bad())?;
+        let hi: u64 = parts[1].trim().parse().map_err(|_| bad())?;
+        let per_doubling: u32 = parts[2].trim().parse().map_err(|_| bad())?;
+        if lo == 0 || per_doubling == 0 {
+            return Err(format!(
+                "rounds `{value}`: bounds and density must be positive"
+            ));
+        }
+        if lo > hi {
+            return Err(format!("rounds `{value}`: lo exceeds hi"));
+        }
+        return Ok(Schedule::log_spaced(lo, hi, per_doubling).points().to_vec());
+    }
+    let rs: Vec<u64> = value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad rounds `{v}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if rs.contains(&0) {
+        return Err("rounds must be positive".into());
+    }
+    Ok(rs)
+}
+
 impl ResolvedSweep {
+    /// Total simulation passes per full execution: fused vs unfused.
+    /// Fused, each shard runs one pass per trial; unfused, each *cell*
+    /// does.
+    pub fn simulation_counts(&self) -> (u64, u64) {
+        (
+            self.fused.len() as u64 * self.trials,
+            self.cells.len() as u64 * self.trials,
+        )
+    }
+
+    /// Total simulated rounds per full execution: fused vs unfused (the
+    /// work the observer pipeline saves).
+    pub fn simulated_round_counts(&self) -> (u64, u64) {
+        let fused: u64 = self.fused.iter().map(FusedShard::max_rounds).sum();
+        let unfused: u64 = self.fused.iter().map(FusedShard::unfused_rounds).sum();
+        (fused * self.trials, unfused * self.trials)
+    }
+
     /// Canonical description of everything that determines results: the
-    /// fingerprint input.
+    /// fingerprint input. The `v2` tag marks the observer-pipeline
+    /// sharding scheme — shard = fused cell group, RNG streams derived
+    /// per (fused shard, trial) — so pre-fusion checkpoints can never be
+    /// resumed into a fused run.
     fn canonical(&self) -> String {
         let mut s = format!(
-            "sweep {} seed {} trials {} band {} delta {} mode {}\n",
+            "sweep v2 {} seed {} trials {} band {} delta {} mode {}\n",
             self.name, self.seed, self.trials, self.band, self.delta, self.mode
         );
         for c in &self.cells {
@@ -556,6 +752,16 @@ impl ResolvedSweep {
                 c.movement,
                 c.noise_label(),
             ));
+        }
+        for shard in &self.fused {
+            s.push_str(&format!(
+                "shard {} cells {:?} taps",
+                shard.index, shard.cells
+            ));
+            for tap in &shard.taps {
+                s.push_str(&format!(" {}@{}", tap.estimator, tap.schedule()));
+            }
+            s.push('\n');
         }
         s
     }
@@ -701,10 +907,90 @@ mod tests {
             ("name = x\ntrials = 0\ntopology = ring:8\ndensity = 0.1\nrounds = 4", "trials must be positive"),
             ("name = bad name\ntrials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = 4", "name"),
             ("name = x\ntrials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = 4\nestimator = relfreq:1.5", "share"),
+            ("name = x\ntrials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = log:16:512", "points-per-doubling"),
+            ("name = x\ntrials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = log:64:16:2", "lo exceeds hi"),
+            ("name = x\ntrials = 2\ntopology = ring:8\ndensity = 0.1\nrounds = log:0:16:2", "positive"),
         ] {
             let err = SweepSpec::parse(text).unwrap_err();
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
         }
+    }
+
+    #[test]
+    fn fusion_plan_fuses_estimators_and_rounds() {
+        let full = SweepSpec::parse(SPEC).unwrap().resolve(false).unwrap();
+        // 48 cells; alg1 + quorum fuse and the 3 rounds collapse into a
+        // schedule → one shard per (topology, density, noise) = 8.
+        assert_eq!(full.cells.len(), 48);
+        assert_eq!(full.fused.len(), 8);
+        let mut seen = vec![false; full.cells.len()];
+        for shard in &full.fused {
+            assert_eq!(shard.cells.len(), 6);
+            assert_eq!(shard.taps.len(), 2, "alg1 + quorum taps");
+            assert_eq!(shard.max_rounds(), 32);
+            assert_eq!(shard.unfused_rounds(), 2 * (8 + 16 + 32));
+            for tap in &shard.taps {
+                assert_eq!(tap.schedule().points(), &[8, 16, 32]);
+                for cp in &tap.checkpoints {
+                    for &c in &cp.cells {
+                        assert!(!seen[c], "cell {c} planned twice");
+                        seen[c] = true;
+                        assert_eq!(full.cells[c].rounds, cp.rounds);
+                        assert_eq!(full.cells[c].estimator, tap.estimator);
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every cell must be planned");
+        let (fused_sims, unfused_sims) = full.simulation_counts();
+        assert_eq!((fused_sims, unfused_sims), (8 * 4, 48 * 4));
+        let (fused_rounds, unfused_rounds) = full.simulated_round_counts();
+        assert_eq!(fused_rounds, 8 * 32 * 4);
+        assert_eq!(unfused_rounds, 8 * 2 * (8 + 16 + 32) * 4);
+    }
+
+    #[test]
+    fn alg4_gets_its_own_shards() {
+        let text = "
+            name = fam
+            trials = 1
+            topology = torus2d:64
+            density = 0.1
+            rounds = 8, 16
+            estimator = alg1, alg4, relfreq:0.25
+        ";
+        let resolved = SweepSpec::parse(text).unwrap().resolve(false).unwrap();
+        assert_eq!(resolved.cells.len(), 6);
+        // alg1 + relfreq share the standard family; alg4 is its own shard
+        assert_eq!(resolved.fused.len(), 2);
+        let std_shard = &resolved.fused[0];
+        assert_eq!(std_shard.taps.len(), 2);
+        let alg4_shard = &resolved.fused[1];
+        assert_eq!(alg4_shard.taps.len(), 1);
+        assert_eq!(
+            alg4_shard.taps[0].estimator,
+            crate::spec::EstimatorSpec::Algorithm4
+        );
+        assert_eq!(alg4_shard.max_rounds(), 16);
+    }
+
+    #[test]
+    fn log_rounds_axis_expands_geometrically() {
+        let text = "
+            name = logr
+            trials = 1
+            topology = ring:64
+            density = 0.1
+            rounds = log:16:128:1
+        ";
+        let spec = SweepSpec::parse(text).unwrap();
+        assert_eq!(spec.rounds, vec![16, 32, 64, 128]);
+        // the committed alg1_accuracy axis spelled as a log token
+        let dense = SweepSpec::parse(&text.replace("log:16:128:1", "log:16:512:3")).unwrap();
+        assert_eq!(
+            dense.rounds,
+            vec![16, 20, 25, 32, 40, 51, 64, 81, 102, 128, 161, 203, 256, 323, 406, 512]
+        );
     }
 
     #[test]

@@ -1,8 +1,14 @@
-//! The sweep determinism contract: a full run and a
-//! run-kill-at-shard-k-then-resume run produce **bit-identical**
-//! aggregates and byte-identical reports, for every kill point and
-//! every worker count. This is the property that makes checkpoints
-//! trustworthy — resuming never changes science.
+//! The sweep determinism contract, post-observer-pipeline:
+//!
+//! 1. a full run and a run-kill-at-shard-k-then-resume run produce
+//!    **bit-identical** aggregates and byte-identical reports, for every
+//!    kill point and every worker count (checkpoints never change
+//!    science);
+//! 2. fused execution (one simulation pass per shard feeding every
+//!    estimator and rounds-checkpoint) and unfused execution (one pass
+//!    per cell) produce **bit-identical** aggregates and byte-identical
+//!    reports (fusion never changes science either — it only deletes
+//!    redundant work).
 
 use antdensity_engine::WorkerPool;
 use antdensity_sweep::{build_report, run_sweep, SweepOptions, SweepSpec};
@@ -11,8 +17,9 @@ use std::sync::Arc;
 
 fn spec() -> SweepSpec {
     // Small but heterogeneous: two topologies, two densities, three
-    // estimator families, optional noise — 16 shards, every aggregate
-    // path (est/err/hist/within/aux) exercised.
+    // estimator families, a rounds axis to fuse, optional noise — every
+    // aggregate path (est/err/hist/within/aux) and both fusion families
+    // exercised.
     SweepSpec::parse(
         "
         name = determinism
@@ -20,7 +27,7 @@ fn spec() -> SweepSpec {
         trials = 2
         topology = torus2d:8, complete:64
         density = 0.1, 0.3
-        rounds = 6
+        rounds = 4, 6
         estimator = alg1, alg4, quorum:0.05, relfreq:0.5
         noise = none
         ",
@@ -40,8 +47,13 @@ fn full_equals_kill_and_resume_bit_for_bit_across_worker_counts() {
     let spec = spec();
     let reference = run_sweep(&spec, &SweepOptions::default()).unwrap();
     assert!(reference.complete);
-    let n = reference.aggregates.len();
-    assert!(n >= 8, "grid should have several shards, got {n}");
+    // shards are the unit of kill/resume now — the fused plan
+    let n = reference.resolved.fused.len();
+    assert!(n >= 4, "grid should fuse into several shards, got {n}");
+    assert!(
+        reference.aggregates.len() > n,
+        "fusion must pack multiple cells per shard"
+    );
     let ref_report = build_report(&reference);
     let (ref_json, ref_csv) = (ref_report.to_json(), ref_report.to_csv());
 
@@ -106,7 +118,7 @@ fn resume_from_every_checkpoint_file_state_is_exact() {
     // the only carrier of state, as after a real kill -9.
     let spec = spec();
     let reference = run_sweep(&spec, &SweepOptions::default()).unwrap();
-    let n = reference.aggregates.len();
+    let n = reference.resolved.fused.len();
     let ckpt = tmp_ckpt("stepwise");
     let _ = std::fs::remove_file(&ckpt);
 
@@ -150,4 +162,61 @@ fn checkpoint_every_and_pool_choice_never_change_results() {
         .unwrap();
         assert_eq!(out.aggregates, reference.aggregates, "every={every}");
     }
+}
+
+/// The fusion determinism contract, end to end: fused and unfused
+/// execution agree bit-for-bit on aggregates and byte-for-byte on
+/// reports — across worker counts, and mixed freely with kill/resume
+/// (a sweep may even be *started* fused and *finished* unfused).
+#[test]
+fn fused_equals_unfused_bit_for_bit() {
+    let spec = spec();
+    let fused = run_sweep(&spec, &SweepOptions::default()).unwrap();
+    let unfused = run_sweep(
+        &spec,
+        &SweepOptions {
+            fuse: false,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(fused.complete && unfused.complete);
+    assert_eq!(fused.aggregates, unfused.aggregates);
+    assert!(
+        unfused.simulated_rounds > fused.simulated_rounds,
+        "fusion must delete simulation work: {} vs {}",
+        fused.simulated_rounds,
+        unfused.simulated_rounds
+    );
+    let (f, u) = (build_report(&fused), build_report(&unfused));
+    assert_eq!(f.to_json(), u.to_json());
+    assert_eq!(f.to_csv(), u.to_csv());
+
+    // kill fused, resume unfused: still identical
+    let ckpt = tmp_ckpt("fuse_mix");
+    let _ = std::fs::remove_file(&ckpt);
+    let partial = run_sweep(
+        &spec,
+        &SweepOptions {
+            checkpoint: Some(ckpt.clone()),
+            max_shards: Some(2),
+            checkpoint_every: 1,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!partial.complete);
+    let resumed = run_sweep(
+        &spec,
+        &SweepOptions {
+            checkpoint: Some(ckpt.clone()),
+            resume: true,
+            fuse: false,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(resumed.complete);
+    assert_eq!(resumed.aggregates, fused.aggregates);
+    let _ = std::fs::remove_file(&ckpt);
 }
