@@ -40,7 +40,7 @@
 
 use crate::report::Effort;
 use antdensity_engine::{Engine, EngineConfig, WorkerPool, STREAM_BLOCK};
-use antdensity_graphs::Torus2d;
+use antdensity_graphs::{generators, CsrGraph, Torus2d};
 use antdensity_stats::rng::SeedSequence;
 use antdensity_stats::table::Table;
 use rand::rngs::SmallRng;
@@ -202,6 +202,7 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
         }
     }
 
+    bench_csr_stepping(effort, agent_grid, &mut results);
     bench_observer_fusion(effort, &mut results);
 
     EngineBenchReport {
@@ -211,6 +212,58 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
         },
         samples: SAMPLES,
         results,
+    }
+}
+
+/// Node count of the random-regular CSR bench graph. Modest on purpose:
+/// the graph is built once per invocation (Steger–Wormald pairing) and
+/// the group measures *stepping*, not generation.
+const CSR_RR_NODES: u64 = 65_536;
+/// Degree of the random-regular CSR bench graph (non-power-of-two-free
+/// on purpose: 8 exercises the mask path of the batched sampler).
+const CSR_RR_DEGREE: usize = 8;
+
+/// The pluggable-backend stepping group: the CSR rebuild of the bench
+/// torus against the native torus (identical batched kernel and RNG
+/// stream; the native path applies moves with branchless wrap
+/// arithmetic, the CSR path with an offset load plus a target gather),
+/// and a random `8`-regular CSR graph — the "bring your own graph"
+/// workload with no structured fast path at all. Sequential stepping:
+/// the group isolates the per-agent topology cost, not scheduling.
+fn bench_csr_stepping(effort: Effort, agent_grid: &[usize], results: &mut Vec<EngineBenchResult>) {
+    let csr_torus = CsrGraph::from_topology(&Torus2d::new(SIDE));
+    let mut build_rng = SmallRng::seed_from_u64(42);
+    let random_regular = CsrGraph::from_adj(
+        &generators::random_regular(CSR_RR_NODES, CSR_RR_DEGREE, 1000, &mut build_rng)
+            .expect("bench graph parameters are valid"),
+    );
+    for &agents in agent_grid {
+        let rounds = rounds_for(agents, effort);
+
+        let mut engine = Engine::new(Torus2d::new(SIDE), agents);
+        let mut rng = SmallRng::seed_from_u64(3);
+        engine.place_uniform(&mut rng);
+        let ns = median_ns_per_round(|| engine.step_round(&mut rng), rounds, SAMPLES);
+        results.push(result("csr_stepping", "torus_native", agents, 1, 1, ns));
+
+        let mut engine = Engine::new(csr_torus.clone(), agents);
+        let mut rng = SmallRng::seed_from_u64(3);
+        engine.place_uniform(&mut rng);
+        let ns = median_ns_per_round(|| engine.step_round(&mut rng), rounds, SAMPLES);
+        results.push(result("csr_stepping", "torus_csr", agents, 1, 1, ns));
+
+        let mut engine = Engine::new(random_regular.clone(), agents);
+        let mut rng = SmallRng::seed_from_u64(3);
+        engine.place_uniform(&mut rng);
+        let ns = median_ns_per_round(|| engine.step_round(&mut rng), rounds, SAMPLES);
+        results.push(result(
+            "csr_stepping",
+            "random_regular_csr",
+            agents,
+            1,
+            1,
+            ns,
+        ));
     }
 }
 
@@ -365,7 +418,33 @@ impl EngineBenchReport {
                  at {agents} agents: {ratio:.2}x\n"
             ));
         }
+        for (agents, ratio) in self.csr_torus_ratios() {
+            out.push_str(&format!(
+                "  => CSR torus vs native torus at {agents} agents: {ratio:.2}x \
+                 native throughput\n"
+            ));
+        }
         out
+    }
+
+    /// CSR-rebuild-over-native throughput ratios of the `csr_stepping`
+    /// group by agent count (1.0 = the gather-based CSR kernel keeps up
+    /// with the branchless native torus arithmetic).
+    pub fn csr_torus_ratios(&self) -> Vec<(usize, f64)> {
+        self.results
+            .iter()
+            .filter(|r| r.group == "csr_stepping" && r.implementation == "torus_csr")
+            .filter_map(|c| {
+                self.results
+                    .iter()
+                    .find(|r| {
+                        r.group == "csr_stepping"
+                            && r.implementation == "torus_native"
+                            && r.agents == c.agents
+                    })
+                    .map(|n| (c.agents, c.msteps_per_sec / n.msteps_per_sec))
+            })
+            .collect()
     }
 
     /// Fused-over-unfused delivered-throughput ratios of the
@@ -445,11 +524,15 @@ pub fn parse_json(text: &str) -> Result<EngineBenchReport, String> {
             "sequential",
             "parallel_scaling",
             "observer_fusion",
+            "csr_stepping",
             "mono",
             "pool",
             "spawn_baseline",
             "fused",
             "unfused",
+            "torus_native",
+            "torus_csr",
+            "random_regular_csr",
         ] {
             if s == known {
                 return Ok(known);
@@ -697,6 +780,37 @@ mod tests {
             .results
             .iter()
             .any(|x| x.group == "observer_fusion" && x.implementation == "unfused"));
+    }
+
+    #[test]
+    fn csr_ratios_pair_rebuild_with_native() {
+        let mut r = tiny_report();
+        for (implementation, msteps) in [
+            ("torus_native", 100.0f64),
+            ("torus_csr", 80.0),
+            ("random_regular_csr", 50.0),
+        ] {
+            r.results.push(EngineBenchResult {
+                group: "csr_stepping",
+                implementation,
+                agents: 1024,
+                workers: 1,
+                effective_workers: 1,
+                ns_per_agent_step: 1e3 / msteps,
+                msteps_per_sec: msteps,
+            });
+        }
+        let ratios = r.csr_torus_ratios();
+        assert_eq!(ratios.len(), 1);
+        assert_eq!(ratios[0].0, 1024);
+        assert!((ratios[0].1 - 0.8).abs() < 1e-9);
+        assert!(r.render().contains("CSR torus vs native torus"));
+        // labels survive the JSON round trip
+        let parsed = parse_json(&r.to_json()).unwrap();
+        assert!(parsed
+            .results
+            .iter()
+            .any(|x| x.group == "csr_stepping" && x.implementation == "random_regular_csr"));
     }
 
     #[test]

@@ -45,8 +45,10 @@ pub fn fill_uniform_indices<R: RngCore + ?Sized>(span: u64, buf: &mut [u32], rng
         return;
     }
     // Lemire multiply-shift with the rejection zone precomputed once for
-    // the whole buffer — bit-for-bit the vendored `gen_range` algorithm.
-    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    // the whole buffer — bit-for-bit the vendored `gen_range` algorithm
+    // (the zone formula lives once, in `graphs::fastdiv`, shared with
+    // the CSR per-node hoist).
+    let zone = antdensity_graphs::fastdiv::lemire_zone(span);
     for slot in buf.iter_mut() {
         *slot = loop {
             let v = rng.next_u64();

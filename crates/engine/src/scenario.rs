@@ -33,12 +33,26 @@ use crate::engine::Engine;
 use crate::movement::MovementModel;
 use crate::observer::{observer_for, EncounterTallies, Observer, RoundEvents, Schedule, SimFamily};
 use crate::pool::WorkerPool;
-use antdensity_graphs::{CompleteGraph, Hypercube, NodeId, Ring, Topology, Torus2d, TorusKd};
+use antdensity_graphs::{
+    generators, CompleteGraph, CsrGraph, Hypercube, NodeId, Ring, Topology, Torus2d, TorusKd,
+};
 use antdensity_stats::rng::SeedSequence;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Which graph the scenario runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Two families of variants: the paper's **structured** topologies
+/// (torus, ring, hypercube, complete graph), each backed by a dedicated
+/// implementation with closed-form theory; and the pluggable **CSR**
+/// variants (`csr:*` tokens), arbitrary graphs materialised as
+/// [`CsrGraph`]s by deterministic generators. CSR specs are pure
+/// *descriptions*: the same spec always builds the identical graph (the
+/// generator stream is derived from the spec parameters, never from the
+/// simulation seed), so sweeps, fingerprints, and checkpoint resume all
+/// remain bit-stable. Builds are cached process-wide — a sweep touching
+/// one spec in hundreds of shards constructs its graph once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TopologySpec {
     /// The paper's main stage: a `side × side` torus.
     Torus2d {
@@ -67,12 +81,56 @@ pub enum TopologySpec {
         /// Number of nodes.
         nodes: u64,
     },
+    /// Random `degree`-regular CSR graph (an expander w.h.p. — Section
+    /// 4.4's setting, realised by the Steger–Wormald pairing sampler).
+    /// Token `csr:regular:<n>:<d>`.
+    CsrRegular {
+        /// Number of nodes.
+        nodes: u64,
+        /// Uniform degree.
+        degree: u32,
+    },
+    /// Erdős–Rényi `G(n, p)` with `p = avg_degree/(n−1)`, re-sampled
+    /// until connected (choose `avg_degree ≳ ln n`). Token
+    /// `csr:gnp:<n>:<avg-deg>`.
+    CsrGnp {
+        /// Number of nodes.
+        nodes: u64,
+        /// Expected average degree (sets `p`).
+        avg_degree: u32,
+    },
+    /// Barry-style irregular region: non-wrapping `side × side` grid
+    /// with cells removed at the hole fraction, reduced to its largest
+    /// connected component. Token
+    /// `csr:grid-holes:<side>:<mask-seed>:<hole-frac>` (fraction in
+    /// `[0, 0.9]`, resolved to per-mille).
+    CsrGridHoles {
+        /// Grid side before masking.
+        side: u64,
+        /// Seed of the hole mask (a spec parameter, so distinct regions
+        /// are distinct cells in a sweep).
+        mask_seed: u64,
+        /// Hole fraction in per-mille (`200` = 0.2), kept integral so
+        /// specs stay `Eq + Hash` and round-trip exactly.
+        hole_pm: u32,
+    },
+    /// Ring of cliques — the classic bottleneck family (dense local
+    /// neighborhoods, slow global mixing). Token
+    /// `csr:cliquering:<cliques>:<size>`.
+    CsrCliqueRing {
+        /// Number of cliques on the ring.
+        cliques: u64,
+        /// Nodes per clique.
+        clique_size: u64,
+    },
 }
 
 impl std::fmt::Display for TopologySpec {
     /// Canonical spec-file syntax: `torus2d:32`, `toruskd:3x8`,
-    /// `ring:1024`, `hypercube:10`, `complete:1024`. Round-trips through
-    /// [`FromStr`](std::str::FromStr).
+    /// `ring:1024`, `hypercube:10`, `complete:1024`,
+    /// `csr:regular:1024:8`, `csr:gnp:1024:12`,
+    /// `csr:grid-holes:32:7:0.2`, `csr:cliquering:16:8`. Round-trips
+    /// through [`FromStr`](std::str::FromStr).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
             Self::Torus2d { side } => write!(f, "torus2d:{side}"),
@@ -80,6 +138,21 @@ impl std::fmt::Display for TopologySpec {
             Self::Ring { nodes } => write!(f, "ring:{nodes}"),
             Self::Hypercube { dims } => write!(f, "hypercube:{dims}"),
             Self::Complete { nodes } => write!(f, "complete:{nodes}"),
+            Self::CsrRegular { nodes, degree } => write!(f, "csr:regular:{nodes}:{degree}"),
+            Self::CsrGnp { nodes, avg_degree } => write!(f, "csr:gnp:{nodes}:{avg_degree}"),
+            Self::CsrGridHoles {
+                side,
+                mask_seed,
+                hole_pm,
+            } => write!(
+                f,
+                "csr:grid-holes:{side}:{mask_seed}:{}",
+                hole_pm as f64 / 1000.0
+            ),
+            Self::CsrCliqueRing {
+                cliques,
+                clique_size,
+            } => write!(f, "csr:cliquering:{cliques}:{clique_size}"),
         }
     }
 }
@@ -88,7 +161,8 @@ impl std::str::FromStr for TopologySpec {
     type Err = String;
 
     /// Parses the [`Display`](std::fmt::Display) syntax (the sweep
-    /// spec-file axis format).
+    /// spec-file axis format). Malformed tokens are rejected with the
+    /// expected grammar and the offending field named.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let (kind, arg) = match s.split_once(':') {
             Some((k, a)) => (k.trim(), a.trim()),
@@ -127,15 +201,253 @@ impl std::str::FromStr for TopologySpec {
             "complete" => Ok(Self::Complete {
                 nodes: num(arg, "node count")?,
             }),
+            "csr" => parse_csr(s, arg, &num),
             other => Err(format!(
-                "unknown topology kind `{other}` (expected torus2d, toruskd, ring, hypercube, complete)"
+                "unknown topology kind `{other}` (expected torus2d, toruskd, ring, hypercube, \
+                 complete, or csr:<family>)"
             )),
         }
     }
 }
 
+/// Parses the `csr:<family>:<params>` token family (`s` is the whole
+/// token for error messages, `arg` everything after `csr:`).
+fn parse_csr(
+    s: &str,
+    arg: &str,
+    num: &dyn Fn(&str, &str) -> Result<u64, String>,
+) -> Result<TopologySpec, String> {
+    let (family, params) = arg.split_once(':').ok_or_else(|| {
+        format!("topology `{s}`: expected `csr:<family>:<params>` (families: regular, gnp, grid-holes, cliquering)")
+    })?;
+    let parts: Vec<&str> = params.split(':').map(str::trim).collect();
+    // CSR node ids (and hence node counts) are u32 by design; rejecting
+    // oversized parameters here keeps every later cast lossless and
+    // every arithmetic check overflow-free, and fails at parse time
+    // instead of mid-sweep inside build().
+    let capped = |v: u64, what: &str| -> Result<u64, String> {
+        if v > u32::MAX as u64 {
+            Err(format!(
+                "topology `{s}`: {what} {v} exceeds the CSR backend's u32 node domain (max {})",
+                u32::MAX
+            ))
+        } else {
+            Ok(v)
+        }
+    };
+    match family.trim() {
+        "regular" => {
+            if parts.len() != 2 {
+                return Err(format!("topology `{s}`: expected `csr:regular:<n>:<d>`"));
+            }
+            let nodes = capped(num(parts[0], "node count")?, "node count")?;
+            let degree = num(parts[1], "degree")?;
+            if degree >= nodes {
+                return Err(format!(
+                    "topology `{s}`: degree {degree} must be below node count {nodes}"
+                ));
+            }
+            if !(nodes * degree).is_multiple_of(2) {
+                return Err(format!(
+                    "topology `{s}`: n·d = {} must be even for a d-regular graph",
+                    nodes * degree
+                ));
+            }
+            Ok(TopologySpec::CsrRegular {
+                nodes,
+                degree: degree as u32,
+            })
+        }
+        "gnp" => {
+            if parts.len() != 2 {
+                return Err(format!("topology `{s}`: expected `csr:gnp:<n>:<avg-deg>`"));
+            }
+            let nodes = capped(num(parts[0], "node count")?, "node count")?;
+            let avg_degree = num(parts[1], "average degree")?;
+            if nodes < 2 {
+                return Err(format!("topology `{s}`: G(n,p) needs n >= 2"));
+            }
+            if avg_degree >= nodes {
+                return Err(format!(
+                    "topology `{s}`: average degree {avg_degree} must be below node count {nodes}"
+                ));
+            }
+            // Connectivity threshold: G(n, p) is connected w.h.p. only
+            // for p >= ln n / n. Below (with margin for the build's 200
+            // retries) the generator would exhaust its attempts rounds
+            // into a sweep — fail here instead.
+            let threshold = (nodes as f64).ln() - 1.0;
+            if (avg_degree as f64) < threshold {
+                return Err(format!(
+                    "topology `{s}`: average degree {avg_degree} is below the G(n,p) \
+connectivity threshold (choose avg-deg >= ln n \u{2248} {:.1} for a connected sample)",
+                    (nodes as f64).ln()
+                ));
+            }
+            Ok(TopologySpec::CsrGnp {
+                nodes,
+                avg_degree: avg_degree as u32,
+            })
+        }
+        "grid-holes" => {
+            if parts.len() != 3 {
+                return Err(format!(
+                    "topology `{s}`: expected `csr:grid-holes:<side>:<mask-seed>:<hole-frac>`"
+                ));
+            }
+            let side = num(parts[0], "side")?;
+            if side < 2 {
+                return Err(format!("topology `{s}`: side must be at least 2"));
+            }
+            if side > 65_535 {
+                return Err(format!(
+                    "topology `{s}`: side {side} puts side² beyond the CSR backend's u32 node domain (max side 65535)"
+                ));
+            }
+            let mask_seed: u64 = parts[1]
+                .parse()
+                .map_err(|_| format!("topology `{s}`: bad mask seed `{}`", parts[1]))?;
+            let frac: f64 = parts[2]
+                .parse()
+                .map_err(|_| format!("topology `{s}`: bad hole fraction `{}`", parts[2]))?;
+            if !(0.0..=0.9).contains(&frac) {
+                return Err(format!(
+                    "topology `{s}`: hole fraction {frac} outside [0, 0.9]"
+                ));
+            }
+            Ok(TopologySpec::CsrGridHoles {
+                side,
+                mask_seed,
+                hole_pm: (frac * 1000.0).round() as u32,
+            })
+        }
+        "cliquering" => {
+            if parts.len() != 2 {
+                return Err(format!(
+                    "topology `{s}`: expected `csr:cliquering:<cliques>:<size>`"
+                ));
+            }
+            let cliques = num(parts[0], "clique count")?;
+            let clique_size = num(parts[1], "clique size")?;
+            if cliques < 2 {
+                return Err(format!("topology `{s}`: need at least 2 cliques"));
+            }
+            if clique_size < 3 {
+                return Err(format!("topology `{s}`: clique size must be at least 3"));
+            }
+            match cliques.checked_mul(clique_size) {
+                Some(n) => capped(n, "node count (cliques × size)")?,
+                None => {
+                    return Err(format!(
+                        "topology `{s}`: cliques × size overflows the node domain"
+                    ))
+                }
+            };
+            Ok(TopologySpec::CsrCliqueRing {
+                cliques,
+                clique_size,
+            })
+        }
+        other => Err(format!(
+            "topology `{s}`: unknown csr family `{other}` (expected regular, gnp, grid-holes, \
+             cliquering)"
+        )),
+    }
+}
+
+/// Derivation root for CSR generator streams: graphs are a pure function
+/// of the spec, never of the simulation seed.
+const CSR_BUILD_STREAM: u64 = 0x4353_5247; // "CSRG"
+
+/// Builds the CSR graph a `csr:*` spec describes (uncached).
+///
+/// # Panics
+///
+/// Panics with the spec token and the generator's reason if the
+/// parameters cannot produce a valid graph (e.g. a `gnp` average degree
+/// too far below the `ln n` connectivity threshold).
+fn build_csr_graph(spec: &TopologySpec) -> CsrGraph {
+    match *spec {
+        TopologySpec::CsrRegular { nodes, degree } => {
+            let mut rng = SeedSequence::new(CSR_BUILD_STREAM)
+                .subsequence(nodes)
+                .rng(degree as u64);
+            match generators::random_regular(nodes, degree as usize, 1000, &mut rng) {
+                Ok(adj) => CsrGraph::from_adj(&adj),
+                Err(e) => panic!("{spec}: {e}"),
+            }
+        }
+        TopologySpec::CsrGnp { nodes, avg_degree } => {
+            let p = avg_degree as f64 / (nodes - 1) as f64;
+            let mut rng = SeedSequence::new(CSR_BUILD_STREAM)
+                .subsequence(!nodes)
+                .rng(avg_degree as u64);
+            match generators::erdos_renyi_connected(nodes, p, 200, &mut rng) {
+                Ok(adj) => CsrGraph::from_adj(&adj),
+                Err(e) => panic!(
+                    "{spec}: {e} (connected samples need an average degree around \
+                     ln n ≈ {:.1} or above)",
+                    (nodes as f64).ln()
+                ),
+            }
+        }
+        TopologySpec::CsrGridHoles {
+            side,
+            mask_seed,
+            hole_pm,
+        } => {
+            let mut rng = SeedSequence::new(CSR_BUILD_STREAM)
+                .subsequence(mask_seed)
+                .rng(side ^ (u64::from(hole_pm) << 32));
+            match generators::grid_with_holes(side, f64::from(hole_pm) / 1000.0, &mut rng) {
+                Ok(adj) => CsrGraph::from_adj(&adj),
+                Err(e) => panic!("{spec}: {e}"),
+            }
+        }
+        TopologySpec::CsrCliqueRing {
+            cliques,
+            clique_size,
+        } => match generators::ring_of_cliques(cliques, clique_size) {
+            Ok(adj) => CsrGraph::from_adj(&adj),
+            Err(e) => panic!("{spec}: {e}"),
+        },
+        ref structured => panic!("{structured} is not a csr spec"),
+    }
+}
+
+/// Process-global build cache for `csr:*` specs: the graph is a pure
+/// (deterministic) function of the spec, so every consumer — scenario
+/// runs, sweep shards, node-count queries, theory bounds — shares one
+/// immutable build per spec.
+fn csr_cached(spec: TopologySpec) -> Arc<CsrGraph> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<TopologySpec, Arc<CsrGraph>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(g) = cache.lock().expect("csr cache lock").get(&spec) {
+        return Arc::clone(g);
+    }
+    // Built outside the lock: a failing generator panics without
+    // poisoning the cache, and slow builds don't serialize distinct
+    // specs. A racing duplicate build is wasted work, nothing more.
+    let built = Arc::new(build_csr_graph(&spec));
+    Arc::clone(
+        cache
+            .lock()
+            .expect("csr cache lock")
+            .entry(spec)
+            .or_insert(built),
+    )
+}
+
 impl TopologySpec {
-    /// Instantiates the concrete topology.
+    /// Instantiates the concrete topology. For `csr:*` specs this
+    /// returns a handle to the process-wide cached build.
+    ///
+    /// # Panics
+    ///
+    /// For `csr:*` specs whose generator cannot produce a valid graph
+    /// (message names the token and the reason).
     pub fn build(&self) -> BuiltTopology {
         match *self {
             Self::Torus2d { side } => BuiltTopology::Torus2d(Torus2d::new(side)),
@@ -143,10 +455,20 @@ impl TopologySpec {
             Self::Ring { nodes } => BuiltTopology::Ring(Ring::new(nodes)),
             Self::Hypercube { dims } => BuiltTopology::Hypercube(Hypercube::new(dims)),
             Self::Complete { nodes } => BuiltTopology::Complete(CompleteGraph::new(nodes)),
+            Self::CsrRegular { .. }
+            | Self::CsrGnp { .. }
+            | Self::CsrGridHoles { .. }
+            | Self::CsrCliqueRing { .. } => BuiltTopology::Csr(csr_cached(*self)),
         }
     }
 
-    /// Node count of the topology this spec builds.
+    /// Node count of the topology this spec builds. Closed-form for
+    /// every variant except `csr:grid-holes`, whose surviving-component
+    /// size is a property of the (cached, deterministic) build.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::build`] for `csr:grid-holes`.
     pub fn num_nodes(&self) -> u64 {
         match *self {
             Self::Torus2d { side } => side * side,
@@ -154,12 +476,30 @@ impl TopologySpec {
             Self::Ring { nodes } => nodes,
             Self::Hypercube { dims } => 1u64 << dims,
             Self::Complete { nodes } => nodes,
+            Self::CsrRegular { nodes, .. } | Self::CsrGnp { nodes, .. } => nodes,
+            Self::CsrGridHoles { .. } => csr_cached(*self).num_nodes(),
+            Self::CsrCliqueRing {
+                cliques,
+                clique_size,
+            } => cliques * clique_size,
         }
+    }
+
+    /// Whether this is one of the pluggable `csr:*` variants.
+    pub fn is_csr(&self) -> bool {
+        matches!(
+            self,
+            Self::CsrRegular { .. }
+                | Self::CsrGnp { .. }
+                | Self::CsrGridHoles { .. }
+                | Self::CsrCliqueRing { .. }
+        )
     }
 }
 
 /// A concrete topology built from a [`TopologySpec`] (enum dispatch keeps
 /// [`Scenario::run`] monomorphic and object-safe to store in tables).
+/// CSR builds are shared [`Arc`] handles from the process-wide cache.
 #[derive(Debug, Clone)]
 pub enum BuiltTopology {
     /// 2-d torus.
@@ -172,6 +512,8 @@ pub enum BuiltTopology {
     Hypercube(Hypercube),
     /// Complete graph.
     Complete(CompleteGraph),
+    /// Pluggable CSR graph (any `csr:*` spec).
+    Csr(Arc<CsrGraph>),
 }
 
 impl Topology for BuiltTopology {
@@ -182,6 +524,7 @@ impl Topology for BuiltTopology {
             Self::Ring(t) => t.num_nodes(),
             Self::Hypercube(t) => t.num_nodes(),
             Self::Complete(t) => t.num_nodes(),
+            Self::Csr(t) => t.num_nodes(),
         }
     }
 
@@ -192,6 +535,7 @@ impl Topology for BuiltTopology {
             Self::Ring(t) => t.degree(v),
             Self::Hypercube(t) => t.degree(v),
             Self::Complete(t) => t.degree(v),
+            Self::Csr(t) => t.degree(v),
         }
     }
 
@@ -202,6 +546,22 @@ impl Topology for BuiltTopology {
             Self::Ring(t) => t.neighbor(v, i),
             Self::Hypercube(t) => t.neighbor(v, i),
             Self::Complete(t) => t.neighbor(v, i),
+            Self::Csr(t) => t.neighbor(v, i),
+        }
+    }
+
+    // Delegating hoists the enum dispatch out of the per-draw chain and
+    // reaches each implementation's fast path (the CSR arm's
+    // zone-hoisted division-free draw in particular). Every arm draws
+    // bit-identically to the trait default, so results never move.
+    fn random_neighbor<R: rand::RngCore + ?Sized>(&self, v: NodeId, rng: &mut R) -> NodeId {
+        match self {
+            Self::Torus2d(t) => t.random_neighbor(v, rng),
+            Self::TorusKd(t) => t.random_neighbor(v, rng),
+            Self::Ring(t) => t.random_neighbor(v, rng),
+            Self::Hypercube(t) => t.random_neighbor(v, rng),
+            Self::Complete(t) => t.random_neighbor(v, rng),
+            Self::Csr(t) => t.random_neighbor(v, rng),
         }
     }
 
@@ -214,6 +574,7 @@ impl Topology for BuiltTopology {
             Self::Ring(t) => t.apply_moves(positions, moves),
             Self::Hypercube(t) => t.apply_moves(positions, moves),
             Self::Complete(t) => t.apply_moves(positions, moves),
+            Self::Csr(t) => t.apply_moves(positions, moves),
         }
     }
 
@@ -224,6 +585,7 @@ impl Topology for BuiltTopology {
             Self::Ring(t) => t.regular_degree(),
             Self::Hypercube(t) => t.regular_degree(),
             Self::Complete(t) => t.regular_degree(),
+            Self::Csr(t) => t.regular_degree(),
         }
     }
 }
@@ -956,9 +1318,103 @@ mod tests {
             let topo = spec.build();
             assert_eq!(topo.num_nodes(), spec.num_nodes());
             assert!(topo.regular_degree().is_some());
+            assert!(!spec.is_csr());
             let out = Scenario::new(spec, 8, 16).run(1);
             assert_eq!(out.estimates.len(), 8);
         }
+    }
+
+    #[test]
+    fn builds_every_csr_topology() {
+        for spec in [
+            TopologySpec::CsrRegular {
+                nodes: 64,
+                degree: 6,
+            },
+            TopologySpec::CsrGnp {
+                nodes: 64,
+                avg_degree: 8,
+            },
+            TopologySpec::CsrGridHoles {
+                side: 10,
+                mask_seed: 3,
+                hole_pm: 250,
+            },
+            TopologySpec::CsrCliqueRing {
+                cliques: 4,
+                clique_size: 5,
+            },
+        ] {
+            let topo = spec.build();
+            assert!(spec.is_csr());
+            assert_eq!(topo.num_nodes(), spec.num_nodes());
+            let out = Scenario::new(spec, 8, 16).run(1);
+            assert_eq!(out.estimates.len(), 8);
+        }
+        // regular CSR graphs report their degree (engages the batched
+        // kernel); irregular ones do not
+        assert_eq!(
+            TopologySpec::CsrRegular {
+                nodes: 64,
+                degree: 6
+            }
+            .build()
+            .regular_degree(),
+            Some(6)
+        );
+        assert_eq!(
+            TopologySpec::CsrGridHoles {
+                side: 10,
+                mask_seed: 3,
+                hole_pm: 250
+            }
+            .build()
+            .regular_degree(),
+            None
+        );
+    }
+
+    #[test]
+    fn csr_builds_are_cached_and_deterministic() {
+        let spec = TopologySpec::CsrRegular {
+            nodes: 48,
+            degree: 4,
+        };
+        let (a, b) = (spec.build(), spec.build());
+        match (&a, &b) {
+            (BuiltTopology::Csr(x), BuiltTopology::Csr(y)) => {
+                assert!(
+                    std::sync::Arc::ptr_eq(x, y),
+                    "same spec must share one build"
+                );
+            }
+            other => panic!("expected CSR builds, got {other:?}"),
+        }
+        // deterministic across the API: identical outcomes from the
+        // identical graph
+        let one = Scenario::new(spec, 6, 8).run(9);
+        let two = Scenario::new(spec, 6, 8).run(9);
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn grid_holes_node_count_comes_from_the_build() {
+        let spec = TopologySpec::CsrGridHoles {
+            side: 12,
+            mask_seed: 11,
+            hole_pm: 300,
+        };
+        let n = spec.num_nodes();
+        assert!(n < 144, "holes must remove cells, got {n}");
+        assert!(n > 36, "the giant component should dominate, got {n}");
+        assert_eq!(spec.build().num_nodes(), n);
+        // a different mask seed gives a different region
+        let other = TopologySpec::CsrGridHoles {
+            side: 12,
+            mask_seed: 12,
+            hole_pm: 300,
+        };
+        assert!(other.num_nodes() > 0);
     }
 
     #[test]
@@ -987,6 +1443,33 @@ mod tests {
             TopologySpec::Ring { nodes: 1024 },
             TopologySpec::Hypercube { dims: 10 },
             TopologySpec::Complete { nodes: 4096 },
+            TopologySpec::CsrRegular {
+                nodes: 1024,
+                degree: 8,
+            },
+            TopologySpec::CsrGnp {
+                nodes: 512,
+                avg_degree: 12,
+            },
+            TopologySpec::CsrGridHoles {
+                side: 32,
+                mask_seed: 7,
+                hole_pm: 200,
+            },
+            TopologySpec::CsrGridHoles {
+                side: 16,
+                mask_seed: 0,
+                hole_pm: 0,
+            },
+            TopologySpec::CsrGridHoles {
+                side: 16,
+                mask_seed: 5,
+                hole_pm: 125,
+            },
+            TopologySpec::CsrCliqueRing {
+                cliques: 16,
+                clique_size: 8,
+            },
         ] {
             let text = spec.to_string();
             assert_eq!(text.parse::<TopologySpec>().unwrap(), spec, "{text}");
@@ -994,6 +1477,51 @@ mod tests {
         assert!("torus2d:0".parse::<TopologySpec>().is_err());
         assert!("moebius:7".parse::<TopologySpec>().is_err());
         assert!("toruskd:8".parse::<TopologySpec>().is_err());
+    }
+
+    #[test]
+    fn malformed_csr_tokens_rejected_with_actionable_errors() {
+        for (token, needle) in [
+            ("csr", "expected `kind:params`"),
+            ("csr:regular", "csr:<family>:<params>"),
+            ("csr:moebius:64:4", "unknown csr family"),
+            ("csr:regular:64", "csr:regular:<n>:<d>"),
+            ("csr:regular:64:0", "must be positive"),
+            ("csr:regular:64:64", "below node count"),
+            ("csr:regular:5:3", "must be even"),
+            ("csr:gnp:64", "csr:gnp:<n>:<avg-deg>"),
+            ("csr:gnp:64:70", "below node count"),
+            ("csr:gnp:10000:3", "connectivity threshold"),
+            (
+                "csr:grid-holes:32:7",
+                "grid-holes:<side>:<mask-seed>:<hole-frac>",
+            ),
+            ("csr:grid-holes:1:7:0.2", "at least 2"),
+            ("csr:grid-holes:32:x:0.2", "bad mask seed"),
+            ("csr:grid-holes:32:7:0.95", "outside [0, 0.9]"),
+            ("csr:grid-holes:32:7:lots", "bad hole fraction"),
+            ("csr:cliquering:16", "csr:cliquering:<cliques>:<size>"),
+            ("csr:cliquering:1:8", "at least 2 cliques"),
+            ("csr:cliquering:4:2", "at least 3"),
+            // the u32 node domain is enforced at parse time, not
+            // mid-sweep in build() — and never silently truncated
+            ("csr:regular:8589934593:4294967298", "u32 node domain"),
+            ("csr:regular:8589934592:4", "u32 node domain"),
+            ("csr:gnp:4294967296:12", "u32 node domain"),
+            ("csr:grid-holes:65536:7:0.2", "max side 65535"),
+            ("csr:cliquering:65536:65537", "u32 node domain"),
+            (
+                "csr:cliquering:18446744073709551615:18446744073709551615",
+                "overflows",
+            ),
+        ] {
+            let err = token.parse::<TopologySpec>().unwrap_err();
+            assert!(
+                err.contains(needle),
+                "`{token}` → `{err}` should mention `{needle}`"
+            );
+            assert!(err.contains(token), "`{err}` should quote the token");
+        }
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! The CSR-backend equivalence contract.
+//!
+//! A [`CsrGraph`] rebuild of a structured topology preserves every
+//! node's move list in order and with multiplicity, so a walk on the
+//! rebuild consumes the **identical RNG stream** as on the native
+//! implementation — positions match bit for bit, for every stepping
+//! path (sequential, batched pure-walk kernel, deterministic parallel,
+//! interaction variants). On top of the bitwise contract, distributional
+//! tests check the *semantic* one: with unrelated seeds, CSR and native
+//! walks visit nodes with the same stationary statistics.
+
+use antdensity_engine::{Engine, EngineConfig, MovementModel, WorkerPool, STREAM_BLOCK};
+use antdensity_graphs::{CsrGraph, Hypercube, NodeId, Ring, Topology, Torus2d, TorusKd};
+use antdensity_stats::rng::SeedSequence;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Runs `rounds` sequential rounds on `topo` from a fresh engine and
+/// returns the positions.
+fn run_sequential<T: Topology>(
+    topo: T,
+    agents: usize,
+    rounds: u64,
+    seed: u64,
+    movement: &MovementModel,
+    avoidance: Option<f64>,
+    flee: bool,
+) -> Vec<NodeId> {
+    let mut engine = Engine::new(topo, agents);
+    engine.set_movement_all(movement);
+    engine.set_avoidance(avoidance);
+    engine.set_flee(flee);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    engine.place_uniform(&mut rng);
+    for _ in 0..rounds {
+        engine.step_round(&mut rng);
+    }
+    (0..agents).map(|a| engine.position(a)).collect()
+}
+
+/// Runs `rounds` deterministic-parallel rounds and returns positions.
+fn run_parallel<T: Topology + Sync>(
+    topo: T,
+    agents: usize,
+    rounds: u64,
+    seed: u64,
+    workers: usize,
+) -> Vec<NodeId> {
+    let mut engine = Engine::new(topo, agents)
+        .with_seed_sequence(SeedSequence::new(seed))
+        .with_threads(workers)
+        .with_worker_pool(Arc::new(WorkerPool::new(workers)))
+        .with_config(EngineConfig {
+            schedule_chunk: STREAM_BLOCK,
+            min_chunks_per_worker: 1,
+        });
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37);
+    engine.place_uniform(&mut rng);
+    engine.run_parallel(rounds);
+    (0..agents).map(|a| engine.position(a)).collect()
+}
+
+/// Every structured topology the paper uses, paired with its CSR
+/// rebuild, across movement/interaction variants: positions must be
+/// bit-identical (the rebuild preserves move order, the CSR draw
+/// consumes `gen_range`'s exact bits).
+#[test]
+fn csr_rebuild_is_bit_identical_sequential() {
+    let variants: [(MovementModel, Option<f64>, bool); 4] = [
+        (MovementModel::Pure, None, false),
+        (MovementModel::Pure, Some(0.5), false),
+        (MovementModel::Pure, Some(0.25), true),
+        (MovementModel::lazy(0.3), None, false),
+    ];
+    for (movement, avoidance, flee) in &variants {
+        for seed in 0..5u64 {
+            macro_rules! check {
+                ($topo:expr, $agents:expr, $label:expr) => {{
+                    let native = $topo;
+                    let csr = CsrGraph::from_topology(&native);
+                    let a = run_sequential(native, $agents, 12, seed, movement, *avoidance, *flee);
+                    let b = run_sequential(csr, $agents, 12, seed, movement, *avoidance, *flee);
+                    assert_eq!(
+                        a, b,
+                        "{} diverged ({movement}, {avoidance:?}, {flee})",
+                        $label
+                    );
+                }};
+            }
+            check!(Torus2d::new(8), 40, "torus2d");
+            check!(Ring::new(64), 30, "ring");
+            check!(Hypercube::new(6), 25, "hypercube");
+            check!(TorusKd::new(3, 4), 20, "toruskd");
+        }
+    }
+}
+
+/// The deterministic parallel path (which routes pure walks through the
+/// batched kernel and [`Topology::apply_moves`]) agrees too — CSR's
+/// gather-based `apply_moves` against the native branchless kernels,
+/// across worker counts.
+#[test]
+fn csr_rebuild_is_bit_identical_parallel() {
+    for workers in [1usize, 4] {
+        for seed in 0..3u64 {
+            let native = run_parallel(Torus2d::new(16), 700, 8, seed, workers);
+            let csr = run_parallel(
+                CsrGraph::from_topology(&Torus2d::new(16)),
+                700,
+                8,
+                seed,
+                workers,
+            );
+            assert_eq!(native, csr, "torus2d parallel workers={workers}");
+
+            let native = run_parallel(Hypercube::new(7), 600, 8, seed, workers);
+            let csr = run_parallel(
+                CsrGraph::from_topology(&Hypercube::new(7)),
+                600,
+                8,
+                seed,
+                workers,
+            );
+            assert_eq!(native, csr, "hypercube parallel workers={workers}");
+        }
+    }
+}
+
+/// Time-averaged visit distribution over *unrelated* seeds: the CSR
+/// rebuild and the native implementation define the same Markov chain,
+/// so long-run occupancy statistics agree even when the bit streams
+/// don't. (The bitwise tests above are stronger but would also pass for
+/// two engines sharing one wrong chain; this one pins the chain itself
+/// against an independently-seeded reference.)
+#[test]
+fn csr_rebuild_matches_native_stationary_occupancy() {
+    fn visit_distribution<T: Topology>(topo: T, seed: u64) -> Vec<f64> {
+        let nodes = topo.num_nodes();
+        let agents = 64usize;
+        let rounds = 1500u64;
+        let mut engine = Engine::new(topo, agents);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        engine.place_uniform(&mut rng);
+        let mut visits = vec![0u64; nodes as usize];
+        for _ in 0..rounds {
+            engine.step_round(&mut rng);
+            for (_, p) in engine.agent_positions() {
+                visits[p as usize] += 1;
+            }
+        }
+        let total = (agents as u64 * rounds) as f64;
+        visits.iter().map(|&v| v as f64 / total).collect()
+    }
+
+    // Ring: stationary is uniform; compare native (seed 1) vs CSR
+    // (seed 2) distributions in L1. (A small ring keeps the n²-ish
+    // mixing time well inside the averaging window.)
+    let native = visit_distribution(Ring::new(16), 1);
+    let csr = visit_distribution(CsrGraph::from_topology(&Ring::new(16)), 2);
+    let l1: f64 = native.iter().zip(&csr).map(|(a, b)| (a - b).abs()).sum();
+    assert!(l1 < 0.10, "ring visit distributions differ: L1 = {l1}");
+    // and both are near uniform
+    let uniform = 1.0 / 16.0;
+    for (v, dist) in [("native", &native), ("csr", &csr)] {
+        let worst = dist
+            .iter()
+            .map(|p| (p - uniform).abs() / uniform)
+            .fold(0.0f64, f64::max);
+        assert!(worst < 0.25, "{v} ring occupancy far from uniform: {worst}");
+    }
+
+    let native = visit_distribution(Torus2d::new(6), 3);
+    let csr = visit_distribution(CsrGraph::from_topology(&Torus2d::new(6)), 4);
+    let l1: f64 = native.iter().zip(&csr).map(|(a, b)| (a - b).abs()).sum();
+    assert!(l1 < 0.10, "torus visit distributions differ: L1 = {l1}");
+}
+
+/// Residual RNG state matches after stepping — the CSR draw consumes
+/// exactly as many generator words as the native one, so downstream
+/// consumers (noise, placement of later streams) stay aligned.
+#[test]
+fn csr_rebuild_leaves_identical_rng_state() {
+    use rand::RngCore;
+    for seed in 0..8u64 {
+        let mut a_rng = SmallRng::seed_from_u64(seed);
+        let mut b_rng = SmallRng::seed_from_u64(seed);
+        let native = Hypercube::new(5); // degree 5: the rejection-loop path
+        let csr = CsrGraph::from_topology(&native);
+        let mut ea = Engine::new(native, 33);
+        let mut eb = Engine::new(csr, 33);
+        ea.place_uniform(&mut a_rng);
+        eb.place_uniform(&mut b_rng);
+        for _ in 0..9 {
+            ea.step_round(&mut a_rng);
+            eb.step_round(&mut b_rng);
+        }
+        assert_eq!(a_rng.next_u64(), b_rng.next_u64(), "seed {seed}");
+    }
+}

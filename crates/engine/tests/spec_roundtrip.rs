@@ -1,0 +1,105 @@
+//! Property tests: every `TopologySpec` — structured and `csr:*` —
+//! round-trips through its canonical token (`Display` → `FromStr` →
+//! the same spec), and malformed tokens are rejected rather than
+//! silently misparsed.
+
+use antdensity_engine::TopologySpec;
+use proptest::prelude::*;
+
+/// Builds the spec for a generated `(variant, a, b, c)` tuple. The
+/// discriminant selects the variant; the payloads are clamped into each
+/// variant's valid domain (the vendored proptest is range-based, so the
+/// one-of is explicit).
+fn spec_from(variant: u8, a: u64, b: u64, c: u64) -> TopologySpec {
+    match variant % 9 {
+        0 => TopologySpec::Torus2d { side: 1 + a % 512 },
+        1 => TopologySpec::TorusKd {
+            dims: 1 + (b % 5) as u32,
+            side: 1 + a % 16,
+        },
+        2 => TopologySpec::Ring { nodes: 1 + a },
+        3 => TopologySpec::Hypercube {
+            dims: 1 + (a % 20) as u32,
+        },
+        4 => TopologySpec::Complete { nodes: 1 + a },
+        5 => {
+            // valid d-regular parameters: 0 < d < n, n*d even
+            let nodes = 4 + a % 4096;
+            let mut degree = 1 + b % (nodes - 1);
+            if !(nodes * degree).is_multiple_of(2) {
+                degree = if degree + 1 < nodes {
+                    degree + 1
+                } else {
+                    degree - 1
+                };
+            }
+            TopologySpec::CsrRegular {
+                nodes,
+                degree: degree as u32,
+            }
+        }
+        6 => {
+            // stay above the parse-time G(n,p) connectivity floor
+            // (avg_degree >= ln n - 1)
+            let nodes = 8 + a % 4096;
+            let floor = ((nodes as f64).ln() - 1.0).ceil().max(1.0) as u64;
+            let span = (nodes - 1 - floor).max(1);
+            TopologySpec::CsrGnp {
+                nodes,
+                avg_degree: (floor + b % span) as u32,
+            }
+        }
+        7 => TopologySpec::CsrGridHoles {
+            side: 2 + a % 256,
+            mask_seed: b,
+            hole_pm: (c % 901) as u32,
+        },
+        _ => TopologySpec::CsrCliqueRing {
+            cliques: 2 + a % 64,
+            clique_size: 3 + b % 64,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(to_string(spec)) == spec` for every variant, including
+    /// the per-mille hole fraction (printed as a decimal fraction).
+    #[test]
+    fn topology_spec_round_trips(
+        variant in 0u8..9,
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        c in 0u64..1_000_000,
+    ) {
+        let spec = spec_from(variant, a, b, c);
+        let text = spec.to_string();
+        let parsed: TopologySpec = text
+            .parse()
+            .unwrap_or_else(|e| panic!("`{text}` failed to re-parse: {e}"));
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// Corrupting a canonical token never yields a silently different
+    /// spec: truncations and field garbling either fail to parse or
+    /// parse back to something printed differently.
+    #[test]
+    fn corrupted_tokens_never_misparse(
+        variant in 0u8..9,
+        a in 0u64..100_000,
+        b in 0u64..100_000,
+        c in 0u64..100_000,
+    ) {
+        let spec = spec_from(variant, a, b, c);
+        let text = spec.to_string();
+        // drop the last field
+        let truncated = &text[..text.rfind(':').unwrap()];
+        if let Ok(other) = truncated.parse::<TopologySpec>() {
+            prop_assert_ne!(other, spec);
+        }
+        // garble the kind
+        let garbled = format!("x{text}");
+        prop_assert!(garbled.parse::<TopologySpec>().is_err());
+    }
+}

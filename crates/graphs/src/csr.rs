@@ -1,0 +1,413 @@
+//! [`CsrGraph`]: the engine-facing compressed-sparse-row topology.
+//!
+//! [`crate::AdjGraph`] already stores general graphs in CSR form, but it
+//! is sized for *analysis* (usize offsets, u64 targets, simple-graph
+//! validation). `CsrGraph` is the **walk-kernel** citizen:
+//!
+//! * `u32` offsets and targets — half the memory traffic of `AdjGraph`,
+//!   sized exactly to the dense engine's packed-position domain
+//!   (`antdensity-engine` caps node ids at `u32`);
+//! * per-node precomputed Lemire rejection zones, so the uniform
+//!   neighbor draw on *irregular* degrees needs no hardware division on
+//!   the hot path (the same multiply-shift idea as [`crate::FastDiv`],
+//!   applied to bounded sampling) while consuming **bit-for-bit** the
+//!   stream `rng.gen_range(0..degree)` would;
+//! * a batched [`Topology::apply_moves`] fast path — one offset load,
+//!   one target gather per agent;
+//! * the regular degree cached at construction, so the engine's
+//!   batched-kernel eligibility check is O(1);
+//! * **multiset** neighbor lists, like every structured topology: a
+//!   [`CsrGraph::from_topology`] rebuild preserves each node's move list
+//!   *in order and with multiplicity*, which makes a CSR rebuild of a
+//!   torus/ring/hypercube draw the identical RNG stream as the native
+//!   implementation — the equivalence contract the engine's
+//!   `csr_equivalence` suite pins.
+//!
+//! Graphs come from three places: converting an [`crate::AdjGraph`]
+//! (any generator in [`crate::generators`]), rebuilding a structured
+//! [`Topology`], or an explicit edge list.
+
+use crate::adjacency::{AdjGraph, BuildGraphError};
+use crate::fastdiv::lemire_zone;
+use crate::topology::{NodeId, Topology};
+use rand::RngCore;
+
+/// A general undirected graph in compact CSR form, tuned for the walk
+/// kernels. Neighbor lists are multisets (duplicate entries model
+/// duplicate moves, exactly as [`crate::Torus2d`] on side 2).
+///
+/// # Example
+///
+/// ```
+/// use antdensity_graphs::{CsrGraph, Topology, Torus2d};
+///
+/// // A CSR rebuild of a structured topology is move-for-move identical.
+/// let torus = Torus2d::new(8);
+/// let csr = CsrGraph::from_topology(&torus);
+/// assert_eq!(csr.num_nodes(), 64);
+/// assert_eq!(csr.regular_degree(), Some(4));
+/// for v in 0..64 {
+///     for i in 0..4 {
+///         assert_eq!(csr.neighbor(v, i), torus.neighbor(v, i));
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor (move) lists.
+    targets: Vec<u32>,
+    /// Per-node Lemire rejection zone for the non-power-of-two degree
+    /// draw (unused — zero — at power-of-two-degree nodes).
+    zones: Vec<u64>,
+    /// `Some(d)` iff every node has degree `d`, cached at construction.
+    regular: Option<usize>,
+}
+
+impl CsrGraph {
+    /// Builds from per-node move lists already in CSR order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent, any node has no moves, a
+    /// target is out of range, or the graph exceeds the `u32` domain.
+    fn from_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Self {
+        assert!(offsets.len() >= 2, "graph must have at least one node");
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            targets.len(),
+            "final offset must cover the target array"
+        );
+        let n = offsets.len() - 1;
+        let mut zones = Vec::with_capacity(n);
+        let mut regular: Option<usize> = None;
+        for v in 0..n {
+            let d = (offsets[v + 1] - offsets[v]) as usize;
+            assert!(d > 0, "node {v} has no moves (walks would get stuck)");
+            regular = match (v, regular) {
+                (0, _) => Some(d),
+                (_, Some(r)) if r == d => Some(r),
+                _ => None,
+            };
+            zones.push(if (d as u64).is_power_of_two() {
+                0
+            } else {
+                lemire_zone(d as u64)
+            });
+        }
+        for &t in &targets {
+            assert!((t as usize) < n, "target {t} out of range for {n} nodes");
+        }
+        Self {
+            offsets,
+            targets,
+            zones,
+            regular,
+        }
+    }
+
+    /// Converts an [`AdjGraph`] (keeping its sorted neighbor order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph exceeds the `u32` node/move domain.
+    pub fn from_adj(graph: &AdjGraph) -> Self {
+        Self::from_topology(graph)
+    }
+
+    /// Rebuilds any [`Topology`] as an explicit CSR graph, preserving
+    /// each node's move list **in order and with multiplicity** — so
+    /// `csr.neighbor(v, i) == topo.neighbor(v, i)` for every valid
+    /// `(v, i)`, and a random walk on the rebuild consumes the identical
+    /// RNG stream as on the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has more than `u32::MAX` nodes or moves
+    /// (the CSR arrays are `u32`-indexed by design).
+    pub fn from_topology<T: Topology>(topo: &T) -> Self {
+        let n = topo.num_nodes();
+        assert!(n <= u32::MAX as u64, "CSR node ids are u32, got {n} nodes");
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for v in 0..n {
+            let d = topo.degree(v);
+            for i in 0..d {
+                targets.push(topo.neighbor(v, i) as u32);
+            }
+            assert!(
+                targets.len() <= u32::MAX as usize,
+                "CSR move arrays are u32-indexed; graph has too many moves"
+            );
+            offsets.push(targets.len() as u32);
+        }
+        Self::from_parts(offsets, targets)
+    }
+
+    /// Builds a simple graph from an undirected edge list (validated by
+    /// [`AdjGraph::from_edges`], then compacted).
+    ///
+    /// # Errors
+    ///
+    /// As [`AdjGraph::from_edges`].
+    pub fn from_edges(n: u64, edges: &[(NodeId, NodeId)]) -> Result<Self, BuildGraphError> {
+        Ok(Self::from_adj(&AdjGraph::from_edges(n, edges)?))
+    }
+
+    /// Slice of the moves at `v` — the cache-friendly access the batched
+    /// kernels and the spectral matvec iterate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors_slice(&self, v: NodeId) -> &[u32] {
+        let vu = v as usize;
+        assert!(vu + 1 < self.offsets.len(), "node {v} out of range");
+        &self.targets[self.offsets[vu] as usize..self.offsets[vu + 1] as usize]
+    }
+
+    /// Total number of moves `Σ_v deg(v)` (twice the edge count on
+    /// simple graphs; duplicate moves counted with multiplicity).
+    pub fn num_moves(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Minimum degree over all nodes.
+    pub fn min_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .min()
+            .expect("graph is non-empty")
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .expect("graph is non-empty")
+    }
+
+    /// Average degree `deḡ = Σ deg / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        self.targets.len() as f64 / self.num_nodes() as f64
+    }
+
+    /// Whether the graph is connected (BFS from node 0).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes() as usize;
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0u32);
+        let mut count = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &u in self.neighbors_slice(v as NodeId) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    count += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+impl Topology for CsrGraph {
+    #[inline]
+    fn num_nodes(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        let vu = v as usize;
+        assert!(vu + 1 < self.offsets.len(), "node {v} out of range");
+        (self.offsets[vu + 1] - self.offsets[vu]) as usize
+    }
+
+    #[inline]
+    fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        let ns = self.neighbors_slice(v);
+        assert!(i < ns.len(), "move index {i} out of range");
+        ns[i] as NodeId
+    }
+
+    /// One offset load, one degree draw, one target gather — with the
+    /// per-node precomputed rejection zone replacing `gen_range`'s
+    /// per-draw `%`. Consumes the RNG **bit-for-bit** as the default
+    /// implementation (`rng.gen_range(0..degree)`): power-of-two degrees
+    /// take the mask path, others the Lemire multiply-shift loop with
+    /// the identical zone value.
+    #[inline]
+    fn random_neighbor<R: RngCore + ?Sized>(&self, v: NodeId, rng: &mut R) -> NodeId {
+        let vu = v as usize;
+        assert!(vu + 1 < self.offsets.len(), "node {v} out of range");
+        let start = self.offsets[vu] as usize;
+        let d = (self.offsets[vu + 1] as usize - start) as u64;
+        debug_assert!(d > 0, "node {v} has no moves");
+        let i = if d.is_power_of_two() {
+            rng.next_u64() & (d - 1)
+        } else {
+            let zone = self.zones[vu];
+            loop {
+                let m = (rng.next_u64() as u128) * (d as u128);
+                if (m as u64) <= zone {
+                    break (m >> 64) as u64;
+                }
+            }
+        };
+        self.targets[start + i as usize] as NodeId
+    }
+
+    /// The batched pure-walk fast path on regular CSR graphs: for each
+    /// agent, one offset load plus one gather from the target array.
+    fn apply_moves(&self, positions: &mut [u32], moves: &[u32]) {
+        assert_eq!(positions.len(), moves.len(), "one move per position");
+        for (p, &i) in positions.iter_mut().zip(moves) {
+            let start = self.offsets[*p as usize];
+            debug_assert!(i < self.offsets[*p as usize + 1] - start);
+            *p = self.targets[(start + i) as usize];
+        }
+    }
+
+    #[inline]
+    fn regular_degree(&self) -> Option<usize> {
+        self.regular
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{lollipop, random_regular};
+    use crate::torus::{Ring, Torus2d};
+    use crate::Hypercube;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn from_topology_preserves_move_lists_exactly() {
+        let torus = Torus2d::new(5);
+        let csr = CsrGraph::from_topology(&torus);
+        assert_eq!(csr.num_nodes(), 25);
+        assert_eq!(csr.regular_degree(), Some(4));
+        assert_eq!(csr.num_moves(), 100);
+        for v in 0..25 {
+            assert_eq!(csr.degree(v), torus.degree(v));
+            for i in 0..4 {
+                assert_eq!(csr.neighbor(v, i), torus.neighbor(v, i), "({v},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn from_topology_keeps_multiset_duplicates() {
+        // side-2 torus: +1 and -1 moves coincide, listed twice
+        let torus = Torus2d::new(2);
+        let csr = CsrGraph::from_topology(&torus);
+        assert_eq!(csr.regular_degree(), Some(4));
+        let moves: Vec<NodeId> = csr
+            .neighbors_slice(0)
+            .iter()
+            .map(|&t| t as NodeId)
+            .collect();
+        let native: Vec<NodeId> = torus.neighbors(0).collect();
+        assert_eq!(moves, native);
+    }
+
+    #[test]
+    fn random_neighbor_draws_identical_bits_to_default() {
+        // CSR's zone-hoisted draw must equal gen_range(0..d) bit-for-bit
+        // on power-of-two (4), tiny (2), and awkward (3, 5, 7) degrees.
+        let graphs = [
+            CsrGraph::from_topology(&Torus2d::new(6)),   // degree 4
+            CsrGraph::from_topology(&Ring::new(9)),      // degree 2
+            CsrGraph::from_topology(&Hypercube::new(5)), // degree 5
+            CsrGraph::from_adj(&lollipop(8, 3)),         // degrees 1..=8
+            CsrGraph::from_topology(&Hypercube::new(3)), // degree 3
+        ];
+        for g in &graphs {
+            for seed in 0..10u64 {
+                for v in 0..g.num_nodes() {
+                    let mut fast = SmallRng::seed_from_u64(seed ^ (v << 7));
+                    let mut reference = fast.clone();
+                    let got = g.random_neighbor(v, &mut fast);
+                    let want = g.neighbor(v, reference.gen_range(0..g.degree(v)));
+                    assert_eq!(got, want, "node {v} seed {seed}");
+                    // residual state identical: the next raw draw agrees
+                    assert_eq!(fast.next_u64(), reference.next_u64());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_moves_matches_neighbor_lookup() {
+        let g = CsrGraph::from_topology(&Hypercube::new(4));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut positions: Vec<u32> = (0..200).map(|_| rng.gen_range(0..16u64) as u32).collect();
+        let moves: Vec<u32> = (0..200).map(|_| rng.gen_range(0..4u64) as u32).collect();
+        let expect: Vec<u32> = positions
+            .iter()
+            .zip(&moves)
+            .map(|(&p, &m)| g.neighbor(p as NodeId, m as usize) as u32)
+            .collect();
+        g.apply_moves(&mut positions, &moves);
+        assert_eq!(positions, expect);
+    }
+
+    #[test]
+    fn from_edges_and_structure_queries() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_moves(), 10);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 2.5).abs() < 1e-12);
+        assert!(g.is_connected());
+        assert_eq!(g.regular_degree(), None);
+        assert_eq!(g.neighbors_slice(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn from_edges_propagates_validation() {
+        assert!(CsrGraph::from_edges(3, &[(0, 1)]).is_err()); // isolated node
+        assert!(CsrGraph::from_edges(2, &[(0, 0)]).is_err()); // self loop
+    }
+
+    #[test]
+    fn random_regular_conversion_keeps_regularity() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let adj = random_regular(60, 6, 200, &mut rng).unwrap();
+        let csr = CsrGraph::from_adj(&adj);
+        assert_eq!(csr.regular_degree(), Some(6));
+        assert!(csr.is_connected());
+        for v in 0..60 {
+            assert_eq!(
+                csr.neighbors_slice(v),
+                adj.neighbors_slice(v)
+                    .iter()
+                    .map(|&u| u as u32)
+                    .collect::<Vec<_>>()
+                    .as_slice()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no moves")]
+    fn zero_degree_node_rejected() {
+        let _ = CsrGraph::from_parts(vec![0, 0, 1], vec![0]);
+    }
+}

@@ -13,6 +13,27 @@
 //! API on gigantic graphs) transparently fall back to hardware division,
 //! so results are identical everywhere.
 
+/// The Lemire bounded-sampling rejection zone for `span`:
+/// `u64::MAX - (u64::MAX - span + 1) % span`.
+///
+/// This is the exact value the vendored `rand`'s `gen_range(0..span)`
+/// computes per draw; hoisting it (per node in `CsrGraph`, per buffer
+/// fill in the engine's batched sampler) removes a hardware division
+/// from the hot path **without changing a single drawn bit** — the
+/// multiply-shift rejection test against this zone is the draw-order
+/// contract both consumers pin with bit-identity tests. One definition
+/// on purpose: two copies of this formula drifting apart would break
+/// cross-path bit-identity in ways only distant golden tests catch.
+///
+/// # Panics
+///
+/// Panics in debug builds if `span == 0`.
+#[inline]
+pub fn lemire_zone(span: u64) -> u64 {
+    debug_assert!(span > 0, "cannot sample an empty range");
+    u64::MAX - (u64::MAX - span + 1) % span
+}
+
 /// A precomputed divisor. `div(v)` equals `v / d` for every `v`, taking
 /// the multiply-shift fast path whenever `v < 2^32`.
 ///

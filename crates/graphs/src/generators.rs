@@ -372,6 +372,159 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     Ok(AdjGraph::from_edges(n, &edges)?)
 }
 
+/// Barry-style irregular region: a non-wrapping `side × side` grid
+/// lattice (4-neighborhood) with each cell independently removed with
+/// probability `hole_frac`, reduced to its **largest connected
+/// component** and renumbered densely in row-major order of the
+/// surviving cells. The result has jagged boundaries, interior holes,
+/// and degrees between 1 and 4 — exactly the "regions with holes"
+/// setting of the lattice-based density-estimation literature, and a
+/// dial (`hole_frac`) for how badly mixing degrades.
+///
+/// Deterministic given the RNG state; the caller owns the seed.
+///
+/// # Errors
+///
+/// [`GenerateError::BadParameters`] if `side < 2`, if
+/// `hole_frac ∉ [0, 0.9]`, or if the drawn mask left no connected
+/// component of at least two cells (only plausible at extreme hole
+/// fractions on tiny grids; no retry can fix it for a fixed mask
+/// stream, so it is reported as a parameter problem, not a sampling
+/// one).
+pub fn grid_with_holes<R: Rng + ?Sized>(
+    side: u64,
+    hole_frac: f64,
+    rng: &mut R,
+) -> Result<AdjGraph, GenerateError> {
+    if side < 2 {
+        return Err(GenerateError::BadParameters(format!(
+            "grid side {side} must be at least 2"
+        )));
+    }
+    if !(0.0..=0.9).contains(&hole_frac) {
+        return Err(GenerateError::BadParameters(format!(
+            "hole fraction {hole_frac} outside [0, 0.9]"
+        )));
+    }
+    let cells = (side * side) as usize;
+    // One mask draw per cell in row-major order: the whole geometry is a
+    // pure function of (side, hole_frac, rng stream).
+    let open: Vec<bool> = (0..cells).map(|_| !rng.gen_bool(hole_frac)).collect();
+    // Largest connected component over open cells (4-neighborhood).
+    let mut component = vec![u32::MAX; cells];
+    let mut best: (usize, u32) = (0, u32::MAX); // (size, id)
+    let mut next_id = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..cells {
+        if !open[start] || component[start] != u32::MAX {
+            continue;
+        }
+        let id = next_id;
+        next_id += 1;
+        component[start] = id;
+        queue.push_back(start);
+        let mut size = 0usize;
+        while let Some(c) = queue.pop_front() {
+            size += 1;
+            let (x, y) = (c as u64 % side, c as u64 / side);
+            for (nx, ny) in grid_neighbors(x, y, side) {
+                let nc = (ny * side + nx) as usize;
+                if open[nc] && component[nc] == u32::MAX {
+                    component[nc] = id;
+                    queue.push_back(nc);
+                }
+            }
+        }
+        if size > best.0 {
+            best = (size, id);
+        }
+    }
+    if best.0 < 2 {
+        return Err(GenerateError::BadParameters(format!(
+            "hole mask left no connected component of at least two cells \
+(side {side}, hole fraction {hole_frac})"
+        )));
+    }
+    // Dense renumbering in row-major order of surviving cells.
+    let mut dense = vec![u64::MAX; cells];
+    let mut n = 0u64;
+    for (c, slot) in dense.iter_mut().enumerate() {
+        if component[c] == best.1 {
+            *slot = n;
+            n += 1;
+        }
+    }
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for c in 0..cells {
+        if dense[c] == u64::MAX {
+            continue;
+        }
+        let (x, y) = (c as u64 % side, c as u64 / side);
+        // right and down only: each undirected edge emitted once
+        for (nx, ny) in [(x + 1, y), (x, y + 1)] {
+            if nx < side && ny < side {
+                let nc = (ny * side + nx) as usize;
+                if dense[nc] != u64::MAX {
+                    edges.push((dense[c], dense[nc]));
+                }
+            }
+        }
+    }
+    Ok(AdjGraph::from_edges(n, &edges)?)
+}
+
+/// The in-bounds 4-neighbors of `(x, y)` on a non-wrapping grid.
+fn grid_neighbors(x: u64, y: u64, side: u64) -> impl Iterator<Item = (u64, u64)> {
+    [
+        (x.wrapping_sub(1), y),
+        (x + 1, y),
+        (x, y.wrapping_sub(1)),
+        (x, y + 1),
+    ]
+    .into_iter()
+    .filter(move |&(a, b)| a < side && b < side)
+}
+
+/// Ring of cliques: `cliques` copies of `K_{clique_size}` arranged in a
+/// cycle, consecutive cliques joined by a single bridge edge (clique
+/// `i`'s node 0 to clique `i+1`'s node 1). The classic
+/// bottleneck/slow-mixing family — dense local neighborhoods, global
+/// conductance `Θ(1/(cliques · clique_size²))` — complementing the
+/// expander end of the spectrum. Deterministic.
+///
+/// # Errors
+///
+/// [`GenerateError::BadParameters`] if `cliques < 2` or
+/// `clique_size < 3` (bridge endpoints must be distinct and each clique
+/// must survive losing a bridge node).
+pub fn ring_of_cliques(cliques: u64, clique_size: u64) -> Result<AdjGraph, GenerateError> {
+    if cliques < 2 {
+        return Err(GenerateError::BadParameters(format!(
+            "need at least 2 cliques, got {cliques}"
+        )));
+    }
+    if clique_size < 3 {
+        return Err(GenerateError::BadParameters(format!(
+            "clique size {clique_size} must be at least 3"
+        )));
+    }
+    let n = cliques
+        .checked_mul(clique_size)
+        .ok_or_else(|| GenerateError::BadParameters("node count overflows u64".to_string()))?;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for c in 0..cliques {
+        let base = c * clique_size;
+        for u in 0..clique_size {
+            for v in (u + 1)..clique_size {
+                edges.push((base + u, base + v));
+            }
+        }
+        let next = ((c + 1) % cliques) * clique_size;
+        edges.push((base, next + 1));
+    }
+    Ok(AdjGraph::from_edges(n, &edges)?)
+}
+
 /// Path graph `0 − 1 − … − (n−1)`.
 ///
 /// # Panics
@@ -595,6 +748,79 @@ mod tests {
         assert_eq!(l.num_edges(), 6 + 3);
         assert!(l.is_connected());
         assert_eq!(l.degree(6), 1); // tail end
+    }
+
+    #[test]
+    fn grid_with_holes_zero_fraction_is_full_grid() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let g = grid_with_holes(5, 0.0, &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), 25);
+        // interior degree 4, corner degree 2
+        assert_eq!(g.degree(12), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.num_edges(), 2 * 5 * 4); // 2 * side * (side-1)
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid_with_holes_carves_connected_irregular_region() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = grid_with_holes(16, 0.3, &mut rng).unwrap();
+        assert!(g.num_nodes() < 256, "holes must remove cells");
+        assert!(g.num_nodes() > 64, "the giant component should dominate");
+        assert!(g.is_connected(), "must reduce to one component");
+        assert!(g.max_degree() <= 4);
+        assert_eq!(g.regular_degree(), None, "holes make the region irregular");
+    }
+
+    #[test]
+    fn grid_with_holes_is_seed_deterministic() {
+        let a = grid_with_holes(12, 0.25, &mut SmallRng::seed_from_u64(5)).unwrap();
+        let b = grid_with_holes(12, 0.25, &mut SmallRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+        let c = grid_with_holes(12, 0.25, &mut SmallRng::seed_from_u64(6)).unwrap();
+        assert_ne!(a, c, "different mask seeds give different regions");
+    }
+
+    #[test]
+    fn grid_with_holes_rejects_bad_parameters() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(matches!(
+            grid_with_holes(1, 0.1, &mut rng),
+            Err(GenerateError::BadParameters(_))
+        ));
+        assert!(matches!(
+            grid_with_holes(8, 0.95, &mut rng),
+            Err(GenerateError::BadParameters(_))
+        ));
+    }
+
+    #[test]
+    fn ring_of_cliques_structure() {
+        let g = ring_of_cliques(4, 5).unwrap();
+        assert_eq!(g.num_nodes(), 20);
+        // 4 * C(5,2) clique edges + 4 bridges
+        assert_eq!(g.num_edges(), 4 * 10 + 4);
+        assert!(g.is_connected());
+        assert!(!g.is_bipartite(), "cliques contain triangles");
+        // bridge endpoints have degree clique_size, others clique_size-1
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.degree(2), 4);
+        assert_eq!(g.regular_degree(), None);
+        // two cliques still build (distinct bridge edges)
+        assert!(ring_of_cliques(2, 3).unwrap().is_connected());
+    }
+
+    #[test]
+    fn ring_of_cliques_rejects_degenerate() {
+        assert!(matches!(
+            ring_of_cliques(1, 5),
+            Err(GenerateError::BadParameters(_))
+        ));
+        assert!(matches!(
+            ring_of_cliques(3, 2),
+            Err(GenerateError::BadParameters(_))
+        ));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod adjacency;
 pub mod complete;
+pub mod csr;
 pub mod dist;
 pub mod fastdiv;
 pub mod generators;
@@ -54,6 +55,7 @@ pub mod torus;
 
 pub use adjacency::AdjGraph;
 pub use complete::CompleteGraph;
+pub use csr::CsrGraph;
 pub use dist::WalkDistribution;
 pub use fastdiv::FastDiv;
 pub use hypercube::Hypercube;

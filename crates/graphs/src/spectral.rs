@@ -27,10 +27,32 @@ impl SpectralEstimate {
     pub fn gap(&self) -> f64 {
         (1.0 - self.lambda).max(0.0)
     }
+
+    /// Numeric mixing-time upper bound from the measured eigenvalue:
+    /// `t_mix(eps) ≤ ln(nodes/eps) / (1 − λ)` for a reversible walk
+    /// whose stationary distribution is at least `1/nodes` everywhere
+    /// (regular graphs exactly; near-regular graphs approximately).
+    /// Returns `None` when the measured gap is (numerically) zero —
+    /// bipartite or disconnected graphs never mix.
+    pub fn mixing_time_bound(&self, nodes: u64, eps: f64) -> Option<f64> {
+        assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1)");
+        let gap = self.gap();
+        if gap < 1e-9 {
+            return None;
+        }
+        Some((nodes as f64 / eps).ln() / gap)
+    }
 }
 
 /// Estimates `λ = max(|λ₂|, |λ_A|)` of the walk matrix of `graph` by
 /// deflated power iteration.
+///
+/// Generic over any [`Topology`] — structured tori, [`AdjGraph`], and
+/// [`crate::CsrGraph`] all work, with neighbor multiplicities entering
+/// the walk matrix exactly as they enter the walk itself. This is the
+/// numeric fallback the theory layer uses when a topology has no
+/// closed-form re-collision envelope: measure λ, apply the expander
+/// bound (Lemma 23/24) with it.
 ///
 /// `λ = 1` (up to tolerance) signals a bipartite or disconnected graph —
 /// random walks on it never mix.
@@ -38,21 +60,118 @@ impl SpectralEstimate {
 /// # Panics
 ///
 /// Panics if `max_iters == 0`.
-pub fn walk_matrix_lambda<R: Rng + ?Sized>(
-    graph: &AdjGraph,
+pub fn walk_matrix_lambda<T: Topology, R: Rng + ?Sized>(
+    graph: &T,
+    max_iters: u32,
+    rng: &mut R,
+) -> SpectralEstimate {
+    // Top eigenvector of S: phi(v) = sqrt(deg v), normalised.
+    let mut phi: Vec<f64> = (0..graph.num_nodes())
+        .map(|v| (graph.degree(v) as f64).sqrt())
+        .collect();
+    normalize(&mut phi);
+    power_iterate(graph, &[phi], max_iters, rng)
+}
+
+/// The **decay rate** of the walk's non-structural modes: the largest
+/// `|λ|` after deflating the stationary eigenvector *and*, on bipartite
+/// graphs, the parity eigenvector `ψ(v) = ±√deg(v)` (eigenvalue −1).
+///
+/// On non-bipartite graphs this equals [`walk_matrix_lambda`]. On
+/// bipartite graphs the plain estimate saturates at `λ = 1` even though
+/// *co-located* walkers still separate and re-meet (they share parity,
+/// so the −1 mode only contributes the `1/A`-scale floor that the
+/// re-collision envelopes carry as a separate term — the paper's
+/// hypercube treatment, Lemma 25, is the closed-form instance of the
+/// same observation). This is therefore the right λ to feed the
+/// expander envelope on masked-lattice graphs, which are bipartite by
+/// construction (subgraphs of the grid).
+///
+/// # Panics
+///
+/// Panics if `max_iters == 0`.
+pub fn effective_lambda<T: Topology, R: Rng + ?Sized>(
+    graph: &T,
+    max_iters: u32,
+    rng: &mut R,
+) -> SpectralEstimate {
+    let mut phi: Vec<f64> = (0..graph.num_nodes())
+        .map(|v| (graph.degree(v) as f64).sqrt())
+        .collect();
+    normalize(&mut phi);
+    match bipartite_signs(graph) {
+        Some(signs) => {
+            let mut psi: Vec<f64> = phi
+                .iter()
+                .zip(&signs)
+                .map(|(p, &s)| p * f64::from(s))
+                .collect();
+            normalize(&mut psi);
+            power_iterate(graph, &[phi, psi], max_iters, rng)
+        }
+        None => power_iterate(graph, &[phi], max_iters, rng),
+    }
+}
+
+/// BFS 2-coloring over every component: `Some(±1 per node)` when the
+/// graph is bipartite, `None` otherwise (including self-loop moves).
+fn bipartite_signs<T: Topology>(graph: &T) -> Option<Vec<i8>> {
+    let n = graph.num_nodes() as usize;
+    let mut sign = vec![0i8; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if sign[start] != 0 {
+            continue;
+        }
+        sign[start] = 1;
+        queue.push_back(start as u64);
+        while let Some(v) = queue.pop_front() {
+            let sv = sign[v as usize];
+            for u in graph.neighbors(v) {
+                let su = &mut sign[u as usize];
+                if *su == 0 {
+                    *su = -sv;
+                    queue.push_back(u);
+                } else if *su == sv {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(sign)
+}
+
+/// Deflated power iteration on `S = D^{−1/2} A D^{−1/2}`: the largest
+/// `|λ|` orthogonal to every vector in `deflators` (which must be
+/// normalised).
+///
+/// # Panics
+///
+/// Panics if `max_iters == 0`.
+fn power_iterate<T: Topology, R: Rng + ?Sized>(
+    graph: &T,
+    deflators: &[Vec<f64>],
     max_iters: u32,
     rng: &mut R,
 ) -> SpectralEstimate {
     assert!(max_iters > 0, "need at least one iteration");
     let n = graph.num_nodes() as usize;
-    // Top eigenvector of S: phi(v) = sqrt(deg v), normalised.
-    let mut phi: Vec<f64> = (0..n)
-        .map(|v| (graph.degree(v as u64) as f64).sqrt())
-        .collect();
-    normalize(&mut phi);
+    if n <= deflators.len() {
+        // the deflated subspace is empty: no non-structural modes
+        return SpectralEstimate {
+            lambda: 0.0,
+            iterations: 0,
+            residual: 0.0,
+        };
+    }
+    let deflate_all = |x: &mut [f64]| {
+        for d in deflators {
+            deflate(x, d);
+        }
+    };
     // Random start, deflated.
     let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    deflate(&mut x, &phi);
+    deflate_all(&mut x);
     normalize(&mut x);
     let mut y = vec![0.0; n];
     let mut lambda = 0.0f64;
@@ -61,14 +180,14 @@ pub fn walk_matrix_lambda<R: Rng + ?Sized>(
     for it in 0..max_iters {
         iters = it + 1;
         matvec_sym(graph, &x, &mut y);
-        deflate(&mut y, &phi);
+        deflate_all(&mut y);
         let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm < 1e-300 {
             // x was (numerically) in the kernel; restart from fresh noise.
             for v in x.iter_mut() {
                 *v = rng.gen_range(-1.0..1.0);
             }
-            deflate(&mut x, &phi);
+            deflate_all(&mut x);
             normalize(&mut x);
             continue;
         }
@@ -89,8 +208,8 @@ pub fn walk_matrix_lambda<R: Rng + ?Sized>(
     }
 }
 
-/// `y = S x` with `S = D^{−1/2} A D^{−1/2}`.
-fn matvec_sym(graph: &AdjGraph, x: &[f64], y: &mut [f64]) {
+/// `y = S x` with `S = D^{−1/2} A D^{−1/2}` (A with move multiplicity).
+fn matvec_sym<T: Topology>(graph: &T, x: &[f64], y: &mut [f64]) {
     y.iter_mut().for_each(|v| *v = 0.0);
     for v in 0..graph.num_nodes() {
         let dv = graph.degree(v) as f64;
@@ -98,7 +217,7 @@ fn matvec_sym(graph: &AdjGraph, x: &[f64], y: &mut [f64]) {
         if xv == 0.0 {
             continue;
         }
-        for &u in graph.neighbors_slice(v) {
+        for u in graph.neighbors(v) {
             let du = graph.degree(u) as f64;
             y[u as usize] += xv / (dv * du).sqrt();
         }
@@ -250,6 +369,96 @@ mod tests {
             (measured_ratio - lambda).abs() < 0.05,
             "decay rate {measured_ratio} vs lambda {lambda}"
         );
+    }
+
+    #[test]
+    fn generic_lambda_agrees_between_adj_and_csr_and_structured() {
+        // same graph, three representations, one spectrum
+        let cycle = crate::torus::Ring::new(9);
+        let adj = AdjGraph::from_topology(&cycle).unwrap();
+        let csr = crate::csr::CsrGraph::from_topology(&cycle);
+        let l_adj = walk_matrix_lambda(&adj, 3000, &mut SmallRng::seed_from_u64(6)).lambda;
+        let l_csr = walk_matrix_lambda(&csr, 3000, &mut SmallRng::seed_from_u64(6)).lambda;
+        let l_ring = walk_matrix_lambda(&cycle, 3000, &mut SmallRng::seed_from_u64(6)).lambda;
+        assert!((l_adj - l_csr).abs() < 1e-9, "{l_adj} vs {l_csr}");
+        assert!((l_adj - l_ring).abs() < 1e-9, "{l_adj} vs {l_ring}");
+        // C_9 eigenvalues are cos(2 pi k / 9); the largest magnitude
+        // below 1 is |cos(8 pi / 9)| = cos(pi / 9).
+        let expect = (std::f64::consts::PI / 9.0).cos();
+        assert!((l_adj - expect).abs() < 1e-5, "{l_adj} vs {expect}");
+    }
+
+    #[test]
+    fn mixing_time_bound_tracks_measured_mixing() {
+        let g = cycle_graph(15);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let est = walk_matrix_lambda(&g, 5000, &mut rng);
+        let bound = est.mixing_time_bound(15, 0.01).expect("odd cycle mixes");
+        let measured = mixing_time_from(&g, 0, 0.01, 10_000).expect("must mix") as f64;
+        assert!(bound >= measured, "bound {bound} below measured {measured}");
+        assert!(bound < 40.0 * measured, "bound {bound} uselessly loose");
+    }
+
+    #[test]
+    fn mixing_time_bound_none_without_gap() {
+        let g = star_graph(6); // bipartite: lambda = 1, gap = 0
+        let mut rng = SmallRng::seed_from_u64(9);
+        let est = walk_matrix_lambda(&g, 2000, &mut rng);
+        assert_eq!(est.mixing_time_bound(6, 0.1), None);
+    }
+
+    #[test]
+    fn effective_lambda_deflates_the_bipartite_parity_mode() {
+        // Even cycle C_16: bipartite, so the plain estimate saturates at
+        // 1, while the effective estimate reports the true decay mode
+        // cos(2 pi / 16).
+        let g = cycle_graph(16);
+        let plain = walk_matrix_lambda(&g, 4000, &mut SmallRng::seed_from_u64(21));
+        assert!(
+            plain.lambda > 0.999,
+            "bipartite plain lambda {}",
+            plain.lambda
+        );
+        let eff = effective_lambda(&g, 4000, &mut SmallRng::seed_from_u64(21));
+        let expect = (2.0 * std::f64::consts::PI / 16.0).cos();
+        assert!(
+            (eff.lambda - expect).abs() < 1e-5,
+            "effective lambda {} vs cos(2pi/16) = {expect}",
+            eff.lambda
+        );
+    }
+
+    #[test]
+    fn effective_lambda_equals_plain_on_non_bipartite() {
+        let g = cycle_graph(9);
+        let a = walk_matrix_lambda(&g, 4000, &mut SmallRng::seed_from_u64(22));
+        let b = effective_lambda(&g, 4000, &mut SmallRng::seed_from_u64(22));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn effective_lambda_responds_to_grid_holes() {
+        // Masked lattices are bipartite (grid subgraphs): the effective
+        // estimate stays strictly informative where the plain one
+        // saturates.
+        let mut mask_rng = SmallRng::seed_from_u64(23);
+        let holed = crate::generators::grid_with_holes(12, 0.3, &mut mask_rng).unwrap();
+        let plain = walk_matrix_lambda(&holed, 4000, &mut SmallRng::seed_from_u64(24));
+        assert!(plain.lambda > 0.999, "grid subgraph must be bipartite");
+        let eff = effective_lambda(&holed, 4000, &mut SmallRng::seed_from_u64(24));
+        assert!(
+            eff.lambda < 0.9999 && eff.lambda > 0.5,
+            "effective lambda {} should reflect slow-but-real mixing",
+            eff.lambda
+        );
+    }
+
+    #[test]
+    fn degenerate_deflation_reports_zero() {
+        // path on 2 nodes: bipartite with n == number of deflators
+        let g = crate::generators::path_graph(2);
+        let eff = effective_lambda(&g, 100, &mut SmallRng::seed_from_u64(25));
+        assert_eq!(eff.lambda, 0.0);
     }
 
     #[test]

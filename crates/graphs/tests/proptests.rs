@@ -114,6 +114,79 @@ proptest! {
     }
 
     #[test]
+    fn csr_rebuild_preserves_every_move(side in 1u64..10, dims in 1u32..7) {
+        use antdensity_graphs::CsrGraph;
+        // structured topologies (multisets included, e.g. side <= 2)
+        let torus = Torus2d::new(side);
+        let csr = CsrGraph::from_topology(&torus);
+        prop_assert_eq!(csr.num_nodes(), torus.num_nodes());
+        for v in 0..torus.num_nodes() {
+            prop_assert_eq!(csr.degree(v), torus.degree(v));
+            for i in 0..torus.degree(v) {
+                prop_assert_eq!(csr.neighbor(v, i), torus.neighbor(v, i));
+            }
+        }
+        assert_symmetric(&csr);
+        let cube = Hypercube::new(dims);
+        let csr = CsrGraph::from_topology(&cube);
+        prop_assert_eq!(csr.regular_degree(), Some(dims as usize));
+        assert_symmetric(&csr);
+    }
+
+    #[test]
+    fn csr_random_neighbor_matches_default_draws(
+        side in 1u64..10,
+        seed in any::<u64>(),
+    ) {
+        use antdensity_graphs::CsrGraph;
+        use rand::Rng;
+        // the CSR zone-hoisted draw is bit-for-bit gen_range(0..d)
+        let csr = CsrGraph::from_topology(&Torus2d::new(side));
+        let mut fast = SmallRng::seed_from_u64(seed);
+        let mut reference = fast.clone();
+        let mut v = csr.uniform_node(&mut fast);
+        let mut w = reference.gen_range(0..csr.num_nodes());
+        prop_assert_eq!(v, w);
+        for _ in 0..40 {
+            v = csr.random_neighbor(v, &mut fast);
+            w = csr.neighbor(w, reference.gen_range(0..csr.degree(w)));
+            prop_assert_eq!(v, w);
+        }
+    }
+
+    #[test]
+    fn generated_csr_families_are_walkable(
+        cliques in 2u64..8,
+        size in 3u64..8,
+        gside in 4u64..12,
+        frac_pm in 0u32..600,
+        seed in any::<u64>(),
+    ) {
+        use antdensity_graphs::CsrGraph;
+        let rc = CsrGraph::from_adj(&generators::ring_of_cliques(cliques, size).unwrap());
+        prop_assert_eq!(rc.num_nodes(), cliques * size);
+        prop_assert!(rc.is_connected());
+        assert_symmetric(&rc);
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match generators::grid_with_holes(gside, f64::from(frac_pm) / 1000.0, &mut rng) {
+            Ok(adj) => {
+                let g = CsrGraph::from_adj(&adj);
+                prop_assert!(g.is_connected(), "largest component must be connected");
+                prop_assert!(g.max_degree() <= 4);
+                prop_assert!(g.num_nodes() <= gside * gside);
+                assert_symmetric(&g);
+            }
+            // tiny grids at high hole fractions may leave no usable
+            // component — an error, never a bad graph
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(msg.contains("no connected component"));
+            }
+        }
+    }
+
+    #[test]
     fn distribution_mass_conserved(
         side in 1u64..8,
         start_raw in 0u64..64,

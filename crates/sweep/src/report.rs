@@ -11,7 +11,7 @@
 
 use crate::runner::SweepOutcome;
 use crate::spec::SkippedCell;
-use antdensity_core::theory::predicted_epsilon;
+use antdensity_core::theory::theory_bound;
 use antdensity_stats::table::{format_sig, Table};
 use std::path::{Path, PathBuf};
 
@@ -54,6 +54,11 @@ pub struct SweepRow {
     pub within: f64,
     /// Paper-predicted error bound (unit constants), where applicable.
     pub bound: Option<f64>,
+    /// How the bound was derived: `closed-form` (a paper theorem for
+    /// the topology), `measured-gap` (numeric spectral-gap surrogate —
+    /// the path every `csr:*` graph takes), or empty when no bound
+    /// applies.
+    pub bound_src: &'static str,
     /// Estimator-specific mean (quorum accuracy / mean `f̃`).
     pub aux_mean: Option<f64>,
 }
@@ -94,6 +99,13 @@ pub fn build_report(outcome: &SweepOutcome) -> SweepReport {
         .filter_map(|(cell, agg)| {
             let agg = agg.as_ref()?;
             let d_true = cell.true_density();
+            let bound = theory_bound(
+                cell.topology,
+                &cell.estimator,
+                cell.rounds,
+                d_true,
+                resolved.delta,
+            );
             Some(SweepRow {
                 index: cell.index,
                 topology: cell.topology.to_string(),
@@ -115,13 +127,8 @@ pub fn build_report(outcome: &SweepOutcome) -> SweepReport {
                 err_median: (agg.err.count() > 0).then(|| agg.err_quantile(0.5)),
                 err_q: (agg.err.count() > 0).then(|| agg.err_quantile(q_hi)),
                 within: agg.within_fraction(),
-                bound: predicted_epsilon(
-                    cell.topology,
-                    &cell.estimator,
-                    cell.rounds,
-                    d_true,
-                    resolved.delta,
-                ),
+                bound: bound.epsilon,
+                bound_src: bound.source.as_str(),
                 aux_mean: (agg.aux.count() > 0).then(|| agg.aux.mean()),
             })
         })
@@ -158,6 +165,7 @@ impl SweepReport {
                 q_label.as_str(),
                 "within",
                 "bound",
+                "src",
             ],
         );
         for r in &self.rows {
@@ -173,10 +181,12 @@ impl SweepReport {
                 r.err_q.map_or_else(String::new, |v| format_sig(v, 4)),
                 format_sig(r.within, 3),
                 r.bound.map_or_else(String::new, |b| format_sig(b, 4)),
+                r.bound_src.to_string(),
             ]);
         }
         t.note(&format!(
-            "band = {}, delta = {}, trials/cell = {}; bound = paper-predicted epsilon (unit constants)",
+            "band = {}, delta = {}, trials/cell = {}; bound = predicted epsilon (unit constants), \
+             src = closed-form | measured-gap",
             self.band, self.delta, self.trials
         ));
         let mut out = t.render();
@@ -210,11 +220,11 @@ impl SweepReport {
         }
         let mut out = String::from(
             "index,topology,density,agents,rounds,estimator,movement,noise,trials,samples,\
-             est_mean,est_sd,err_mean,err_median,err_q,within,bound,aux_mean\n",
+             est_mean,est_sd,err_mean,err_median,err_q,within,bound,bound_src,aux_mean\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 r.index,
                 field(&r.topology),
                 r.density,
@@ -232,6 +242,7 @@ impl SweepReport {
                 opt(r.err_q),
                 r.within,
                 opt(r.bound),
+                r.bound_src,
                 opt(r.aux_mean),
             ));
         }
@@ -276,7 +287,7 @@ impl SweepReport {
                  \"agents\": {}, \"rounds\": {}, \"estimator\": \"{}\", \
                  \"movement\": \"{}\", \"noise\": \"{}\", \"trials\": {}, \
                  \"samples\": {}, \"est_mean\": {}, \"est_sd\": {}, \"err_mean\": {}, \
-                 \"err_median\": {}, \"err_q\": {}, \"within\": {}, \"bound\": {}, \
+                 \"err_median\": {}, \"err_q\": {}, \"within\": {}, \"bound\": {}, \"bound_src\": \"{}\", \
                  \"aux_mean\": {}}}{}\n",
                 r.index,
                 esc(&r.topology),
@@ -295,6 +306,7 @@ impl SweepReport {
                 opt(r.err_q),
                 r.within,
                 opt(r.bound),
+                r.bound_src,
                 opt(r.aux_mean),
                 if i + 1 == self.rows.len() { "" } else { "," }
             ));
@@ -428,6 +440,7 @@ mod tests {
         assert_eq!(r.skipped.len(), 2);
         // alg1/alg4/quorum all carry a paper bound on the torus
         assert!(r.rows.iter().all(|row| row.bound.is_some()));
+        assert!(r.rows.iter().all(|row| row.bound_src == "closed-form"));
         // quorum rows carry an accuracy aux; alg1/alg4 rows do not
         for row in &r.rows {
             assert_eq!(
@@ -442,14 +455,43 @@ mod tests {
     }
 
     #[test]
+    fn csr_cells_report_measured_gap_bounds() {
+        let spec = SweepSpec::parse(
+            "
+            name = csr_bounds
+            trials = 1
+            topology = csr:cliquering:4:4, csr:grid-holes:8:3:0.2, torus2d:8
+            density = 0.2
+            rounds = 8
+            ",
+        )
+        .unwrap();
+        let r = build_report(&run_sweep(&spec, &SweepOptions::default()).unwrap());
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            assert!(row.bound.is_some(), "{row:?}");
+            let expect = if row.topology.starts_with("csr:") {
+                "measured-gap"
+            } else {
+                "closed-form"
+            };
+            assert_eq!(row.bound_src, expect, "{row:?}");
+        }
+        let csv = r.to_csv();
+        assert!(csv.contains("measured-gap"), "{csv}");
+        assert!(r.to_json().contains("\"bound_src\": \"measured-gap\""));
+        assert!(r.render().contains("measured-gap"));
+    }
+
+    #[test]
     fn csv_shape_matches_rows() {
         let r = demo_report();
         let csv = r.to_csv();
         assert_eq!(csv.lines().count(), 1 + r.rows.len());
         assert!(csv.starts_with("index,topology,density"));
-        // every data line has exactly 18 columns
+        // every data line has exactly 19 columns
         for line in csv.lines().skip(1) {
-            assert_eq!(line.split(',').count(), 18, "{line}");
+            assert_eq!(line.split(',').count(), 19, "{line}");
         }
     }
 
@@ -527,7 +569,7 @@ mod tests {
                 _ => {}
             }
         }
-        assert_eq!(fields + 1, 18, "{data}");
+        assert_eq!(fields + 1, 19, "{data}");
     }
 
     #[test]

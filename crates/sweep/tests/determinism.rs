@@ -220,3 +220,73 @@ fn fused_equals_unfused_bit_for_bit() {
     assert_eq!(resumed.aggregates, fused.aggregates);
     let _ = std::fs::remove_file(&ckpt);
 }
+
+/// The determinism contract extends unchanged to the pluggable CSR
+/// topologies: generated graphs are pure functions of their spec (never
+/// of the sweep seed or the process), so kill/resume lands on
+/// bit-identical aggregates and byte-identical reports — including the
+/// measured-spectral-gap bound column.
+#[test]
+fn csr_shards_kill_resume_bit_for_bit() {
+    let spec = SweepSpec::parse(
+        "
+        name = csr_det
+        seed = 7
+        trials = 2
+        topology = csr:cliquering:4:4, csr:grid-holes:8:3:0.25, csr:regular:24:4
+        density = 0.2
+        rounds = 4, 8
+        estimator = alg1, quorum:0.1
+        ",
+    )
+    .unwrap();
+    let reference = run_sweep(&spec, &SweepOptions::default()).unwrap();
+    assert!(reference.complete);
+    let n = reference.resolved.fused.len();
+    assert!(n >= 3, "one fused shard per csr topology, got {n}");
+    let ref_report = build_report(&reference);
+
+    for k in 1..n {
+        let ckpt = tmp_ckpt(&format!("csr_{k}"));
+        let _ = std::fs::remove_file(&ckpt);
+        let partial = run_sweep(
+            &spec,
+            &SweepOptions {
+                checkpoint: Some(ckpt.clone()),
+                max_shards: Some(k),
+                checkpoint_every: 1,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!partial.complete);
+        let resumed = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers: 3,
+                pool: Some(Arc::new(WorkerPool::new(3))),
+                checkpoint: Some(ckpt.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(resumed.complete, "k={k}");
+        assert_eq!(resumed.aggregates, reference.aggregates, "k={k}");
+        let report = build_report(&resumed);
+        assert_eq!(report.to_json(), ref_report.to_json(), "k={k}");
+        assert_eq!(report.to_csv(), ref_report.to_csv(), "k={k}");
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    // fused == unfused over CSR topologies too
+    let unfused = run_sweep(
+        &spec,
+        &SweepOptions {
+            fuse: false,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(unfused.aggregates, reference.aggregates);
+}

@@ -141,6 +141,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{acc}");
     println!("The paper's punchline, visible in one table: every topology with a");
     println!("summable re-collision curve estimates density nearly as well as");
-    println!("independent sampling; only the ring pays a real penalty.");
+    println!("independent sampling; only the ring pays a real penalty.\n");
+
+    // Beyond the analysed zoo: the pluggable CSR backend accepts any
+    // graph. Measure the spectral decay rate of a Barry-style holed
+    // region and a clique-ring bottleneck, and run the actual estimator
+    // on each — theory-by-measurement next to simulation.
+    use antdensity::engine::{Scenario, TopologySpec};
+    println!("Beyond the zoo: arbitrary graphs through the CSR backend");
+    println!("(spec tokens usable verbatim as sweep axes; bounds from measured spectra)\n");
+    let mut csr = Table::new(
+        "pluggable csr graphs (alg1, d = 0.05, t = 512, 4 seeds)",
+        &["spec", "nodes", "lambda_eff", "mean d~", "mean rel err"],
+    );
+    for token in [
+        "csr:grid-holes:24:7:0.2",
+        "csr:grid-holes:24:7:0.5",
+        "csr:regular:576:8",
+        "csr:cliquering:36:16",
+    ] {
+        let spec: TopologySpec = token.parse()?;
+        let nodes = spec.num_nodes();
+        let lambda_eff = match TopologyClass::measured(spec) {
+            TopologyClass::Expander { lambda, .. } => lambda,
+            _ => unreachable!("measured classes are expander-shaped"),
+        };
+        let agents = ((0.05 * nodes as f64).round() as usize).max(2) + 1;
+        let mut est_sum = 0.0;
+        let mut err_sum = 0.0;
+        for seed in 0..4 {
+            let out = Scenario::new(spec, agents, 512).run(seed);
+            est_sum += out.mean_estimate();
+            err_sum += out.relative_errors().iter().sum::<f64>() / agents as f64;
+        }
+        csr.row_owned(vec![
+            token.to_string(),
+            nodes.to_string(),
+            format_sig(lambda_eff, 4),
+            format_sig(est_sum / 4.0, 3),
+            format_sig(err_sum / 4.0, 3),
+        ]);
+    }
+    csr.note("lambda_eff: bipartite parity mode deflated — more holes / tighter bottlenecks => slower mixing => larger error at matched t");
+    println!("{csr}");
     Ok(())
 }
