@@ -8,6 +8,7 @@
 //! repro bench --compare [BASE]      # …then gate against a baseline JSON
 //! repro sweep SPEC [--quick]        # run a declarative parameter sweep
 //! repro sweep SPEC --dry-run        # print the expanded/fused plan, run nothing
+//! repro check-metrics FILE          # validate a METRICS_*.json against its schema
 //! options:
 //!   --quick           small grids (default for experiments)
 //!   --full            the EXPERIMENTS.md grids
@@ -24,8 +25,18 @@
 //!                     (bit-identical report, strictly more work — the cross-check)
 //!   --dry-run         print cell/shard/trial counts and the fused-vs-unfused
 //!                     simulation work, then exit without running
+//!   --metrics [FILE]  write the execution-metrics snapshot (schema
+//!                     `antdensity-metrics v1`; default DIR/METRICS_<name>.json —
+//!                     supersedes the old SWEEP_<name>.timing.json)
+//!   --trace FILE      write a Chrome-tracing / Perfetto JSON of the run's spans
+//!   --progress        live stderr line per wave: shards done/total, Msteps/s, ETA
 //! exit codes: 0 ok; 1 perf gate regressed / IO failure; 2 usage; 3 partial sweep
 //! ```
+//!
+//! Telemetry is always enabled for `sweep` runs (it observes, never
+//! influences — reports are byte-identical with or without it, which
+//! `tests/determinism.rs` pins); `--trace`/`--metrics` only choose
+//! whether the collected data is written anywhere.
 
 use antdensity_bench::experiments;
 use antdensity_bench::perf;
@@ -36,9 +47,10 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <list|bench|sweep SPEC|all|e1..e17...> [--quick|--full] [--seed N] \
-         [--out DIR] [--compare [BASELINE]] [--tolerance F] [--workers N] [--resume] \
-         [--max-shards K] [--no-checkpoint] [--no-fuse] [--dry-run]"
+        "usage: repro <list|bench|sweep SPEC|check-metrics FILE|all|e1..e17...> \
+         [--quick|--full] [--seed N] [--out DIR] [--compare [BASELINE]] [--tolerance F] \
+         [--workers N] [--resume] [--max-shards K] [--no-checkpoint] [--no-fuse] \
+         [--dry-run] [--metrics [FILE]] [--trace FILE] [--progress]"
     );
     std::process::exit(2);
 }
@@ -53,12 +65,18 @@ struct Cli {
     compare: Option<PathBuf>,
     tolerance: f64,
     sweep_spec: Option<PathBuf>,
+    check_metrics: Option<PathBuf>,
     workers: Option<usize>,
     resume: bool,
     max_shards: Option<usize>,
     no_checkpoint: bool,
     no_fuse: bool,
     dry_run: bool,
+    /// `Some(None)` = `--metrics` with the default output path;
+    /// `Some(Some(p))` = explicit file.
+    metrics: Option<Option<PathBuf>>,
+    trace: Option<PathBuf>,
+    progress: bool,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -72,15 +90,20 @@ fn parse_cli(args: &[String]) -> Cli {
         compare: None,
         tolerance: 0.25,
         sweep_spec: None,
+        check_metrics: None,
         workers: None,
         resume: false,
         max_shards: None,
         no_checkpoint: false,
         no_fuse: false,
         dry_run: false,
+        metrics: None,
+        trace: None,
+        progress: false,
     };
     let mut i = 0;
     let mut expect_sweep_spec = false;
+    let mut expect_metrics_file = false;
     while i < args.len() {
         let arg = args[i].as_str();
         if expect_sweep_spec && !arg.starts_with("--") {
@@ -89,11 +112,18 @@ fn parse_cli(args: &[String]) -> Cli {
             i += 1;
             continue;
         }
+        if expect_metrics_file && !arg.starts_with("--") {
+            cli.check_metrics = Some(PathBuf::from(arg));
+            expect_metrics_file = false;
+            i += 1;
+            continue;
+        }
         match arg {
             "--quick" => cli.effort = Effort::Quick,
             "--full" => cli.effort = Effort::Full,
             "bench" => cli.bench_only = true,
             "sweep" => expect_sweep_spec = true,
+            "check-metrics" => expect_metrics_file = true,
             "--seed" => {
                 i += 1;
                 cli.seed = args
@@ -143,6 +173,22 @@ fn parse_cli(args: &[String]) -> Cli {
             "--no-checkpoint" => cli.no_checkpoint = true,
             "--no-fuse" => cli.no_fuse = true,
             "--dry-run" => cli.dry_run = true,
+            "--metrics" => {
+                // optional path operand; defaults to DIR/METRICS_<name>.json
+                if let Some(next) = args.get(i + 1).filter(|n| !n.starts_with("--")) {
+                    cli.metrics = Some(Some(PathBuf::from(next)));
+                    i += 1;
+                } else {
+                    cli.metrics = Some(None);
+                }
+            }
+            "--trace" => {
+                i += 1;
+                cli.trace = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--progress" => cli.progress = true,
             "list" => cli.list_only = true,
             "all" => {
                 cli.selected = experiments::all()
@@ -159,6 +205,10 @@ fn parse_cli(args: &[String]) -> Cli {
     }
     if expect_sweep_spec {
         eprintln!("`sweep` needs a spec file path");
+        usage();
+    }
+    if expect_metrics_file {
+        eprintln!("`check-metrics` needs a metrics JSON file path");
         usage();
     }
     cli
@@ -273,6 +323,13 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
         dry_run(&spec, cli.effort == Effort::Quick);
         return;
     }
+    // Telemetry observes, never influences (the determinism suite runs
+    // with it on) — so sweeps always collect; the flags below only
+    // decide whether anything is written out.
+    antdensity_telemetry::set_enabled(true);
+    if cli.trace.is_some() {
+        antdensity_telemetry::set_tracing(true);
+    }
     let checkpoint = if cli.no_checkpoint {
         None
     } else {
@@ -287,10 +344,23 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
         checkpoint: checkpoint.clone(),
         resume: cli.resume,
         max_shards: cli.max_shards,
+        progress: cli.progress,
         ..sweep::SweepOptions::default()
     };
     let t0 = Instant::now();
     let outcome = sweep::run_sweep(&spec, &opts).unwrap_or_else(|e| {
+        // Structured one-liner first (machine-greppable), prose after.
+        if e.contains("different sweep configuration") || e.contains("cells, spec resolves") {
+            let ck = checkpoint
+                .as_ref()
+                .map_or_else(|| "?".to_string(), |p| p.display().to_string());
+            eprintln!(
+                "repro-sweep: status=error reason=checkpoint-fingerprint-mismatch \
+                 spec={} checkpoint={ck} action=\"delete the checkpoint or rerun \
+                 with the original spec and mode\"",
+                spec_path.display(),
+            );
+        }
         eprintln!("sweep failed: {e}");
         std::process::exit(1);
     });
@@ -307,13 +377,47 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
             std::process::exit(1);
         }
     }
-    let timing = sweep::SweepTiming::from_outcome(&outcome, opts.fuse, wall_s);
-    match timing.write(&cli.out) {
-        Ok(path) => println!("  timing: {}", path.display()),
-        Err(e) => {
-            eprintln!("  timing write failed: {e}");
-            std::process::exit(1);
+    let snapshot = antdensity_telemetry::snapshot();
+    if let Some(metrics_path) = &cli.metrics {
+        let metrics =
+            sweep::SweepMetrics::from_outcome(&outcome, opts.fuse, wall_s, snapshot.clone());
+        let written = match metrics_path {
+            Some(path) => {
+                if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(dir).ok();
+                }
+                std::fs::write(path, metrics.to_json()).map(|()| path.clone())
+            }
+            None => metrics.write(&cli.out),
+        };
+        match written {
+            Ok(path) => println!("  metrics: {}", path.display()),
+            Err(e) => {
+                eprintln!("  metrics write failed: {e}");
+                std::process::exit(1);
+            }
         }
+    }
+    if let Some(trace_path) = &cli.trace {
+        let events = antdensity_telemetry::take_trace();
+        let json = antdensity_telemetry::chrome_trace_json(&events);
+        match std::fs::write(trace_path, json) {
+            Ok(()) => println!(
+                "  trace: {} ({} events — open in Perfetto / chrome://tracing)",
+                trace_path.display(),
+                events.len()
+            ),
+            Err(e) => {
+                eprintln!("  trace write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if outcome.workers_effective < outcome.workers_requested {
+        println!(
+            "  workers: {} effective of {} requested (pool clamp)",
+            outcome.workers_effective, outcome.workers_requested
+        );
     }
     println!(
         "  [sweep {} ran {} shard{} (+{} resumed), {} simulation{} / {} rounds{}, in {wall_s:.1}s]",
@@ -330,17 +434,61 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
         if let Some(ck) = &checkpoint {
             let _ = std::fs::remove_file(ck); // finished: nothing to resume
         }
-    } else if let Some(ck) = &checkpoint {
-        println!(
-            "  partial run — resume with: repro sweep {} --resume --out {}  (checkpoint {})",
-            spec_path.display(),
-            cli.out.display(),
-            ck.display()
-        );
-        std::process::exit(3);
+        return;
+    }
+    // Partial run (exit code 3): one structured stderr line saying what
+    // ran, why it stopped, and how to continue — built from the same
+    // telemetry counters the metrics file carries.
+    let total_shards = outcome.resolved.fused.len();
+    let reason = if cli.max_shards.is_some() {
+        "max-shards-budget"
     } else {
-        println!("  partial run and --no-checkpoint: progress was discarded");
-        std::process::exit(3);
+        "stopped-early"
+    };
+    let next = match &checkpoint {
+        Some(_) => format!(
+            "resume=\"repro sweep {} --resume --out {}\"",
+            spec_path.display(),
+            cli.out.display()
+        ),
+        None => "resume=none (--no-checkpoint discarded progress)".to_string(),
+    };
+    eprintln!(
+        "repro-sweep: status=partial reason={reason} executed={}/{total_shards} \
+         resumed={} cells_done={} trials_done={} checkpoint_writes={} {next}",
+        outcome.executed,
+        outcome.resumed,
+        snapshot.counter("sweep.cells_completed"),
+        snapshot.counter("sweep.trials"),
+        snapshot.counter("sweep.checkpoint_writes"),
+    );
+    std::process::exit(3);
+}
+
+/// `repro check-metrics FILE`: assert a metrics file parses against the
+/// `antdensity-metrics v1` schema — the CI guard that the artifact
+/// other jobs grep stays well-formed.
+fn run_check_metrics(path: &PathBuf) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read metrics file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    match sweep::metrics::validate(&text) {
+        Ok(summary) => println!(
+            "metrics ok: sweep={} wall_s={:.3} counters={} histograms={}",
+            summary.name, summary.wall_s, summary.counters, summary.histograms
+        ),
+        Err(e) => {
+            eprintln!(
+                "metrics file {} violates {}: {e}",
+                path.display(),
+                sweep::metrics::SCHEMA
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -356,6 +504,14 @@ fn main() {
         for def in experiments::all() {
             println!("  {:>4}  {}", def.id, def.summary);
         }
+        return;
+    }
+    if let Some(metrics_path) = cli.check_metrics.clone() {
+        if cli.bench_only || cli.sweep_spec.is_some() || !cli.selected.is_empty() {
+            eprintln!("`check-metrics` cannot be combined with other commands");
+            std::process::exit(2);
+        }
+        run_check_metrics(&metrics_path);
         return;
     }
     if let Some(spec_path) = cli.sweep_spec.clone() {

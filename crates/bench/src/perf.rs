@@ -39,8 +39,9 @@
 //! host is the number the worker-pool work is judged by.
 
 use crate::report::Effort;
-use antdensity_engine::{Engine, EngineConfig, WorkerPool, STREAM_BLOCK};
-use antdensity_graphs::{generators, CsrGraph, Torus2d};
+use antdensity_engine::step::step_slice_pure_batched;
+use antdensity_engine::{DenseOccupancy, Engine, EngineConfig, WorkerPool, STREAM_BLOCK};
+use antdensity_graphs::{generators, CsrGraph, Topology, Torus2d};
 use antdensity_stats::rng::SeedSequence;
 use antdensity_stats::table::Table;
 use rand::rngs::SmallRng;
@@ -204,6 +205,7 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
 
     bench_csr_stepping(effort, agent_grid, &mut results);
     bench_observer_fusion(effort, &mut results);
+    bench_telemetry_overhead(effort, agent_grid, &mut results);
 
     EngineBenchReport {
         mode: match effort {
@@ -342,6 +344,88 @@ fn bench_observer_fusion(effort: Effort, results: &mut Vec<EngineBenchResult>) {
     }
 }
 
+/// The telemetry cost-model group, proving the `antdensity-telemetry`
+/// budget empirically:
+///
+/// * `untouched` — a hand-rolled replica of the single-worker
+///   [`Engine::step_round_parallel`] round (same per-round
+///   [`SeedSequence::subsequence`] derivation, same per-`STREAM_BLOCK`
+///   stream split, same batched kernel, same occupancy rebuild) built
+///   directly on the public kernel with **no** telemetry call sites at
+///   all. Using [`Engine::step_round`] here would conflate the gate
+///   cost with the mono kernel's different RNG regime (one continuous
+///   stream versus one derived stream per block per round), a path
+///   difference that predates telemetry;
+/// * `disabled` — the instrumented [`Engine::step_round_parallel`] at
+///   one worker with the global flag off: the per-round cost is exactly
+///   one relaxed atomic load, so this row must sit within noise of
+///   `untouched`;
+/// * `enabled` — the same path with counters, spans, and the draw/apply
+///   sub-phase clocks live (trace capture off), bounding what
+///   `repro sweep` pays for always-on collection.
+///
+/// Single worker on purpose: scheduling noise would swamp the
+/// few-nanosecond effect being measured.
+fn bench_telemetry_overhead(
+    effort: Effort,
+    agent_grid: &[usize],
+    results: &mut Vec<EngineBenchResult>,
+) {
+    let was_enabled = antdensity_telemetry::enabled();
+    for &agents in agent_grid {
+        let rounds = rounds_for(agents, effort);
+
+        let topo = Torus2d::new(SIDE);
+        let span = topo
+            .regular_degree()
+            .map(|d| d as u64)
+            .expect("the 2-d torus is regular");
+        let mut positions = vec![0u32; agents];
+        let mut occ = DenseOccupancy::new(topo.num_nodes());
+        let mut rng = SmallRng::seed_from_u64(5);
+        for p in positions.iter_mut() {
+            *p = topo.uniform_node(&mut rng) as u32;
+        }
+        occ.rebuild(&positions);
+        let seeds = SeedSequence::new(7);
+        let mut round = 0u64;
+        let ns = median_ns_per_round(
+            || {
+                let round_seq = seeds.subsequence(round);
+                for (j, block) in positions.chunks_mut(STREAM_BLOCK).enumerate() {
+                    let mut rng = round_seq.rng(j as u64);
+                    step_slice_pure_batched(&topo, span, block, &mut rng);
+                }
+                occ.rebuild(&positions);
+                round += 1;
+            },
+            rounds,
+            SAMPLES,
+        );
+        results.push(result("telemetry_overhead", "untouched", agents, 1, 1, ns));
+
+        for (implementation, on) in [("disabled", false), ("enabled", true)] {
+            antdensity_telemetry::set_enabled(on);
+            let mut engine = Engine::new(Torus2d::new(SIDE), agents)
+                .with_seed_sequence(SeedSequence::new(7))
+                .with_threads(1);
+            let mut rng = SmallRng::seed_from_u64(5);
+            engine.place_uniform(&mut rng);
+            let ns = median_ns_per_round(|| engine.step_round_parallel(), rounds, SAMPLES);
+            antdensity_telemetry::set_enabled(false);
+            results.push(result(
+                "telemetry_overhead",
+                implementation,
+                agents,
+                1,
+                1,
+                ns,
+            ));
+        }
+    }
+    antdensity_telemetry::set_enabled(was_enabled);
+}
+
 impl EngineBenchReport {
     /// Serializes to the documented JSON schema (no external deps — the
     /// workspace is offline, so the writer is hand-rolled).
@@ -424,7 +508,41 @@ impl EngineBenchReport {
                  native throughput\n"
             ));
         }
+        for t in self.telemetry_overheads() {
+            out.push_str(&format!(
+                "  => telemetry at {} agents: disabled {:.1}% / enabled {:.1}% \
+                 overhead vs the untouched kernel\n",
+                t.agents,
+                (t.disabled_ratio - 1.0) * 100.0,
+                (t.enabled_ratio - 1.0) * 100.0,
+            ));
+        }
         out
+    }
+
+    /// Telemetry cost relative to the untouched sequential kernel, by
+    /// agent count: `disabled_ratio`/`enabled_ratio` are
+    /// time-per-agent-step ratios against the `untouched` row (1.0 =
+    /// free; the disabled row's budget is "within noise").
+    pub fn telemetry_overheads(&self) -> Vec<TelemetryOverhead> {
+        let of = |imp: &str, agents: usize| {
+            self.results.iter().find(|r| {
+                r.group == "telemetry_overhead" && r.implementation == imp && r.agents == agents
+            })
+        };
+        self.results
+            .iter()
+            .filter(|r| r.group == "telemetry_overhead" && r.implementation == "untouched")
+            .filter_map(|u| {
+                let disabled = of("disabled", u.agents)?;
+                let enabled = of("enabled", u.agents)?;
+                Some(TelemetryOverhead {
+                    agents: u.agents,
+                    disabled_ratio: disabled.ns_per_agent_step / u.ns_per_agent_step,
+                    enabled_ratio: enabled.ns_per_agent_step / u.ns_per_agent_step,
+                })
+            })
+            .collect()
     }
 
     /// CSR-rebuild-over-native throughput ratios of the `csr_stepping`
@@ -533,6 +651,10 @@ pub fn parse_json(text: &str) -> Result<EngineBenchReport, String> {
             "torus_native",
             "torus_csr",
             "random_regular_csr",
+            "telemetry_overhead",
+            "untouched",
+            "disabled",
+            "enabled",
         ] {
             if s == known {
                 return Ok(known);
@@ -702,6 +824,19 @@ pub fn compare(
     })
 }
 
+/// Telemetry cost at one population size, relative to the untouched
+/// sequential kernel (time ratios; 1.0 = free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryOverhead {
+    /// Population size.
+    pub agents: usize,
+    /// Instrumented path with the flag off vs `untouched` — the
+    /// one-relaxed-load budget; must sit within noise of 1.0.
+    pub disabled_ratio: f64,
+    /// Instrumented path with counters and spans live vs `untouched`.
+    pub enabled_ratio: f64,
+}
+
 /// One pool-vs-spawn comparison at a requested configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolSpeedup {
@@ -811,6 +946,39 @@ mod tests {
             .results
             .iter()
             .any(|x| x.group == "csr_stepping" && x.implementation == "random_regular_csr"));
+    }
+
+    #[test]
+    fn telemetry_overheads_pair_all_three_rows() {
+        let mut r = tiny_report();
+        for (implementation, ns) in [
+            ("untouched", 10.0f64),
+            ("disabled", 10.1),
+            ("enabled", 11.0),
+        ] {
+            r.results.push(EngineBenchResult {
+                group: "telemetry_overhead",
+                implementation,
+                agents: 1024,
+                workers: 1,
+                effective_workers: 1,
+                ns_per_agent_step: ns,
+                msteps_per_sec: 1e3 / ns,
+            });
+        }
+        let overheads = r.telemetry_overheads();
+        assert_eq!(overheads.len(), 1);
+        let t = overheads[0];
+        assert_eq!(t.agents, 1024);
+        assert!((t.disabled_ratio - 1.01).abs() < 1e-9);
+        assert!((t.enabled_ratio - 1.1).abs() < 1e-9);
+        assert!(r.render().contains("overhead vs the untouched kernel"));
+        // the new labels survive the JSON round trip (baseline gating)
+        let parsed = parse_json(&r.to_json()).unwrap();
+        assert!(parsed
+            .results
+            .iter()
+            .any(|x| x.group == "telemetry_overhead" && x.implementation == "disabled"));
     }
 
     #[test]

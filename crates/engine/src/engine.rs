@@ -32,11 +32,26 @@ use crate::config::{EngineConfig, STREAM_BLOCK};
 use crate::movement::MovementModel;
 use crate::occupancy::{DenseOccupancy, GroupOccupancy, MAX_NODES};
 use crate::pool::WorkerPool;
-use crate::step::{step_slice, step_slice_pure_batched, Interaction};
+use crate::step::{
+    step_slice, step_slice_pure_batched, step_slice_pure_batched_timed, Interaction,
+};
 use antdensity_graphs::{NodeId, Topology};
 use antdensity_stats::rng::SeedSequence;
+use antdensity_telemetry as telemetry;
 use rand::RngCore;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+// Telemetry metrics for the parallel round path. `step_round` (the
+// legacy sequential kernel) stays deliberately uninstrumented so the
+// `telemetry_overhead` bench has an untouched comparator.
+static ROUND_SPAN: telemetry::SpanMetric = telemetry::SpanMetric::new("engine.round");
+static DRAW_SPAN: telemetry::SpanMetric = telemetry::SpanMetric::new("engine.rng_draw");
+static APPLY_SPAN: telemetry::SpanMetric = telemetry::SpanMetric::new("engine.apply_moves");
+static OCC_SPAN: telemetry::SpanMetric = telemetry::SpanMetric::new("engine.occupancy_rebuild");
+static ROUNDS_COUNTER: telemetry::LazyCounter = telemetry::LazyCounter::new("engine.rounds");
+static AGENT_STEPS: telemetry::LazyCounter = telemetry::LazyCounter::new("engine.agent_steps");
 
 /// Identifier of an agent within an engine: `0 .. num_agents`.
 pub type AgentId = usize;
@@ -423,6 +438,12 @@ impl<T: Topology> Engine<T> {
 /// `round_seq.rng(first_block + j)`. This is the unit both the inline
 /// loop and every pool task execute — scheduling can regroup windows
 /// freely without touching the draw streams.
+///
+/// With `timed` set (telemetry enabled, decided once per round) the
+/// batched fast path routes through its bit-identical timed variant;
+/// the returned `(draw_ns, apply_ns)` totals are zero otherwise. The
+/// non-batched kernel interleaves draws and moves per agent, so it has
+/// no phase split to report under any setting.
 #[allow(clippy::too_many_arguments)]
 fn step_window<T: Topology>(
     topo: &T,
@@ -433,7 +454,9 @@ fn step_window<T: Topology>(
     span: Option<u64>,
     first_block: usize,
     round_seq: SeedSequence,
-) {
+    timed: bool,
+) -> (u64, u64) {
+    let mut totals = (0u64, 0u64);
     for (j, (block, models)) in positions
         .chunks_mut(STREAM_BLOCK)
         .zip(movement.chunks(STREAM_BLOCK))
@@ -441,10 +464,16 @@ fn step_window<T: Topology>(
     {
         let mut rng = round_seq.rng((first_block + j) as u64);
         match span {
+            Some(s) if timed => {
+                let (d, a) = step_slice_pure_batched_timed(topo, s, block, &mut rng);
+                totals.0 += d;
+                totals.1 += a;
+            }
             Some(s) => step_slice_pure_batched(topo, s, block, &mut rng),
             None => step_slice(topo, block, models, occ, interaction, &mut rng),
         }
     }
+    totals
 }
 
 /// One schedule chunk's unit of pool work: `(first stream-block index,
@@ -530,13 +559,20 @@ impl<T: Topology + Sync> Engine<T> {
     /// Panics if the engine is unplaced.
     pub fn step_round_parallel(&mut self) {
         assert!(self.placed, "place agents before stepping");
+        // The hot path's single telemetry gate: one relaxed load per
+        // round. Everything below branches on the captured bool, so a
+        // disabled run pays nothing else — no clock reads, no counter
+        // RMWs, and the untimed kernels.
+        let observe = telemetry::enabled();
+        let round_start = observe.then(Instant::now);
         let round_seq = self.seeds.subsequence(self.round);
         let sched = self.config.schedule_chunk;
         let num_chunks = self.positions.len().div_ceil(sched);
         let workers = self.effective_workers(num_chunks);
         let span = self.pure_batch_span();
+        let (draw_ns, apply_ns);
         if workers == 1 {
-            step_window(
+            (draw_ns, apply_ns) = step_window(
                 &self.topo,
                 &mut self.positions,
                 &self.movement,
@@ -545,6 +581,7 @@ impl<T: Topology + Sync> Engine<T> {
                 span,
                 0,
                 round_seq,
+                observe,
             );
         } else {
             let topo = &self.topo;
@@ -561,12 +598,18 @@ impl<T: Topology + Sync> Engine<T> {
             {
                 per_worker[ci % workers].push((ci * blocks_per_chunk, chunk, models));
             }
+            // Sub-phase totals shared by the tasks; each task
+            // accumulates locally and lands two relaxed adds at the
+            // end, so the per-agent loops never touch them.
+            let subphase = (AtomicU64::new(0), AtomicU64::new(0));
+            let subphase_ref = &subphase;
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = per_worker
                 .into_iter()
                 .map(|work| {
                     Box::new(move || {
+                        let (mut d, mut a) = (0u64, 0u64);
                         for (first_block, chunk, models) in work {
-                            step_window(
+                            let t = step_window(
                                 topo,
                                 chunk,
                                 models,
@@ -575,7 +618,14 @@ impl<T: Topology + Sync> Engine<T> {
                                 span,
                                 first_block,
                                 round_seq,
+                                observe,
                             );
+                            d += t.0;
+                            a += t.1;
+                        }
+                        if observe {
+                            subphase_ref.0.fetch_add(d, Ordering::Relaxed);
+                            subphase_ref.1.fetch_add(a, Ordering::Relaxed);
                         }
                     }) as Box<dyn FnOnce() + Send + '_>
                 })
@@ -584,9 +634,41 @@ impl<T: Topology + Sync> Engine<T> {
                 Some(pool) => pool.run(tasks),
                 None => WorkerPool::global().run(tasks),
             }
+            draw_ns = subphase.0.load(Ordering::Relaxed);
+            apply_ns = subphase.1.load(Ordering::Relaxed);
         }
         self.round += 1;
+        let occ_start = observe.then(Instant::now);
         self.rebuild_occupancy();
+        if let (Some(t0), Some(occ_t0)) = (round_start, occ_start) {
+            let occ_ns = u64::try_from(occ_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let total_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let agents = self.positions.len() as u64;
+            ROUNDS_COUNTER.add(1);
+            AGENT_STEPS.add(agents);
+            let msteps_per_sec = if total_ns > 0 {
+                agents as f64 * 1e3 / total_ns as f64
+            } else {
+                0.0
+            };
+            ROUND_SPAN.record_interval_at(
+                t0,
+                0,
+                total_ns,
+                &[
+                    ("agents", agents as f64),
+                    ("msteps_per_sec", msteps_per_sec),
+                ],
+            );
+            // The draw/apply totals are accumulated across workers, so
+            // in the trace they are laid end to end from the round
+            // start: a *time split*, not two wall-clock intervals.
+            if draw_ns + apply_ns > 0 {
+                DRAW_SPAN.record_interval_at(t0, 0, draw_ns, &[]);
+                APPLY_SPAN.record_interval_at(t0, draw_ns, apply_ns, &[]);
+            }
+            OCC_SPAN.record_interval_at(occ_t0, 0, occ_ns, &[]);
+        }
     }
 
     /// The engine's original parallel round: per-round `thread::scope`

@@ -33,25 +33,47 @@
 //! `antdensity_walks::parallel::run_trials` by default; tests and
 //! embedders can build private pools with explicit sizes.
 
+use antdensity_telemetry as telemetry;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+// Pool telemetry: time from enqueue to execution start, and who ran
+// each job — a dedicated worker or the submitting thread helping while
+// it waits. Jobs carry their enqueue stamp only when telemetry was
+// enabled at submission, so a disabled run pays one relaxed flag load
+// per `run` batch and nothing per job.
+static QUEUE_WAIT: telemetry::SpanMetric = telemetry::SpanMetric::new("pool.queue_wait");
+static WORKER_JOBS: telemetry::LazyCounter = telemetry::LazyCounter::new("pool.jobs_worker");
+static CALLER_JOBS: telemetry::LazyCounter = telemetry::LazyCounter::new("pool.jobs_caller_helped");
 
 /// A type-erased task body queued for execution.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// A queued unit of pool work: the batch latch it reports to, plus the
-/// task body. Executed via [`execute_job`], which catches panics so
+/// A queued unit of pool work: the batch latch it reports to, the
+/// telemetry enqueue stamp (when enabled at submission), plus the task
+/// body. Executed via [`execute_job`], which catches panics so
 /// nothing unwinds into the worker loop (the panic is recorded and
 /// re-raised in the submitter).
-type Job = (Arc<RunState>, Task);
+type Job = (Arc<RunState>, Option<Instant>, Task);
 
 /// Runs one queued job: the task under `catch_unwind`, then the latch
 /// decrement (panic recorded for the submitter to re-raise). Shared by
-/// the worker loop and the caller-helps drain in [`WorkerPool::run`].
-fn execute_job((state, task): Job) {
+/// the worker loop (`from_worker`) and the caller-helps drain in
+/// [`WorkerPool::run`].
+fn execute_job((state, queued_at, task): Job, from_worker: bool) {
+    if let Some(enqueued) = queued_at {
+        let wait_ns = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        QUEUE_WAIT.record_duration_ns(wait_ns);
+        if from_worker {
+            WORKER_JOBS.incr();
+        } else {
+            CALLER_JOBS.incr();
+        }
+    }
     if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
         let mut slot = lock(&state.panic_payload);
         if slot.is_none() {
@@ -188,6 +210,10 @@ impl WorkerPool {
             all_done: Condvar::new(),
             panic_payload: Mutex::new(None),
         });
+        // One stamp for the whole batch (they enqueue under one lock
+        // hold); `None` when telemetry is off keeps the per-job cost at
+        // zero.
+        let queued_at = telemetry::enabled().then(Instant::now);
         {
             let mut q = lock(&self.shared.queue);
             for task in tasks {
@@ -200,7 +226,7 @@ impl WorkerPool {
                 // borrows it captures go out of scope.
                 let task: Task =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task) };
-                q.push_back((Arc::clone(&state), task));
+                q.push_back((Arc::clone(&state), queued_at, task));
             }
             self.shared.job_ready.notify_all();
         }
@@ -214,7 +240,7 @@ impl WorkerPool {
             }
             let job = lock(&self.shared.queue).pop_front();
             match job {
-                Some(job) => execute_job(job),
+                Some(job) => execute_job(job, false),
                 None => {
                     let mut rem = lock(&state.remaining);
                     while *rem != 0 {
@@ -271,7 +297,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         // execute_job catches task panics; nothing unwinds here.
-        execute_job(job);
+        execute_job(job, true);
     }
 }
 

@@ -143,6 +143,37 @@ pub fn step_slice_pure_batched<T: Topology, R: RngCore + ?Sized>(
     }
 }
 
+/// [`step_slice_pure_batched`] with the RNG-draw vs `apply_moves` split
+/// measured: returns accumulated `(draw_ns, apply_ns)` over the slice.
+///
+/// Draws, destinations, and residual RNG state are **bit-identical** to
+/// the untimed kernel — the only difference is clock reads bracketing
+/// the two existing phase calls per `SAMPLE_BATCH`-sized buffer fill
+/// (never inside the per-agent loops, which live in
+/// [`fill_uniform_indices`] and `apply_moves` unchanged). The engine
+/// selects this variant with one telemetry check per *round*, so
+/// disabled runs never reach it.
+pub fn step_slice_pure_batched_timed<T: Topology, R: RngCore + ?Sized>(
+    topo: &T,
+    span: u64,
+    positions: &mut [u32],
+    rng: &mut R,
+) -> (u64, u64) {
+    let mut idx = [0u32; SAMPLE_BATCH];
+    let (mut draw_ns, mut apply_ns) = (0u64, 0u64);
+    for block in positions.chunks_mut(SAMPLE_BATCH) {
+        let buf = &mut idx[..block.len()];
+        let t0 = std::time::Instant::now();
+        fill_uniform_indices(span, buf, rng);
+        let t1 = std::time::Instant::now();
+        topo.apply_moves(block, buf);
+        let t2 = std::time::Instant::now();
+        draw_ns += u64::try_from((t1 - t0).as_nanos()).unwrap_or(u64::MAX);
+        apply_ns += u64::try_from((t2 - t1).as_nanos()).unwrap_or(u64::MAX);
+    }
+    (draw_ns, apply_ns)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +313,34 @@ mod tests {
             assert_eq!(after_ref, rng.next_u64(), "residual RNG state differs");
         }
         for seed in 0..6 {
+            check(Torus2d::new(16), 4, 1000, seed);
+            check(Hypercube::new(5), 5, 321, seed);
+            check(Ring::new(77), 2, 130, seed);
+            check(CompleteGraph::new(1000), 1000, 500, seed);
+        }
+    }
+
+    #[test]
+    fn timed_batched_kernel_is_bit_identical_to_untimed() {
+        fn check<T: Topology>(topo: T, span: u64, n: usize, seed: u64) {
+            let mut plain: Vec<u32> = (0..n)
+                .map(|i| (i as u64 % topo.num_nodes()) as u32)
+                .collect();
+            let mut timed = plain.clone();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            step_slice_pure_batched(&topo, span, &mut plain, &mut rng);
+            let after_plain = rng.next_u64();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (draw_ns, apply_ns) =
+                step_slice_pure_batched_timed(&topo, span, &mut timed, &mut rng);
+            assert_eq!(plain, timed);
+            assert_eq!(after_plain, rng.next_u64(), "residual RNG state differs");
+            // Sanity: both phases ran (clock may be coarse, so only
+            // require the totals not to be simultaneously zero for a
+            // non-trivial slice).
+            assert!(draw_ns > 0 || apply_ns > 0 || n < SAMPLE_BATCH);
+        }
+        for seed in 0..4 {
             check(Torus2d::new(16), 4, 1000, seed);
             check(Hypercube::new(5), 5, 321, seed);
             check(Ring::new(77), 2, 130, seed);

@@ -134,9 +134,25 @@ fn render_all() -> String {
 
 #[test]
 fn scenario_outcomes_match_committed_golden_vectors() {
+    // Run the whole grid with telemetry AND trace capture fully on:
+    // the golden match below proves instrumentation observes without
+    // influencing a single bit (the determinism guarantee of
+    // `antdensity-telemetry`).
+    antdensity_telemetry::set_enabled(true);
+    antdensity_telemetry::set_tracing(true);
     let golden = std::fs::read_to_string(GOLDEN_PATH)
         .expect("golden file missing — run the ignored `regenerate` test and commit the output");
     let current = render_all();
+    antdensity_telemetry::set_tracing(false);
+    antdensity_telemetry::set_enabled(false);
+    assert!(
+        antdensity_telemetry::snapshot().counter("engine.rounds") > 0,
+        "telemetry was live during the golden run"
+    );
+    assert!(
+        !antdensity_telemetry::take_trace().is_empty(),
+        "trace capture was live during the golden run"
+    );
     // Compare case by case for a readable failure.
     let split = |t: &str| -> Vec<String> {
         t.split("case ")

@@ -105,7 +105,10 @@ impl Histogram {
     /// reduction: shard-local histograms combine into the sweep-level
     /// aggregate without retaining samples). Bin counts add, so the
     /// result is identical to having pushed every observation into one
-    /// histogram — in any merge order.
+    /// histogram — in any merge order. Counts saturate at `u64::MAX`
+    /// instead of overflowing, so merging adversarially large inputs
+    /// degrades gracefully rather than panicking (debug) or wrapping
+    /// to nonsense (release).
     ///
     /// # Panics
     ///
@@ -117,11 +120,11 @@ impl Histogram {
         );
         assert_eq!(self.bins.len(), other.bins.len(), "bin counts differ");
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.underflow += other.underflow;
-        self.overflow += other.overflow;
-        self.count += other.count;
+        self.underflow = self.underflow.saturating_add(other.underflow);
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.count = self.count.saturating_add(other.count);
     }
 
     /// Approximate `q`-quantile from the binned counts, interpolating
@@ -186,9 +189,15 @@ impl Histogram {
         assert!(!bins.is_empty(), "histogram needs at least one bin");
         assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
         assert!(lo < hi, "lo must be strictly below hi");
-        let binned: u64 = bins.iter().sum();
+        // Checked arithmetic: an overflowing sum is a mismatch, not UB
+        // (counts near u64::MAX are legal after a saturating merge).
+        let total = bins
+            .iter()
+            .try_fold(0u64, |acc, &c| acc.checked_add(c))
+            .and_then(|b| b.checked_add(underflow))
+            .and_then(|b| b.checked_add(overflow));
         assert!(
-            binned + underflow + overflow == count,
+            total == Some(count),
             "recorded counts do not sum to the total"
         );
         Self {
@@ -414,6 +423,71 @@ mod tests {
     fn merge_rejects_mismatched_bounds() {
         let mut a = Histogram::new(0.0, 1.0, 4);
         a.merge(&Histogram::new(0.0, 2.0, 4));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut filled = Histogram::new(0.0, 1.0, 4);
+        for x in [0.1, 0.4, 0.9, -0.5, 2.0] {
+            filled.push(x);
+        }
+        let before = filled.clone();
+        // empty into filled: no-op
+        filled.merge(&Histogram::new(0.0, 1.0, 4));
+        assert_eq!(filled, before);
+        // filled into empty: copy
+        let mut empty = Histogram::new(0.0, 1.0, 4);
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        // empty into empty stays empty
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.merge(&Histogram::new(0.0, 1.0, 4));
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn single_bin_histogram_merges_and_interpolates_quantiles() {
+        let mut a = Histogram::new(0.0, 1.0, 1);
+        let mut b = Histogram::new(0.0, 1.0, 1);
+        a.push(0.25);
+        b.push(0.5);
+        b.push(0.75);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bin_count(0), 3);
+        // all mass in the one bin: quantiles interpolate linearly in [0,1)
+        assert!((a.quantile(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(a.quantile(1.0), 1.0);
+        assert_eq!(a.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let near_max = u64::MAX - 1;
+        let mut a = Histogram::from_parts(0.0, 1.0, vec![near_max], 0, 0, near_max);
+        let b = Histogram::from_parts(0.0, 1.0, vec![u64::MAX - 2], 1, 1, u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.bin_count(0), u64::MAX);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        // a saturated histogram still answers quantile queries sanely
+        let q = a.quantile(0.5);
+        assert!((0.0..=1.0).contains(&q), "q={q}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn quantile_of_empty_histogram_panics() {
+        let _ = Histogram::new(0.0, 1.0, 4).quantile(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn quantile_rejects_out_of_range_level() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(0.5);
+        let _ = h.quantile(1.5);
     }
 
     #[test]

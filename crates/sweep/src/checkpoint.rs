@@ -28,8 +28,18 @@
 use crate::aggregate::CellAggregate;
 use antdensity_stats::histogram::Histogram;
 use antdensity_stats::moments::StreamingMoments;
+use antdensity_telemetry as telemetry;
 use std::collections::BTreeMap;
 use std::path::Path;
+
+// Checkpoint latency, split at the durability boundary: `serialize` is
+// the in-memory text render, `rename` is the temp-file write plus the
+// atomic rename that publishes it.
+static CKPT_SERIALIZE: telemetry::SpanMetric =
+    telemetry::SpanMetric::new("sweep.checkpoint_serialize");
+static CKPT_RENAME: telemetry::SpanMetric = telemetry::SpanMetric::new("sweep.checkpoint_rename");
+static CKPT_WRITES: telemetry::LazyCounter = telemetry::LazyCounter::new("sweep.checkpoint_writes");
+static CKPT_BYTES: telemetry::LazyCounter = telemetry::LazyCounter::new("sweep.checkpoint_bytes");
 
 /// Completed-shard state for one sweep run.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,9 +142,17 @@ pub fn save_shards(
             std::fs::create_dir_all(parent)?;
         }
     }
+    let text = {
+        let _span = CKPT_SERIALIZE.start();
+        render_text(fingerprint, cells, shards)
+    };
+    let _span = CKPT_RENAME.start();
     let tmp = path.with_extension("ckpt.tmp");
-    std::fs::write(&tmp, render_text(fingerprint, cells, shards))?;
-    std::fs::rename(&tmp, path)
+    std::fs::write(&tmp, &text)?;
+    std::fs::rename(&tmp, path)?;
+    CKPT_WRITES.add(1);
+    CKPT_BYTES.add(text.len() as u64);
+    Ok(())
 }
 
 impl Checkpoint {

@@ -1,0 +1,428 @@
+//! The `METRICS_<name>.json` artifact: one machine-readable snapshot of
+//! a sweep invocation's execution profile, written by
+//! `repro sweep --metrics`.
+//!
+//! This file **supersedes** the PR-4 `SWEEP_<name>.timing.json`: every
+//! field that file carried (`wall_s`, shard/cell/simulation counts,
+//! fused flag) is here, joined by the telemetry registry's counters and
+//! duration histograms so CI and humans read one artifact instead of
+//! two.
+//!
+//! # Schema (`antdensity-metrics v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "antdensity-metrics v1",
+//!   "sweep": "alg1_accuracy",          // spec name
+//!   "mode": "quick",                   // quick | full
+//!   "fused": true,                     // fused shards vs --no-fuse
+//!   "complete": true,                  // every shard finished
+//!   "wall_s": 1.234,                   // wall clock of this invocation
+//!   "shards": 8,                       // fused shards in the plan
+//!   "executed": 8,                     // shards run by this invocation
+//!   "resumed": 0,                      // shards restored from checkpoint
+//!   "cells": 24,                       // grid cells served
+//!   "simulations": 16,                 // simulation passes run
+//!   "simulated_rounds": 4096,          // rounds summed over passes
+//!   "workers_requested": 8,            // --workers (or default)
+//!   "workers_effective": 8,            // clamped to the pool size
+//!   "counters": {                      // telemetry counters, name-sorted
+//!     "engine.rounds": 4096,
+//!     "sweep.rounds_saved_by_fusion": 1024
+//!   },
+//!   "histograms": {                    // telemetry duration histograms
+//!     "engine.round": {
+//!       "count": 4096,                 // recorded durations
+//!       "sum_ns": 123456789,           // total time, nanoseconds
+//!       "mean_ns": 30140.8,
+//!       "p50_ns": 29000.0,             // log-bucket quantiles
+//!       "p90_ns": 41000.0,
+//!       "p99_ns": 52000.0
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Counters and histograms are whatever the registry holds at snapshot
+//! time, sorted by name; consumers must treat the *sets* of keys under
+//! `counters`/`histograms` as open (new instrumentation appears over
+//! time), while the top-level keys above are the stable contract
+//! [`validate`] enforces.
+
+use crate::runner::SweepOutcome;
+use antdensity_telemetry as telemetry;
+use std::path::{Path, PathBuf};
+
+/// A sweep invocation's execution metrics, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct SweepMetrics {
+    /// Sweep name (output-file stem).
+    pub name: String,
+    /// `quick` or `full`.
+    pub mode: &'static str,
+    /// Whether shards ran fused (`repro sweep` default) or per-cell
+    /// (`--no-fuse`).
+    pub fused: bool,
+    /// Whether every shard completed.
+    pub complete: bool,
+    /// Wall-clock seconds of this invocation.
+    pub wall_s: f64,
+    /// Fused shards in the plan.
+    pub shards: usize,
+    /// Shards executed by this invocation.
+    pub executed: usize,
+    /// Shards restored from a checkpoint.
+    pub resumed: usize,
+    /// Grid cells served.
+    pub cells: usize,
+    /// Simulation passes this invocation ran.
+    pub simulations: u64,
+    /// Rounds simulated across those passes.
+    pub simulated_rounds: u64,
+    /// Worker threads requested.
+    pub workers_requested: usize,
+    /// Worker threads actually usable (request clamped to pool size).
+    pub workers_effective: usize,
+    /// Telemetry registry state at snapshot time.
+    pub snapshot: telemetry::Snapshot,
+}
+
+impl SweepMetrics {
+    /// Assembles metrics from a sweep outcome, the measured wall clock,
+    /// and a telemetry snapshot (normally `telemetry::snapshot()` taken
+    /// right after the sweep returns).
+    pub fn from_outcome(
+        outcome: &SweepOutcome,
+        fused: bool,
+        wall_s: f64,
+        snapshot: telemetry::Snapshot,
+    ) -> Self {
+        Self {
+            name: outcome.resolved.name.clone(),
+            mode: outcome.resolved.mode,
+            fused,
+            complete: outcome.complete,
+            wall_s,
+            shards: outcome.resolved.fused.len(),
+            executed: outcome.executed,
+            resumed: outcome.resumed,
+            cells: outcome.resolved.cells.len(),
+            simulations: outcome.simulations,
+            simulated_rounds: outcome.simulated_rounds,
+            workers_requested: outcome.workers_requested,
+            workers_effective: outcome.workers_effective,
+            snapshot,
+        }
+    }
+
+    /// Hand-rolled JSON per the schema above (the workspace is
+    /// offline). Deterministic: keys appear in a fixed order, counters
+    /// and histograms sorted by name (the registry already stores them
+    /// that way).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "0".to_string()
+            }
+        }
+        let mut out = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"sweep\": \"{}\",\n  \"mode\": \"{}\",\n  \
+             \"fused\": {},\n  \"complete\": {},\n  \"wall_s\": {:.3},\n  \"shards\": {},\n  \
+             \"executed\": {},\n  \"resumed\": {},\n  \"cells\": {},\n  \"simulations\": {},\n  \
+             \"simulated_rounds\": {},\n  \"workers_requested\": {},\n  \
+             \"workers_effective\": {},\n",
+            esc(&self.name),
+            self.mode,
+            self.fused,
+            self.complete,
+            self.wall_s,
+            self.shards,
+            self.executed,
+            self.resumed,
+            self.cells,
+            self.simulations,
+            self.simulated_rounds,
+            self.workers_requested,
+            self.workers_effective,
+        );
+        out.push_str("  \"counters\": {\n");
+        for (i, (name, value)) in self.snapshot.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                esc(name),
+                value,
+                if i + 1 == self.snapshot.counters.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  },\n  \"histograms\": {\n");
+        for (i, (name, h)) in self.snapshot.histograms.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"mean_ns\": {}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}{}\n",
+                esc(name),
+                h.count,
+                h.sum_ns,
+                num(h.mean_ns()),
+                num(h.quantile_ns(0.5)),
+                num(h.quantile_ns(0.9)),
+                num(h.quantile_ns(0.99)),
+                if i + 1 == self.snapshot.histograms.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes `dir/METRICS_<name>.json` and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("METRICS_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// The schema identifier every metrics file must carry.
+pub const SCHEMA: &str = "antdensity-metrics v1";
+
+/// Top-level keys [`validate`] requires (besides `schema`).
+const REQUIRED_KEYS: &[&str] = &[
+    "sweep",
+    "mode",
+    "fused",
+    "complete",
+    "wall_s",
+    "shards",
+    "executed",
+    "resumed",
+    "cells",
+    "simulations",
+    "simulated_rounds",
+    "workers_requested",
+    "workers_effective",
+    "counters",
+    "histograms",
+];
+
+/// What [`validate`] extracts from a well-formed metrics file — enough
+/// for CI to print a one-line summary after asserting the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSummary {
+    /// Sweep name.
+    pub name: String,
+    /// Wall-clock seconds recorded.
+    pub wall_s: f64,
+    /// Number of counter entries.
+    pub counters: usize,
+    /// Number of histogram entries.
+    pub histograms: usize,
+}
+
+/// Validates a `METRICS_*.json` file's text against the
+/// `antdensity-metrics v1` contract: the schema marker, every required
+/// top-level key, balanced braces, and parseable numbers where the CI
+/// gate reads them. Backs `repro check-metrics`.
+///
+/// This is a structural check over the hand-rolled format, not a full
+/// JSON parser — it rejects the failure modes that matter (truncated
+/// writes, renamed keys, a schema bump nobody propagated).
+///
+/// # Errors
+///
+/// Returns a one-line description of the first violation found.
+pub fn validate(text: &str) -> Result<MetricsSummary, String> {
+    if !text.trim_start().starts_with('{') {
+        return Err("not a JSON object (no leading '{')".to_string());
+    }
+    if text.matches('{').count() != text.matches('}').count() {
+        return Err("unbalanced braces (truncated file?)".to_string());
+    }
+    let schema_field = format!("\"schema\": \"{SCHEMA}\"");
+    if !text.contains(&schema_field) {
+        return Err(format!("missing or wrong schema marker (want `{SCHEMA}`)"));
+    }
+    for key in REQUIRED_KEYS {
+        if !text.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing required key `{key}`"));
+        }
+    }
+    let string_after = |key: &str| -> Option<String> {
+        let tag = format!("\"{key}\": \"");
+        let start = text.find(&tag)? + tag.len();
+        let end = text[start..].find('"')? + start;
+        Some(text[start..end].to_string())
+    };
+    let number_after = |key: &str| -> Result<f64, String> {
+        let tag = format!("\"{key}\":");
+        let start = text
+            .find(&tag)
+            .ok_or_else(|| format!("missing required key `{key}`"))?
+            + tag.len();
+        let rest = text[start..].trim_start();
+        let end = rest
+            .find([',', '\n', '}'])
+            .ok_or_else(|| format!("unterminated value for `{key}`"))?;
+        rest[..end]
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("`{key}` is not a number: `{}`", rest[..end].trim()))
+    };
+    let name = string_after("sweep").ok_or("`sweep` is not a string")?;
+    let wall_s = number_after("wall_s")?;
+    if !wall_s.is_finite() || wall_s < 0.0 {
+        return Err(format!("`wall_s` out of range: {wall_s}"));
+    }
+    for key in ["shards", "executed", "resumed", "cells"] {
+        let v = number_after(key)?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!("`{key}` is not a non-negative integer: {v}"));
+        }
+    }
+    // Entry counts inside the two maps: count `"name":` lines between
+    // the section opener and its closing brace.
+    let section_entries = |key: &str| -> Result<usize, String> {
+        let tag = format!("\"{key}\": {{");
+        let start = text
+            .find(&tag)
+            .ok_or_else(|| format!("`{key}` is not an object"))?
+            + tag.len();
+        let mut depth = 1usize;
+        let mut entries = 0usize;
+        let mut at_key = true; // next `"` opens a key (not a nested value)
+        let bytes = &text.as_bytes()[start..];
+        let mut i = 0;
+        while i < bytes.len() && depth > 0 {
+            match bytes[i] {
+                b'{' => {
+                    depth += 1;
+                    at_key = false;
+                }
+                b'}' => {
+                    depth -= 1;
+                    at_key = true;
+                }
+                b'"' if depth == 1 && at_key => {
+                    entries += 1;
+                    at_key = false;
+                    // skip to the closing quote of this key
+                    while i + 1 < bytes.len() && bytes[i + 1] != b'"' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                b',' if depth == 1 => at_key = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if depth != 0 {
+            return Err(format!("`{key}` object never closes"));
+        }
+        Ok(entries)
+    };
+    Ok(MetricsSummary {
+        name,
+        wall_s,
+        counters: section_entries("counters")?,
+        histograms: section_entries("histograms")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_sweep, SweepOptions};
+    use crate::spec::SweepSpec;
+
+    fn demo_metrics() -> SweepMetrics {
+        antdensity_telemetry::set_enabled(true);
+        let spec = SweepSpec::parse(
+            "
+            name = metrics_test
+            trials = 2
+            topology = complete:32
+            density = 0.25
+            rounds = 4, 8
+            ",
+        )
+        .unwrap();
+        let outcome = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        SweepMetrics::from_outcome(&outcome, true, 0.125, antdensity_telemetry::snapshot())
+    }
+
+    #[test]
+    fn metrics_json_round_trips_the_outcome_counters() {
+        let m = demo_metrics();
+        assert_eq!(m.shards, 1);
+        assert_eq!(m.cells, 2);
+        assert_eq!(m.simulations, 2);
+        assert_eq!(m.simulated_rounds, 16);
+        assert!(m.workers_effective >= 1);
+        assert!(m.workers_effective <= m.workers_requested);
+        let json = m.to_json();
+        assert!(json.contains("\"schema\": \"antdensity-metrics v1\""));
+        assert!(json.contains("\"fused\": true"));
+        assert!(json.contains("\"wall_s\": 0.125"));
+        assert!(json.contains("\"simulated_rounds\": 16"));
+        // telemetry was live: the sweep-layer counters are in the file
+        assert!(json.contains("\"sweep.shards_completed\":"));
+        assert!(json.contains("\"sweep.shard\": {\"count\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn metrics_json_validates_and_summarizes() {
+        let m = demo_metrics();
+        let summary = validate(&m.to_json()).unwrap();
+        assert_eq!(summary.name, "metrics_test");
+        assert!((summary.wall_s - 0.125).abs() < 1e-9);
+        assert_eq!(summary.counters, m.snapshot.counters.len());
+        assert_eq!(summary.histograms, m.snapshot.histograms.len());
+    }
+
+    #[test]
+    fn validate_rejects_broken_files() {
+        let m = demo_metrics();
+        let good = m.to_json();
+        assert!(validate("").unwrap_err().contains("JSON object"));
+        assert!(validate("{\"schema\": \"v0\"}")
+            .unwrap_err()
+            .contains("schema marker"));
+        // truncation → unbalanced braces
+        let truncated = &good[..good.len() - 10];
+        assert!(validate(truncated).unwrap_err().contains("braces"));
+        // a renamed top-level key is caught
+        let renamed = good.replace("\"wall_s\":", "\"walls\":");
+        assert!(validate(&renamed).unwrap_err().contains("wall_s"));
+        // a non-numeric count is caught
+        let corrupt = good.replace("\"shards\": 1", "\"shards\": one");
+        assert!(validate(&corrupt).unwrap_err().contains("not a number"));
+    }
+
+    #[test]
+    fn write_emits_metrics_file() {
+        let dir = std::env::temp_dir().join(format!("antdensity_metrics_{}", std::process::id()));
+        let path = demo_metrics().write(&dir).unwrap();
+        assert!(path.ends_with("METRICS_metrics_test.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate(&text).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

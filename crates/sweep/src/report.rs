@@ -331,84 +331,6 @@ impl SweepReport {
     }
 }
 
-/// Machine-readable execution timing for one sweep invocation — the CI
-/// artifact the fused-vs-unfused wall-clock comparison is read from.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepTiming {
-    /// Sweep name.
-    pub name: String,
-    /// `quick` or `full`.
-    pub mode: &'static str,
-    /// Whether shards ran as fused passes (`repro sweep` default) or
-    /// per-cell (`--no-fuse`).
-    pub fused: bool,
-    /// Wall-clock seconds of the shard-execution phase.
-    pub wall_s: f64,
-    /// Fused shards in the plan.
-    pub shards: usize,
-    /// Shards executed by this invocation.
-    pub executed: usize,
-    /// Shards restored from a checkpoint.
-    pub resumed: usize,
-    /// Grid cells served.
-    pub cells: usize,
-    /// Simulation passes this invocation ran.
-    pub simulations: u64,
-    /// Rounds simulated across those passes.
-    pub simulated_rounds: u64,
-}
-
-impl SweepTiming {
-    /// Assembles timing from a sweep outcome plus the measured wall
-    /// clock.
-    pub fn from_outcome(outcome: &SweepOutcome, fused: bool, wall_s: f64) -> Self {
-        Self {
-            name: outcome.resolved.name.clone(),
-            mode: outcome.resolved.mode,
-            fused,
-            wall_s,
-            shards: outcome.resolved.fused.len(),
-            executed: outcome.executed,
-            resumed: outcome.resumed,
-            cells: outcome.resolved.cells.len(),
-            simulations: outcome.simulations,
-            simulated_rounds: outcome.simulated_rounds,
-        }
-    }
-
-    /// Hand-rolled JSON (the workspace is offline).
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"sweep\": \"{}\",\n  \"mode\": \"{}\",\n  \"fused\": {},\n  \
-             \"wall_s\": {:.3},\n  \"shards\": {},\n  \"executed\": {},\n  \
-             \"resumed\": {},\n  \"cells\": {},\n  \"simulations\": {},\n  \
-             \"simulated_rounds\": {}\n}}\n",
-            self.name.replace('\\', "\\\\").replace('"', "\\\""),
-            self.mode,
-            self.fused,
-            self.wall_s,
-            self.shards,
-            self.executed,
-            self.resumed,
-            self.cells,
-            self.simulations,
-            self.simulated_rounds
-        )
-    }
-
-    /// Writes `dir/SWEEP_<name>.timing.json` and returns its path.
-    ///
-    /// # Errors
-    ///
-    /// Returns any I/O error from creating the directory or file.
-    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("SWEEP_{}.timing.json", self.name));
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -579,35 +501,6 @@ mod tests {
         assert!(json.ends_with("SWEEP_report_test.json"));
         assert!(csv.ends_with("SWEEP_report_test.csv"));
         assert!(std::fs::read_to_string(&json).unwrap().contains("rows"));
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn timing_json_round_trips_the_outcome_counters() {
-        let spec = SweepSpec::parse(
-            "
-            name = timing
-            trials = 2
-            topology = complete:32
-            density = 0.25
-            rounds = 4, 8
-            ",
-        )
-        .unwrap();
-        let outcome = run_sweep(&spec, &SweepOptions::default()).unwrap();
-        let timing = SweepTiming::from_outcome(&outcome, true, 0.125);
-        assert_eq!(timing.shards, 1);
-        assert_eq!(timing.cells, 2);
-        assert_eq!(timing.simulations, 2);
-        assert_eq!(timing.simulated_rounds, 16);
-        let json = timing.to_json();
-        assert!(json.contains("\"fused\": true"));
-        assert!(json.contains("\"wall_s\": 0.125"));
-        assert!(json.contains("\"simulated_rounds\": 16"));
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        let dir = std::env::temp_dir().join(format!("antdensity_timing_{}", std::process::id()));
-        let path = timing.write(&dir).unwrap();
-        assert!(path.ends_with("SWEEP_timing.timing.json"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -29,14 +29,30 @@ use crate::checkpoint::Checkpoint;
 use crate::spec::{FusedShard, ResolvedSweep, SweepSpec};
 use antdensity_engine::{ObserverTap, Scenario, WorkerPool};
 use antdensity_stats::rng::SeedSequence;
+use antdensity_telemetry as telemetry;
 use antdensity_walks::parallel;
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Stream label separating shard seed derivation from every other
 /// consumer of the sweep's master seed.
 const SHARD_STREAM: u64 = 0x5348_4152_4400_0000; // "SHARD"
+
+// Sweep-layer telemetry. Shard spans carry the shard index as a trace
+// argument; the fusion counters make the observer-pipeline win
+// measurable (`rounds_saved_by_fusion` is the work fusion deleted
+// relative to per-cell execution).
+static SHARD_SPAN: telemetry::SpanMetric = telemetry::SpanMetric::new("sweep.shard");
+static WAVE_SPAN: telemetry::SpanMetric = telemetry::SpanMetric::new("sweep.wave");
+static SHARDS_DONE: telemetry::LazyCounter = telemetry::LazyCounter::new("sweep.shards_completed");
+static CELLS_DONE: telemetry::LazyCounter = telemetry::LazyCounter::new("sweep.cells_completed");
+static TRIALS_DONE: telemetry::LazyCounter = telemetry::LazyCounter::new("sweep.trials");
+static ROUNDS_SIM: telemetry::LazyCounter = telemetry::LazyCounter::new("sweep.rounds_simulated");
+static ROUNDS_SAVED: telemetry::LazyCounter =
+    telemetry::LazyCounter::new("sweep.rounds_saved_by_fusion");
 
 /// Execution options for [`run_sweep`].
 #[derive(Debug, Clone)]
@@ -64,6 +80,11 @@ pub struct SweepOptions {
     pub max_shards: Option<usize>,
     /// Shards per wave between checkpoint writes.
     pub checkpoint_every: usize,
+    /// Emit a live progress line to stderr after every wave
+    /// (`repro sweep --progress`): shards done/total, aggregate
+    /// Msteps/s, rounds-weighted ETA. Observability only — never
+    /// touches results.
+    pub progress: bool,
 }
 
 impl Default for SweepOptions {
@@ -77,6 +98,7 @@ impl Default for SweepOptions {
             resume: false,
             max_shards: None,
             checkpoint_every: 8,
+            progress: false,
         }
     }
 }
@@ -101,6 +123,12 @@ pub struct SweepOutcome {
     pub simulations: u64,
     /// Rounds this invocation simulated, summed over those passes.
     pub simulated_rounds: u64,
+    /// Worker threads the caller asked for ([`SweepOptions::workers`]).
+    pub workers_requested: usize,
+    /// Worker threads actually usable: the request clamped to the
+    /// executing pool's size (the machine's available parallelism for
+    /// the global pool). Wall clock only — results never depend on it.
+    pub workers_effective: usize,
 }
 
 /// Builds the base scenario a shard's cells share (everything but
@@ -126,6 +154,8 @@ fn base_scenario(resolved: &ResolvedSweep, shard: &FusedShard, rounds: u64) -> S
 /// Panics if `index` is out of range.
 pub fn run_shard(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, CellAggregate)> {
     let shard = &resolved.fused[index];
+    let mut span = SHARD_SPAN.start();
+    span.arg("shard", index as f64);
     let seq = SeedSequence::new(resolved.seed).subsequence(SHARD_STREAM ^ index as u64);
     let scenario = base_scenario(resolved, shard, shard.max_rounds());
     let taps: Vec<ObserverTap> = shard
@@ -153,6 +183,11 @@ pub fn run_shard(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, CellAggr
             }
         }
     }
+    SHARDS_DONE.add(1);
+    CELLS_DONE.add(shard.cells.len() as u64);
+    TRIALS_DONE.add(resolved.trials);
+    ROUNDS_SIM.add(shard.max_rounds() * resolved.trials);
+    ROUNDS_SAVED.add((shard.unfused_rounds() - shard.max_rounds()) * resolved.trials);
     aggs.into_iter().collect()
 }
 
@@ -165,8 +200,10 @@ pub fn run_shard(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, CellAggr
 /// Panics if `index` is out of range.
 pub fn run_shard_unfused(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, CellAggregate)> {
     let shard = &resolved.fused[index];
+    let mut span = SHARD_SPAN.start();
+    span.arg("shard", index as f64);
     let seq = SeedSequence::new(resolved.seed).subsequence(SHARD_STREAM ^ index as u64);
-    shard
+    let out: Vec<(usize, CellAggregate)> = shard
         .cells
         .iter()
         .map(|&cell_idx| {
@@ -180,7 +217,12 @@ pub fn run_shard_unfused(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, 
             }
             (cell_idx, agg)
         })
-        .collect()
+        .collect();
+    SHARDS_DONE.add(1);
+    CELLS_DONE.add(shard.cells.len() as u64);
+    TRIALS_DONE.add(resolved.trials * shard.cells.len() as u64);
+    ROUNDS_SIM.add(shard.unfused_rounds() * resolved.trials);
+    out
 }
 
 /// Resolves `spec` under `opts` and executes its fused shards,
@@ -245,6 +287,47 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     let pool: &WorkerPool = opts.pool.as_deref().unwrap_or_else(|| WorkerPool::global());
     let fuse = opts.fuse;
 
+    // Effective-vs-requested parallelism: the pool (sized to the
+    // machine's available parallelism unless the caller pinned one)
+    // caps the request. Surfaced in the outcome / metrics snapshot,
+    // and warned about once per process so a `--workers 64` on an
+    // 8-way box is not silently a lie.
+    let workers_effective = workers.min(pool.threads());
+    if workers_effective < workers {
+        static CLAMP_WARNING: std::sync::Once = std::sync::Once::new();
+        let pool_threads = pool.threads();
+        CLAMP_WARNING.call_once(|| {
+            eprintln!(
+                "sweep: warning: requested {workers} workers but the executing pool \
+                 has {pool_threads} threads (available parallelism) — running with \
+                 {workers_effective}"
+            );
+        });
+    }
+
+    // Rounds-weighted progress bookkeeping (`--progress`): how much
+    // simulation work each pending shard represents, and the agent
+    // steps behind it, so the stderr line can show a defensible ETA
+    // and an aggregate Msteps/s.
+    let shard_rounds = |s: &FusedShard| {
+        let r = if fuse {
+            s.max_rounds()
+        } else {
+            s.unfused_rounds()
+        };
+        r * resolved.trials
+    };
+    let shard_agent_steps =
+        |s: &FusedShard| shard_rounds(s) * resolved.cells[s.cells[0]].num_agents as u64;
+    let pending_rounds: u64 = pending
+        .iter()
+        .map(|&i| shard_rounds(&resolved.fused[i]))
+        .sum();
+    let started = Instant::now();
+    let mut progress_rounds = 0u64;
+    let mut progress_agent_steps = 0u64;
+    let total_shards = resolved.fused.len();
+
     let mut executed = 0usize;
     let mut simulations = 0u64;
     let mut simulated_rounds = 0u64;
@@ -253,6 +336,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
             break;
         }
         let wave = &wave[..wave.len().min(budget - executed)];
+        let mut wave_span = WAVE_SPAN.start();
+        wave_span.arg("shards", wave.len() as f64);
         // Unused per-trial RNG (shards derive their own streams), but
         // run_trials_on is the workspace's deterministic pool fan-out.
         let seq = SeedSequence::new(resolved.seed);
@@ -273,6 +358,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                 simulations += resolved.trials * shard.cells.len() as u64;
                 simulated_rounds += shard.unfused_rounds() * resolved.trials;
             }
+            progress_rounds += shard_rounds(shard);
+            progress_agent_steps += shard_agent_steps(shard);
             for (cell_idx, agg) in cell_aggs {
                 done.insert(cell_idx, agg);
             }
@@ -282,6 +369,22 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
             crate::checkpoint::save_shards(path, resolved.fingerprint, resolved.cells.len(), &done)
                 .map_err(|e| format!("checkpoint write failed: {e}"))?;
         }
+        drop(wave_span);
+        if opts.progress {
+            print_progress(
+                &resolved.name,
+                resumed + executed,
+                total_shards,
+                resumed,
+                progress_rounds,
+                pending_rounds,
+                progress_agent_steps,
+                started,
+            );
+        }
+    }
+    if opts.progress && executed > 0 {
+        eprintln!();
     }
 
     let aggregates: Vec<Option<CellAggregate>> =
@@ -295,7 +398,45 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
         resumed,
         simulations,
         simulated_rounds,
+        workers_requested: workers,
+        workers_effective,
     })
+}
+
+/// Renders the `--progress` stderr line after a wave: shard counts,
+/// aggregate simulation throughput, and a rounds-weighted ETA over the
+/// work still pending. Carriage-return updates in place on a TTY; in a
+/// log file each wave is one line.
+#[allow(clippy::too_many_arguments)]
+fn print_progress(
+    name: &str,
+    done_shards: usize,
+    total_shards: usize,
+    resumed: usize,
+    done_rounds: u64,
+    pending_rounds: u64,
+    agent_steps: u64,
+    started: Instant,
+) {
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let msteps = agent_steps as f64 / elapsed / 1e6;
+    let eta = if done_rounds > 0 {
+        let rate = done_rounds as f64 / elapsed;
+        let remaining = pending_rounds.saturating_sub(done_rounds) as f64;
+        format!("{:.0}s", remaining / rate)
+    } else {
+        "--".to_string()
+    };
+    let resumed_note = if resumed > 0 {
+        format!(" ({resumed} resumed)")
+    } else {
+        String::new()
+    };
+    eprint!(
+        "\rsweep {name}: shards {done_shards}/{total_shards}{resumed_note} | \
+         {msteps:.1} Msteps/s | ETA {eta}   "
+    );
+    let _ = std::io::stderr().flush();
 }
 
 #[cfg(test)]

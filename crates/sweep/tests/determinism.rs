@@ -15,7 +15,15 @@ use antdensity_sweep::{build_report, run_sweep, SweepOptions, SweepSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
 
+/// Every test in this suite runs with telemetry and trace capture
+/// fully enabled: the bit-identity assertions below are the enforcement
+/// of the "telemetry observes, never influences" guarantee, exercised
+/// on the kill/resume and fusion paths. (The flag is process-global;
+/// tests here never turn it off, so concurrent test threads all run
+/// instrumented.)
 fn spec() -> SweepSpec {
+    antdensity_telemetry::set_enabled(true);
+    antdensity_telemetry::set_tracing(true);
     // Small but heterogeneous: two topologies, two densities, three
     // estimator families, a rounds axis to fuse, optional noise — every
     // aggregate path (est/err/hist/within/aux) and both fusion families

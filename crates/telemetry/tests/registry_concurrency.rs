@@ -1,0 +1,100 @@
+//! Concurrency contract of the telemetry registry: counter snapshots
+//! are monotone non-decreasing while writer threads race, every
+//! increment lands exactly once, and histogram records never lose a
+//! bucket entry.
+//!
+//! These are the properties the sweep progress line and the metrics
+//! snapshot rely on — a reader interleaved with writers may see a
+//! *stale* value, never a *regressing* or *inflated* one.
+
+use antdensity_telemetry as telemetry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn counter_snapshots_are_monotone_under_concurrent_writers(
+        writers in 2usize..5,
+        per_writer in 100u64..2_000,
+    ) {
+        telemetry::set_enabled(true);
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    // Two shared counters plus a histogram, hammered
+                    // from every writer.
+                    let a = telemetry::counter("test.mono.a");
+                    let b = telemetry::counter("test.mono.b");
+                    let h = telemetry::duration_histogram("test.mono.h");
+                    for i in 0..per_writer {
+                        a.add(1);
+                        b.add(2);
+                        h.record_ns(1 + (w as u64) * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+
+        // Reader: successive snapshots must never go backwards.
+        let mut last_a = 0u64;
+        let mut last_b = 0u64;
+        let mut last_h = 0u64;
+        for _ in 0..50 {
+            let snap = telemetry::snapshot();
+            let a = snap.counter("test.mono.a");
+            let b = snap.counter("test.mono.b");
+            let h = snap.histogram("test.mono.h").map_or(0, |h| {
+                // Bucket sums are monotone too: each bucket cell is
+                // only ever incremented.
+                h.buckets.iter().sum::<u64>()
+            });
+            prop_assert!(a >= last_a, "counter a regressed: {a} < {last_a}");
+            prop_assert!(b >= last_b, "counter b regressed: {b} < {last_b}");
+            prop_assert!(h >= last_h, "histogram bucket sum regressed: {h} < {last_h}");
+            last_a = a;
+            last_b = b;
+            last_h = h;
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+
+        // Quiescent totals: nothing lost, nothing double-counted.
+        // Counters are process-cumulative across proptest cases, so
+        // check lower bounds plus the histogram's internal identity.
+        let snap = telemetry::snapshot();
+        let expect = (writers as u64) * per_writer;
+        let a = snap.counter("test.mono.a");
+        let b = snap.counter("test.mono.b");
+        prop_assert!(a >= expect, "a = {a}, case delta {expect}");
+        prop_assert!(b >= 2 * expect, "b = {b}, case delta {}", 2 * expect);
+        prop_assert!(a >= last_a && b >= last_b);
+        prop_assert_eq!(b, 2 * a, "b tracks a two-for-one across all cases");
+        let h = snap.histogram("test.mono.h").unwrap();
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+}
+
+#[test]
+fn quiescent_totals_are_exact() {
+    telemetry::set_enabled(true);
+    let writers = 4usize;
+    let per_writer = 10_000u64;
+    let before = telemetry::snapshot().counter("test.exact.total");
+    let handles: Vec<_> = (0..writers)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let c = telemetry::counter("test.exact.total");
+                for _ in 0..per_writer {
+                    c.incr();
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    let after = telemetry::snapshot().counter("test.exact.total");
+    assert_eq!(after - before, writers as u64 * per_writer);
+}
