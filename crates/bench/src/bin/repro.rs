@@ -8,6 +8,9 @@
 //! repro bench --compare [BASE]      # …then gate against a baseline JSON
 //! repro sweep SPEC [--quick]        # run a declarative parameter sweep
 //! repro sweep SPEC --dry-run        # print the expanded/fused plan, run nothing
+//! repro sweep SPEC --serve-shards   # distribute shards to worker processes
+//! repro sweep-worker --stdio        # worker half (spawned by --serve-shards)
+//! repro sweep-worker --connect ADDR # worker half for a --listen coordinator
 //! repro check-metrics FILE          # validate a METRICS_*.json against its schema
 //! options:
 //!   --quick           small grids (default for experiments)
@@ -26,11 +29,23 @@
 //!   --dry-run         print cell/shard/trial counts and the fused-vs-unfused
 //!                     simulation work, then exit without running
 //!   --metrics [FILE]  write the execution-metrics snapshot (schema
-//!                     `antdensity-metrics v1`; default DIR/METRICS_<name>.json —
+//!                     `antdensity-metrics v2`; default DIR/METRICS_<name>.json —
 //!                     supersedes the old SWEEP_<name>.timing.json)
 //!   --trace FILE      write a Chrome-tracing / Perfetto JSON of the run's spans
 //!   --progress        live stderr line per wave: shards done/total, Msteps/s, ETA
-//! exit codes: 0 ok; 1 perf gate regressed / IO failure; 2 usage; 3 partial sweep
+//! distributed sweep options:
+//!   --serve-shards    lease fused shards to worker processes instead of
+//!                     running them on the in-process pool; the report stays
+//!                     byte-identical to the in-process run
+//!   --workers-cmd N   spawn N child workers over stdin/stdout pipes
+//!                     (default: the thread default; implies --serve-shards)
+//!   --listen ADDR     accept TCP workers on ADDR instead of spawning children
+//!                     (start them with `repro sweep-worker --connect ADDR`;
+//!                     implies --serve-shards)
+//!   --fault PLAN      deterministic fault injection for testing, e.g.
+//!                     `kill:lease3,drop:RESULT@2` (see DESIGN.md)
+//! exit codes: 0 ok; 1 perf gate regressed / IO failure; 2 usage; 3 partial sweep;
+//!             4 distributed result mismatch (byte-unequal duplicate shard result)
 //! ```
 //!
 //! Telemetry is always enabled for `sweep` runs (it observes, never
@@ -42,15 +57,16 @@ use antdensity_bench::experiments;
 use antdensity_bench::perf;
 use antdensity_bench::report::Effort;
 use antdensity_sweep as sweep;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <list|bench|sweep SPEC|check-metrics FILE|all|e1..e17...> \
+        "usage: repro <list|bench|sweep SPEC|sweep-worker|check-metrics FILE|all|e1..e17...> \
          [--quick|--full] [--seed N] [--out DIR] [--compare [BASELINE]] [--tolerance F] \
          [--workers N] [--resume] [--max-shards K] [--no-checkpoint] [--no-fuse] \
-         [--dry-run] [--metrics [FILE]] [--trace FILE] [--progress]"
+         [--dry-run] [--metrics [FILE]] [--trace FILE] [--progress] \
+         [--serve-shards] [--workers-cmd N] [--listen ADDR] [--fault PLAN]"
     );
     std::process::exit(2);
 }
@@ -77,6 +93,10 @@ struct Cli {
     metrics: Option<Option<PathBuf>>,
     trace: Option<PathBuf>,
     progress: bool,
+    serve_shards: bool,
+    workers_cmd: Option<usize>,
+    listen: Option<String>,
+    fault: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -100,6 +120,10 @@ fn parse_cli(args: &[String]) -> Cli {
         metrics: None,
         trace: None,
         progress: false,
+        serve_shards: false,
+        workers_cmd: None,
+        listen: None,
+        fault: None,
     };
     let mut i = 0;
     let mut expect_sweep_spec = false;
@@ -189,6 +213,26 @@ fn parse_cli(args: &[String]) -> Cli {
                 ));
             }
             "--progress" => cli.progress = true,
+            "--serve-shards" => cli.serve_shards = true,
+            "--workers-cmd" => {
+                i += 1;
+                cli.workers_cmd = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&w| w > 0)
+                        .unwrap_or_else(|| usage()),
+                );
+                cli.serve_shards = true;
+            }
+            "--listen" => {
+                i += 1;
+                cli.listen = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                cli.serve_shards = true;
+            }
+            "--fault" => {
+                i += 1;
+                cli.fault = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "list" => cli.list_only = true,
             "all" => {
                 cli.selected = experiments::all()
@@ -307,6 +351,77 @@ fn dry_run(spec: &sweep::SweepSpec, quick: bool) {
     }
 }
 
+/// Shared sweep-failure exit: one structured, machine-greppable stderr
+/// line for the known failure classes, prose after, exit code 1.
+fn sweep_failure(e: &str, spec_path: &Path, checkpoint: &Option<PathBuf>) -> ! {
+    let ck = checkpoint
+        .as_ref()
+        .map_or_else(|| "?".to_string(), |p| p.display().to_string());
+    if e.contains("different sweep configuration") || e.contains("cells, spec resolves") {
+        eprintln!(
+            "repro-sweep: status=error reason=checkpoint-fingerprint-mismatch \
+             spec={} checkpoint={ck} action=\"delete the checkpoint or rerun \
+             with the original spec and mode\"",
+            spec_path.display(),
+        );
+    } else if e.contains("locked by running process") {
+        eprintln!(
+            "repro-sweep: status=error reason=checkpoint-locked spec={} checkpoint={ck} \
+             action=\"wait for the other coordinator or remove the stale .lock file\"",
+            spec_path.display(),
+        );
+    }
+    eprintln!("sweep failed: {e}");
+    std::process::exit(1);
+}
+
+/// The `--serve-shards` / `--listen` execution path: build the
+/// distributed options from the CLI, run, and map [`sweep::DistError`]
+/// to the exit-code contract (4 = byte-unequal duplicate results).
+fn run_sweep_distributed_cmd(
+    cli: &Cli,
+    spec_path: &Path,
+    spec: &sweep::SweepSpec,
+    spec_text: &str,
+    opts: &sweep::SweepOptions,
+    checkpoint: &Option<PathBuf>,
+) -> (sweep::SweepOutcome, sweep::DistStats) {
+    let plan = match &cli.fault {
+        Some(p) => sweep::FaultPlan::parse(p).unwrap_or_else(|e| {
+            eprintln!("--fault plan: {e}");
+            std::process::exit(2);
+        }),
+        None => sweep::FaultPlan::none(),
+    };
+    let transport = match &cli.listen {
+        Some(addr) => sweep::Transport::Listen { addr: addr.clone() },
+        None => sweep::Transport::Children {
+            workers: cli
+                .workers_cmd
+                .unwrap_or_else(antdensity_walks::parallel::default_threads),
+        },
+    };
+    let dopts = sweep::DistOptions {
+        transport,
+        plan,
+        config: sweep::dist::DistConfig::default(),
+        spec_text: Some(spec_text.to_string()),
+        worker_argv: None,
+    };
+    match sweep::run_sweep_distributed(spec, opts, &dopts) {
+        Ok(pair) => pair,
+        Err(sweep::DistError::Mismatch { shard, report }) => {
+            eprintln!("repro-sweep: status=error reason=result-mismatch {report}");
+            eprintln!(
+                "sweep aborted: workers returned byte-unequal results for shard {shard} \
+                 (determinism violated — do not trust partial output)"
+            );
+            std::process::exit(4);
+        }
+        Err(sweep::DistError::Failed(e)) => sweep_failure(&e, spec_path, checkpoint),
+    }
+}
+
 fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
     let text = match std::fs::read_to_string(spec_path) {
         Ok(t) => t,
@@ -348,22 +463,15 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
         ..sweep::SweepOptions::default()
     };
     let t0 = Instant::now();
-    let outcome = sweep::run_sweep(&spec, &opts).unwrap_or_else(|e| {
-        // Structured one-liner first (machine-greppable), prose after.
-        if e.contains("different sweep configuration") || e.contains("cells, spec resolves") {
-            let ck = checkpoint
-                .as_ref()
-                .map_or_else(|| "?".to_string(), |p| p.display().to_string());
-            eprintln!(
-                "repro-sweep: status=error reason=checkpoint-fingerprint-mismatch \
-                 spec={} checkpoint={ck} action=\"delete the checkpoint or rerun \
-                 with the original spec and mode\"",
-                spec_path.display(),
-            );
-        }
-        eprintln!("sweep failed: {e}");
-        std::process::exit(1);
-    });
+    let (outcome, dist_stats) = if cli.serve_shards {
+        let (outcome, stats) =
+            run_sweep_distributed_cmd(cli, spec_path, &spec, &text, &opts, &checkpoint);
+        (outcome, Some(stats))
+    } else {
+        let outcome = sweep::run_sweep(&spec, &opts)
+            .unwrap_or_else(|e| sweep_failure(&e, spec_path, &checkpoint));
+        (outcome, None)
+    };
     let wall_s = t0.elapsed().as_secs_f64();
     let report = sweep::build_report(&outcome);
     print!("{}", report.render());
@@ -379,8 +487,11 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
     }
     let snapshot = antdensity_telemetry::snapshot();
     if let Some(metrics_path) = &cli.metrics {
-        let metrics =
+        let mut metrics =
             sweep::SweepMetrics::from_outcome(&outcome, opts.fuse, wall_s, snapshot.clone());
+        if let Some(stats) = &dist_stats {
+            metrics = metrics.with_dist(stats.clone());
+        }
         let written = match metrics_path {
             Some(path) => {
                 if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -413,7 +524,22 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
             }
         }
     }
-    if outcome.workers_effective < outcome.workers_requested {
+    if let Some(stats) = &dist_stats {
+        println!(
+            "  dist: {} worker{} served {} lease{} ({} reissued, {} respawn{}, \
+             {} duplicate{}, {} degraded)",
+            stats.workers_seen,
+            if stats.workers_seen == 1 { "" } else { "s" },
+            stats.leases,
+            if stats.leases == 1 { "" } else { "s" },
+            stats.reissues,
+            stats.respawns,
+            if stats.respawns == 1 { "" } else { "s" },
+            stats.duplicates,
+            if stats.duplicates == 1 { "" } else { "s" },
+            stats.degraded,
+        );
+    } else if outcome.workers_effective < outcome.workers_requested {
         println!(
             "  workers: {} effective of {} requested (pool clamp)",
             outcome.workers_effective, outcome.workers_requested
@@ -465,9 +591,25 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
     std::process::exit(3);
 }
 
+/// `repro sweep-worker [--stdio | --connect ADDR]`: the worker half of
+/// a distributed sweep. Intercepted before normal CLI parsing — its
+/// stdout carries protocol frames, not human output.
+fn run_sweep_worker(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("--stdio") | None => sweep::dist::runtime::run_worker_stdio(),
+        Some("--connect") => {
+            let addr = args.get(1).ok_or("--connect needs an ADDR operand")?;
+            sweep::dist::runtime::run_worker_connect(addr)
+        }
+        Some(other) => Err(format!(
+            "unknown sweep-worker option `{other}` (want --stdio or --connect ADDR)"
+        )),
+    }
+}
+
 /// `repro check-metrics FILE`: assert a metrics file parses against the
-/// `antdensity-metrics v1` schema — the CI guard that the artifact
-/// other jobs grep stays well-formed.
+/// `antdensity-metrics v2` schema (v1 files still accepted) — the CI
+/// guard that the artifact other jobs grep stays well-formed.
 fn run_check_metrics(path: &PathBuf) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -478,8 +620,13 @@ fn run_check_metrics(path: &PathBuf) {
     };
     match sweep::metrics::validate(&text) {
         Ok(summary) => println!(
-            "metrics ok: sweep={} wall_s={:.3} counters={} histograms={}",
-            summary.name, summary.wall_s, summary.counters, summary.histograms
+            "metrics ok: schema=v{} sweep={} wall_s={:.3} counters={} histograms={} dist={}",
+            summary.schema_version,
+            summary.name,
+            summary.wall_s,
+            summary.counters,
+            summary.histograms,
+            if summary.dist { "yes" } else { "no" },
         ),
         Err(e) => {
             eprintln!(
@@ -496,6 +643,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args.first().map(String::as_str) == Some("sweep-worker") {
+        if let Err(e) = run_sweep_worker(&args[1..]) {
+            eprintln!("sweep-worker: {e}");
+            std::process::exit(1);
+        }
+        return;
     }
     let cli = parse_cli(&args);
 

@@ -206,6 +206,7 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
     bench_csr_stepping(effort, agent_grid, &mut results);
     bench_observer_fusion(effort, &mut results);
     bench_telemetry_overhead(effort, agent_grid, &mut results);
+    bench_dist_sweep(effort, &mut results);
 
     EngineBenchReport {
         mode: match effort {
@@ -426,6 +427,81 @@ fn bench_telemetry_overhead(
     antdensity_telemetry::set_enabled(was_enabled);
 }
 
+/// The distributed-sweep coordination group: one tiny four-cell sweep
+/// executed three ways — the in-process shard runner (`inproc`), the
+/// virtual-clock coordinator/worker simulator at four workers
+/// (`dist_sim`), and the same simulator under a seeded fault plan
+/// (`dist_sim_faulty`: one scripted worker kill plus one dropped
+/// result, forcing a respawn and a lease re-issue). All three produce
+/// byte-identical aggregates — `tests/dist_determinism.rs` pins that —
+/// so the rows isolate what lease bookkeeping, blob serialisation, and
+/// fault recovery cost on top of the shard compute itself. Throughput
+/// is counted in delivered agent-steps (`Σ cells agents × rounds ×
+/// trials`), the same work under every implementation.
+fn bench_dist_sweep(effort: Effort, results: &mut Vec<EngineBenchResult>) {
+    use antdensity_sweep::dist::{DistOptions, FaultPlan};
+    use antdensity_sweep::{run_sweep, run_sweep_distributed, SweepOptions, SweepSpec};
+
+    const DIST_WORKERS: usize = 4;
+    let trials = effort.trials(2, 6);
+    let spec_text = format!(
+        "name = bench_dist\nseed = 3\ntrials = {trials}\n\
+         topology = torus2d:8, complete:64\ndensity = 0.1, 0.25\n\
+         rounds = 8\nestimator = alg1\n"
+    );
+    let spec = SweepSpec::parse(&spec_text).expect("bench spec is valid");
+    let resolved = spec.resolve(false).expect("bench spec resolves");
+    let delivered_steps: u64 = resolved
+        .cells
+        .iter()
+        .map(|c| c.num_agents as u64 * c.rounds)
+        .sum::<u64>()
+        * resolved.trials;
+    let agents: usize = resolved.cells.iter().map(|c| c.num_agents).sum();
+    let opts = SweepOptions {
+        workers: DIST_WORKERS,
+        ..SweepOptions::default()
+    };
+
+    let mut push = |implementation: &'static str, ns: f64| {
+        let ns_per_delivered_step = ns / delivered_steps as f64;
+        results.push(EngineBenchResult {
+            group: "dist_sweep",
+            implementation,
+            agents,
+            workers: DIST_WORKERS,
+            effective_workers: DIST_WORKERS,
+            ns_per_agent_step: ns_per_delivered_step,
+            msteps_per_sec: 1e3 / ns_per_delivered_step,
+        });
+    };
+
+    let ns = median_ns_per_round(
+        || {
+            std::hint::black_box(run_sweep(&spec, &opts).expect("bench sweep runs"));
+        },
+        1,
+        SAMPLES,
+    );
+    push("inproc", ns);
+
+    let faulty = FaultPlan::parse("kill:lease2,drop:result@1").expect("bench fault plan parses");
+    for (implementation, plan) in [("dist_sim", FaultPlan::none()), ("dist_sim_faulty", faulty)] {
+        let dopts = DistOptions::sim(DIST_WORKERS, plan);
+        let ns = median_ns_per_round(
+            || {
+                std::hint::black_box(
+                    run_sweep_distributed(&spec, &opts, &dopts)
+                        .expect("bench distributed sweep runs"),
+                );
+            },
+            1,
+            SAMPLES,
+        );
+        push(implementation, ns);
+    }
+}
+
 impl EngineBenchReport {
     /// Serializes to the documented JSON schema (no external deps — the
     /// workspace is offline, so the writer is hand-rolled).
@@ -517,7 +593,32 @@ impl EngineBenchReport {
                 (t.enabled_ratio - 1.0) * 100.0,
             ));
         }
+        for (implementation, ratio) in self.dist_sweep_ratios() {
+            out.push_str(&format!(
+                "  => distributed sweep ({implementation}) vs in-process shard \
+                 runner: {ratio:.2}x throughput\n"
+            ));
+        }
         out
+    }
+
+    /// Coordinator/simulator throughput relative to the in-process
+    /// shard runner for the `dist_sweep` group (1.0 = the coordination
+    /// layer is free; the faulty row additionally absorbs one respawn
+    /// and one lease re-issue).
+    pub fn dist_sweep_ratios(&self) -> Vec<(&'static str, f64)> {
+        let inproc = self
+            .results
+            .iter()
+            .find(|r| r.group == "dist_sweep" && r.implementation == "inproc");
+        let Some(inproc) = inproc else {
+            return Vec::new();
+        };
+        self.results
+            .iter()
+            .filter(|r| r.group == "dist_sweep" && r.implementation != "inproc")
+            .map(|r| (r.implementation, r.msteps_per_sec / inproc.msteps_per_sec))
+            .collect()
     }
 
     /// Telemetry cost relative to the untouched sequential kernel, by
@@ -655,6 +756,10 @@ pub fn parse_json(text: &str) -> Result<EngineBenchReport, String> {
             "untouched",
             "disabled",
             "enabled",
+            "dist_sweep",
+            "inproc",
+            "dist_sim",
+            "dist_sim_faulty",
         ] {
             if s == known {
                 return Ok(known);
@@ -979,6 +1084,39 @@ mod tests {
             .results
             .iter()
             .any(|x| x.group == "telemetry_overhead" && x.implementation == "disabled"));
+    }
+
+    #[test]
+    fn dist_sweep_ratios_pair_sim_rows_with_inproc() {
+        let mut r = tiny_report();
+        for (implementation, msteps) in [
+            ("inproc", 100.0f64),
+            ("dist_sim", 95.0),
+            ("dist_sim_faulty", 80.0),
+        ] {
+            r.results.push(EngineBenchResult {
+                group: "dist_sweep",
+                implementation,
+                agents: 4096,
+                workers: 4,
+                effective_workers: 4,
+                ns_per_agent_step: 1e3 / msteps,
+                msteps_per_sec: msteps,
+            });
+        }
+        let ratios = r.dist_sweep_ratios();
+        assert_eq!(ratios.len(), 2);
+        assert_eq!(ratios[0].0, "dist_sim");
+        assert!((ratios[0].1 - 0.95).abs() < 1e-9);
+        assert_eq!(ratios[1].0, "dist_sim_faulty");
+        assert!((ratios[1].1 - 0.8).abs() < 1e-9);
+        assert!(r.render().contains("distributed sweep (dist_sim_faulty)"));
+        // the dist labels survive the JSON round trip (baseline gating)
+        let parsed = parse_json(&r.to_json()).unwrap();
+        assert!(parsed
+            .results
+            .iter()
+            .any(|x| x.group == "dist_sweep" && x.implementation == "dist_sim_faulty"));
     }
 
     #[test]

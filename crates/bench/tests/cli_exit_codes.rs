@@ -1,0 +1,218 @@
+//! The `repro sweep` exit-code contract, exercised through the real
+//! binary (`CARGO_BIN_EXE_repro`) with real child worker processes:
+//!
+//! | code | meaning                                          |
+//! |------|--------------------------------------------------|
+//! | 0    | complete run (distributed output byte-identical) |
+//! | 1    | IO / lock / setup failure                        |
+//! | 2    | usage error                                      |
+//! | 3    | partial sweep (budget hit, checkpoint resumable) |
+//! | 4    | distributed result mismatch (byzantine abort)    |
+//!
+//! Every failure path must also emit one structured, machine-greppable
+//! `repro-sweep: status=…` line on stderr.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const SPEC: &str = "
+name = cli_exit
+seed = 11
+trials = 2
+quick_trials = 1
+
+topology  = torus2d:8, complete:64
+density   = 0.1, 0.25
+rounds    = 8
+estimator = alg1, quorum:0.05
+";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("antdensity_cli_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_spec(dir: &Path) -> PathBuf {
+    let path = dir.join("cli_exit.sweep");
+    std::fs::write(&path, SPEC).unwrap();
+    path
+}
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn distributed_run_exits_zero_with_byte_identical_artifacts() {
+    let dir = tmp_dir("ok");
+    let spec = write_spec(&dir);
+    let (inproc, dist) = (dir.join("inproc"), dir.join("dist"));
+
+    let out = repro(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--quick",
+        "--out",
+        inproc.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    // Distributed, 4 real child workers, one scripted worker kill.
+    let out = repro(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--quick",
+        "--out",
+        dist.to_str().unwrap(),
+        "--serve-shards",
+        "--workers-cmd",
+        "4",
+        "--fault",
+        "kill:lease2",
+        "--metrics",
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    for name in ["SWEEP_cli_exit.json", "SWEEP_cli_exit.csv"] {
+        let a = std::fs::read(inproc.join(name)).unwrap();
+        let b = std::fs::read(dist.join(name)).unwrap();
+        assert_eq!(a, b, "{name} must be byte-identical");
+    }
+
+    // The metrics artifact is v2 with a dist section, and check-metrics
+    // agrees (exit 0).
+    let metrics = dist.join("METRICS_cli_exit.json");
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("\"schema\": \"antdensity-metrics v2\""));
+    assert!(text.contains("\"dist\": {"));
+    assert!(text.contains("\"sweep.dist.leases\":"));
+    let out = repro(&["check-metrics", metrics.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("schema=v2"), "{stdout}");
+    assert!(stdout.contains("dist=yes"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_distributed_run_exits_three_with_structured_stderr() {
+    let dir = tmp_dir("partial");
+    let spec = write_spec(&dir);
+    let out = repro(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--quick",
+        "--out",
+        dir.to_str().unwrap(),
+        "--serve-shards",
+        "--workers-cmd",
+        "2",
+        "--max-shards",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("repro-sweep: status=partial"), "{err}");
+    assert!(err.contains("reason=max-shards-budget"), "{err}");
+    assert!(err.contains("resume="), "{err}");
+    assert!(
+        dir.join("cli_exit.ckpt").exists(),
+        "checkpoint must survive"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn byzantine_result_mismatch_exits_four() {
+    let dir = tmp_dir("mismatch");
+    let spec = write_spec(&dir);
+    // dup:RESULT@1 re-delivers the first result; lie:RESULT@2 tampers
+    // the copy into a valid-but-different blob. The coordinator must
+    // abort with exit 4 and a structured mismatch report.
+    let out = repro(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--quick",
+        "--out",
+        dir.to_str().unwrap(),
+        "--serve-shards",
+        "--workers-cmd",
+        "2",
+        "--fault",
+        "dup:RESULT@1,lie:RESULT@2",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("repro-sweep: status=error reason=result-mismatch"),
+        "{err}"
+    );
+    assert!(err.contains("shard="), "{err}");
+    assert!(err.contains("first_diff_at="), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn locked_checkpoint_exits_one_with_structured_stderr() {
+    let dir = tmp_dir("locked");
+    let spec = write_spec(&dir);
+    // Hold the lock from this (live) process so the child coordinator
+    // cannot steal it.
+    let lock = dir.join("cli_exit.ckpt.lock");
+    std::fs::write(&lock, format!("{}\n", std::process::id())).unwrap();
+    let out = repro(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--quick",
+        "--out",
+        dir.to_str().unwrap(),
+        "--serve-shards",
+        "--workers-cmd",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("reason=checkpoint-locked"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = repro(&["sweep"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = repro(&["sweep", "nonexistent.sweep", "--workers-cmd", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = repro(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_fault_plan_exits_two() {
+    let dir = tmp_dir("badplan");
+    let spec = write_spec(&dir);
+    let out = repro(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--quick",
+        "--serve-shards",
+        "--fault",
+        "explode:everything",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("--fault plan"),
+        "{}",
+        stderr_of(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

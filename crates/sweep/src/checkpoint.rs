@@ -30,7 +30,7 @@ use antdensity_stats::histogram::Histogram;
 use antdensity_stats::moments::StreamingMoments;
 use antdensity_telemetry as telemetry;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 // Checkpoint latency, split at the durability boundary: `serialize` is
 // the in-memory text render, `rename` is the temp-file write plus the
@@ -40,6 +40,114 @@ static CKPT_SERIALIZE: telemetry::SpanMetric =
 static CKPT_RENAME: telemetry::SpanMetric = telemetry::SpanMetric::new("sweep.checkpoint_rename");
 static CKPT_WRITES: telemetry::LazyCounter = telemetry::LazyCounter::new("sweep.checkpoint_writes");
 static CKPT_BYTES: telemetry::LazyCounter = telemetry::LazyCounter::new("sweep.checkpoint_bytes");
+
+/// Exclusive-writer guard for a checkpoint file.
+///
+/// Two coordinators pointed at the same checkpoint would interleave
+/// tmp+rename writes and silently lose shards; the lock makes the
+/// second one **fail loudly** instead. Implementation: a `<path>.lock`
+/// sibling created with `create_new` (atomic on every platform we
+/// target) holding the owner's PID. A lock whose owner is no longer
+/// running (e.g. the sweep was `kill -9`ed, so [`Drop`] never ran) is
+/// stale and silently stolen — that keeps the kill/resume workflow
+/// lock-free for the user.
+#[derive(Debug)]
+pub struct CheckpointLock {
+    path: PathBuf,
+}
+
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: u32) -> bool {
+    // No cheap liveness probe: treat every holder as alive. Stale
+    // locks then need a manual `rm`, which the error message explains.
+    true
+}
+
+impl CheckpointLock {
+    /// Acquires the exclusive writer lock for `checkpoint_path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the holder PID and the lock file when
+    /// another *running* process holds the lock, or the underlying I/O
+    /// error.
+    pub fn acquire(checkpoint_path: &Path) -> Result<Self, String> {
+        let mut path = checkpoint_path.as_os_str().to_owned();
+        path.push(".lock");
+        let path = PathBuf::from(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create checkpoint directory: {e}"))?;
+            }
+        }
+        // Bounded retry: stealing a stale lock races other stealers,
+        // but at most once per dead former holder.
+        for _ in 0..5 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid != std::process::id() && !pid_alive(pid) => {
+                            // Dead holder (e.g. kill -9): steal.
+                            let _ = std::fs::remove_file(&path);
+                            continue;
+                        }
+                        Some(pid) => {
+                            return Err(format!(
+                                "checkpoint {} is locked by running process {pid} \
+                                 (lock file {}) — refusing to run a second coordinator \
+                                 against the same checkpoint",
+                                checkpoint_path.display(),
+                                path.display()
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "checkpoint {} has an unreadable lock file {} — \
+                                 remove it if no sweep is running",
+                                checkpoint_path.display(),
+                                path.display()
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "cannot create checkpoint lock {}: {e}",
+                        path.display()
+                    ))
+                }
+            }
+        }
+        Err(format!(
+            "could not acquire checkpoint lock {} (lost the stale-lock race repeatedly)",
+            path.display()
+        ))
+    }
+}
+
+impl Drop for CheckpointLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
 
 /// Completed-shard state for one sweep run.
 #[derive(Debug, Clone, PartialEq)]
@@ -350,5 +458,47 @@ mod tests {
     fn empty_checkpoint_round_trips() {
         let ck = Checkpoint::new(9, 100);
         assert_eq!(Checkpoint::parse(&ck.to_text()).unwrap(), ck);
+    }
+
+    #[test]
+    fn lock_excludes_second_holder_and_releases_on_drop() {
+        let dir = std::env::temp_dir().join(format!("antdensity_lock_{}", std::process::id()));
+        let ckpt = dir.join("sweep.ckpt");
+        let lock = CheckpointLock::acquire(&ckpt).unwrap();
+        let err = CheckpointLock::acquire(&ckpt).unwrap_err();
+        assert!(err.contains("locked by running process"), "{err}");
+        assert!(
+            err.contains(&std::process::id().to_string()),
+            "names the holder: {err}"
+        );
+        drop(lock);
+        let relock = CheckpointLock::acquire(&ckpt).unwrap();
+        drop(relock);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn stale_lock_from_dead_process_is_stolen() {
+        let dir = std::env::temp_dir().join(format!("antdensity_stale_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("sweep.ckpt");
+        // A PID beyond the kernel's pid_max (2^22) cannot be running.
+        std::fs::write(dir.join("sweep.ckpt.lock"), "4000000000").unwrap();
+        let lock =
+            CheckpointLock::acquire(&ckpt).expect("a lock whose holder is gone must be stealable");
+        drop(lock);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_lock_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("antdensity_badlock_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("sweep.ckpt");
+        std::fs::write(dir.join("sweep.ckpt.lock"), "not a pid").unwrap();
+        let err = CheckpointLock::acquire(&ckpt).unwrap_err();
+        assert!(err.contains("unreadable lock file"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

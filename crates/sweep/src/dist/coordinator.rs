@@ -1,0 +1,1101 @@
+//! The clock-agnostic coordinator state machine.
+//!
+//! [`Coordinator`] owns every distributed-sweep policy decision —
+//! lease issue, heartbeat liveness, straggler re-issue, first-valid-
+//! result-wins deduplication, respawn backoff, degradation, mismatch
+//! abort — but performs **no I/O and reads no clock**. Drivers (the
+//! discrete-event simulator in [`super::sim`], the process/TCP runtime
+//! in [`super::runtime`]) feed it [`Event`]s stamped with *their*
+//! notion of "now" in milliseconds and execute the returned [`Cmd`]s.
+//! That inversion is what makes the fault-injection property suite
+//! deterministic: the same events in the same order produce the same
+//! leases, re-issues, and log, regardless of wall clock.
+//!
+//! Failure policy (the "failure matrix" — DESIGN.md renders the prose
+//! version):
+//!
+//! - **Lease expiry**: a lease with no heartbeat for
+//!   `heartbeat_timeout_ms`, or older than `lease_timeout_ms`
+//!   outright, is moved to the stale set and its shard re-queued at
+//!   the front. The holder becomes a *straggler*: it gets no new work,
+//!   but a result it eventually returns is still merged (first valid
+//!   result wins; a byte-unequal duplicate aborts the run).
+//! - **Worker death**: its active lease is re-queued immediately; the
+//!   slot respawns with exponential backoff + deterministic jitter up
+//!   to `max_respawns` times, then is lost for good.
+//! - **NACK**: the shard is re-queued at the back; a shard refused
+//!   more than `max_respawns` times aborts (it would never finish).
+//! - **Degradation**: when every slot is lost (or nothing ever said
+//!   HELLO within `spawn_grace_ms`), the remaining shards are handed
+//!   back to the driver for in-process execution.
+
+use super::DistStats;
+use antdensity_stats::rng::SeedSequence;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Worker slot identifier (stable across respawns of that slot).
+pub type WorkerId = u64;
+
+/// Stream label separating respawn-jitter derivation from every other
+/// consumer of the distributed seed.
+const JITTER_STREAM: u64 = 0x4A49_5454_4552_0000; // "JITTER"
+
+/// Timing and retry policy for a distributed run. All values are
+/// milliseconds in the *driver's* clock (virtual for the simulator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistConfig {
+    /// How often workers heartbeat while computing (shipped to workers
+    /// in the `SPEC` handshake).
+    pub heartbeat_interval_ms: u64,
+    /// A lease with no heartbeat for this long is expired and
+    /// re-issued.
+    pub heartbeat_timeout_ms: u64,
+    /// Hard cap on a lease's age regardless of heartbeats.
+    pub lease_timeout_ms: u64,
+    /// Respawn attempts per worker slot before it is lost for good;
+    /// also the per-shard NACK budget.
+    pub max_respawns: u64,
+    /// First respawn backoff; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_max_ms: u64,
+    /// If nothing ever says HELLO within this window, degrade to
+    /// in-process execution.
+    pub spawn_grace_ms: u64,
+    /// Seed for deterministic respawn jitter (derived per
+    /// `(slot, attempt)` — never from the clock).
+    pub seed: u64,
+    /// Whether dead workers can be respawned (child processes: yes;
+    /// TCP peers that connect to us: no).
+    pub can_respawn: bool,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval_ms: 200,
+            heartbeat_timeout_ms: 2_000,
+            lease_timeout_ms: 60_000,
+            max_respawns: 3,
+            backoff_base_ms: 100,
+            backoff_max_ms: 5_000,
+            spawn_grace_ms: 30_000,
+            seed: 0,
+            can_respawn: true,
+        }
+    }
+}
+
+/// An input to the state machine, stamped by the driver with its
+/// current time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A transport to worker slot `worker` now exists (child spawned /
+    /// peer accepted); the driver has sent `SPEC`.
+    Connected {
+        /// The slot.
+        worker: WorkerId,
+    },
+    /// The worker's `HELLO` arrived.
+    Hello {
+        /// The slot.
+        worker: WorkerId,
+        /// Fingerprint of the worker's resolved spec.
+        fingerprint: u64,
+    },
+    /// A `RESULT` arrived.
+    Result {
+        /// Sending slot.
+        worker: WorkerId,
+        /// Lease the result answers.
+        lease: u64,
+        /// Shard the worker claims it executed.
+        shard: u64,
+        /// Checkpoint-text aggregate blob.
+        blob: String,
+    },
+    /// A `HEARTBEAT` arrived.
+    Heartbeat {
+        /// Sending slot.
+        worker: WorkerId,
+        /// Lease being computed.
+        lease: u64,
+    },
+    /// A `NACK` arrived.
+    Nack {
+        /// Sending slot.
+        worker: WorkerId,
+        /// Refused lease.
+        lease: u64,
+        /// Worker's reason.
+        reason: String,
+    },
+    /// A frame from `worker` failed checksum or decode.
+    BadFrame {
+        /// The slot.
+        worker: WorkerId,
+        /// The framing error.
+        error: String,
+    },
+    /// The worker's transport died (EOF / process exit).
+    Died {
+        /// The slot.
+        worker: WorkerId,
+    },
+    /// A scheduled respawn could not be executed.
+    SpawnFailed {
+        /// The slot.
+        worker: WorkerId,
+    },
+    /// Periodic timer: expire leases, check grace, hand out work.
+    Tick,
+}
+
+/// An action the driver must execute on the state machine's behalf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// Send a `LEASE` frame to the worker.
+    SendLease {
+        /// Target slot.
+        worker: WorkerId,
+        /// Lease id.
+        lease: u64,
+        /// Shard index.
+        shard: u64,
+    },
+    /// Send a `SHUTDOWN` frame to the worker.
+    SendShutdown {
+        /// Target slot.
+        worker: WorkerId,
+    },
+    /// Respawn the slot's worker at the given driver time.
+    Respawn {
+        /// The slot.
+        worker: WorkerId,
+        /// Driver time (ms) at which to respawn.
+        at_ms: u64,
+    },
+    /// A shard completed for the first time: merge its blob.
+    Completed {
+        /// The shard.
+        shard: u64,
+        /// Its checkpoint-text blob.
+        blob: String,
+    },
+    /// All workers are gone: execute these shards in-process.
+    Degrade {
+        /// Remaining shards, ascending.
+        shards: Vec<u64>,
+    },
+    /// A duplicate result disagreed byte-for-byte: stop everything.
+    Abort {
+        /// The disputed shard.
+        shard: u64,
+        /// Structured mismatch report.
+        report: String,
+    },
+    /// Every shard has completed.
+    AllDone,
+}
+
+/// How a finished run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishKind {
+    /// Every shard completed via workers.
+    Done,
+    /// Remaining shards were handed back for in-process execution.
+    Degraded,
+    /// A byte-unequal duplicate result forced an abort.
+    Aborted,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SlotState {
+    /// Transport exists, HELLO not yet seen.
+    Joining,
+    /// Ready for work.
+    Idle,
+    /// Computing an active lease.
+    Busy { lease: u64 },
+    /// Still computing a lease that already expired; gets no new work
+    /// but its late result is still merged.
+    Straggling { lease: u64 },
+    /// Dead, respawn scheduled.
+    Respawning,
+    /// Dead for good.
+    Lost,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    respawns: u64,
+}
+
+#[derive(Debug)]
+struct LeaseRec {
+    shard: u64,
+    worker: WorkerId,
+    issued_ms: u64,
+    last_seen_ms: u64,
+}
+
+/// The coordinator state machine. See the module docs for the policy
+/// it implements.
+#[derive(Debug)]
+pub struct Coordinator {
+    cfg: DistConfig,
+    fingerprint: u64,
+    pending: VecDeque<u64>,
+    expected: BTreeSet<u64>,
+    active: BTreeMap<u64, LeaseRec>,
+    stale: BTreeMap<u64, u64>, // expired lease -> shard
+    done: BTreeMap<u64, String>,
+    nack_counts: BTreeMap<u64, u64>,
+    hello_seen: BTreeSet<WorkerId>,
+    next_lease: u64,
+    workers: BTreeMap<WorkerId, Slot>,
+    finish: Option<FinishKind>,
+    /// Human-readable event log, deterministic under the simulator —
+    /// the property suite asserts it byte-for-byte across replays.
+    pub log: Vec<String>,
+    /// Run counters, surfaced in METRICS v2.
+    pub stats: DistStats,
+}
+
+impl Coordinator {
+    /// A coordinator that must complete `shards` (fused-shard indices)
+    /// for the spec with fingerprint `fingerprint`.
+    pub fn new(cfg: DistConfig, fingerprint: u64, shards: &[u64]) -> Self {
+        Self {
+            cfg,
+            fingerprint,
+            pending: shards.iter().copied().collect(),
+            expected: shards.iter().copied().collect(),
+            active: BTreeMap::new(),
+            stale: BTreeMap::new(),
+            done: BTreeMap::new(),
+            nack_counts: BTreeMap::new(),
+            hello_seen: BTreeSet::new(),
+            next_lease: 1,
+            workers: BTreeMap::new(),
+            finish: None,
+            log: Vec::new(),
+            stats: DistStats::default(),
+        }
+    }
+
+    /// How the run finished, if it has.
+    pub fn finished(&self) -> Option<FinishKind> {
+        self.finish
+    }
+
+    /// The earliest driver time at which a timer could fire (lease
+    /// expiry or the spawn-grace deadline); `None` once finished or
+    /// when no timer is pending.
+    pub fn next_deadline(&self) -> Option<u64> {
+        if self.finish.is_some() {
+            return None;
+        }
+        let mut deadline: Option<u64> = None;
+        let mut push = |t: u64| deadline = Some(deadline.map_or(t, |d| d.min(t)));
+        for rec in self.active.values() {
+            push(rec.last_seen_ms + self.cfg.heartbeat_timeout_ms);
+            push(rec.issued_ms + self.cfg.lease_timeout_ms);
+        }
+        if self.stats.workers_seen == 0 {
+            push(self.cfg.spawn_grace_ms);
+        }
+        deadline
+    }
+
+    fn log(&mut self, now: u64, line: String) {
+        self.log.push(format!("[t={now}] {line}"));
+    }
+
+    fn work_done(&self) -> bool {
+        self.expected.iter().all(|s| self.done.contains_key(s))
+    }
+
+    fn slot(&mut self, worker: WorkerId) -> &mut Slot {
+        self.workers.entry(worker).or_insert(Slot {
+            state: SlotState::Lost,
+            respawns: 0,
+        })
+    }
+
+    /// Deterministic respawn backoff: exponential with a jitter term
+    /// derived from `(seed, slot, attempt)` — never from the clock.
+    fn backoff_ms(&self, worker: WorkerId, attempt: u64) -> u64 {
+        let exp = self
+            .cfg
+            .backoff_base_ms
+            .saturating_shl(attempt.saturating_sub(1).min(32) as u32)
+            .min(self.cfg.backoff_max_ms);
+        let jitter_span = self.cfg.backoff_base_ms.max(1);
+        let jitter = SeedSequence::new(self.cfg.seed ^ JITTER_STREAM)
+            .subsequence(worker)
+            .derive(attempt)
+            % jitter_span;
+        exp + jitter
+    }
+
+    fn assign(&mut self, now: u64, cmds: &mut Vec<Cmd>) {
+        if self.finish.is_some() {
+            return;
+        }
+        loop {
+            if self.pending.is_empty() {
+                return;
+            }
+            let Some(worker) = self
+                .workers
+                .iter()
+                .find(|(_, s)| s.state == SlotState::Idle)
+                .map(|(&w, _)| w)
+            else {
+                return;
+            };
+            let shard = self.pending.pop_front().expect("checked non-empty");
+            // A re-queued shard may have completed via a straggler
+            // while it waited; never lease finished work.
+            if self.done.contains_key(&shard) {
+                continue;
+            }
+            let lease = self.next_lease;
+            self.next_lease += 1;
+            self.active.insert(
+                lease,
+                LeaseRec {
+                    shard,
+                    worker,
+                    issued_ms: now,
+                    last_seen_ms: now,
+                },
+            );
+            self.slot(worker).state = SlotState::Busy { lease };
+            self.stats.leases += 1;
+            self.log(now, format!("lease {lease} shard {shard} -> w{worker}"));
+            cmds.push(Cmd::SendLease {
+                worker,
+                lease,
+                shard,
+            });
+        }
+    }
+
+    fn finish_if_done(&mut self, now: u64, cmds: &mut Vec<Cmd>) {
+        if self.finish.is_some() || !self.work_done() {
+            return;
+        }
+        self.finish = Some(FinishKind::Done);
+        self.log(now, "all shards done".into());
+        let alive: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .filter(|(_, s)| {
+                !matches!(
+                    s.state,
+                    SlotState::Lost | SlotState::Respawning | SlotState::Joining
+                )
+            })
+            .map(|(&w, _)| w)
+            .collect();
+        for w in alive {
+            cmds.push(Cmd::SendShutdown { worker: w });
+        }
+        cmds.push(Cmd::AllDone);
+    }
+
+    /// Degrade when no slot can ever work again: every known slot is
+    /// lost (and at least one slot ever existed), or nothing said
+    /// HELLO within the grace window.
+    fn check_degrade(&mut self, now: u64, cmds: &mut Vec<Cmd>) {
+        if self.finish.is_some() || self.work_done() {
+            return;
+        }
+        let any_alive = self
+            .workers
+            .values()
+            .any(|s| !matches!(s.state, SlotState::Lost));
+        let all_lost = !self.workers.is_empty() && !any_alive;
+        let grace_expired = self.stats.workers_seen == 0 && now >= self.cfg.spawn_grace_ms;
+        if !(all_lost || grace_expired) {
+            return;
+        }
+        self.finish = Some(FinishKind::Degraded);
+        // Everything not yet done comes back: queued shards plus those
+        // still out on active/stale leases.
+        let shards: Vec<u64> = self
+            .expected
+            .iter()
+            .copied()
+            .filter(|s| !self.done.contains_key(s))
+            .collect();
+        self.log(
+            now,
+            format!(
+                "degrading to in-process execution ({} shards)",
+                shards.len()
+            ),
+        );
+        cmds.push(Cmd::Degrade { shards });
+    }
+
+    /// Feeds one event through the state machine. `now_ms` is the
+    /// driver's current time; it must be non-decreasing across calls.
+    pub fn on_event(&mut self, now_ms: u64, ev: Event) -> Vec<Cmd> {
+        let mut cmds = Vec::new();
+        if self.finish.is_some() {
+            return cmds;
+        }
+        match ev {
+            Event::Connected { worker } => {
+                let slot = self.slot(worker);
+                slot.state = SlotState::Joining;
+                self.log(now_ms, format!("w{worker} connected"));
+            }
+            Event::Hello {
+                worker,
+                fingerprint,
+            } => {
+                self.hello_seen.insert(worker);
+                self.stats.workers_seen = self.hello_seen.len() as u64;
+                if fingerprint != self.fingerprint {
+                    self.slot(worker).state = SlotState::Lost;
+                    self.log(
+                        now_ms,
+                        format!(
+                            "w{worker} resolved fingerprint {fingerprint:016x}, \
+                             expected {:016x} — shutting it down",
+                            self.fingerprint
+                        ),
+                    );
+                    cmds.push(Cmd::SendShutdown { worker });
+                    self.check_degrade(now_ms, &mut cmds);
+                } else {
+                    self.slot(worker).state = SlotState::Idle;
+                    self.log(now_ms, format!("w{worker} hello"));
+                    self.assign(now_ms, &mut cmds);
+                }
+            }
+            Event::Result {
+                worker,
+                lease,
+                shard,
+                blob,
+            } => {
+                let known = self
+                    .active
+                    .remove(&lease)
+                    .map(|r| r.shard)
+                    .or_else(|| self.stale.remove(&lease));
+                match known {
+                    None => {
+                        // A replayed/duplicated frame for a concluded
+                        // lease: never re-merge, but still byte-compare
+                        // against the accepted result — a disagreeing
+                        // replay is a determinism violation like any
+                        // other duplicate.
+                        if let Some(prev) = self.done.get(&shard) {
+                            self.stats.duplicates += 1;
+                            if *prev != blob {
+                                let report = mismatch_report(shard, lease, prev, &blob);
+                                self.log(
+                                    now_ms,
+                                    format!("duplicate result for shard {shard} DISAGREES"),
+                                );
+                                self.finish = Some(FinishKind::Aborted);
+                                cmds.push(Cmd::Abort { shard, report });
+                                return cmds;
+                            }
+                            self.log(
+                                now_ms,
+                                format!("duplicate result for shard {shard} (bit-equal, ignored)"),
+                            );
+                        } else {
+                            self.log(
+                                now_ms,
+                                format!("w{worker} result for unknown lease {lease}"),
+                            );
+                        }
+                    }
+                    Some(expected_shard) if expected_shard != shard => {
+                        self.stats.bad_frames += 1;
+                        self.log(
+                            now_ms,
+                            format!(
+                                "w{worker} answered lease {lease} with shard {shard}, \
+                                 leased {expected_shard} — re-queueing"
+                            ),
+                        );
+                        if !self.done.contains_key(&expected_shard) {
+                            self.pending.push_front(expected_shard);
+                            self.stats.reissues += 1;
+                        }
+                        self.release_slot(worker, lease);
+                    }
+                    Some(_) => {
+                        if let Some(prev) = self.done.get(&shard) {
+                            self.stats.duplicates += 1;
+                            if *prev != blob {
+                                let report = mismatch_report(shard, lease, prev, &blob);
+                                self.log(
+                                    now_ms,
+                                    format!("duplicate result for shard {shard} DISAGREES"),
+                                );
+                                self.finish = Some(FinishKind::Aborted);
+                                cmds.push(Cmd::Abort { shard, report });
+                                return cmds;
+                            }
+                            self.log(
+                                now_ms,
+                                format!("duplicate result for shard {shard} (bit-equal, ignored)"),
+                            );
+                        } else {
+                            self.done.insert(shard, blob.clone());
+                            self.log(
+                                now_ms,
+                                format!("shard {shard} done (lease {lease}, w{worker})"),
+                            );
+                            cmds.push(Cmd::Completed { shard, blob });
+                        }
+                        self.release_slot(worker, lease);
+                    }
+                }
+                self.finish_if_done(now_ms, &mut cmds);
+                self.assign(now_ms, &mut cmds);
+            }
+            Event::Heartbeat { worker, lease } => {
+                if let Some(rec) = self.active.get_mut(&lease) {
+                    rec.last_seen_ms = now_ms;
+                } else if self.stale.contains_key(&lease) {
+                    // Straggler still alive; it keeps its (stale) lease.
+                    self.log(
+                        now_ms,
+                        format!("w{worker} straggler heartbeat lease {lease}"),
+                    );
+                }
+            }
+            Event::Nack {
+                worker,
+                lease,
+                reason,
+            } => {
+                self.stats.nacks += 1;
+                if let Some(rec) = self.active.remove(&lease) {
+                    self.log(
+                        now_ms,
+                        format!(
+                            "w{worker} nack lease {lease} shard {} ({reason})",
+                            rec.shard
+                        ),
+                    );
+                    if !self.done.contains_key(&rec.shard) {
+                        let count = self.nack_counts.entry(rec.shard).or_insert(0);
+                        *count += 1;
+                        if *count > self.cfg.max_respawns {
+                            let shard = rec.shard;
+                            self.finish = Some(FinishKind::Aborted);
+                            cmds.push(Cmd::Abort {
+                                shard,
+                                report: format!(
+                                    "shard {shard} refused {count} times (last reason: {reason})"
+                                ),
+                            });
+                            return cmds;
+                        }
+                        self.pending.push_back(rec.shard);
+                    }
+                }
+                self.release_slot(worker, lease);
+                self.assign(now_ms, &mut cmds);
+            }
+            Event::BadFrame { worker, error } => {
+                self.stats.bad_frames += 1;
+                self.log(now_ms, format!("w{worker} bad frame: {error}"));
+                // The lease (if the lost frame was its RESULT) recovers
+                // via expiry; nothing else to do.
+            }
+            Event::Died { worker } => {
+                self.stats.deaths += 1;
+                let state = self.slot(worker).state.clone();
+                match state {
+                    SlotState::Busy { lease } => {
+                        if let Some(rec) = self.active.remove(&lease) {
+                            if !self.done.contains_key(&rec.shard) {
+                                self.pending.push_front(rec.shard);
+                                self.stats.reissues += 1;
+                            }
+                            self.log(
+                                now_ms,
+                                format!(
+                                    "w{worker} died holding lease {lease} — \
+                                     re-queueing shard {}",
+                                    rec.shard
+                                ),
+                            );
+                        }
+                    }
+                    SlotState::Straggling { lease } => {
+                        self.stale.remove(&lease);
+                        self.log(now_ms, format!("w{worker} (straggler) died"));
+                    }
+                    _ => self.log(now_ms, format!("w{worker} died")),
+                }
+                let (can, attempts, max) = (
+                    self.cfg.can_respawn,
+                    self.slot(worker).respawns,
+                    self.cfg.max_respawns,
+                );
+                if can && attempts < max {
+                    let attempt = attempts + 1;
+                    self.slot(worker).respawns = attempt;
+                    self.slot(worker).state = SlotState::Respawning;
+                    self.stats.respawns += 1;
+                    let at_ms = now_ms + self.backoff_ms(worker, attempt);
+                    self.log(
+                        now_ms,
+                        format!("respawning w{worker} (attempt {attempt}) at t={at_ms}"),
+                    );
+                    cmds.push(Cmd::Respawn { worker, at_ms });
+                } else {
+                    self.slot(worker).state = SlotState::Lost;
+                    self.log(now_ms, format!("w{worker} lost for good"));
+                }
+                self.finish_if_done(now_ms, &mut cmds);
+                self.check_degrade(now_ms, &mut cmds);
+                self.assign(now_ms, &mut cmds);
+            }
+            Event::SpawnFailed { worker } => {
+                self.slot(worker).state = SlotState::Lost;
+                self.log(now_ms, format!("w{worker} respawn failed — lost for good"));
+                self.check_degrade(now_ms, &mut cmds);
+            }
+            Event::Tick => {
+                let expired: Vec<(u64, u64, WorkerId)> = self
+                    .active
+                    .iter()
+                    .filter(|(_, rec)| {
+                        now_ms.saturating_sub(rec.last_seen_ms) > self.cfg.heartbeat_timeout_ms
+                            || now_ms.saturating_sub(rec.issued_ms) > self.cfg.lease_timeout_ms
+                    })
+                    .map(|(&l, rec)| (l, rec.shard, rec.worker))
+                    .collect();
+                // Earliest-issued expired shard ends up at the very
+                // front of the queue.
+                for &(lease, shard, worker) in expired.iter().rev() {
+                    self.active.remove(&lease);
+                    self.stale.insert(lease, shard);
+                    if !self.done.contains_key(&shard) {
+                        self.pending.push_front(shard);
+                        self.stats.reissues += 1;
+                    }
+                    self.log(
+                        now_ms,
+                        format!("lease {lease} shard {shard} (w{worker}) expired — re-queueing"),
+                    );
+                    let slot = self.slot(worker);
+                    if slot.state == (SlotState::Busy { lease }) {
+                        slot.state = SlotState::Straggling { lease };
+                    }
+                }
+                self.check_degrade(now_ms, &mut cmds);
+                self.assign(now_ms, &mut cmds);
+            }
+        }
+        cmds
+    }
+
+    /// Returns a busy/straggling slot to idle once `lease` concluded.
+    fn release_slot(&mut self, worker: WorkerId, lease: u64) {
+        let slot = self.slot(worker);
+        match slot.state {
+            SlotState::Busy { lease: l } | SlotState::Straggling { lease: l } if l == lease => {
+                slot.state = SlotState::Idle;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Renders the structured mismatch report for a byte-unequal duplicate.
+fn mismatch_report(shard: u64, lease: u64, first: &str, second: &str) -> String {
+    let first_diff = first
+        .bytes()
+        .zip(second.bytes())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| first.len().min(second.len()));
+    format!(
+        "shard={shard} lease={lease} first_len={} second_len={} first_diff_at={first_diff}",
+        first.len(),
+        second.len()
+    )
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        self.checked_shl(rhs).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DistConfig {
+        DistConfig {
+            heartbeat_interval_ms: 10,
+            heartbeat_timeout_ms: 50,
+            lease_timeout_ms: 1_000,
+            max_respawns: 2,
+            backoff_base_ms: 10,
+            backoff_max_ms: 100,
+            spawn_grace_ms: 500,
+            seed: 42,
+            can_respawn: true,
+        }
+    }
+
+    fn join(c: &mut Coordinator, w: WorkerId, t: u64) -> Vec<Cmd> {
+        c.on_event(t, Event::Connected { worker: w });
+        c.on_event(
+            t,
+            Event::Hello {
+                worker: w,
+                fingerprint: 7,
+            },
+        )
+    }
+
+    #[test]
+    fn happy_path_single_worker() {
+        let mut c = Coordinator::new(cfg(), 7, &[0, 1]);
+        let cmds = join(&mut c, 0, 0);
+        assert_eq!(
+            cmds,
+            vec![Cmd::SendLease {
+                worker: 0,
+                lease: 1,
+                shard: 0
+            }]
+        );
+        let cmds = c.on_event(
+            10,
+            Event::Result {
+                worker: 0,
+                lease: 1,
+                shard: 0,
+                blob: "A".into(),
+            },
+        );
+        assert_eq!(
+            cmds[0],
+            Cmd::Completed {
+                shard: 0,
+                blob: "A".into()
+            }
+        );
+        assert_eq!(
+            cmds[1],
+            Cmd::SendLease {
+                worker: 0,
+                lease: 2,
+                shard: 1
+            }
+        );
+        let cmds = c.on_event(
+            20,
+            Event::Result {
+                worker: 0,
+                lease: 2,
+                shard: 1,
+                blob: "B".into(),
+            },
+        );
+        assert!(cmds.contains(&Cmd::AllDone));
+        assert!(cmds.contains(&Cmd::SendShutdown { worker: 0 }));
+        assert_eq!(c.finished(), Some(FinishKind::Done));
+        assert_eq!(c.stats.leases, 2);
+        assert_eq!(c.stats.reissues, 0);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_shuts_worker_down() {
+        let mut c = Coordinator::new(cfg(), 7, &[0]);
+        c.on_event(0, Event::Connected { worker: 0 });
+        let cmds = c.on_event(
+            0,
+            Event::Hello {
+                worker: 0,
+                fingerprint: 8,
+            },
+        );
+        assert_eq!(
+            cmds,
+            vec![
+                Cmd::SendShutdown { worker: 0 },
+                Cmd::Degrade { shards: vec![0] },
+            ],
+            "sole worker permanently lost: degrade right away"
+        );
+        assert_eq!(c.finished(), Some(FinishKind::Degraded));
+    }
+
+    /// Drives two workers to the point where w1 holds a re-issued
+    /// lease (3) for shard 0 while the straggler w0's first-valid
+    /// result already won and shard 2 is still out — so w1's eventual
+    /// answer is a mid-run duplicate.
+    fn drive_to_duplicate(c: &mut Coordinator) {
+        join(c, 0, 0); // lease 1 shard 0
+        join(c, 1, 0); // lease 2 shard 1
+        c.on_event(
+            30,
+            Event::Heartbeat {
+                worker: 1,
+                lease: 2,
+            },
+        );
+        let cmds = c.on_event(60, Event::Tick);
+        assert_eq!(cmds, vec![], "w1 alive, no idle worker to re-issue to");
+        assert_eq!(c.stats.reissues, 1, "lease 1 expired");
+        let cmds = c.on_event(
+            65,
+            Event::Result {
+                worker: 1,
+                lease: 2,
+                shard: 1,
+                blob: "B".into(),
+            },
+        );
+        assert!(
+            cmds.contains(&Cmd::SendLease {
+                worker: 1,
+                lease: 3,
+                shard: 0
+            }),
+            "expired shard re-issued to the now-idle worker: {cmds:?}"
+        );
+        // the straggler answers first: first valid result wins, and
+        // the straggler is assignable again (gets shard 2)
+        let cmds = c.on_event(
+            70,
+            Event::Result {
+                worker: 0,
+                lease: 1,
+                shard: 0,
+                blob: "X".into(),
+            },
+        );
+        assert!(cmds.contains(&Cmd::Completed {
+            shard: 0,
+            blob: "X".into()
+        }));
+        assert!(cmds.contains(&Cmd::SendLease {
+            worker: 0,
+            lease: 4,
+            shard: 2
+        }));
+    }
+
+    #[test]
+    fn expiry_reissues_and_straggler_duplicate_is_tolerated() {
+        let mut c = Coordinator::new(cfg(), 7, &[0, 1, 2]);
+        drive_to_duplicate(&mut c);
+        // the re-issued copy agrees bit for bit: ignored
+        let cmds = c.on_event(
+            75,
+            Event::Result {
+                worker: 1,
+                lease: 3,
+                shard: 0,
+                blob: "X".into(),
+            },
+        );
+        assert!(!cmds.iter().any(|c| matches!(c, Cmd::Completed { .. })));
+        assert_eq!(c.stats.duplicates, 1);
+        let cmds = c.on_event(
+            80,
+            Event::Result {
+                worker: 0,
+                lease: 4,
+                shard: 2,
+                blob: "C".into(),
+            },
+        );
+        assert!(cmds.contains(&Cmd::AllDone));
+        assert_eq!(c.finished(), Some(FinishKind::Done));
+    }
+
+    #[test]
+    fn byte_unequal_duplicate_aborts() {
+        let mut c = Coordinator::new(cfg(), 7, &[0, 1, 2]);
+        drive_to_duplicate(&mut c);
+        let cmds = c.on_event(
+            75,
+            Event::Result {
+                worker: 1,
+                lease: 3,
+                shard: 0,
+                blob: "tampered".into(),
+            },
+        );
+        match &cmds[..] {
+            [Cmd::Abort { shard: 0, report }] => {
+                assert!(report.contains("first_diff_at="), "{report}");
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(c.finished(), Some(FinishKind::Aborted));
+        assert_eq!(c.stats.duplicates, 1);
+    }
+
+    #[test]
+    fn death_respawns_with_backoff_then_loses_slot() {
+        let mut c = Coordinator::new(cfg(), 7, &[0, 1, 2]);
+        join(&mut c, 0, 0);
+        let cmds = c.on_event(5, Event::Died { worker: 0 });
+        let Some(Cmd::Respawn { worker: 0, at_ms }) = cmds
+            .iter()
+            .find(|c| matches!(c, Cmd::Respawn { .. }))
+            .cloned()
+        else {
+            panic!("expected respawn, got {cmds:?}");
+        };
+        assert!(
+            (5 + 10..5 + 20).contains(&at_ms),
+            "base+jitter, got {at_ms}"
+        );
+        assert_eq!(c.stats.reissues, 1, "its lease came back");
+        // same events replay to the same backoff (determinism)
+        let mut c2 = Coordinator::new(cfg(), 7, &[0, 1, 2]);
+        join(&mut c2, 0, 0);
+        let cmds2 = c2.on_event(5, Event::Died { worker: 0 });
+        assert!(cmds2.contains(&Cmd::Respawn { worker: 0, at_ms }));
+        // exhaust the respawn budget
+        join(&mut c, 0, at_ms);
+        c.on_event(at_ms + 1, Event::Died { worker: 0 });
+        join(&mut c, 0, at_ms + 50);
+        let cmds = c.on_event(at_ms + 51, Event::Died { worker: 0 });
+        assert!(
+            !cmds.iter().any(|c| matches!(c, Cmd::Respawn { .. })),
+            "budget of 2 exhausted: {cmds:?}"
+        );
+        assert!(cmds.iter().any(|c| matches!(c, Cmd::Degrade { .. })));
+        assert_eq!(c.finished(), Some(FinishKind::Degraded));
+    }
+
+    #[test]
+    fn all_workers_lost_degrades_with_remaining_shards() {
+        let mut c = Coordinator::new(
+            DistConfig {
+                can_respawn: false,
+                ..cfg()
+            },
+            7,
+            &[0, 1, 2],
+        );
+        join(&mut c, 0, 0);
+        c.on_event(
+            10,
+            Event::Result {
+                worker: 0,
+                lease: 1,
+                shard: 0,
+                blob: "A".into(),
+            },
+        );
+        let cmds = c.on_event(20, Event::Died { worker: 0 });
+        assert!(
+            cmds.contains(&Cmd::Degrade { shards: vec![1, 2] }),
+            "{cmds:?}"
+        );
+    }
+
+    #[test]
+    fn nothing_ever_connects_degrades_after_grace() {
+        let mut c = Coordinator::new(cfg(), 7, &[0, 1]);
+        assert_eq!(c.on_event(100, Event::Tick), vec![]);
+        let cmds = c.on_event(500, Event::Tick);
+        assert_eq!(cmds, vec![Cmd::Degrade { shards: vec![0, 1] }]);
+    }
+
+    #[test]
+    fn nack_requeues_then_aborts_when_budget_exhausted() {
+        let mut c = Coordinator::new(cfg(), 7, &[0, 1]);
+        join(&mut c, 0, 0);
+        let mut lease = 1;
+        for round in 0..2 {
+            let cmds = c.on_event(
+                10 + round,
+                Event::Nack {
+                    worker: 0,
+                    lease,
+                    reason: "no".into(),
+                },
+            );
+            // shard went to the back; the worker immediately gets the
+            // other one (or the same again once it cycles)
+            assert!(
+                cmds.iter().any(|c| matches!(c, Cmd::SendLease { .. })),
+                "{cmds:?}"
+            );
+            lease += 1;
+            // complete whatever it got so only shard 0 keeps nacking
+            let Cmd::SendLease { shard, .. } = cmds[0].clone() else {
+                panic!()
+            };
+            if shard != 0 {
+                c.on_event(
+                    20 + round,
+                    Event::Result {
+                        worker: 0,
+                        lease,
+                        shard,
+                        blob: "B".into(),
+                    },
+                );
+                lease += 1;
+            }
+        }
+        // keep nacking shard 0 until the budget (max_respawns = 2) trips
+        let mut aborted = false;
+        for i in 0..4 {
+            let cmds = c.on_event(
+                100 + i,
+                Event::Nack {
+                    worker: 0,
+                    lease,
+                    reason: "still no".into(),
+                },
+            );
+            lease += 1;
+            if cmds.iter().any(|c| matches!(c, Cmd::Abort { .. })) {
+                aborted = true;
+                break;
+            }
+        }
+        assert!(aborted, "repeated NACKs must abort");
+        assert_eq!(c.finished(), Some(FinishKind::Aborted));
+    }
+
+    #[test]
+    fn deadline_tracks_heartbeats_and_grace() {
+        let mut c = Coordinator::new(cfg(), 7, &[0]);
+        assert_eq!(c.next_deadline(), Some(500), "spawn grace");
+        join(&mut c, 0, 0);
+        assert_eq!(c.next_deadline(), Some(50), "heartbeat timeout");
+        c.on_event(
+            30,
+            Event::Heartbeat {
+                worker: 0,
+                lease: 1,
+            },
+        );
+        assert_eq!(c.next_deadline(), Some(80));
+    }
+}

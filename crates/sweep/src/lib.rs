@@ -50,13 +50,15 @@
 
 pub mod aggregate;
 pub mod checkpoint;
+pub mod dist;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
 pub use aggregate::CellAggregate;
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointLock};
+pub use dist::{run_sweep_distributed, DistError, DistOptions, DistStats, FaultPlan, Transport};
 pub use metrics::{MetricsSummary, SweepMetrics};
 pub use report::{build_report, SweepReport};
 pub use runner::{run_shard, run_shard_unfused, run_sweep, SweepOptions, SweepOutcome};

@@ -8,11 +8,11 @@
 //! duration histograms so CI and humans read one artifact instead of
 //! two.
 //!
-//! # Schema (`antdensity-metrics v1`)
+//! # Schema (`antdensity-metrics v2`)
 //!
 //! ```json
 //! {
-//!   "schema": "antdensity-metrics v1",
+//!   "schema": "antdensity-metrics v2",
 //!   "sweep": "alg1_accuracy",          // spec name
 //!   "mode": "quick",                   // quick | full
 //!   "fused": true,                     // fused shards vs --no-fuse
@@ -26,6 +26,17 @@
 //!   "simulated_rounds": 4096,          // rounds summed over passes
 //!   "workers_requested": 8,            // --workers (or default)
 //!   "workers_effective": 8,            // clamped to the pool size
+//!   "dist": {                          // v2: distributed-run counters
+//!     "workers_seen": 4,               //   distinct workers that said HELLO
+//!     "leases": 10,                    //   leases issued
+//!     "reissues": 2,                   //   leases re-issued after expiry
+//!     "respawns": 1,                   //   worker respawn attempts
+//!     "duplicates": 1,                 //   byte-equal duplicate results
+//!     "deaths": 1,                     //   worker transports lost
+//!     "nacks": 0,                      //   refused leases
+//!     "bad_frames": 0,                 //   undecodable/corrupt frames
+//!     "degraded": 0                    //   shards run in-process after loss
+//!   },
 //!   "counters": {                      // telemetry counters, name-sorted
 //!     "engine.rounds": 4096,
 //!     "sweep.rounds_saved_by_fusion": 1024
@@ -48,7 +59,12 @@
 //! `counters`/`histograms` as open (new instrumentation appears over
 //! time), while the top-level keys above are the stable contract
 //! [`validate`] enforces.
+//!
+//! An in-process run writes `"dist": null`. [`validate`] also accepts
+//! the previous `antdensity-metrics v1` marker, under which the `dist`
+//! key is absent — old artifacts keep validating.
 
+use crate::dist::DistStats;
 use crate::runner::SweepOutcome;
 use antdensity_telemetry as telemetry;
 use std::path::{Path, PathBuf};
@@ -83,6 +99,9 @@ pub struct SweepMetrics {
     pub workers_requested: usize,
     /// Worker threads actually usable (request clamped to pool size).
     pub workers_effective: usize,
+    /// Distributed-run counters (`None` for in-process runs, rendered
+    /// as `"dist": null`).
+    pub dist: Option<DistStats>,
     /// Telemetry registry state at snapshot time.
     pub snapshot: telemetry::Snapshot,
 }
@@ -111,8 +130,17 @@ impl SweepMetrics {
             simulated_rounds: outcome.simulated_rounds,
             workers_requested: outcome.workers_requested,
             workers_effective: outcome.workers_effective,
+            dist: None,
             snapshot,
         }
+    }
+
+    /// Attaches distributed-run counters, marking the file as coming
+    /// from a `--serve-shards` invocation.
+    #[must_use]
+    pub fn with_dist(mut self, stats: DistStats) -> Self {
+        self.dist = Some(stats);
+        self
     }
 
     /// Hand-rolled JSON per the schema above (the workspace is
@@ -150,6 +178,24 @@ impl SweepMetrics {
             self.workers_requested,
             self.workers_effective,
         );
+        match &self.dist {
+            None => out.push_str("  \"dist\": null,\n"),
+            Some(d) => out.push_str(&format!(
+                "  \"dist\": {{\n    \"workers_seen\": {},\n    \"leases\": {},\n    \
+                 \"reissues\": {},\n    \"respawns\": {},\n    \"duplicates\": {},\n    \
+                 \"deaths\": {},\n    \"nacks\": {},\n    \"bad_frames\": {},\n    \
+                 \"degraded\": {}\n  }},\n",
+                d.workers_seen,
+                d.leases,
+                d.reissues,
+                d.respawns,
+                d.duplicates,
+                d.deaths,
+                d.nacks,
+                d.bad_frames,
+                d.degraded,
+            )),
+        }
         out.push_str("  \"counters\": {\n");
         for (i, (name, value)) in self.snapshot.counters.iter().enumerate() {
             out.push_str(&format!(
@@ -199,8 +245,24 @@ impl SweepMetrics {
     }
 }
 
-/// The schema identifier every metrics file must carry.
-pub const SCHEMA: &str = "antdensity-metrics v1";
+/// The schema identifier newly written metrics files carry.
+pub const SCHEMA: &str = "antdensity-metrics v2";
+
+/// The previous schema identifier, still accepted by [`validate`].
+pub const SCHEMA_V1: &str = "antdensity-metrics v1";
+
+/// Keys [`validate`] requires inside a non-null `dist` object.
+const DIST_KEYS: &[&str] = &[
+    "workers_seen",
+    "leases",
+    "reissues",
+    "respawns",
+    "duplicates",
+    "deaths",
+    "nacks",
+    "bad_frames",
+    "degraded",
+];
 
 /// Top-level keys [`validate`] requires (besides `schema`).
 const REQUIRED_KEYS: &[&str] = &[
@@ -233,12 +295,20 @@ pub struct MetricsSummary {
     pub counters: usize,
     /// Number of histogram entries.
     pub histograms: usize,
+    /// Schema version the file declared (1 or 2).
+    pub schema_version: u32,
+    /// Whether a non-null `dist` section was present (v2 distributed
+    /// runs only).
+    pub dist: bool,
 }
 
 /// Validates a `METRICS_*.json` file's text against the
-/// `antdensity-metrics v1` contract: the schema marker, every required
-/// top-level key, balanced braces, and parseable numbers where the CI
-/// gate reads them. Backs `repro check-metrics`.
+/// `antdensity-metrics v2` contract (or the still-accepted v1): the
+/// schema marker, every required top-level key, balanced braces, and
+/// parseable numbers where the CI gate reads them. Under v2 the `dist`
+/// key must be present — `null` for in-process runs, an object with
+/// every distributed counter otherwise; under v1 it must be absent.
+/// Backs `repro check-metrics`.
 ///
 /// This is a structural check over the hand-rolled format, not a full
 /// JSON parser — it rejects the failure modes that matter (truncated
@@ -254,15 +324,42 @@ pub fn validate(text: &str) -> Result<MetricsSummary, String> {
     if text.matches('{').count() != text.matches('}').count() {
         return Err("unbalanced braces (truncated file?)".to_string());
     }
-    let schema_field = format!("\"schema\": \"{SCHEMA}\"");
-    if !text.contains(&schema_field) {
-        return Err(format!("missing or wrong schema marker (want `{SCHEMA}`)"));
-    }
+    let schema_version = if text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        2
+    } else if text.contains(&format!("\"schema\": \"{SCHEMA_V1}\"")) {
+        1
+    } else {
+        return Err(format!(
+            "missing or wrong schema marker (want `{SCHEMA}` or `{SCHEMA_V1}`)"
+        ));
+    };
     for key in REQUIRED_KEYS {
         if !text.contains(&format!("\"{key}\":")) {
             return Err(format!("missing required key `{key}`"));
         }
     }
+    let dist = match schema_version {
+        1 => {
+            if text.contains("\"dist\":") {
+                return Err("v1 file carries a `dist` key (bump the schema marker)".to_string());
+            }
+            false
+        }
+        _ => {
+            if text.contains("\"dist\": null") {
+                false
+            } else if text.contains("\"dist\": {") {
+                for key in DIST_KEYS {
+                    if !text.contains(&format!("\"{key}\":")) {
+                        return Err(format!("`dist` object missing required key `{key}`"));
+                    }
+                }
+                true
+            } else {
+                return Err("v2 file needs `dist`: null or an object".to_string());
+            }
+        }
+    };
     let string_after = |key: &str| -> Option<String> {
         let tag = format!("\"{key}\": \"");
         let start = text.find(&tag)? + tag.len();
@@ -342,6 +439,8 @@ pub fn validate(text: &str) -> Result<MetricsSummary, String> {
         wall_s,
         counters: section_entries("counters")?,
         histograms: section_entries("histograms")?,
+        schema_version,
+        dist,
     })
 }
 
@@ -377,7 +476,8 @@ mod tests {
         assert!(m.workers_effective >= 1);
         assert!(m.workers_effective <= m.workers_requested);
         let json = m.to_json();
-        assert!(json.contains("\"schema\": \"antdensity-metrics v1\""));
+        assert!(json.contains("\"schema\": \"antdensity-metrics v2\""));
+        assert!(json.contains("\"dist\": null"));
         assert!(json.contains("\"fused\": true"));
         assert!(json.contains("\"wall_s\": 0.125"));
         assert!(json.contains("\"simulated_rounds\": 16"));
@@ -395,6 +495,53 @@ mod tests {
         assert!((summary.wall_s - 0.125).abs() < 1e-9);
         assert_eq!(summary.counters, m.snapshot.counters.len());
         assert_eq!(summary.histograms, m.snapshot.histograms.len());
+        assert_eq!(summary.schema_version, 2);
+        assert!(!summary.dist);
+    }
+
+    #[test]
+    fn dist_section_round_trips_and_validates() {
+        let stats = crate::dist::DistStats {
+            workers_seen: 4,
+            leases: 10,
+            reissues: 2,
+            respawns: 1,
+            duplicates: 1,
+            deaths: 1,
+            nacks: 0,
+            bad_frames: 0,
+            degraded: 0,
+        };
+        let m = demo_metrics().with_dist(stats);
+        let json = m.to_json();
+        assert!(json.contains("\"dist\": {"));
+        assert!(json.contains("\"workers_seen\": 4"));
+        assert!(json.contains("\"reissues\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let summary = validate(&json).unwrap();
+        assert_eq!(summary.schema_version, 2);
+        assert!(summary.dist);
+        // a dist object missing a counter is rejected
+        let broken = json.replace("    \"respawns\": 1,\n", "");
+        assert!(validate(&broken).unwrap_err().contains("respawns"));
+    }
+
+    #[test]
+    fn v1_files_without_dist_still_validate() {
+        let m = demo_metrics();
+        let v1 = m
+            .to_json()
+            .replace(SCHEMA, SCHEMA_V1)
+            .replace("  \"dist\": null,\n", "");
+        let summary = validate(&v1).unwrap();
+        assert_eq!(summary.schema_version, 1);
+        assert!(!summary.dist);
+        // ...but a v1 marker with a dist key is a schema violation
+        let mixed = m.to_json().replace(SCHEMA, SCHEMA_V1);
+        assert!(validate(&mixed).unwrap_err().contains("bump the schema"));
+        // and a v2 file that dropped dist entirely is rejected
+        let dropped = m.to_json().replace("  \"dist\": null,\n", "");
+        assert!(validate(&dropped).unwrap_err().contains("dist"));
     }
 
     #[test]

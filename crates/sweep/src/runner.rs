@@ -236,51 +236,14 @@ pub fn run_shard_unfused(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, 
 /// count does not match the resolved spec.
 pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, String> {
     let resolved = spec.resolve(opts.quick)?;
-    let mut done: BTreeMap<usize, CellAggregate> = BTreeMap::new();
-
-    if opts.resume {
-        if let Some(path) = &opts.checkpoint {
-            if path.exists() {
-                let ck = Checkpoint::load(path)?;
-                if ck.fingerprint != resolved.fingerprint {
-                    return Err(format!(
-                        "checkpoint {} belongs to a different sweep configuration \
-                         (fingerprint {:016x}, expected {:016x}) — delete it or rerun \
-                         with the original spec and mode",
-                        path.display(),
-                        ck.fingerprint,
-                        resolved.fingerprint
-                    ));
-                }
-                if ck.cells != resolved.cells.len() {
-                    return Err(format!(
-                        "checkpoint {} records {} cells, spec resolves to {}",
-                        path.display(),
-                        ck.cells,
-                        resolved.cells.len()
-                    ));
-                }
-                done = ck.shards;
-            }
-        }
-    }
-
-    // A shard is complete iff every member cell's aggregate is present
-    // (checkpoints are keyed by cell, so partial waves restore cleanly).
-    let shard_done = |done: &BTreeMap<usize, CellAggregate>, s: &FusedShard| {
-        s.cells.iter().all(|c| done.contains_key(c))
+    // Exclusive writer: a second coordinator on the same checkpoint
+    // must fail loudly rather than interleave tmp+rename writes.
+    let _lock = match &opts.checkpoint {
+        Some(path) => Some(crate::checkpoint::CheckpointLock::acquire(path)?),
+        None => None,
     };
-    let resumed = resolved
-        .fused
-        .iter()
-        .filter(|s| shard_done(&done, s))
-        .count();
-    let pending: Vec<usize> = resolved
-        .fused
-        .iter()
-        .filter(|s| !shard_done(&done, s))
-        .map(|s| s.index)
-        .collect();
+    let mut done = load_resume(&resolved, opts.checkpoint.as_deref(), opts.resume)?;
+    let (resumed, pending) = partition_pending(&resolved, &done);
     let budget = opts.max_shards.unwrap_or(usize::MAX);
     let workers = opts.workers.max(1);
     let wave_size = opts.checkpoint_every.max(1);
@@ -401,6 +364,67 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
         workers_requested: workers,
         workers_effective,
     })
+}
+
+/// Loads resumable cell aggregates: the checkpoint's cell map when
+/// `resume` is set and a checkpoint exists, empty otherwise. Shared by
+/// the in-process runner and the distributed coordinator so both
+/// reject a foreign checkpoint with the same errors.
+///
+/// # Errors
+///
+/// Returns checkpoint load/parse failures, a fingerprint mismatch
+/// ("different sweep configuration"), or a cell-count mismatch.
+pub(crate) fn load_resume(
+    resolved: &ResolvedSweep,
+    checkpoint: Option<&std::path::Path>,
+    resume: bool,
+) -> Result<BTreeMap<usize, CellAggregate>, String> {
+    let Some(path) = checkpoint.filter(|_| resume) else {
+        return Ok(BTreeMap::new());
+    };
+    if !path.exists() {
+        return Ok(BTreeMap::new());
+    }
+    let ck = Checkpoint::load(path)?;
+    if ck.fingerprint != resolved.fingerprint {
+        return Err(format!(
+            "checkpoint {} belongs to a different sweep configuration \
+             (fingerprint {:016x}, expected {:016x}) — delete it or rerun \
+             with the original spec and mode",
+            path.display(),
+            ck.fingerprint,
+            resolved.fingerprint
+        ));
+    }
+    if ck.cells != resolved.cells.len() {
+        return Err(format!(
+            "checkpoint {} records {} cells, spec resolves to {}",
+            path.display(),
+            ck.cells,
+            resolved.cells.len()
+        ));
+    }
+    Ok(ck.shards)
+}
+
+/// Splits the sweep into already-complete and still-pending shards
+/// given restored cell aggregates. A shard is complete iff every
+/// member cell's aggregate is present (checkpoints are keyed by cell,
+/// so partial waves restore cleanly).
+pub(crate) fn partition_pending(
+    resolved: &ResolvedSweep,
+    done: &BTreeMap<usize, CellAggregate>,
+) -> (usize, Vec<usize>) {
+    let shard_done = |s: &FusedShard| s.cells.iter().all(|c| done.contains_key(c));
+    let resumed = resolved.fused.iter().filter(|s| shard_done(s)).count();
+    let pending: Vec<usize> = resolved
+        .fused
+        .iter()
+        .filter(|s| !shard_done(s))
+        .map(|s| s.index)
+        .collect();
+    (resumed, pending)
 }
 
 /// Renders the `--progress` stderr line after a wave: shard counts,

@@ -11,7 +11,11 @@
 //!    redundant work).
 
 use antdensity_engine::WorkerPool;
-use antdensity_sweep::{build_report, run_sweep, SweepOptions, SweepSpec};
+use antdensity_sweep::dist::{DistOptions, FaultPlan};
+use antdensity_sweep::{
+    build_report, run_sweep, run_sweep_distributed, CheckpointLock, DistError, SweepOptions,
+    SweepSpec,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -226,6 +230,92 @@ fn fused_equals_unfused_bit_for_bit() {
     .unwrap();
     assert!(resumed.complete);
     assert_eq!(resumed.aggregates, fused.aggregates);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+/// Two coordinators must never interleave writes on one checkpoint:
+/// whoever holds `<ckpt>.lock` wins, the other fails loudly before
+/// touching anything — in-process and distributed runners alike.
+#[test]
+fn concurrent_coordinators_on_one_checkpoint_fail_loudly() {
+    let spec = spec();
+    let ckpt = tmp_ckpt("locked");
+    let _ = std::fs::remove_file(&ckpt);
+    let held = CheckpointLock::acquire(&ckpt).unwrap();
+
+    let opts = SweepOptions {
+        checkpoint: Some(ckpt.clone()),
+        ..SweepOptions::default()
+    };
+    let err = run_sweep(&spec, &opts).unwrap_err();
+    assert!(err.contains("locked by running process"), "{err}");
+
+    let err =
+        run_sweep_distributed(&spec, &opts, &DistOptions::sim(2, FaultPlan::none())).unwrap_err();
+    match err {
+        DistError::Failed(e) => assert!(e.contains("locked by running process"), "{e}"),
+        DistError::Mismatch { .. } => panic!("lock contention is not a mismatch"),
+    }
+
+    // Releasing the lock unblocks the next coordinator.
+    drop(held);
+    let out = run_sweep(&spec, &opts).unwrap();
+    assert!(out.complete);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+/// The `--max-shards` + `--resume` regression: a budgeted partial run
+/// plus a resume re-executes exactly the shards the checkpoint lacks —
+/// never finished ones — and a resume of a complete sweep runs nothing.
+#[test]
+fn max_shards_budget_then_resume_executes_only_the_remainder() {
+    let spec = spec();
+    let reference = run_sweep(&spec, &SweepOptions::default()).unwrap();
+    let n = reference.resolved.fused.len();
+    let ckpt = tmp_ckpt("budget");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let partial = run_sweep(
+        &spec,
+        &SweepOptions {
+            checkpoint: Some(ckpt.clone()),
+            max_shards: Some(2),
+            checkpoint_every: 1,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!partial.complete);
+    assert_eq!(partial.executed, 2);
+
+    let resumed = run_sweep(
+        &spec,
+        &SweepOptions {
+            checkpoint: Some(ckpt.clone()),
+            resume: true,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(resumed.complete);
+    assert_eq!(resumed.resumed, 2, "finished shards must not re-run");
+    assert_eq!(resumed.executed, n - 2);
+    assert_eq!(resumed.aggregates, reference.aggregates);
+
+    // Resuming a complete sweep is a no-op execution-wise.
+    let again = run_sweep(
+        &spec,
+        &SweepOptions {
+            checkpoint: Some(ckpt.clone()),
+            resume: true,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(again.complete);
+    assert_eq!(again.resumed, n);
+    assert_eq!(again.executed, 0);
+    assert_eq!(again.aggregates, reference.aggregates);
     let _ = std::fs::remove_file(&ckpt);
 }
 
