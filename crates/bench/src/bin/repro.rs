@@ -12,11 +12,16 @@
 //! repro sweep-worker --stdio        # worker half (spawned by --serve-shards)
 //! repro sweep-worker --connect ADDR # worker half for a --listen coordinator
 //! repro check-metrics FILE          # validate a METRICS_*.json against its schema
+//! repro serve [--listen ADDR]       # estimation daemon (line-delimited JSON jobs)
+//! repro serve --stdio               # one daemon session over stdin/stdout
+//! repro serve-submit ADDR SPEC      # submit a spec to a daemon, stream results
+//! repro serve-bench [--full]        # hammer an in-process daemon, verify bytes
 //! options:
 //!   --quick           small grids (default for experiments)
 //!   --full            the EXPERIMENTS.md grids
-//!   --seed N          master seed for experiments (default 20160725 —
-//!                     PODC'16 day one; sweeps read their seed from the spec)
+//!   --seed N          experiments: master seed (default 20160725 — PODC'16 day
+//!                     one); sweep/serve-submit: override the spec's seed (same
+//!                     bytes as editing its `seed =` line)
 //!   --out DIR         CSV/JSON output directory (default results/)
 //!   --tolerance F     bench gate: allowed fractional regression (default 0.25)
 //! sweep options:
@@ -29,8 +34,7 @@
 //!   --dry-run         print cell/shard/trial counts and the fused-vs-unfused
 //!                     simulation work, then exit without running
 //!   --metrics [FILE]  write the execution-metrics snapshot (schema
-//!                     `antdensity-metrics v2`; default DIR/METRICS_<name>.json —
-//!                     supersedes the old SWEEP_<name>.timing.json)
+//!                     `antdensity-metrics v2`; default DIR/METRICS_<name>.json)
 //!   --trace FILE      write a Chrome-tracing / Perfetto JSON of the run's spans
 //!   --progress        live stderr line per wave: shards done/total, Msteps/s, ETA
 //! distributed sweep options:
@@ -44,257 +48,144 @@
 //!                     implies --serve-shards)
 //!   --fault PLAN      deterministic fault injection for testing, e.g.
 //!                     `kill:lease3,drop:RESULT@2` (see DESIGN.md)
+//! serve options (admission knobs):
+//!   --listen ADDR     TCP bind address (default 127.0.0.1:4710, port 0 = ephemeral)
+//!   --stdio           serve a single session over stdin/stdout instead
+//!   --max-queue N     queue slots before submits are rejected (default 64)
+//!   --executors N     concurrent jobs (default 2; all share the worker pool)
+//!   --workers N       worker threads per job (default: the thread default)
+//!   --dist N          run each job's shards on N child worker processes
 //! exit codes: 0 ok; 1 perf gate regressed / IO failure; 2 usage; 3 partial sweep;
 //!             4 distributed result mismatch (byte-unequal duplicate shard result)
 //! ```
 //!
-//! Telemetry is always enabled for `sweep` runs (it observes, never
-//! influences — reports are byte-identical with or without it, which
-//! `tests/determinism.rs` pins); `--trace`/`--metrics` only choose
-//! whether the collected data is written anywhere.
+//! This binary is a thin dispatcher: argv parses into the typed
+//! request structs in [`antdensity_bench::cli`] (shared with the
+//! tests), each subcommand's runner consumes its request, and every
+//! exit goes through [`cli::ExitCode`] — the same enum the contract
+//! tests assert against. A sweep request converts to the identical
+//! [`sweep::SweepJob`] a `repro serve` submit deserializes to, so the
+//! two front ends cannot drift.
+//!
+//! Telemetry is always enabled for `sweep` and `serve` runs (it
+//! observes, never influences — reports are byte-identical with or
+//! without it, which the determinism suites pin); `--trace`/`--metrics`
+//! only choose whether the collected data is written anywhere.
 
+use antdensity_bench::cli::{self, Command, ExitCode};
 use antdensity_bench::experiments;
 use antdensity_bench::perf;
 use antdensity_bench::report::Effort;
+use antdensity_serve as serve;
 use antdensity_sweep as sweep;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <list|bench|sweep SPEC|sweep-worker|check-metrics FILE|all|e1..e17...> \
+        "usage: repro <list|bench|sweep SPEC|sweep-worker|check-metrics FILE|serve|\
+         serve-submit ADDR SPEC|serve-bench|all|e1..e17...> \
          [--quick|--full] [--seed N] [--out DIR] [--compare [BASELINE]] [--tolerance F] \
          [--workers N] [--resume] [--max-shards K] [--no-checkpoint] [--no-fuse] \
          [--dry-run] [--metrics [FILE]] [--trace FILE] [--progress] \
-         [--serve-shards] [--workers-cmd N] [--listen ADDR] [--fault PLAN]"
+         [--serve-shards] [--workers-cmd N] [--listen ADDR] [--fault PLAN] \
+         [--stdio] [--max-queue N] [--executors N] [--dist N] [--clients N] [--jobs N]"
     );
-    std::process::exit(2);
+    ExitCode::Usage.exit()
 }
 
-struct Cli {
-    effort: Effort,
-    seed: u64,
-    out: PathBuf,
-    selected: Vec<String>,
-    list_only: bool,
-    bench_only: bool,
-    compare: Option<PathBuf>,
-    tolerance: f64,
-    sweep_spec: Option<PathBuf>,
-    check_metrics: Option<PathBuf>,
-    workers: Option<usize>,
-    resume: bool,
-    max_shards: Option<usize>,
-    no_checkpoint: bool,
-    no_fuse: bool,
-    dry_run: bool,
-    /// `Some(None)` = `--metrics` with the default output path;
-    /// `Some(Some(p))` = explicit file.
-    metrics: Option<Option<PathBuf>>,
-    trace: Option<PathBuf>,
-    progress: bool,
-    serve_shards: bool,
-    workers_cmd: Option<usize>,
-    listen: Option<String>,
-    fault: Option<String>,
-}
-
-fn parse_cli(args: &[String]) -> Cli {
-    let mut cli = Cli {
-        effort: Effort::Quick,
-        seed: 20_160_725,
-        out: PathBuf::from("results"),
-        selected: Vec::new(),
-        list_only: false,
-        bench_only: false,
-        compare: None,
-        tolerance: 0.25,
-        sweep_spec: None,
-        check_metrics: None,
-        workers: None,
-        resume: false,
-        max_shards: None,
-        no_checkpoint: false,
-        no_fuse: false,
-        dry_run: false,
-        metrics: None,
-        trace: None,
-        progress: false,
-        serve_shards: false,
-        workers_cmd: None,
-        listen: None,
-        fault: None,
-    };
-    let mut i = 0;
-    let mut expect_sweep_spec = false;
-    let mut expect_metrics_file = false;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        if expect_sweep_spec && !arg.starts_with("--") {
-            cli.sweep_spec = Some(PathBuf::from(arg));
-            expect_sweep_spec = false;
-            i += 1;
-            continue;
-        }
-        if expect_metrics_file && !arg.starts_with("--") {
-            cli.check_metrics = Some(PathBuf::from(arg));
-            expect_metrics_file = false;
-            i += 1;
-            continue;
-        }
-        match arg {
-            "--quick" => cli.effort = Effort::Quick,
-            "--full" => cli.effort = Effort::Full,
-            "bench" => cli.bench_only = true,
-            "sweep" => expect_sweep_spec = true,
-            "check-metrics" => expect_metrics_file = true,
-            "--seed" => {
-                i += 1;
-                cli.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--out" => {
-                i += 1;
-                cli.out = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--compare" => {
-                // optional path operand; defaults to the committed baseline
-                if let Some(next) = args.get(i + 1).filter(|n| !n.starts_with("--")) {
-                    cli.compare = Some(PathBuf::from(next));
-                    i += 1;
-                } else {
-                    cli.compare = Some(PathBuf::from("BENCH_baseline.json"));
-                }
-            }
-            "--tolerance" => {
-                i += 1;
-                cli.tolerance = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .filter(|t| (0.0..1.0).contains(t))
-                    .unwrap_or_else(|| usage());
-            }
-            "--workers" => {
-                i += 1;
-                cli.workers = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .filter(|&w| w > 0)
-                        .unwrap_or_else(|| usage()),
-                );
-            }
-            "--resume" => cli.resume = true,
-            "--max-shards" => {
-                i += 1;
-                cli.max_shards = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
-            }
-            "--no-checkpoint" => cli.no_checkpoint = true,
-            "--no-fuse" => cli.no_fuse = true,
-            "--dry-run" => cli.dry_run = true,
-            "--metrics" => {
-                // optional path operand; defaults to DIR/METRICS_<name>.json
-                if let Some(next) = args.get(i + 1).filter(|n| !n.starts_with("--")) {
-                    cli.metrics = Some(Some(PathBuf::from(next)));
-                    i += 1;
-                } else {
-                    cli.metrics = Some(None);
-                }
-            }
-            "--trace" => {
-                i += 1;
-                cli.trace = Some(PathBuf::from(
-                    args.get(i).cloned().unwrap_or_else(|| usage()),
-                ));
-            }
-            "--progress" => cli.progress = true,
-            "--serve-shards" => cli.serve_shards = true,
-            "--workers-cmd" => {
-                i += 1;
-                cli.workers_cmd = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .filter(|&w| w > 0)
-                        .unwrap_or_else(|| usage()),
-                );
-                cli.serve_shards = true;
-            }
-            "--listen" => {
-                i += 1;
-                cli.listen = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-                cli.serve_shards = true;
-            }
-            "--fault" => {
-                i += 1;
-                cli.fault = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "list" => cli.list_only = true,
-            "all" => {
-                cli.selected = experiments::all()
-                    .iter()
-                    .map(|e| e.id.to_string())
-                    .collect()
-            }
-            other if other.starts_with('e') || other.starts_with('E') => {
-                cli.selected.push(other.to_string());
-            }
-            _ => usage(),
-        }
-        i += 1;
-    }
-    if expect_sweep_spec {
-        eprintln!("`sweep` needs a spec file path");
-        usage();
-    }
-    if expect_metrics_file {
-        eprintln!("`check-metrics` needs a metrics JSON file path");
-        usage();
-    }
-    cli
-}
-
-fn run_bench(cli: &Cli) {
-    let t0 = Instant::now();
-    let report = perf::run_engine_bench(cli.effort);
-    print!("{}", report.render());
-    match report.write_json(&cli.out) {
-        Ok(path) => println!("  json: {}", path.display()),
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match cli::parse(&args) {
+        Ok(command) => command,
         Err(e) => {
-            eprintln!("  json write failed: {e}");
-            std::process::exit(1);
+            eprintln!("repro: {e}");
+            usage();
         }
+    };
+    match command {
+        Command::List => run_list(),
+        Command::Experiments(req) => run_experiments(&req),
+        Command::Bench(req) => run_bench(&req),
+        Command::Sweep(req) => run_sweep_cmd(&req),
+        Command::SweepWorker(req) => run_sweep_worker(&req),
+        Command::CheckMetrics(req) => run_check_metrics(&req.path),
+        Command::Serve(req) => run_serve(&req),
+        Command::ServeBench(req) => run_serve_bench_cmd(&req),
+        Command::ServeSubmit(req) => run_serve_submit(&req),
+    }
+}
+
+fn run_list() {
+    println!("available experiments:");
+    for def in experiments::all() {
+        println!("  {:>4}  {}", def.id, def.summary);
+    }
+}
+
+fn run_experiments(req: &cli::ExperimentsRequest) {
+    let mode = match req.effort {
+        Effort::Quick => "quick",
+        Effort::Full => "full",
+    };
+    println!("# antdensity repro — mode: {mode}, seed: {}\n", req.seed);
+    let t_all = Instant::now();
+    for id in &req.ids {
+        let Some(def) = experiments::find(id) else {
+            ExitCode::Usage.fail(&format!("unknown experiment id: {id}"));
+        };
+        let t0 = Instant::now();
+        let report = (def.run)(req.effort, req.seed);
+        let elapsed = t0.elapsed();
+        print!("{}", report.render());
+        match report.write_csv(&req.out) {
+            Ok(files) => {
+                for f in files {
+                    println!("  csv: {}", f.display());
+                }
+            }
+            Err(e) => eprintln!("  csv write failed: {e}"),
+        }
+        println!("  [{} finished in {:.1}s]\n", def.id, elapsed.as_secs_f64());
+    }
+    println!(
+        "# all selected experiments done in {:.1}s",
+        t_all.elapsed().as_secs_f64()
+    );
+}
+
+fn run_bench(req: &cli::BenchRequest) {
+    let t0 = Instant::now();
+    let report = perf::run_engine_bench(req.effort);
+    print!("{}", report.render());
+    match report.write_json(&req.out) {
+        Ok(path) => println!("  json: {}", path.display()),
+        Err(e) => ExitCode::Failure.fail(&format!("  json write failed: {e}")),
     }
     println!("  [bench finished in {:.1}s]", t0.elapsed().as_secs_f64());
 
-    if let Some(baseline_path) = &cli.compare {
-        let text = match std::fs::read_to_string(baseline_path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
-                std::process::exit(1);
-            }
-        };
+    if let Some(baseline_path) = &req.compare {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            ExitCode::Failure.fail(&format!(
+                "cannot read baseline {}: {e}",
+                baseline_path.display()
+            ))
+        });
         let baseline = perf::parse_json(&text).unwrap_or_else(|e| {
-            eprintln!("baseline {} is malformed: {e}", baseline_path.display());
-            std::process::exit(1);
+            ExitCode::Failure.fail(&format!(
+                "baseline {} is malformed: {e}",
+                baseline_path.display()
+            ))
         });
-        let cmp = perf::compare(&report, &baseline, cli.tolerance).unwrap_or_else(|e| {
-            eprintln!("comparison failed: {e}");
-            std::process::exit(1);
-        });
+        let cmp = perf::compare(&report, &baseline, req.tolerance)
+            .unwrap_or_else(|e| ExitCode::Failure.fail(&format!("comparison failed: {e}")));
         print!("{}", cmp.render());
         if cmp.regressed() {
-            eprintln!(
+            ExitCode::Failure.fail(&format!(
                 "perf gate FAILED: median throughput ratio {:.3} below {:.2}",
                 cmp.median_ratio,
-                1.0 - cli.tolerance
-            );
-            std::process::exit(1);
+                1.0 - req.tolerance
+            ));
         }
     }
 }
@@ -302,11 +193,7 @@ fn run_bench(cli: &Cli) {
 /// `repro sweep SPEC --dry-run`: print what would run — expanded cells,
 /// fused shards, trials, and the fused-vs-unfused simulation work —
 /// without executing anything or touching the filesystem.
-fn dry_run(spec: &sweep::SweepSpec, quick: bool) {
-    let resolved = spec.resolve(quick).unwrap_or_else(|e| {
-        eprintln!("sweep spec does not resolve: {e}");
-        std::process::exit(2);
-    });
+fn dry_run(resolved: &sweep::ResolvedSweep) {
     let (fused_sims, unfused_sims) = resolved.simulation_counts();
     let (fused_rounds, unfused_rounds) = resolved.simulated_round_counts();
     println!(
@@ -371,32 +258,29 @@ fn sweep_failure(e: &str, spec_path: &Path, checkpoint: &Option<PathBuf>) -> ! {
             spec_path.display(),
         );
     }
-    eprintln!("sweep failed: {e}");
-    std::process::exit(1);
+    ExitCode::Failure.fail(&format!("sweep failed: {e}"))
 }
 
 /// The `--serve-shards` / `--listen` execution path: build the
-/// distributed options from the CLI, run, and map [`sweep::DistError`]
-/// to the exit-code contract (4 = byte-unequal duplicate results).
+/// distributed options from the request, run, and map
+/// [`sweep::DistError`] to the exit-code contract
+/// ([`ExitCode::Mismatch`] = byte-unequal duplicate results).
 fn run_sweep_distributed_cmd(
-    cli: &Cli,
-    spec_path: &Path,
+    req: &cli::SweepRequest,
     spec: &sweep::SweepSpec,
     spec_text: &str,
     opts: &sweep::SweepOptions,
     checkpoint: &Option<PathBuf>,
 ) -> (sweep::SweepOutcome, sweep::DistStats) {
-    let plan = match &cli.fault {
-        Some(p) => sweep::FaultPlan::parse(p).unwrap_or_else(|e| {
-            eprintln!("--fault plan: {e}");
-            std::process::exit(2);
-        }),
+    let plan = match &req.fault {
+        Some(p) => sweep::FaultPlan::parse(p)
+            .unwrap_or_else(|e| ExitCode::Usage.fail(&format!("--fault plan: {e}"))),
         None => sweep::FaultPlan::none(),
     };
-    let transport = match &cli.listen {
+    let transport = match &req.listen {
         Some(addr) => sweep::Transport::Listen { addr: addr.clone() },
         None => sweep::Transport::Children {
-            workers: cli
+            workers: req
                 .workers_cmd
                 .unwrap_or_else(antdensity_walks::parallel::default_threads),
         },
@@ -412,81 +296,82 @@ fn run_sweep_distributed_cmd(
         Ok(pair) => pair,
         Err(sweep::DistError::Mismatch { shard, report }) => {
             eprintln!("repro-sweep: status=error reason=result-mismatch {report}");
-            eprintln!(
+            ExitCode::Mismatch.fail(&format!(
                 "sweep aborted: workers returned byte-unequal results for shard {shard} \
                  (determinism violated — do not trust partial output)"
-            );
-            std::process::exit(4);
+            ));
         }
-        Err(sweep::DistError::Failed(e)) => sweep_failure(&e, spec_path, checkpoint),
+        Err(sweep::DistError::Failed(e)) => sweep_failure(&e, &req.spec_path, checkpoint),
     }
 }
 
-fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
-    let text = match std::fs::read_to_string(spec_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read sweep spec {}: {e}", spec_path.display());
-            std::process::exit(1);
-        }
-    };
-    let spec = sweep::SweepSpec::parse(&text).unwrap_or_else(|e| {
-        eprintln!("sweep spec {}: {e}", spec_path.display());
-        std::process::exit(2);
+fn run_sweep_cmd(req: &cli::SweepRequest) {
+    let text = std::fs::read_to_string(&req.spec_path).unwrap_or_else(|e| {
+        ExitCode::Failure.fail(&format!(
+            "cannot read sweep spec {}: {e}",
+            req.spec_path.display()
+        ))
     });
-    if cli.dry_run {
-        dry_run(&spec, cli.effort == Effort::Quick);
+    // The same validated job a serve submit builds from this spec.
+    let job = req.to_job(text);
+    let validated = job
+        .validate()
+        .unwrap_or_else(|e| ExitCode::Usage.fail(&format!("{}: {e}", req.spec_path.display())));
+    if req.dry_run {
+        dry_run(&validated.resolved);
         return;
     }
     // Telemetry observes, never influences (the determinism suite runs
     // with it on) — so sweeps always collect; the flags below only
     // decide whether anything is written out.
     antdensity_telemetry::set_enabled(true);
-    if cli.trace.is_some() {
+    if req.trace.is_some() {
         antdensity_telemetry::set_tracing(true);
     }
-    let checkpoint = if cli.no_checkpoint {
+    let checkpoint = if req.no_checkpoint {
         None
     } else {
-        Some(cli.out.join(format!("{}.ckpt", spec.name)))
+        Some(req.out.join(format!("{}.ckpt", validated.spec.name)))
     };
     let opts = sweep::SweepOptions {
-        quick: cli.effort == Effort::Quick,
-        fuse: !cli.no_fuse,
-        workers: cli
+        quick: req.quick,
+        fuse: !req.no_fuse,
+        workers: req
             .workers
             .unwrap_or_else(antdensity_walks::parallel::default_threads),
         checkpoint: checkpoint.clone(),
-        resume: cli.resume,
-        max_shards: cli.max_shards,
-        progress: cli.progress,
+        resume: req.resume,
+        max_shards: req.max_shards,
+        progress: req.progress,
         ..sweep::SweepOptions::default()
     };
     let t0 = Instant::now();
-    let (outcome, dist_stats) = if cli.serve_shards {
-        let (outcome, stats) =
-            run_sweep_distributed_cmd(cli, spec_path, &spec, &text, &opts, &checkpoint);
+    let (outcome, dist_stats) = if req.serve_shards {
+        let (outcome, stats) = run_sweep_distributed_cmd(
+            req,
+            &validated.spec,
+            &job.effective_spec_text(),
+            &opts,
+            &checkpoint,
+        );
         (outcome, Some(stats))
     } else {
-        let outcome = sweep::run_sweep(&spec, &opts)
-            .unwrap_or_else(|e| sweep_failure(&e, spec_path, &checkpoint));
+        let outcome = sweep::run_sweep(&validated.spec, &opts)
+            .unwrap_or_else(|e| sweep_failure(&e, &req.spec_path, &checkpoint));
         (outcome, None)
     };
     let wall_s = t0.elapsed().as_secs_f64();
     let report = sweep::build_report(&outcome);
     print!("{}", report.render());
-    match report.write(&cli.out) {
+    match report.write(&req.out) {
         Ok((json, csv)) => {
             println!("  json: {}", json.display());
             println!("  csv:  {}", csv.display());
         }
-        Err(e) => {
-            eprintln!("  report write failed: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => ExitCode::Failure.fail(&format!("  report write failed: {e}")),
     }
     let snapshot = antdensity_telemetry::snapshot();
-    if let Some(metrics_path) = &cli.metrics {
+    if let Some(metrics_path) = &req.metrics {
         let mut metrics =
             sweep::SweepMetrics::from_outcome(&outcome, opts.fuse, wall_s, snapshot.clone());
         if let Some(stats) = &dist_stats {
@@ -499,17 +384,14 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
                 }
                 std::fs::write(path, metrics.to_json()).map(|()| path.clone())
             }
-            None => metrics.write(&cli.out),
+            None => metrics.write(&req.out),
         };
         match written {
             Ok(path) => println!("  metrics: {}", path.display()),
-            Err(e) => {
-                eprintln!("  metrics write failed: {e}");
-                std::process::exit(1);
-            }
+            Err(e) => ExitCode::Failure.fail(&format!("  metrics write failed: {e}")),
         }
     }
-    if let Some(trace_path) = &cli.trace {
+    if let Some(trace_path) = &req.trace {
         let events = antdensity_telemetry::take_trace();
         let json = antdensity_telemetry::chrome_trace_json(&events);
         match std::fs::write(trace_path, json) {
@@ -518,10 +400,7 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
                 trace_path.display(),
                 events.len()
             ),
-            Err(e) => {
-                eprintln!("  trace write failed: {e}");
-                std::process::exit(1);
-            }
+            Err(e) => ExitCode::Failure.fail(&format!("  trace write failed: {e}")),
         }
     }
     if let Some(stats) = &dist_stats {
@@ -566,7 +445,7 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
     // ran, why it stopped, and how to continue — built from the same
     // telemetry counters the metrics file carries.
     let total_shards = outcome.resolved.fused.len();
-    let reason = if cli.max_shards.is_some() {
+    let reason = if req.max_shards.is_some() {
         "max-shards-budget"
     } else {
         "stopped-early"
@@ -574,8 +453,8 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
     let next = match &checkpoint {
         Some(_) => format!(
             "resume=\"repro sweep {} --resume --out {}\"",
-            spec_path.display(),
-            cli.out.display()
+            req.spec_path.display(),
+            req.out.display()
         ),
         None => "resume=none (--no-checkpoint discarded progress)".to_string(),
     };
@@ -588,22 +467,19 @@ fn run_sweep_cmd(cli: &Cli, spec_path: &PathBuf) {
         snapshot.counter("sweep.trials"),
         snapshot.counter("sweep.checkpoint_writes"),
     );
-    std::process::exit(3);
+    ExitCode::Partial.exit()
 }
 
 /// `repro sweep-worker [--stdio | --connect ADDR]`: the worker half of
-/// a distributed sweep. Intercepted before normal CLI parsing — its
-/// stdout carries protocol frames, not human output.
-fn run_sweep_worker(args: &[String]) -> Result<(), String> {
-    match args.first().map(String::as_str) {
-        Some("--stdio") | None => sweep::dist::runtime::run_worker_stdio(),
-        Some("--connect") => {
-            let addr = args.get(1).ok_or("--connect needs an ADDR operand")?;
-            sweep::dist::runtime::run_worker_connect(addr)
-        }
-        Some(other) => Err(format!(
-            "unknown sweep-worker option `{other}` (want --stdio or --connect ADDR)"
-        )),
+/// a distributed sweep. Its stdout carries protocol frames, not human
+/// output — nothing here prints.
+fn run_sweep_worker(req: &cli::SweepWorkerRequest) {
+    let result = match &req.mode {
+        cli::WorkerMode::Stdio => sweep::dist::runtime::run_worker_stdio(),
+        cli::WorkerMode::Connect(addr) => sweep::dist::runtime::run_worker_connect(addr),
+    };
+    if let Err(e) = result {
+        ExitCode::Failure.fail(&format!("sweep-worker: {e}"));
     }
 }
 
@@ -611,13 +487,9 @@ fn run_sweep_worker(args: &[String]) -> Result<(), String> {
 /// `antdensity-metrics v2` schema (v1 files still accepted) — the CI
 /// guard that the artifact other jobs grep stays well-formed.
 fn run_check_metrics(path: &PathBuf) {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read metrics file {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        ExitCode::Failure.fail(&format!("cannot read metrics file {}: {e}", path.display()))
+    });
     match sweep::metrics::validate(&text) {
         Ok(summary) => println!(
             "metrics ok: schema=v{} sweep={} wall_s={:.3} counters={} histograms={} dist={}",
@@ -628,96 +500,141 @@ fn run_check_metrics(path: &PathBuf) {
             summary.histograms,
             if summary.dist { "yes" } else { "no" },
         ),
-        Err(e) => {
-            eprintln!(
-                "metrics file {} violates {}: {e}",
-                path.display(),
-                sweep::metrics::SCHEMA
-            );
-            std::process::exit(1);
-        }
+        Err(e) => ExitCode::Failure.fail(&format!(
+            "metrics file {} violates {}: {e}",
+            path.display(),
+            sweep::metrics::SCHEMA
+        )),
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage();
-    }
-    if args.first().map(String::as_str) == Some("sweep-worker") {
-        if let Err(e) = run_sweep_worker(&args[1..]) {
-            eprintln!("sweep-worker: {e}");
-            std::process::exit(1);
-        }
-        return;
-    }
-    let cli = parse_cli(&args);
-
-    if cli.list_only {
-        println!("available experiments:");
-        for def in experiments::all() {
-            println!("  {:>4}  {}", def.id, def.summary);
-        }
-        return;
-    }
-    if let Some(metrics_path) = cli.check_metrics.clone() {
-        if cli.bench_only || cli.sweep_spec.is_some() || !cli.selected.is_empty() {
-            eprintln!("`check-metrics` cannot be combined with other commands");
-            std::process::exit(2);
-        }
-        run_check_metrics(&metrics_path);
-        return;
-    }
-    if let Some(spec_path) = cli.sweep_spec.clone() {
-        if cli.bench_only || !cli.selected.is_empty() {
-            eprintln!("`sweep` cannot be combined with `bench` or experiment ids");
-            std::process::exit(2);
-        }
-        run_sweep_cmd(&cli, &spec_path);
-        return;
-    }
-    if cli.bench_only {
-        if !cli.selected.is_empty() {
-            eprintln!(
-                "`bench` cannot be combined with experiment ids (got {})",
-                cli.selected.join(", ")
-            );
-            std::process::exit(2);
-        }
-        run_bench(&cli);
-        return;
-    }
-    if cli.selected.is_empty() {
-        usage();
-    }
-
-    let mode = match cli.effort {
-        Effort::Quick => "quick",
-        Effort::Full => "full",
+/// `repro serve`: the estimation daemon. Blocks until a client sends
+/// the `shutdown` op (TCP) or stdin closes (`--stdio`).
+fn run_serve(req: &cli::ServeRequest) {
+    antdensity_telemetry::set_enabled(true);
+    let cfg = serve::ServeConfig {
+        max_queue: req.max_queue,
+        executors: req.executors,
+        job_workers: req.job_workers,
+        dist_workers: req.dist_workers,
     };
-    println!("# antdensity repro — mode: {mode}, seed: {}\n", cli.seed);
-    let t_all = Instant::now();
-    for id in &cli.selected {
-        let Some(def) = experiments::find(id) else {
-            eprintln!("unknown experiment id: {id}");
-            std::process::exit(2);
-        };
-        let t0 = Instant::now();
-        let report = (def.run)(cli.effort, cli.seed);
-        let elapsed = t0.elapsed();
-        print!("{}", report.render());
-        match report.write_csv(&cli.out) {
-            Ok(files) => {
-                for f in files {
-                    println!("  csv: {}", f.display());
-                }
-            }
-            Err(e) => eprintln!("  csv write failed: {e}"),
+    if req.stdio {
+        if let Err(e) = serve::run_stdio(cfg) {
+            ExitCode::Failure.fail(&format!("serve: {e}"));
         }
-        println!("  [{} finished in {:.1}s]\n", def.id, elapsed.as_secs_f64());
+        return;
     }
+    let addr = req.listen.as_deref().unwrap_or("127.0.0.1:4710");
+    let server = serve::Server::bind(addr, cfg)
+        .unwrap_or_else(|e| ExitCode::Failure.fail(&format!("serve: {e}")));
+    // One structured, machine-greppable readiness line (CI waits on it).
     println!(
-        "# all selected experiments done in {:.1}s",
-        t_all.elapsed().as_secs_f64()
+        "repro-serve: status=listening addr={} protocol=\"{}\"",
+        server.local_addr(),
+        serve::PROTOCOL
     );
+    server.wait();
+}
+
+/// `repro serve-submit ADDR SPEC`: one-shot client — submit, stream,
+/// write the daemon-delivered report bytes under `--out` exactly where
+/// `repro sweep` would have written them.
+fn run_serve_submit(req: &cli::ServeSubmitRequest) {
+    let text = std::fs::read_to_string(&req.spec_path).unwrap_or_else(|e| {
+        ExitCode::Failure.fail(&format!(
+            "cannot read sweep spec {}: {e}",
+            req.spec_path.display()
+        ))
+    });
+    let mut job = sweep::SweepJob::new(text);
+    job.quick = req.quick;
+    job.seed_override = req.seed;
+    let mut client = serve::Client::connect(&req.addr)
+        .unwrap_or_else(|e| ExitCode::Failure.fail(&format!("serve-submit: {e}")));
+    let results = client
+        .run_batch(vec![serve::Submit { job, label: None }])
+        .unwrap_or_else(|e| {
+            // A rejection is the daemon telling us the job was invalid
+            // — the same class of mistake as a bad spec on the CLI.
+            if e.starts_with("rejected:") {
+                ExitCode::Usage.fail(&format!("serve-submit: {e}"));
+            }
+            ExitCode::Failure.fail(&format!("serve-submit: {e}"));
+        });
+    let res = &results[0];
+    if res.state != "done" {
+        ExitCode::Failure.fail(&format!(
+            "serve-submit: job {} ended {}{}",
+            res.job,
+            res.state,
+            if res.reason.is_empty() {
+                String::new()
+            } else {
+                format!(": {}", res.reason)
+            }
+        ));
+    }
+    std::fs::create_dir_all(&req.out)
+        .unwrap_or_else(|e| ExitCode::Failure.fail(&format!("serve-submit: mkdir: {e}")));
+    let json_path = req.out.join(format!("SWEEP_{}.json", res.name));
+    let csv_path = req.out.join(format!("SWEEP_{}.csv", res.name));
+    std::fs::write(&json_path, &res.report_json)
+        .and_then(|()| std::fs::write(&csv_path, &res.report_csv))
+        .unwrap_or_else(|e| ExitCode::Failure.fail(&format!("serve-submit: write: {e}")));
+    println!(
+        "serve-submit: job {} done — {} row{} streamed",
+        res.job,
+        res.rows.len(),
+        if res.rows.len() == 1 { "" } else { "s" }
+    );
+    println!("  json: {}", json_path.display());
+    println!("  csv:  {}", csv_path.display());
+    if let Some(metrics_path) = &req.metrics {
+        let metrics = client
+            .metrics()
+            .unwrap_or_else(|e| ExitCode::Failure.fail(&format!("serve-submit: metrics: {e}")));
+        std::fs::write(metrics_path, metrics.encode())
+            .unwrap_or_else(|e| ExitCode::Failure.fail(&format!("serve-submit: write: {e}")));
+        println!("  metrics: {}", metrics_path.display());
+    }
+}
+
+/// `repro serve-bench`: hammer a fresh in-process daemon with
+/// concurrent clients; every delivered report is verified byte-for-
+/// byte against its sequential reference before any number is printed.
+fn run_serve_bench_cmd(req: &cli::ServeBenchRequest) {
+    antdensity_telemetry::set_enabled(true);
+    let mut cfg = if req.full {
+        serve::ServeBenchConfig::full()
+    } else {
+        serve::ServeBenchConfig::quick()
+    };
+    if let Some(c) = req.clients {
+        cfg.clients = c;
+    }
+    if let Some(j) = req.jobs {
+        cfg.jobs_per_client = j;
+    }
+    let t0 = Instant::now();
+    match serve::run_serve_bench(&cfg) {
+        Ok(r) => {
+            println!(
+                "serve-bench: {} clients x {} jobs — {} delivered in {:.2}s \
+                 ({:.0} jobs/s, {:.2} Msteps/s, queue peak {})",
+                cfg.clients,
+                cfg.jobs_per_client,
+                r.jobs,
+                r.secs,
+                r.jobs_per_sec,
+                r.agent_steps as f64 / r.secs.max(1e-9) / 1e6,
+                r.queue_peak,
+            );
+            println!(
+                "  every report byte-identical to its sequential CLI run \
+                 [{:.1}s total]",
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => ExitCode::Failure.fail(&format!("serve-bench failed: {e}")),
+    }
 }

@@ -43,6 +43,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod cli;
 pub mod experiments;
 pub mod perf;
 pub mod report;

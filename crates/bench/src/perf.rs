@@ -207,6 +207,7 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
     bench_observer_fusion(effort, &mut results);
     bench_telemetry_overhead(effort, agent_grid, &mut results);
     bench_dist_sweep(effort, &mut results);
+    bench_serve(effort, &mut results);
 
     EngineBenchReport {
         mode: match effort {
@@ -502,6 +503,112 @@ fn bench_dist_sweep(effort: Effort, results: &mut Vec<EngineBenchResult>) {
     }
 }
 
+/// The service-layer group: the same batch of small sweep jobs executed
+/// two ways — `direct` runs each job's sweep sequentially in process
+/// (the `repro sweep` path, no daemon anywhere), `served` pushes the
+/// whole batch through a fresh `repro serve` daemon over real TCP with
+/// four concurrent clients. Job bytes are identical either way (the
+/// serve determinism suite pins that), so the pair isolates what
+/// admission, queueing, event streaming, and socket framing cost per
+/// delivered agent-step on top of the sweep compute itself.
+fn bench_serve(effort: Effort, results: &mut Vec<EngineBenchResult>) {
+    use antdensity_serve::{Client, ServeConfig, Server, Submit};
+    use antdensity_sweep::{run_sweep, SweepJob, SweepOptions};
+
+    const CLIENTS: usize = 4;
+    let jobs_per_client = effort.trials(2, 6) as usize;
+    let trials = effort.trials(1, 2);
+    let spec_text = format!(
+        "name = bench_serve\nseed = 5\ntrials = {trials}\n\
+         topology = complete:64\ndensity = 0.25\n\
+         rounds = 8, 16\nestimator = alg1\n"
+    );
+    let job_for = |client: usize, j: usize| {
+        let mut job = SweepJob::new(spec_text.clone());
+        job.seed_override = Some(3000 + (client * jobs_per_client + j) as u64);
+        job
+    };
+    let validated = job_for(0, 0).validate().expect("bench serve spec is valid");
+    let per_job_steps: u64 = validated
+        .resolved
+        .cells
+        .iter()
+        .map(|c| c.num_agents as u64 * c.rounds)
+        .sum::<u64>()
+        * validated.resolved.trials;
+    let total_jobs = CLIENTS * jobs_per_client;
+    let delivered_steps = per_job_steps * total_jobs as u64;
+    let agents: usize = validated.resolved.cells.iter().map(|c| c.num_agents).sum();
+
+    let mut push = |implementation: &'static str, ns: f64| {
+        let ns_per_delivered_step = ns / delivered_steps as f64;
+        results.push(EngineBenchResult {
+            group: "serve_bench",
+            implementation,
+            agents,
+            workers: CLIENTS,
+            effective_workers: CLIENTS,
+            ns_per_agent_step: ns_per_delivered_step,
+            msteps_per_sec: 1e3 / ns_per_delivered_step,
+        });
+    };
+
+    let opts = SweepOptions::default();
+    let ns = median_ns_per_round(
+        || {
+            for c in 0..CLIENTS {
+                for j in 0..jobs_per_client {
+                    let v = job_for(c, j).validate().expect("job validates");
+                    std::hint::black_box(run_sweep(&v.spec, &opts).expect("bench sweep runs"));
+                }
+            }
+        },
+        1,
+        SAMPLES,
+    );
+    push("direct", ns);
+
+    let ns = median_ns_per_round(
+        || {
+            let server = Server::bind(
+                "127.0.0.1:0",
+                ServeConfig {
+                    executors: 2,
+                    max_queue: total_jobs + CLIENTS,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("bench daemon binds");
+            let addr = server.local_addr().to_string();
+            std::thread::scope(|scope| {
+                for c in 0..CLIENTS {
+                    let addr = addr.clone();
+                    let job_for = &job_for;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(&addr).expect("bench client connects");
+                        let batch = (0..jobs_per_client)
+                            .map(|j| Submit {
+                                job: job_for(c, j),
+                                label: None,
+                            })
+                            .collect();
+                        let results = client.run_batch(batch).expect("bench batch runs");
+                        for res in &results {
+                            assert_eq!(res.state, "done", "{}", res.reason);
+                        }
+                        std::hint::black_box(results);
+                    });
+                }
+            });
+            server.shutdown();
+            server.wait();
+        },
+        1,
+        SAMPLES,
+    );
+    push("served", ns);
+}
+
 impl EngineBenchReport {
     /// Serializes to the documented JSON schema (no external deps — the
     /// workspace is offline, so the writer is hand-rolled).
@@ -760,6 +867,9 @@ pub fn parse_json(text: &str) -> Result<EngineBenchReport, String> {
             "inproc",
             "dist_sim",
             "dist_sim_faulty",
+            "serve_bench",
+            "direct",
+            "served",
         ] {
             if s == known {
                 return Ok(known);

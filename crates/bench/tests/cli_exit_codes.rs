@@ -1,5 +1,7 @@
-//! The `repro sweep` exit-code contract, exercised through the real
-//! binary (`CARGO_BIN_EXE_repro`) with real child worker processes:
+//! The `repro` exit-code contract, exercised through the real binary
+//! (`CARGO_BIN_EXE_repro`) with real child worker processes. The
+//! expected codes come from the same [`ExitCode`] enum the binary
+//! exits through, so the contract cannot drift from the source:
 //!
 //! | code | meaning                                          |
 //! |------|--------------------------------------------------|
@@ -12,6 +14,7 @@
 //! Every failure path must also emit one structured, machine-greppable
 //! `repro-sweep: status=…` line on stderr.
 
+use antdensity_bench::cli::ExitCode;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
@@ -120,7 +123,12 @@ fn partial_distributed_run_exits_three_with_structured_stderr() {
         "--max-shards",
         "1",
     ]);
-    assert_eq!(out.status.code(), Some(3), "{}", stderr_of(&out));
+    assert_eq!(
+        out.status.code(),
+        Some(ExitCode::Partial.code()),
+        "{}",
+        stderr_of(&out)
+    );
     let err = stderr_of(&out);
     assert!(err.contains("repro-sweep: status=partial"), "{err}");
     assert!(err.contains("reason=max-shards-budget"), "{err}");
@@ -151,7 +159,12 @@ fn byzantine_result_mismatch_exits_four() {
         "--fault",
         "dup:RESULT@1,lie:RESULT@2",
     ]);
-    assert_eq!(out.status.code(), Some(4), "{}", stderr_of(&out));
+    assert_eq!(
+        out.status.code(),
+        Some(ExitCode::Mismatch.code()),
+        "{}",
+        stderr_of(&out)
+    );
     let err = stderr_of(&out);
     assert!(
         err.contains("repro-sweep: status=error reason=result-mismatch"),
@@ -180,7 +193,12 @@ fn locked_checkpoint_exits_one_with_structured_stderr() {
         "--workers-cmd",
         "2",
     ]);
-    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    assert_eq!(
+        out.status.code(),
+        Some(ExitCode::Failure.code()),
+        "{}",
+        stderr_of(&out)
+    );
     let err = stderr_of(&out);
     assert!(err.contains("reason=checkpoint-locked"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
@@ -189,11 +207,102 @@ fn locked_checkpoint_exits_one_with_structured_stderr() {
 #[test]
 fn usage_errors_exit_two() {
     let out = repro(&["sweep"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(ExitCode::Usage.code()));
     let out = repro(&["sweep", "nonexistent.sweep", "--workers-cmd", "0"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(ExitCode::Usage.code()));
     let out = repro(&["--definitely-not-a-flag"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(ExitCode::Usage.code()));
+}
+
+/// The service front end, end to end through the real binary: start a
+/// daemon on an ephemeral port, have two concurrent `serve-submit`
+/// clients stream the same spec, and require the delivered report
+/// files to be byte-identical to the sequential `repro sweep` run —
+/// the same check the CI `serve-smoke` job performs with `cmp`.
+#[test]
+fn serve_submit_round_trip_matches_cli_bytes() {
+    use std::io::BufRead;
+
+    let dir = tmp_dir("serve");
+    let spec = write_spec(&dir);
+    let cli_out = dir.join("cli");
+    let out = repro(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--quick",
+        "--out",
+        cli_out.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--executors", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut ready = String::new();
+    std::io::BufReader::new(daemon.stdout.take().unwrap())
+        .read_line(&mut ready)
+        .unwrap();
+    assert!(
+        ready.starts_with("repro-serve: status=listening addr="),
+        "{ready}"
+    );
+    let addr = ready
+        .split("addr=")
+        .nth(1)
+        .and_then(|r| r.split_whitespace().next())
+        .unwrap()
+        .to_string();
+
+    let clients: Vec<_> = (0..2)
+        .map(|c| {
+            let out_dir = dir.join(format!("client{c}"));
+            let metrics = dir.join(format!("serve_metrics{c}.json"));
+            let child = Command::new(env!("CARGO_BIN_EXE_repro"))
+                .args([
+                    "serve-submit",
+                    &addr,
+                    spec.to_str().unwrap(),
+                    "--quick",
+                    "--out",
+                    out_dir.to_str().unwrap(),
+                    "--metrics",
+                    metrics.to_str().unwrap(),
+                ])
+                .output();
+            (out_dir, metrics, child)
+        })
+        .collect();
+    for (out_dir, metrics, child) in clients {
+        let out = child.expect("spawn serve-submit");
+        assert!(out.status.success(), "{}", stderr_of(&out));
+        for name in ["SWEEP_cli_exit.json", "SWEEP_cli_exit.csv"] {
+            let served = std::fs::read(out_dir.join(name)).unwrap();
+            let direct = std::fs::read(cli_out.join(name)).unwrap();
+            assert_eq!(served, direct, "{name} must be byte-identical");
+        }
+        let snapshot = std::fs::read_to_string(&metrics).unwrap();
+        assert!(snapshot.contains("\"queue_depth\""), "{snapshot}");
+        assert!(snapshot.contains("serve.jobs_completed"), "{snapshot}");
+    }
+
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_usage_errors_exit_two() {
+    // --stdio and --listen are mutually exclusive.
+    let out = repro(&["serve", "--stdio", "--listen", "127.0.0.1:0"]);
+    assert_eq!(out.status.code(), Some(ExitCode::Usage.code()));
+    // serve-submit requires ADDR and SPEC operands.
+    let out = repro(&["serve-submit", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(ExitCode::Usage.code()));
+    // An unreachable daemon is an IO failure, not a usage error.
+    let out = repro(&["serve-submit", "127.0.0.1:1", "nonexistent.sweep"]);
+    assert_eq!(out.status.code(), Some(ExitCode::Failure.code()));
 }
 
 #[test]
@@ -208,7 +317,12 @@ fn bad_fault_plan_exits_two() {
         "--fault",
         "explode:everything",
     ]);
-    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert_eq!(
+        out.status.code(),
+        Some(ExitCode::Usage.code()),
+        "{}",
+        stderr_of(&out)
+    );
     assert!(
         stderr_of(&out).contains("--fault plan"),
         "{}",

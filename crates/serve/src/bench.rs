@@ -1,0 +1,209 @@
+//! The `repro serve-bench` load generator: an in-process daemon
+//! hammered by concurrent clients, every delivered report checked
+//! byte-for-byte against the sequential CLI path.
+//!
+//! This is a *correctness-checked* benchmark: throughput numbers from
+//! a service that returned wrong bytes are meaningless, so the
+//! generator first computes each client's reference report via
+//! [`run_sweep`] and then fails loudly on the first mismatch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use antdensity_sweep::runner::{run_sweep, SweepOptions};
+use antdensity_sweep::{build_report, SweepJob};
+
+use crate::client::Client;
+use crate::daemon::{ServeConfig, Server};
+use crate::request::Submit;
+
+/// A tiny single-shard spec: admission, queueing, streaming, and
+/// teardown dominate, which is exactly what serve-bench measures.
+const BENCH_SPEC: &str = "\
+name = serve_bench
+seed = 11
+trials = 1
+topology = complete:64
+density = 0.25
+rounds = 8, 16
+estimator = alg1
+";
+
+/// Load-generator shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Jobs each client submits in one batch.
+    pub jobs_per_client: usize,
+    /// Daemon executor threads.
+    pub executors: usize,
+}
+
+impl ServeBenchConfig {
+    /// Quick shape for CI: 16 clients × 16 jobs = 256 jobs.
+    pub fn quick() -> Self {
+        Self {
+            clients: 16,
+            jobs_per_client: 16,
+            executors: 2,
+        }
+    }
+
+    /// Full shape: 64 clients × 32 jobs = 2048 jobs.
+    pub fn full() -> Self {
+        Self {
+            clients: 64,
+            jobs_per_client: 32,
+            executors: 4,
+        }
+    }
+
+    /// Total jobs the run will push through the daemon.
+    pub fn total_jobs(&self) -> usize {
+        self.clients * self.jobs_per_client
+    }
+}
+
+/// What one serve-bench run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchReport {
+    /// Jobs delivered (accepted and completed with verified bytes).
+    pub jobs: usize,
+    /// Wall-clock for the whole run, seconds.
+    pub secs: f64,
+    /// Jobs per second.
+    pub jobs_per_sec: f64,
+    /// Agent-steps of simulation work delivered, summed over jobs.
+    pub agent_steps: u64,
+    /// Peak queue depth the daemon observed.
+    pub queue_peak: u64,
+}
+
+/// The job every client submits, with its per-client seed. Client `c`
+/// overrides the seed to `1000 + c`: distinct streams per client,
+/// reproducible across runs, and each equivalent to a CLI run of the
+/// same spec with its seed line edited.
+fn client_job(client: usize) -> SweepJob {
+    let mut job = SweepJob::new(BENCH_SPEC);
+    job.quick = false;
+    job.seed_override = Some(1000 + client as u64);
+    job
+}
+
+/// Agent-steps one job's sweep simulates (agents × rounds × trials,
+/// summed over cells).
+fn job_agent_steps(job: &SweepJob) -> u64 {
+    let resolved = job.validate().expect("bench spec validates").resolved;
+    let trials = resolved.trials;
+    resolved
+        .cells
+        .iter()
+        .map(|c| c.num_agents as u64 * c.rounds * trials)
+        .sum()
+}
+
+/// Runs the load generator against a fresh in-process daemon and
+/// verifies every delivered report byte-for-byte.
+///
+/// # Errors
+///
+/// Daemon/bind/transport failures, or the first byte mismatch between
+/// a served report and its sequential reference.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
+    // Reference bytes per client, computed sequentially first.
+    let mut references = Vec::with_capacity(cfg.clients);
+    for c in 0..cfg.clients {
+        let job = client_job(c);
+        let spec = job.parse_spec().map_err(|e| e.to_string())?;
+        let opts = SweepOptions {
+            quick: job.quick,
+            ..SweepOptions::default()
+        };
+        let outcome = run_sweep(&spec, &opts)?;
+        let report = build_report(&outcome);
+        references.push((report.to_json(), report.to_csv()));
+    }
+    let references = Arc::new(references);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_queue: cfg.total_jobs() + cfg.clients,
+            executors: cfg.executors,
+            ..ServeConfig::default()
+        },
+    )?;
+    let addr = server.local_addr().to_string();
+
+    let steps_per_job = job_agent_steps(&client_job(0));
+    let delivered_steps = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for c in 0..cfg.clients {
+        let addr = addr.clone();
+        let references = Arc::clone(&references);
+        let delivered_steps = Arc::clone(&delivered_steps);
+        let jobs = cfg.jobs_per_client;
+        handles.push(thread::spawn(move || -> Result<usize, String> {
+            let mut client = Client::connect(&addr)?;
+            let batch: Vec<Submit> = (0..jobs)
+                .map(|_| Submit {
+                    job: client_job(c),
+                    label: None,
+                })
+                .collect();
+            let results = client.run_batch(batch)?;
+            let (want_json, want_csv) = &references[c];
+            for res in &results {
+                if res.state != "done" {
+                    return Err(format!(
+                        "client {c} job {}: state `{}` ({})",
+                        res.job, res.state, res.reason
+                    ));
+                }
+                if &res.report_json != want_json || &res.report_csv != want_csv {
+                    return Err(format!(
+                        "client {c} job {}: served report differs from sequential CLI bytes",
+                        res.job
+                    ));
+                }
+                delivered_steps.fetch_add(steps_per_job, Ordering::Relaxed);
+            }
+            Ok(results.len())
+        }));
+    }
+    let mut jobs_done = 0usize;
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(n)) => jobs_done += n,
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => first_err = first_err.or(Some("client thread panicked".to_string())),
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    let queue_peak = {
+        let mut probe = Client::connect(&addr)?;
+        let metrics = probe.metrics()?;
+        metrics
+            .get("queue_peak")
+            .and_then(crate::json::Json::as_u64)
+            .unwrap_or(0)
+    };
+    server.shutdown();
+    server.wait();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(ServeBenchReport {
+        jobs: jobs_done,
+        secs,
+        jobs_per_sec: jobs_done as f64 / secs.max(1e-9),
+        agent_steps: delivered_steps.load(Ordering::Relaxed),
+        queue_peak,
+    })
+}

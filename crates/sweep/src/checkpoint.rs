@@ -160,7 +160,7 @@ pub struct Checkpoint {
     pub shards: BTreeMap<usize, CellAggregate>,
 }
 
-const MAGIC: &str = "antdensity-sweep-checkpoint v1";
+const MAGIC: &str = crate::schema::CHECKPOINT_MAGIC;
 
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())

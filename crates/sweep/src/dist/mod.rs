@@ -40,7 +40,7 @@ pub use sim::SimOutcome;
 
 use crate::aggregate::CellAggregate;
 use crate::checkpoint::{self, Checkpoint, CheckpointLock};
-use crate::runner::{load_resume, partition_pending, SweepOptions, SweepOutcome};
+use crate::runner::{load_resume, partition_pending, ShardObserver, SweepOptions, SweepOutcome};
 use crate::spec::{ResolvedSweep, SweepSpec};
 use antdensity_telemetry as telemetry;
 use std::collections::BTreeMap;
@@ -183,17 +183,17 @@ pub fn shard_blob(resolved: &ResolvedSweep, index: usize, fuse: bool) -> String 
     ck.to_text()
 }
 
-/// Parses a returned blob and merges its cell aggregates into `done`.
+/// Parses a returned blob into its `(cell index, aggregate)` pairs
+/// after checking it answers for *this* spec.
 ///
 /// # Errors
 ///
 /// Returns parse failures and fingerprint/cell-count mismatches (a
 /// worker answering for a different spec).
-pub fn merge_blob(
+pub fn parse_blob(
     resolved: &ResolvedSweep,
     blob: &str,
-    done: &mut BTreeMap<usize, CellAggregate>,
-) -> Result<(), String> {
+) -> Result<Vec<(usize, CellAggregate)>, String> {
     let ck = Checkpoint::parse(blob)?;
     if ck.fingerprint != resolved.fingerprint {
         return Err(format!(
@@ -208,11 +208,29 @@ pub fn merge_blob(
             resolved.cells.len()
         ));
     }
-    for (cell, agg) in ck.shards {
+    Ok(ck.shards.into_iter().collect())
+}
+
+/// Parses a returned blob and merges its cell aggregates into `done`.
+///
+/// # Errors
+///
+/// Exactly [`parse_blob`]'s error conditions.
+pub fn merge_blob(
+    resolved: &ResolvedSweep,
+    blob: &str,
+    done: &mut BTreeMap<usize, CellAggregate>,
+) -> Result<(), String> {
+    for (cell, agg) in parse_blob(resolved, blob)? {
         done.insert(cell, agg);
     }
     Ok(())
 }
+
+/// Sentinel error message the merge sink raises when an observer
+/// cancels a distributed run; [`run_sweep_distributed_observed`]
+/// intercepts it and returns the partial outcome instead of an error.
+const CANCELLED_SENTINEL: &str = "sweep cancelled by observer";
 
 /// The distributed sibling of [`crate::run_sweep`]: resolves `spec`,
 /// hands pending fused shards to workers over the chosen transport,
@@ -230,6 +248,27 @@ pub fn run_sweep_distributed(
     spec: &SweepSpec,
     opts: &SweepOptions,
     dopts: &DistOptions,
+) -> Result<(SweepOutcome, DistStats), DistError> {
+    run_sweep_distributed_observed(spec, opts, dopts, &mut |_, _, _| true)
+}
+
+/// [`run_sweep_distributed`] with a per-shard observer, the distributed
+/// sibling of [`crate::runner::run_sweep_observed`]: each accepted
+/// result blob is parsed once, observed as `(cell index, aggregate)`
+/// pairs, then merged. Returning `false` cancels the run — the
+/// transport is torn down (children see EOF and exit) and the partial
+/// outcome comes back `Ok` with `complete == false`. Stats from a
+/// cancelled run are the default (the coordinator aborted before its
+/// final accounting).
+///
+/// # Errors
+///
+/// Exactly [`run_sweep_distributed`]'s error conditions.
+pub fn run_sweep_distributed_observed(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    dopts: &DistOptions,
+    on_shard: &mut ShardObserver<'_>,
 ) -> Result<(SweepOutcome, DistStats), DistError> {
     let resolved = spec.resolve(opts.quick).map_err(DistError::Failed)?;
     let _lock = match &opts.checkpoint {
@@ -254,8 +293,13 @@ pub fn run_sweep_distributed(
             let resolved_ref = &resolved;
             let done_ref = &mut done;
             let executed_ref = &mut executed_shards;
+            let observer = &mut *on_shard;
             let mut sink = move |shard: u64, blob: &str| -> Result<(), String> {
-                merge_blob(resolved_ref, blob, done_ref)?;
+                let cells = parse_blob(resolved_ref, blob)?;
+                let go = observer(resolved_ref, shard as usize, &cells);
+                for (cell, agg) in cells {
+                    done_ref.insert(cell, agg);
+                }
                 executed_ref.push(shard as usize);
                 if let Some(path) = &ckpt {
                     if executed_ref.len().is_multiple_of(every) {
@@ -263,25 +307,35 @@ pub fn run_sweep_distributed(
                             .map_err(|e| format!("checkpoint write failed: {e}"))?;
                     }
                 }
-                Ok(())
-            };
-            stats = match &dopts.transport {
-                Transport::Sim { workers } => {
-                    sim::run_sim(
-                        &resolved,
-                        &pending,
-                        opts.fuse,
-                        *workers,
-                        &dopts.plan,
-                        &dopts.config,
-                        &mut sink,
-                    )?
-                    .stats
+                if go {
+                    Ok(())
+                } else {
+                    Err(CANCELLED_SENTINEL.to_string())
                 }
+            };
+            let run = match &dopts.transport {
+                Transport::Sim { workers } => sim::run_sim(
+                    &resolved,
+                    &pending,
+                    opts.fuse,
+                    *workers,
+                    &dopts.plan,
+                    &dopts.config,
+                    &mut sink,
+                )
+                .map(|outcome| outcome.stats),
                 Transport::Children { .. } | Transport::Listen { .. } => {
-                    runtime::run_real(&resolved, &pending, opts, dopts, &mut sink)?
+                    runtime::run_real(&resolved, &pending, opts, dopts, &mut sink)
                 }
             };
+            match run {
+                Ok(s) => stats = s,
+                // A cancel is a clean early stop, not a failure: keep
+                // what was merged, fall through to assemble the
+                // partial outcome.
+                Err(DistError::Failed(msg)) if msg.contains(CANCELLED_SENTINEL) => {}
+                Err(e) => return Err(e),
+            }
         }
         if let Some(path) = &opts.checkpoint {
             checkpoint::save_shards(path, resolved.fingerprint, resolved.cells.len(), &done)

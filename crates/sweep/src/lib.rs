@@ -51,17 +51,26 @@
 pub mod aggregate;
 pub mod checkpoint;
 pub mod dist;
+pub mod job;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod schema;
 pub mod spec;
 
 pub use aggregate::CellAggregate;
 pub use checkpoint::{Checkpoint, CheckpointLock};
-pub use dist::{run_sweep_distributed, DistError, DistOptions, DistStats, FaultPlan, Transport};
+pub use dist::{
+    run_sweep_distributed, run_sweep_distributed_observed, DistError, DistOptions, DistStats,
+    FaultPlan, Transport,
+};
+pub use job::{JobError, SweepJob, ValidatedJob};
 pub use metrics::{MetricsSummary, SweepMetrics};
-pub use report::{build_report, SweepReport};
-pub use runner::{run_shard, run_shard_unfused, run_sweep, SweepOptions, SweepOutcome};
+pub use report::{build_report, build_row, SweepReport, SweepRow};
+pub use runner::{
+    run_shard, run_shard_unfused, run_sweep, run_sweep_observed, ShardObserver, SweepOptions,
+    SweepOutcome,
+};
 pub use spec::{
     Cell, EstimatorAxis, FusedShard, ResolvedSweep, ShardTap, SkippedCell, SweepSpec, TapCheckpoint,
 };

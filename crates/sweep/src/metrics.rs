@@ -245,11 +245,13 @@ impl SweepMetrics {
     }
 }
 
-/// The schema identifier newly written metrics files carry.
-pub const SCHEMA: &str = "antdensity-metrics v2";
+/// The schema identifier newly written metrics files carry
+/// ([`crate::schema::METRICS_V2`]).
+pub const SCHEMA: &str = crate::schema::METRICS_V2;
 
-/// The previous schema identifier, still accepted by [`validate`].
-pub const SCHEMA_V1: &str = "antdensity-metrics v1";
+/// The previous schema identifier, still accepted by [`validate`]
+/// ([`crate::schema::METRICS_V1`]).
+pub const SCHEMA_V1: &str = crate::schema::METRICS_V1;
 
 /// Keys [`validate`] requires inside a non-null `dist` object.
 const DIST_KEYS: &[&str] = &[

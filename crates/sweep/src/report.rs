@@ -88,49 +88,65 @@ pub struct SweepReport {
     pub rows: Vec<SweepRow>,
 }
 
+/// Builds one cell's report row from its aggregate — the unit
+/// [`build_report`] assembles and the serve daemon streams as each
+/// shard lands. Deterministic in `(resolved, cell_idx, agg)`.
+///
+/// # Panics
+///
+/// Panics if `cell_idx` is out of range.
+pub fn build_row(
+    resolved: &crate::spec::ResolvedSweep,
+    cell_idx: usize,
+    agg: &crate::aggregate::CellAggregate,
+) -> SweepRow {
+    let cell = &resolved.cells[cell_idx];
+    let q_hi = 1.0 - resolved.delta;
+    let d_true = cell.true_density();
+    let bound = theory_bound(
+        cell.topology,
+        &cell.estimator,
+        cell.rounds,
+        d_true,
+        resolved.delta,
+    );
+    SweepRow {
+        index: cell.index,
+        topology: cell.topology.to_string(),
+        density: cell.density,
+        agents: cell.num_agents,
+        rounds: cell.rounds,
+        estimator: cell.estimator.to_string(),
+        movement: cell.movement.to_string(),
+        noise: cell.noise_label(),
+        trials: agg.trials,
+        samples: agg.err.count(),
+        est_mean: agg.est.mean(),
+        est_sd: agg.est.std_dev(),
+        err_mean: agg.err.mean(),
+        // A cell can legitimately record zero error samples
+        // (e.g. relative frequency with no observed collisions:
+        // every f̃ undefined) — report empty quantiles, don't
+        // panic after all the compute is done.
+        err_median: (agg.err.count() > 0).then(|| agg.err_quantile(0.5)),
+        err_q: (agg.err.count() > 0).then(|| agg.err_quantile(q_hi)),
+        within: agg.within_fraction(),
+        bound: bound.epsilon,
+        bound_src: bound.source.as_str(),
+        aux_mean: (agg.aux.count() > 0).then(|| agg.aux.mean()),
+    }
+}
+
 /// Builds the report for a (possibly partial) sweep outcome.
 pub fn build_report(outcome: &SweepOutcome) -> SweepReport {
     let resolved = &outcome.resolved;
-    let q_hi = 1.0 - resolved.delta;
     let rows = resolved
         .cells
         .iter()
         .zip(&outcome.aggregates)
         .filter_map(|(cell, agg)| {
             let agg = agg.as_ref()?;
-            let d_true = cell.true_density();
-            let bound = theory_bound(
-                cell.topology,
-                &cell.estimator,
-                cell.rounds,
-                d_true,
-                resolved.delta,
-            );
-            Some(SweepRow {
-                index: cell.index,
-                topology: cell.topology.to_string(),
-                density: cell.density,
-                agents: cell.num_agents,
-                rounds: cell.rounds,
-                estimator: cell.estimator.to_string(),
-                movement: cell.movement.to_string(),
-                noise: cell.noise_label(),
-                trials: agg.trials,
-                samples: agg.err.count(),
-                est_mean: agg.est.mean(),
-                est_sd: agg.est.std_dev(),
-                err_mean: agg.err.mean(),
-                // A cell can legitimately record zero error samples
-                // (e.g. relative frequency with no observed collisions:
-                // every f̃ undefined) — report empty quantiles, don't
-                // panic after all the compute is done.
-                err_median: (agg.err.count() > 0).then(|| agg.err_quantile(0.5)),
-                err_q: (agg.err.count() > 0).then(|| agg.err_quantile(q_hi)),
-                within: agg.within_fraction(),
-                bound: bound.epsilon,
-                bound_src: bound.source.as_str(),
-                aux_mean: (agg.aux.count() > 0).then(|| agg.aux.mean()),
-            })
+            Some(build_row(resolved, cell.index, agg))
         })
         .collect();
     SweepReport {

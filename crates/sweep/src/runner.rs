@@ -235,6 +235,34 @@ pub fn run_shard_unfused(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, 
 /// is unreadable/malformed, or the checkpoint's fingerprint or cell
 /// count does not match the resolved spec.
 pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, String> {
+    run_sweep_observed(spec, opts, &mut |_, _, _| true)
+}
+
+/// A per-shard observer: receives the resolved spec, the completed
+/// shard's index, and its `(cell index, aggregate)` pairs; returns
+/// `false` to stop the sweep cooperatively.
+pub type ShardObserver<'a> =
+    dyn FnMut(&ResolvedSweep, usize, &[(usize, CellAggregate)]) -> bool + 'a;
+
+/// [`run_sweep`] with a per-shard observer: after each completed shard
+/// is merged, `on_shard` receives the resolved spec, the shard index,
+/// and the shard's `(cell index, aggregate)` pairs — the hook the
+/// serve daemon streams row events from. Returning `false` stops the
+/// sweep after the current wave (a cooperative cancel; the outcome
+/// comes back with `complete == false`, like a `max_shards` stop).
+///
+/// The observer sees results, it never influences them: shard `i`
+/// stays a pure function of `(resolved spec, i)`, so an observed run's
+/// aggregates are identical to an unobserved one's.
+///
+/// # Errors
+///
+/// Exactly [`run_sweep`]'s error conditions.
+pub fn run_sweep_observed(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    on_shard: &mut ShardObserver<'_>,
+) -> Result<SweepOutcome, String> {
     let resolved = spec.resolve(opts.quick)?;
     // Exclusive writer: a second coordinator on the same checkpoint
     // must fail loudly rather than interleave tmp+rename writes.
@@ -294,8 +322,9 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     let mut executed = 0usize;
     let mut simulations = 0u64;
     let mut simulated_rounds = 0u64;
+    let mut cancelled = false;
     for wave in pending.chunks(wave_size) {
-        if executed >= budget {
+        if executed >= budget || cancelled {
             break;
         }
         let wave = &wave[..wave.len().min(budget - executed)];
@@ -323,6 +352,13 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
             }
             progress_rounds += shard_rounds(shard);
             progress_agent_steps += shard_agent_steps(shard);
+            // Observe before the aggregates are consumed by the merge;
+            // once the observer cancels, the rest of the wave (already
+            // computed) is still merged — work is never thrown away —
+            // but no further observations are delivered.
+            if !cancelled && !on_shard(&resolved, shard_idx, &cell_aggs) {
+                cancelled = true;
+            }
             for (cell_idx, agg) in cell_aggs {
                 done.insert(cell_idx, agg);
             }

@@ -1,0 +1,64 @@
+//! The workspace's versioned schema registry.
+//!
+//! Every on-disk or on-wire artifact the sweep layer emits carries a
+//! version marker, and every reader asserts it. Before this module the
+//! markers were string literals scattered across `metrics.rs`,
+//! `checkpoint.rs`, and `spec.rs` — a version bump meant a grep. Now
+//! each format has exactly one constant here, read by the writer, the
+//! validator (`repro check-metrics`), the serve-daemon handshake, and
+//! the tests alike, so a bump is a one-line change that the compiler
+//! propagates.
+//!
+//! The constants are **contracts**, not configuration: changing one
+//! invalidates existing artifacts of that kind (checkpoints stop
+//! resuming, old metrics files stop validating as current, serve
+//! clients get refused at the handshake). That is exactly the point —
+//! formats never drift silently.
+
+/// Marker newly written `METRICS_<name>.json` files carry
+/// (`repro sweep --metrics`). Bumped to v2 when the `dist` section
+/// landed with the distributed runtime.
+pub const METRICS_V2: &str = "antdensity-metrics v2";
+
+/// The previous metrics marker; `repro check-metrics` still accepts
+/// files carrying it (they predate the `dist` key).
+pub const METRICS_V1: &str = "antdensity-metrics v1";
+
+/// First line of every checkpoint file and of every distributed shard
+/// result blob (blobs *are* checkpoint text restricted to one shard's
+/// member cells).
+pub const CHECKPOINT_MAGIC: &str = "antdensity-sweep-checkpoint v1";
+
+/// Leading tag of the canonical spec description that the sweep
+/// fingerprint hashes. The `v2` marks the observer-pipeline sharding
+/// scheme (shard = fused cell group, RNG streams per (shard, trial));
+/// bumping it orphans every existing checkpoint on purpose.
+pub const FINGERPRINT_CANONICAL: &str = "sweep v2";
+
+/// Version announced in the `repro serve` hello handshake and required
+/// of clients. The line-delimited JSON job protocol (see
+/// `crates/serve`) is versioned independently of the frame-based
+/// worker protocol underneath it.
+pub const JOB_PROTOCOL: &str = "antdensity-job-protocol v1";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_are_distinct_and_versioned() {
+        let all = [
+            METRICS_V2,
+            METRICS_V1,
+            CHECKPOINT_MAGIC,
+            FINGERPRINT_CANONICAL,
+            JOB_PROTOCOL,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.contains("v1") || a.contains("v2"), "unversioned: {a}");
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

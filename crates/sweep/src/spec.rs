@@ -738,8 +738,14 @@ impl ResolvedSweep {
     /// resumed into a fused run.
     fn canonical(&self) -> String {
         let mut s = format!(
-            "sweep v2 {} seed {} trials {} band {} delta {} mode {}\n",
-            self.name, self.seed, self.trials, self.band, self.delta, self.mode
+            "{} {} seed {} trials {} band {} delta {} mode {}\n",
+            crate::schema::FINGERPRINT_CANONICAL,
+            self.name,
+            self.seed,
+            self.trials,
+            self.band,
+            self.delta,
+            self.mode
         );
         for c in &self.cells {
             s.push_str(&format!(

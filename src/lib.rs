@@ -17,6 +17,7 @@
 //! | [`netsize`] | Section 5.1: network-size estimation via colliding walks |
 //! | [`swarm`] | Sections 5.2/6.3: robot swarms and sensor-network sampling |
 //! | [`sweep`] | declarative parameter-grid sweeps: deterministic shards, checkpoint/resume, streaming aggregates |
+//! | [`serve`] | estimation as a service: job daemon, line-delimited JSON protocol, blocking client |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the full system inventory.
@@ -25,6 +26,7 @@ pub use antdensity_core as core;
 pub use antdensity_engine as engine;
 pub use antdensity_graphs as graphs;
 pub use antdensity_netsize as netsize;
+pub use antdensity_serve as serve;
 pub use antdensity_stats as stats;
 pub use antdensity_swarm as swarm;
 pub use antdensity_sweep as sweep;
