@@ -243,6 +243,8 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                     .with_config(EngineConfig {
                         schedule_chunk: STREAM_BLOCK,
                         min_chunks_per_worker: 1,
+                        inline_step_threshold: 0,
+                        blocked_round_threshold: usize::MAX,
                     });
                 let mut rng = SmallRng::seed_from_u64(2);
                 engine.place_uniform(&mut rng);

@@ -6,6 +6,7 @@
 //! repro e3 e8 [--full]              # run selected experiments
 //! repro bench                       # engine throughput -> BENCH_engine.json
 //! repro bench --compare [BASE]      # …then gate against a baseline JSON
+//! repro bench --group NAME          # one benchmark family only (e.g. rng_batch)
 //! repro sweep SPEC [--quick]        # run a declarative parameter sweep
 //! repro sweep SPEC --dry-run        # print the expanded/fused plan, run nothing
 //! repro sweep SPEC --serve-shards   # distribute shards to worker processes
@@ -24,6 +25,10 @@
 //!                     bytes as editing its `seed =` line)
 //!   --out DIR         CSV/JSON output directory (default results/)
 //!   --tolerance F     bench gate: allowed fractional regression (default 0.25)
+//!   --group NAME      bench: run one family (sequential, parallel_scaling,
+//!                     csr_stepping, observer_fusion, telemetry_overhead,
+//!                     dist_sweep, serve_bench, mega_scale, rng_batch); the
+//!                     gate then covers just that family's rows
 //! sweep options:
 //!   --workers N       worker threads for shard fan-out (results never depend on it)
 //!   --resume          continue from DIR/<name>.ckpt if present
@@ -86,6 +91,7 @@ fn usage() -> ! {
         "usage: repro <list|bench|sweep SPEC|sweep-worker|check-metrics FILE|serve|\
          serve-submit ADDR SPEC|serve-bench|all|e1..e17...> \
          [--quick|--full] [--seed N] [--out DIR] [--compare [BASELINE]] [--tolerance F] \
+         [--group NAME] \
          [--workers N] [--resume] [--max-shards K] [--no-checkpoint] [--no-fuse] \
          [--dry-run] [--metrics [FILE]] [--trace FILE] [--progress] \
          [--serve-shards] [--workers-cmd N] [--listen ADDR] [--fault PLAN] \
@@ -156,7 +162,10 @@ fn run_experiments(req: &cli::ExperimentsRequest) {
 
 fn run_bench(req: &cli::BenchRequest) {
     let t0 = Instant::now();
-    let report = perf::run_engine_bench(req.effort);
+    // The parser already vetted the group name, so this only errors on
+    // a programmatic caller handing an unknown label.
+    let report = perf::run_engine_bench_group(req.effort, req.group.as_deref())
+        .unwrap_or_else(|e| ExitCode::Usage.fail(&format!("repro bench: {e}")));
     print!("{}", report.render());
     match report.write_json(&req.out) {
         Ok(path) => println!("  json: {}", path.display()),

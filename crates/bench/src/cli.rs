@@ -104,7 +104,7 @@ pub struct ExperimentsRequest {
     pub out: PathBuf,
 }
 
-/// `repro bench [--compare [BASE]] [--tolerance F]`.
+/// `repro bench [--group NAME] [--compare [BASE]] [--tolerance F]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRequest {
     /// Measurement effort.
@@ -115,6 +115,9 @@ pub struct BenchRequest {
     pub compare: Option<PathBuf>,
     /// Allowed fractional regression.
     pub tolerance: f64,
+    /// Run only this benchmark family (one of [`crate::perf::GROUPS`]);
+    /// `None` runs the whole suite.
+    pub group: Option<String>,
 }
 
 /// `repro sweep SPEC …` — invocation-side concerns around a
@@ -331,6 +334,7 @@ fn parse_bench(args: &[String]) -> Result<Command, UsageError> {
         out: PathBuf::from("results"),
         compare: None,
         tolerance: 0.25,
+        group: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -338,6 +342,16 @@ fn parse_bench(args: &[String]) -> Result<Command, UsageError> {
             "--quick" => req.effort = Effort::Quick,
             "--full" => req.effort = Effort::Full,
             "--out" => req.out = PathBuf::from(operand(args, &mut i, "--out")?),
+            "--group" => {
+                let g = operand(args, &mut i, "--group")?;
+                if !crate::perf::GROUPS.contains(&g.as_str()) {
+                    return Err(UsageError(format!(
+                        "`--group` got unknown group `{g}` (known: {})",
+                        crate::perf::GROUPS.join(", ")
+                    )));
+                }
+                req.group = Some(g);
+            }
             "--compare" => {
                 // optional operand; defaults to the committed baseline
                 if let Some(next) = args.get(i + 1).filter(|n| !n.starts_with("--")) {
@@ -697,7 +711,17 @@ mod tests {
         };
         assert_eq!(req.compare, Some(PathBuf::from("BENCH_baseline.json")));
         assert!((req.tolerance - 0.1).abs() < 1e-12);
+        assert_eq!(req.group, None);
         assert!(parse(&argv("bench --tolerance 2.0")).is_err());
+
+        let Command::Bench(req) = parse(&argv("bench --group mega_scale")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(req.group.as_deref(), Some("mega_scale"));
+        let err = parse(&argv("bench --group nonsense")).unwrap_err();
+        assert!(err.0.contains("unknown group `nonsense`"), "{err}");
+        assert!(err.0.contains("rng_batch"), "{err}");
+        assert!(parse(&argv("bench --group")).is_err());
 
         assert_eq!(parse(&argv("list")).unwrap(), Command::List);
         assert!(parse(&argv("list extra")).is_err());

@@ -39,13 +39,18 @@
 //! host is the number the worker-pool work is judged by.
 
 use crate::report::Effort;
+use antdensity_engine::sampling::{
+    fill_uniform_indices, fill_uniform_indices_lanes, lane_rngs, RNG_LANES,
+};
 use antdensity_engine::step::step_slice_pure_batched;
-use antdensity_engine::{DenseOccupancy, Engine, EngineConfig, WorkerPool, STREAM_BLOCK};
+use antdensity_engine::{
+    CountsEngine, DenseOccupancy, Engine, EngineConfig, WorkerPool, STREAM_BLOCK,
+};
 use antdensity_graphs::{generators, CsrGraph, Topology, Torus2d};
 use antdensity_stats::rng::SeedSequence;
 use antdensity_stats::table::Table;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -130,10 +135,51 @@ fn result(
     }
 }
 
+/// Every benchmark family `repro bench` can run. `--group NAME`
+/// restricts a run to one entry; the JSON written then carries only
+/// that family, and a `--compare` gate evaluates just its rows (the
+/// baseline's other families are simply not matched).
+pub const GROUPS: &[&str] = &[
+    "sequential",
+    "parallel_scaling",
+    "csr_stepping",
+    "observer_fusion",
+    "telemetry_overhead",
+    "dist_sweep",
+    "serve_bench",
+    "mega_scale",
+    "rng_batch",
+];
+
 /// Runs the engine benchmark suite. `Quick` times 1k/16k agents (the CI
 /// smoke configuration); `Full` adds 256k agents and more steps per
 /// sample.
 pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
+    run_engine_bench_group(effort, None).expect("no group filter to reject")
+}
+
+/// [`run_engine_bench`] restricted to one benchmark family from
+/// [`GROUPS`] (`None` runs everything) — the `repro bench --group`
+/// entry point, so a single family can be re-measured without paying
+/// for the whole suite.
+///
+/// # Errors
+///
+/// Returns a message naming the known groups if `group` is not one of
+/// them.
+pub fn run_engine_bench_group(
+    effort: Effort,
+    group: Option<&str>,
+) -> Result<EngineBenchReport, String> {
+    if let Some(g) = group {
+        if !GROUPS.contains(&g) {
+            return Err(format!(
+                "unknown bench group `{g}` (known: {})",
+                GROUPS.join(", ")
+            ));
+        }
+    }
+    let want = |name: &str| group.is_none_or(|g| g == name);
     let agent_grid: &[usize] = match effort {
         Effort::Quick => &[1024, 16_384],
         Effort::Full => &[1024, 16_384, 262_144],
@@ -143,14 +189,20 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
     for &agents in agent_grid {
         let rounds = rounds_for(agents, effort);
 
-        // Sequential legacy-order path (monomorphized + batched kernel).
-        let mut engine = Engine::new(Torus2d::new(SIDE), agents);
-        let mut rng = SmallRng::seed_from_u64(1);
-        engine.place_uniform(&mut rng);
-        let ns = median_ns_per_round(|| engine.step_round(&mut rng), rounds, SAMPLES);
-        results.push(result("sequential", "mono", agents, 1, 1, ns));
+        if want("sequential") {
+            // Sequential legacy-order path (monomorphized + batched
+            // kernel).
+            let mut engine = Engine::new(Torus2d::new(SIDE), agents);
+            let mut rng = SmallRng::seed_from_u64(1);
+            engine.place_uniform(&mut rng);
+            let ns = median_ns_per_round(|| engine.step_round(&mut rng), rounds, SAMPLES);
+            results.push(result("sequential", "mono", agents, 1, 1, ns));
+        }
 
         for workers in [1usize, 2, 4, 8] {
+            if !want("parallel_scaling") {
+                break;
+            }
             // Persistent-pool path. An explicit pool pins the worker
             // cap regardless of the host's core count, and
             // STREAM_BLOCK-sized chunks with min_chunks_per_worker: 1
@@ -166,6 +218,12 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
                 .with_config(EngineConfig {
                     schedule_chunk: STREAM_BLOCK,
                     min_chunks_per_worker: 1,
+                    // Measure raw pool scaling even at 1k agents (the
+                    // default threshold would collapse those rows to the
+                    // inline path and hide the hand-off cost the
+                    // baseline tracks).
+                    inline_step_threshold: 0,
+                    blocked_round_threshold: usize::MAX,
                 });
             let mut rng = SmallRng::seed_from_u64(2);
             engine.place_uniform(&mut rng);
@@ -203,20 +261,147 @@ pub fn run_engine_bench(effort: Effort) -> EngineBenchReport {
         }
     }
 
-    bench_csr_stepping(effort, agent_grid, &mut results);
-    bench_observer_fusion(effort, &mut results);
-    bench_telemetry_overhead(effort, agent_grid, &mut results);
-    bench_dist_sweep(effort, &mut results);
-    bench_serve(effort, &mut results);
+    if want("csr_stepping") {
+        bench_csr_stepping(effort, agent_grid, &mut results);
+    }
+    if want("observer_fusion") {
+        bench_observer_fusion(effort, &mut results);
+    }
+    if want("telemetry_overhead") {
+        bench_telemetry_overhead(effort, agent_grid, &mut results);
+    }
+    if want("dist_sweep") {
+        bench_dist_sweep(effort, &mut results);
+    }
+    if want("serve_bench") {
+        bench_serve(effort, &mut results);
+    }
+    if want("mega_scale") {
+        bench_mega_scale(effort, &mut results);
+    }
+    if want("rng_batch") {
+        bench_rng_batch(effort, &mut results);
+    }
 
-    EngineBenchReport {
+    Ok(EngineBenchReport {
         mode: match effort {
             Effort::Quick => "quick",
             Effort::Full => "full",
         },
         samples: SAMPLES,
         results,
+    })
+}
+
+/// Side of the mega-scale bench torus: `64² = 4096` nodes keeps the
+/// whole count vector cache-resident while populations go to millions,
+/// so the mean occupancy sits in the hundreds — the regime the
+/// count-based representation exists for.
+const MEGA_SIDE: u64 = 64;
+
+/// The mega-scale stepping group: the per-agent engine against the
+/// count-based [`CountsEngine`] on the identical pure-walk workload.
+/// Throughput is counted in **delivered** agent-steps — one counts
+/// round advances every one of the `agents` walkers — so the two rows
+/// compare directly even though the counts row touches O(nodes) state
+/// instead of O(agents). The paths agree distributionally, not
+/// bitwise; `engine/tests/counts_equivalence.rs` pins that contract.
+fn bench_mega_scale(effort: Effort, results: &mut Vec<EngineBenchResult>) {
+    let agent_grid: &[usize] = match effort {
+        Effort::Quick => &[1 << 20],
+        Effort::Full => &[1 << 20, 1 << 22],
+    };
+    for &agents in agent_grid {
+        // Few rounds per batch: the agent-level row at 2^20+ agents is
+        // the slow side and bounds the suite's wall clock.
+        let rounds = 4;
+
+        let mut engine = Engine::new(Torus2d::new(MEGA_SIDE), agents);
+        let mut rng = SmallRng::seed_from_u64(9);
+        engine.place_uniform(&mut rng);
+        let ns = median_ns_per_round(|| engine.step_round(&mut rng), rounds, SAMPLES);
+        results.push(result("mega_scale", "agent_level", agents, 1, 1, ns));
+
+        let mut engine = CountsEngine::new(Torus2d::new(MEGA_SIDE), agents as u64)
+            .with_seed_sequence(SeedSequence::new(9));
+        engine.place_uniform(&SeedSequence::new(10));
+        let ns = median_ns_per_round(|| engine.step_round(), rounds, SAMPLES);
+        results.push(result("mega_scale", "counts", agents, 1, 1, ns));
     }
+}
+
+/// Slots per fill in the `rng_batch` group — a few streaming blocks'
+/// worth, large enough that per-call setup vanishes.
+const RNG_BATCH_LEN: usize = 1 << 16;
+
+/// The batched-RNG group: filling a buffer of degree-6 neighbor
+/// indices four ways. `scalar_draws` is the agent-level kernel's
+/// per-draw sampler (`gen_range` per slot, zone recomputed every
+/// call); `seq_fill` drains one generator through the batched fill
+/// with the Lemire zone hoisted out of the loop; `lane_fill`
+/// additionally interleaves [`RNG_LANES`] deterministic lane
+/// generators so consecutive slots never wait on one xoshiro state
+/// chain; `bulk_u64` is the raw word fill (`SmallRng::fill_u64`) with
+/// no index mapping at all — the upper bound the samplers chase.
+///
+/// Degree 6 on purpose: a non-power-of-two span (the random-regular
+/// CSR workload) exercises the Lemire rejection path, where per-draw
+/// setup dominates the scalar sampler. Power-of-two spans collapse
+/// every variant to a single mask per word and all four rows sit at
+/// the raw-generation bound. `agents` is the buffer length and
+/// ns/step is ns per filled slot.
+fn bench_rng_batch(effort: Effort, results: &mut Vec<EngineBenchResult>) {
+    let rounds = rounds_for(RNG_BATCH_LEN, effort);
+    let span = 6u64;
+    let mut buf = vec![0u32; RNG_BATCH_LEN];
+
+    let mut rng = SmallRng::seed_from_u64(11);
+    let ns = median_ns_per_round(
+        || {
+            for slot in buf.iter_mut() {
+                *slot = rng.gen_range(0..span) as u32;
+            }
+            std::hint::black_box(&mut buf);
+        },
+        rounds,
+        SAMPLES,
+    );
+    results.push(result("rng_batch", "scalar_draws", RNG_BATCH_LEN, 1, 1, ns));
+
+    let mut rng = SmallRng::seed_from_u64(11);
+    let ns = median_ns_per_round(
+        || {
+            fill_uniform_indices(span, &mut buf, &mut rng);
+            std::hint::black_box(&mut buf);
+        },
+        rounds,
+        SAMPLES,
+    );
+    results.push(result("rng_batch", "seq_fill", RNG_BATCH_LEN, 1, 1, ns));
+
+    let mut lanes = lane_rngs(&SeedSequence::new(11), 0);
+    debug_assert_eq!(lanes.len(), RNG_LANES);
+    let ns = median_ns_per_round(
+        || {
+            fill_uniform_indices_lanes(span, &mut buf, &mut lanes);
+            std::hint::black_box(&mut buf);
+        },
+        rounds,
+        SAMPLES,
+    );
+    results.push(result("rng_batch", "lane_fill", RNG_BATCH_LEN, 1, 1, ns));
+
+    let mut words = vec![0u64; RNG_BATCH_LEN];
+    let mut rng = SmallRng::seed_from_u64(12);
+    let ns = median_ns_per_round(
+        || {
+            rng.fill_u64(&mut words);
+            std::hint::black_box(&mut words);
+        },
+        rounds,
+        SAMPLES,
+    );
+    results.push(result("rng_batch", "bulk_u64", RNG_BATCH_LEN, 1, 1, ns));
 }
 
 /// Node count of the random-regular CSR bench graph. Modest on purpose:
@@ -706,7 +891,49 @@ impl EngineBenchReport {
                  runner: {ratio:.2}x throughput\n"
             ));
         }
+        for (agents, ratio) in self.mega_scale_speedups() {
+            out.push_str(&format!(
+                "  => count-based stepping vs agent-level at {agents} agents: \
+                 {ratio:.2}x delivered agent-steps/s\n"
+            ));
+        }
+        if let Some(ratio) = self.rng_batch_speedup() {
+            out.push_str(&format!(
+                "  => batched lane fill vs per-draw scalar sampling (span 6): \
+                 {ratio:.2}x\n"
+            ));
+        }
         out
+    }
+
+    /// Counts-over-agent-level delivered-throughput ratios of the
+    /// `mega_scale` group, by population — the headline the
+    /// occupancy-count representation is judged by.
+    pub fn mega_scale_speedups(&self) -> Vec<(usize, f64)> {
+        let of = |imp: &str, agents: usize| {
+            self.results
+                .iter()
+                .find(|r| r.group == "mega_scale" && r.implementation == imp && r.agents == agents)
+        };
+        self.results
+            .iter()
+            .filter(|r| r.group == "mega_scale" && r.implementation == "counts")
+            .filter_map(|c| {
+                of("agent_level", c.agents).map(|a| (c.agents, c.msteps_per_sec / a.msteps_per_sec))
+            })
+            .collect()
+    }
+
+    /// Lane-fill throughput of the `rng_batch` group relative to the
+    /// agent-level kernel's per-draw scalar sampler (above 1 = the
+    /// batched lanes beat per-call `gen_range`).
+    pub fn rng_batch_speedup(&self) -> Option<f64> {
+        let of = |imp: &str| {
+            self.results
+                .iter()
+                .find(|r| r.group == "rng_batch" && r.implementation == imp)
+        };
+        Some(of("lane_fill")?.msteps_per_sec / of("scalar_draws")?.msteps_per_sec)
     }
 
     /// Coordinator/simulator throughput relative to the in-process
@@ -870,6 +1097,14 @@ pub fn parse_json(text: &str) -> Result<EngineBenchReport, String> {
             "serve_bench",
             "direct",
             "served",
+            "mega_scale",
+            "agent_level",
+            "counts",
+            "rng_batch",
+            "scalar_draws",
+            "seq_fill",
+            "lane_fill",
+            "bulk_u64",
         ] {
             if s == known {
                 return Ok(known);
@@ -1227,6 +1462,77 @@ mod tests {
             .results
             .iter()
             .any(|x| x.group == "dist_sweep" && x.implementation == "dist_sim_faulty"));
+    }
+
+    #[test]
+    fn mega_scale_speedups_pair_counts_with_agent_level() {
+        let mut r = tiny_report();
+        for (implementation, msteps) in [("agent_level", 100.0f64), ("counts", 900.0)] {
+            r.results.push(EngineBenchResult {
+                group: "mega_scale",
+                implementation,
+                agents: 1 << 20,
+                workers: 1,
+                effective_workers: 1,
+                ns_per_agent_step: 1e3 / msteps,
+                msteps_per_sec: msteps,
+            });
+        }
+        let speedups = r.mega_scale_speedups();
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, 1 << 20);
+        assert!((speedups[0].1 - 9.0).abs() < 1e-9);
+        assert!(r.render().contains("count-based stepping vs agent-level"));
+        // the mega-scale labels survive the JSON round trip
+        let parsed = parse_json(&r.to_json()).unwrap();
+        assert!(parsed
+            .results
+            .iter()
+            .any(|x| x.group == "mega_scale" && x.implementation == "counts"));
+    }
+
+    #[test]
+    fn rng_batch_speedup_pairs_lane_with_sequential_fill() {
+        let mut r = tiny_report();
+        assert_eq!(r.rng_batch_speedup(), None);
+        for (implementation, msteps) in [
+            ("scalar_draws", 500.0f64),
+            ("seq_fill", 650.0),
+            ("lane_fill", 700.0),
+            ("bulk_u64", 1200.0),
+        ] {
+            r.results.push(EngineBenchResult {
+                group: "rng_batch",
+                implementation,
+                agents: 1 << 16,
+                workers: 1,
+                effective_workers: 1,
+                ns_per_agent_step: 1e3 / msteps,
+                msteps_per_sec: msteps,
+            });
+        }
+        let speedup = r.rng_batch_speedup().unwrap();
+        assert!((speedup - 1.4).abs() < 1e-9);
+        assert!(r.render().contains("batched lane fill vs per-draw scalar"));
+        let parsed = parse_json(&r.to_json()).unwrap();
+        assert!(parsed
+            .results
+            .iter()
+            .any(|x| x.group == "rng_batch" && x.implementation == "bulk_u64"));
+    }
+
+    #[test]
+    fn group_filter_runs_one_family_and_rejects_unknown_names() {
+        let err = run_engine_bench_group(Effort::Quick, Some("bogus")).unwrap_err();
+        assert!(err.contains("unknown bench group `bogus`"), "{err}");
+        assert!(err.contains("rng_batch"), "{err}");
+
+        // the cheapest real family: three fills over a 64k buffer
+        let report = run_engine_bench_group(Effort::Quick, Some("rng_batch")).unwrap();
+        assert!(report.results.iter().all(|r| r.group == "rng_batch"));
+        let impls: Vec<&str> = report.results.iter().map(|r| r.implementation).collect();
+        assert_eq!(impls, ["scalar_draws", "seq_fill", "lane_fill", "bulk_u64"]);
+        assert!(report.rng_batch_speedup().is_some());
     }
 
     #[test]

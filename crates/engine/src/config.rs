@@ -32,6 +32,8 @@ pub const STREAM_BLOCK: usize = 256;
 /// |---|---|---|
 /// | `schedule_chunk` | 256 (= [`STREAM_BLOCK`]) | agents per unit of pool work |
 /// | `min_chunks_per_worker` | 4 | below this, the chunked loop runs inline |
+/// | `inline_step_threshold` | 2048 | populations below this always step inline |
+/// | `blocked_round_threshold` | 262144 (2¹⁸) | pure-walk populations at/above this take the cache-blocked round |
 ///
 /// The defaults reproduce the pre-pool engine's worker policy exactly
 /// (one chunk per stream block, at least 4 chunks per worker, so
@@ -60,6 +62,20 @@ pub struct EngineConfig {
     /// dispatch engages; below the threshold the chunked loop runs
     /// inline on the calling thread (same results, no hand-off cost).
     pub min_chunks_per_worker: usize,
+    /// Populations strictly below this many agents always step inline,
+    /// regardless of worker count: at ~1k agents the pool's hand-off
+    /// latency exceeds the whole round's work (the `parallel_scaling`
+    /// baseline shows 2–8 workers *slower* than 1 there). Results are
+    /// bit-identical either way; set to 0 to force pool dispatch in
+    /// scaling experiments.
+    pub inline_step_threshold: usize,
+    /// Pure-walk populations at or above this many agents take the
+    /// cache-blocked round: draw all move indices into one scratch
+    /// buffer (same per-[`STREAM_BLOCK`] streams, so identical values),
+    /// then apply them through the topology's tiled gather and the
+    /// blocked occupancy rebuild. Bit-identical to the per-block path;
+    /// `usize::MAX` disables it.
+    pub blocked_round_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +83,8 @@ impl Default for EngineConfig {
         Self {
             schedule_chunk: STREAM_BLOCK,
             min_chunks_per_worker: 4,
+            inline_step_threshold: 2048,
+            blocked_round_threshold: 1 << 18,
         }
     }
 }

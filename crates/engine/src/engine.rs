@@ -32,10 +32,11 @@ use crate::config::{EngineConfig, STREAM_BLOCK};
 use crate::movement::MovementModel;
 use crate::occupancy::{DenseOccupancy, GroupOccupancy, MAX_NODES};
 use crate::pool::WorkerPool;
+use crate::sampling::fill_uniform_indices;
 use crate::step::{
     step_slice, step_slice_pure_batched, step_slice_pure_batched_timed, Interaction,
 };
-use antdensity_graphs::{NodeId, Topology};
+use antdensity_graphs::{MoveScratch, NodeId, Topology};
 use antdensity_stats::rng::SeedSequence;
 use antdensity_telemetry as telemetry;
 use rand::RngCore;
@@ -106,6 +107,11 @@ pub struct Engine<T: Topology> {
     /// Number of agents whose movement model is not `Pure`; the batched
     /// kernel engages only at zero.
     impure_movers: usize,
+    /// Whole-round move-index buffer for the cache-blocked mega path
+    /// (empty until the first blocked round; reused afterwards).
+    moves_scratch: Vec<u32>,
+    /// Tile-partition buffers for the blocked gather, likewise reused.
+    tile_scratch: MoveScratch,
 }
 
 impl<T: Topology> Engine<T> {
@@ -144,6 +150,8 @@ impl<T: Topology> Engine<T> {
             pool: None,
             regular_span,
             impure_movers: 0,
+            moves_scratch: Vec::new(),
+            tile_scratch: MoveScratch::new(),
         }
     }
 
@@ -529,6 +537,13 @@ impl<T: Topology + Sync> Engine<T> {
     }
 
     fn effective_workers(&self, num_chunks: usize) -> usize {
+        // Small populations never pay the pool hand-off: at ~1k agents a
+        // whole round is cheaper than waking the workers (the
+        // `parallel_scaling` baseline measures 2–8 workers slower than
+        // inline there). Results are identical either way.
+        if self.positions.len() < self.config.inline_step_threshold {
+            return 1;
+        }
         let pool_cap = match &self.pool {
             Some(p) => p.threads(),
             None => available_cores(),
@@ -570,6 +585,12 @@ impl<T: Topology + Sync> Engine<T> {
         let num_chunks = self.positions.len().div_ceil(sched);
         let workers = self.effective_workers(num_chunks);
         let span = self.pure_batch_span();
+        if let Some(span) = span {
+            if self.positions.len() >= self.config.blocked_round_threshold {
+                self.step_round_blocked(span, round_seq, workers, observe, round_start);
+                return;
+            }
+        }
         let (draw_ns, apply_ns);
         if workers == 1 {
             (draw_ns, apply_ns) = step_window(
@@ -667,6 +688,95 @@ impl<T: Topology + Sync> Engine<T> {
                 DRAW_SPAN.record_interval_at(t0, 0, draw_ns, &[]);
                 APPLY_SPAN.record_interval_at(t0, draw_ns, apply_ns, &[]);
             }
+            OCC_SPAN.record_interval_at(occ_t0, 0, occ_ns, &[]);
+        }
+    }
+
+    /// The cache-blocked mega round for pure-walk populations at or
+    /// above [`EngineConfig::blocked_round_threshold`]: every move index
+    /// of the round is drawn into one engine-owned buffer first (block
+    /// `b` still fills from `round_seq.rng(b)`, and one wide fill draws
+    /// bit-for-bit what the per-block kernels' 128-wide fills draw), then
+    /// applied through [`Topology::apply_moves_blocked`] so the gathers
+    /// of a memory-bound topology stay within L2-sized node tiles, and
+    /// finally counted by the occupancy rebuild's own blocked path.
+    /// Results are **bit-identical** to the per-block path — this is a
+    /// wall-clock route, selected automatically.
+    fn step_round_blocked(
+        &mut self,
+        span: u64,
+        round_seq: SeedSequence,
+        workers: usize,
+        observe: bool,
+        round_start: Option<Instant>,
+    ) {
+        let n = self.positions.len();
+        self.moves_scratch.clear();
+        self.moves_scratch.resize(n, 0);
+        let draw_start = observe.then(Instant::now);
+        if workers <= 1 {
+            for (b, chunk) in self.moves_scratch.chunks_mut(STREAM_BLOCK).enumerate() {
+                fill_uniform_indices(span, chunk, &mut round_seq.rng(b as u64));
+            }
+        } else {
+            // Contiguous whole-block ranges per worker: the chunk→stream
+            // mapping stays (block index → rng(block)), so the split is
+            // invisible in results.
+            let num_blocks = n.div_ceil(STREAM_BLOCK);
+            let blocks_per_worker = num_blocks.div_ceil(workers);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+                .moves_scratch
+                .chunks_mut(blocks_per_worker * STREAM_BLOCK)
+                .enumerate()
+                .map(|(wi, range)| {
+                    Box::new(move || {
+                        for (j, chunk) in range.chunks_mut(STREAM_BLOCK).enumerate() {
+                            let block = wi * blocks_per_worker + j;
+                            fill_uniform_indices(span, chunk, &mut round_seq.rng(block as u64));
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            match &self.pool {
+                Some(pool) => pool.run(tasks),
+                None => WorkerPool::global().run(tasks),
+            }
+        }
+        let apply_start = observe.then(Instant::now);
+        self.topo.apply_moves_blocked(
+            &mut self.positions,
+            &self.moves_scratch,
+            &mut self.tile_scratch,
+        );
+        self.round += 1;
+        let occ_start = observe.then(Instant::now);
+        self.rebuild_occupancy();
+        if let (Some(t0), Some(draw_t0), Some(apply_t0), Some(occ_t0)) =
+            (round_start, draw_start, apply_start, occ_start)
+        {
+            let draw_ns = u64::try_from((apply_t0 - draw_t0).as_nanos()).unwrap_or(u64::MAX);
+            let apply_ns = u64::try_from((occ_t0 - apply_t0).as_nanos()).unwrap_or(u64::MAX);
+            let occ_ns = u64::try_from(occ_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let total_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let agents = n as u64;
+            ROUNDS_COUNTER.add(1);
+            AGENT_STEPS.add(agents);
+            let msteps_per_sec = if total_ns > 0 {
+                agents as f64 * 1e3 / total_ns as f64
+            } else {
+                0.0
+            };
+            ROUND_SPAN.record_interval_at(
+                t0,
+                0,
+                total_ns,
+                &[
+                    ("agents", agents as f64),
+                    ("msteps_per_sec", msteps_per_sec),
+                ],
+            );
+            DRAW_SPAN.record_interval_at(t0, 0, draw_ns, &[]);
+            APPLY_SPAN.record_interval_at(t0, draw_ns, apply_ns, &[]);
             OCC_SPAN.record_interval_at(occ_t0, 0, occ_ns, &[]);
         }
     }
@@ -783,6 +893,7 @@ mod tests {
                 .with_worker_pool(Arc::new(WorkerPool::new(threads)))
                 .with_config(EngineConfig {
                     min_chunks_per_worker: 1,
+                    inline_step_threshold: 0,
                     ..EngineConfig::default()
                 });
             let mut rng = SmallRng::seed_from_u64(3);
@@ -805,6 +916,8 @@ mod tests {
                 .with_config(EngineConfig {
                     schedule_chunk: STREAM_BLOCK,
                     min_chunks_per_worker: 1,
+                    inline_step_threshold: 0,
+                    blocked_round_threshold: usize::MAX,
                 });
             e.set_avoidance(Some(0.5));
             e.set_flee(true);
@@ -814,6 +927,73 @@ mod tests {
             (0..600).map(|a| e.position(a)).collect::<Vec<_>>()
         };
         assert_eq!(mk(1), mk(7));
+    }
+
+    #[test]
+    fn inline_fallback_is_bit_identical_to_pool_dispatch() {
+        // Satellite regression: the small-population inline fallback
+        // (threshold above the population) must produce exactly the
+        // positions the pool path (threshold 0) produces.
+        let run = |inline_threshold: usize| {
+            let mut e = Engine::new(Torus2d::new(32), 1024)
+                .with_seed_sequence(SeedSequence::new(41))
+                .with_threads(4)
+                .with_worker_pool(Arc::new(WorkerPool::new(4)))
+                .with_config(EngineConfig {
+                    min_chunks_per_worker: 1,
+                    inline_step_threshold: inline_threshold,
+                    ..EngineConfig::default()
+                });
+            let mut rng = SmallRng::seed_from_u64(5);
+            e.place_uniform(&mut rng);
+            assert_eq!(
+                e.parallel_workers(),
+                if inline_threshold == 0 { 4 } else { 1 }
+            );
+            e.run_parallel(15);
+            (0..1024).map(|a| e.position(a)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(usize::MAX));
+    }
+
+    #[test]
+    fn blocked_round_is_bit_identical_to_per_block_path() {
+        // The cache-blocked mega round (threshold forced to 0, both
+        // native and CSR topologies, 1 and 4 workers) must replay the
+        // per-block path exactly.
+        use antdensity_graphs::CsrGraph;
+        fn run<T: Topology + Sync + Clone>(
+            topo: T,
+            blocked_threshold: usize,
+            threads: usize,
+        ) -> Vec<NodeId> {
+            let mut e = Engine::new(topo, 3000)
+                .with_seed_sequence(SeedSequence::new(55))
+                .with_threads(threads)
+                .with_worker_pool(Arc::new(WorkerPool::new(threads)))
+                .with_config(EngineConfig {
+                    min_chunks_per_worker: 1,
+                    inline_step_threshold: 0,
+                    blocked_round_threshold: blocked_threshold,
+                    ..EngineConfig::default()
+                });
+            let mut rng = SmallRng::seed_from_u64(6);
+            e.place_uniform(&mut rng);
+            e.run_parallel(12);
+            let occupancy_total: u32 = (0..e.topology().num_nodes()).map(|v| e.occupancy(v)).sum();
+            assert_eq!(occupancy_total, 3000, "blocked rebuild lost agents");
+            (0..3000).map(|a| e.position(a)).collect()
+        }
+        let torus = Torus2d::new(64);
+        let reference = run(torus, usize::MAX, 1);
+        assert_eq!(reference, run(torus, 0, 1));
+        assert_eq!(reference, run(torus, 0, 4));
+        let csr = CsrGraph::from_topology(&torus);
+        let csr_reference = run(csr.clone(), usize::MAX, 1);
+        assert_eq!(csr_reference, run(csr.clone(), 0, 1));
+        assert_eq!(csr_reference, run(csr, 0, 4));
+        // Same walk on the CSR rebuild consumes the identical streams.
+        assert_eq!(reference, csr_reference);
     }
 
     #[test]

@@ -39,7 +39,14 @@
 //!   estimators and whole accuracy-vs-rounds curves from **one**
 //!   simulation pass, bit-identical to dedicated runs.
 //! * [`sampling`] — exact small-parameter binomial/Poisson samplers for
-//!   the noisy-sensing models.
+//!   the noisy-sensing models, the batched uniform-index fills (single
+//!   stream and lane-interleaved), and the `O(log n)` 64-bit
+//!   binomial/multinomial samplers behind count-based stepping.
+//! * [`counts`] — [`CountsEngine`]: the occupancy-count fast path for
+//!   memoryless pure walks — one `u64` count per node, one multinomial
+//!   split per node per round, `O(nodes)` instead of `O(agents)`.
+//!   Distributionally equivalent to the agent-level engine, and
+//!   bit-deterministic across thread counts.
 //!
 //! # Quickstart
 //!
@@ -60,6 +67,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod config;
+pub mod counts;
 pub mod engine;
 pub mod movement;
 pub mod observer;
@@ -70,6 +78,7 @@ pub mod scenario;
 pub mod step;
 
 pub use config::{EngineConfig, STREAM_BLOCK};
+pub use counts::{CountsEngine, CountsOutcome, COUNT_BLOCK};
 pub use engine::{AgentId, Engine, GroupId, PARALLEL_CHUNK};
 pub use movement::MovementModel;
 pub use observer::{

@@ -12,8 +12,62 @@
 //! Lemire rejection zone) out of the loop while consuming **exactly**
 //! the RNG stream a sequence of `gen_range(0..span)` calls would.
 
+use antdensity_stats::rng::SeedSequence;
+use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::RngCore;
+
+/// Why a batched uniform-index fill rejected its span. Both bounds are
+/// checked identically in release and debug builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanError {
+    /// `span == 0`: the range `[0, 0)` is empty.
+    Empty,
+    /// `span > 2^32`: samples would not fit the `u32` index domain the
+    /// batched kernels pack into ([`crate::occupancy::MAX_NODES`]).
+    Oversized {
+        /// The rejected span.
+        span: u64,
+    },
+}
+
+impl std::fmt::Display for SpanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "cannot sample empty range"),
+            Self::Oversized { span } => {
+                write!(f, "batched samples are u32; span {span} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpanError {}
+
+/// Validates a batched-fill span: positive and at most `2^32`.
+#[inline]
+fn check_span(span: u64) -> Result<(), SpanError> {
+    if span == 0 {
+        return Err(SpanError::Empty);
+    }
+    if span > (1 << 32) {
+        return Err(SpanError::Oversized { span });
+    }
+    Ok(())
+}
+
+/// One Lemire multiply-shift draw with a precomputed rejection zone —
+/// bit-for-bit the vendored `gen_range` algorithm.
+#[inline]
+fn lemire_draw<R: RngCore + ?Sized>(span: u64, zone: u64, rng: &mut R) -> u32 {
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (span as u128);
+        if (m as u64) <= zone {
+            break (m >> 64) as u32;
+        }
+    }
+}
 
 /// Fills `buf` with independent uniform samples from `[0, span)`,
 /// consuming `rng` exactly as `buf.len()` successive
@@ -30,33 +84,104 @@ use rand::RngCore;
 ///
 /// # Panics
 ///
-/// Panics if `span == 0` or `span > u32::MAX + 1`.
+/// Panics if `span == 0` or `span > u32::MAX + 1` (in every build
+/// profile — see [`try_fill_uniform_indices`] for the non-panicking
+/// form).
 pub fn fill_uniform_indices<R: RngCore + ?Sized>(span: u64, buf: &mut [u32], rng: &mut R) {
-    assert!(span > 0, "cannot sample empty range");
-    assert!(
-        span <= (1 << 32),
-        "batched samples are u32; span {span} out of range"
-    );
+    if let Err(e) = try_fill_uniform_indices(span, buf, rng) {
+        panic!("{e}");
+    }
+}
+
+/// [`fill_uniform_indices`] with the span bounds surfaced as a typed
+/// [`SpanError`] instead of a panic. On `Err` the buffer and the RNG are
+/// untouched.
+pub fn try_fill_uniform_indices<R: RngCore + ?Sized>(
+    span: u64,
+    buf: &mut [u32],
+    rng: &mut R,
+) -> Result<(), SpanError> {
+    check_span(span)?;
     if span.is_power_of_two() {
         let mask = span - 1;
         for slot in buf.iter_mut() {
             *slot = (rng.next_u64() & mask) as u32;
         }
-        return;
+        return Ok(());
     }
-    // Lemire multiply-shift with the rejection zone precomputed once for
-    // the whole buffer — bit-for-bit the vendored `gen_range` algorithm
-    // (the zone formula lives once, in `graphs::fastdiv`, shared with
-    // the CSR per-node hoist).
+    // Rejection zone precomputed once for the whole buffer (the zone
+    // formula lives once, in `graphs::fastdiv`, shared with the CSR
+    // per-node hoist).
     let zone = antdensity_graphs::fastdiv::lemire_zone(span);
     for slot in buf.iter_mut() {
-        *slot = loop {
-            let v = rng.next_u64();
-            let m = (v as u128) * (span as u128);
-            if (m as u64) <= zone {
-                break (m >> 64) as u32;
+        *slot = lemire_draw(span, zone, rng);
+    }
+    Ok(())
+}
+
+/// Number of interleaved generator lanes in the lane-batched fill
+/// kernels. Four independent xoshiro states are enough to cover the
+/// ~4-cycle serial latency of one state update with independent work.
+pub const RNG_LANES: usize = 4;
+
+/// Derives [`RNG_LANES`] independent generator lanes from `seq`: lane
+/// `l` draws the stream `seq.rng(first_stream + l)` — the same
+/// subsequence/stream derivation the engine's per-block scheme uses, so
+/// lane streams are reproducible and disjoint from each other by
+/// construction.
+pub fn lane_rngs(seq: &SeedSequence, first_stream: u64) -> [SmallRng; RNG_LANES] {
+    std::array::from_fn(|l| seq.rng(first_stream + l as u64))
+}
+
+/// The lane-interleaved variant of [`fill_uniform_indices`]: slot `i`
+/// of `buf` is drawn from lane `i % RNG_LANES`, and each lane's
+/// subsequence of slots consumes that lane exactly as sequential
+/// `gen_range(0..span)` calls would. Interleaving independent states
+/// breaks the serial xoshiro dependency chain, letting the CPU pipeline
+/// several draws per cycle where the single-stream fill is latency
+/// bound.
+///
+/// This is a *different* deterministic stream layout than the
+/// single-RNG fill — an opt-in kernel for new consumers (the
+/// count-based engine's placement, the `rng_batch` bench), never a
+/// replacement for the bit-pinned reference path.
+///
+/// # Panics
+///
+/// Panics if `span == 0` or `span > u32::MAX + 1`.
+pub fn fill_uniform_indices_lanes(span: u64, buf: &mut [u32], lanes: &mut [SmallRng; RNG_LANES]) {
+    if let Err(e) = check_span(span) {
+        panic!("{e}");
+    }
+    if span.is_power_of_two() {
+        let mask = span - 1;
+        let mut chunks = buf.chunks_exact_mut(RNG_LANES);
+        for chunk in &mut chunks {
+            // One word per lane, gathered before masking: the four
+            // state updates carry no data dependence on each other, so
+            // they issue in parallel.
+            let mut words = [0u64; RNG_LANES];
+            for (w, lane) in words.iter_mut().zip(lanes.iter_mut()) {
+                *w = lane.next_u64();
             }
-        };
+            for (slot, w) in chunk.iter_mut().zip(words) {
+                *slot = (w & mask) as u32;
+            }
+        }
+        for (l, slot) in chunks.into_remainder().iter_mut().enumerate() {
+            *slot = (lanes[l].next_u64() & mask) as u32;
+        }
+        return;
+    }
+    let zone = antdensity_graphs::fastdiv::lemire_zone(span);
+    let mut chunks = buf.chunks_exact_mut(RNG_LANES);
+    for chunk in &mut chunks {
+        for (slot, lane) in chunk.iter_mut().zip(lanes.iter_mut()) {
+            *slot = lemire_draw(span, zone, lane);
+        }
+    }
+    for (l, slot) in chunks.into_remainder().iter_mut().enumerate() {
+        *slot = lemire_draw(span, zone, &mut lanes[l]);
     }
 }
 
@@ -80,6 +205,277 @@ pub fn sample_binomial(n: u32, p: f64, rng: &mut dyn RngCore) -> u32 {
         }
     }
     k
+}
+
+/// Trial counts at or below this use the plain Bernoulli sum — exact
+/// and fastest when the loop is this short.
+const BINOMIAL_BERNOULLI_MAX: u64 = 16;
+
+/// Mean cap for the BINV inversion tail: expected search length is
+/// `n·min(p, 1-p) + 1`, so the walk stays short below this.
+const BINV_MAX_MEAN: f64 = 32.0;
+
+/// Trial-count cap for the bitwise digit walk: its cost is ~`2n` raw
+/// bits (`n/32` generator words), so it beats the beta-split recursion
+/// (a few hundred ns per level) until `n` reaches the hundred-thousands.
+/// Above the cap, beta splits halve `n` into this regime first.
+const BINOMIAL_BITWISE_MAX: u64 = 1 << 14;
+
+/// The number of `n` fair coins that land heads: popcounts of raw
+/// generator words, `⌈n/64⌉` draws.
+fn bin_half<R: RngCore + ?Sized>(n: u64, rng: &mut R) -> u64 {
+    let mut ones = 0u64;
+    let mut left = n;
+    while left >= 64 {
+        ones += u64::from(rng.next_u64().count_ones());
+        left -= 64;
+    }
+    if left > 0 {
+        ones += u64::from((rng.next_u64() & ((1u64 << left) - 1)).count_ones());
+    }
+    ones
+}
+
+/// Exact Binomial(n, p) via the binary digit walk: each trial is an
+/// implicit uniform compared against `p` bit by bit, msb first. At each
+/// level the surviving trials split on one fair bit
+/// ([`bin_half`]); a trial whose bit falls below `p`'s is accepted,
+/// above is rejected, equal survives to the next level. Survivors halve
+/// per level, so total work is ~`2n` raw bits regardless of `p`, and
+/// the accept/reject rule makes the count exactly Binomial(n, p) for
+/// the f64's exact value. Caller guarantees `0 < p < 1`.
+fn bitwise_binomial<R: RngCore + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let mut n = n;
+    let mut acc = 0u64;
+    let mut frac = p;
+    // Any f64 in (0,1) has at most 1074 expansion bits, and `n` halves
+    // per level long before that; the bound is a backstop, not a limit
+    // that truncates real mass.
+    for _ in 0..1100 {
+        if n == 0 {
+            break;
+        }
+        frac *= 2.0; // exact: power-of-two scale
+        let bit = frac >= 1.0;
+        if bit {
+            frac -= 1.0; // exact: both operands share an exponent window
+        }
+        let heads = bin_half(n, rng);
+        if bit {
+            // p's bit is 1: trials whose bit is 0 sit strictly below p.
+            acc += n - heads;
+            n = heads;
+        } else {
+            // p's bit is 0: trials whose bit is 1 sit strictly above p.
+            n -= heads;
+        }
+        if frac <= 0.0 {
+            // p's expansion is exhausted: every survivor equals p's
+            // prefix followed by more bits, hence exceeds p. Rejected.
+            break;
+        }
+    }
+    acc
+}
+
+/// Standard normal via Box–Muller (one value per call; the samplers
+/// built on this need distributional correctness, not stream thrift).
+fn sample_standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: the one-ulp shift keeps the logarithm finite.
+    let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gamma(shape, 1) for `shape ≥ 1` — Marsaglia–Tsang squeeze/rejection.
+fn sample_gamma<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    debug_assert!(shape >= 1.0, "Marsaglia–Tsang needs shape >= 1");
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * (x * x) * (x * x) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Beta(a, b) as a gamma ratio, clamped inside the open unit interval
+/// so downstream conditional probabilities stay well-formed.
+fn sample_beta<R: RngCore + ?Sized>(a: f64, b: f64, rng: &mut R) -> f64 {
+    let x = sample_gamma(a, rng);
+    let y = sample_gamma(b, rng);
+    if x + y <= 0.0 {
+        return 0.5;
+    }
+    (x / (x + y)).clamp(f64::EPSILON, 1.0 - f64::EPSILON)
+}
+
+/// BINV inversion search: walks the binomial CDF from 0 using the pmf
+/// recurrence `pmf(k+1)/pmf(k) = (n-k)p / ((k+1)q)`. The caller
+/// guarantees `0 < p < 1` with `n·min(p,1-p)` small and `q^n`
+/// representable; `p > 1/2` routes through the `n - Binomial(n, 1-p)`
+/// symmetry so the walk always starts at the short end.
+fn binv<R: RngCore + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let (pp, flipped) = if p <= 0.5 {
+        (p, false)
+    } else {
+        (1.0 - p, true)
+    };
+    let q = 1.0 - pp;
+    let s = pp / q;
+    let a = (n as f64 + 1.0) * s;
+    let mut r = q.powf(n as f64);
+    let mut u: f64 = rng.gen();
+    let mut k = 0u64;
+    while u > r {
+        u -= r;
+        k += 1;
+        // Float-tail guard: once the residual mass rounds below the
+        // representable pmf the walk stops at the current support edge.
+        if k >= n || r < f64::MIN_POSITIVE {
+            break;
+        }
+        r *= a / (k as f64) - s;
+    }
+    if flipped {
+        n - k
+    } else {
+        k
+    }
+}
+
+/// Exact-in-distribution Binomial(n, p) for 64-bit trial counts, O(log n)
+/// per draw where the Bernoulli sum of [`sample_binomial`] is O(n).
+///
+/// Regime dispatch: tiny `n` sums Bernoulli draws (bit-identical to
+/// [`sample_binomial`] from the same generator state); a small mean
+/// `n·min(p,1-p)` uses the BINV inversion walk; mid-size `n` runs the
+/// popcount digit walk (`bitwise_binomial`, ~`2n` raw bits total);
+/// huge `n` splits on a beta-distributed order statistic (Devroye X.4) —
+/// conditioning on `V = U_(a) ~ Beta(a, n-a+1)` leaves a binomial over
+/// roughly half the trials, so the recursion reaches a cheap regime in
+/// `O(log n)` splits. This is what makes count-based stepping O(nodes)
+/// instead of O(agents).
+///
+/// RNG consumption is regime-dependent — this sampler carries a
+/// distributional contract, not a bit-stream one.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn sample_binomial_u64<R: RngCore + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
+    let mut n = n;
+    let mut p = p;
+    let mut acc = 0u64;
+    loop {
+        if p <= 0.0 || n == 0 {
+            return acc;
+        }
+        if p >= 1.0 {
+            return acc + n;
+        }
+        if n <= BINOMIAL_BERNOULLI_MAX {
+            for _ in 0..n {
+                if rng.gen_bool(p) {
+                    acc += 1;
+                }
+            }
+            return acc;
+        }
+        let pmin = p.min(1.0 - p);
+        // BINV needs q^n representable: n·ln(1-pmin) > -640 keeps it
+        // far above the f64 underflow floor.
+        if (n as f64) * pmin <= BINV_MAX_MEAN && (n as f64) * (1.0 - pmin).ln() > -640.0 {
+            return acc + binv(n, p, rng);
+        }
+        // Bitwise digit walk: ~2n raw bits total, so for mid-size n it
+        // beats the per-level transcendental cost of the beta split.
+        if n <= BINOMIAL_BITWISE_MAX {
+            return acc + bitwise_binomial(n, p, rng);
+        }
+        // Beta split: condition on the a-th order statistic of the n
+        // implicit uniforms. V ≤ p ⇒ the a smallest all hit, and the
+        // rest are uniform on (V, 1]; V > p ⇒ only the a-1 below V can
+        // hit, uniform on (0, V).
+        let a = n / 2;
+        let v = sample_beta(a as f64, (n - a + 1) as f64, rng);
+        if v <= p {
+            acc += a;
+            n -= a;
+            let denom = 1.0 - v;
+            p = if denom > 0.0 {
+                ((p - v) / denom).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+        } else {
+            n = a - 1;
+            p = (p / v).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Exact Multinomial(n; weights): splits `n` across `out` with
+/// probabilities proportional to `weights`, preserving the total
+/// exactly. The decomposition is the textbook chain of conditional
+/// binomials `k_i ~ Binomial(n - Σ_{j<i} k_j, w_i / Σ_{j≥i} w_j)` — the
+/// same splits repeated [`sample_binomial`] calls would make, executed
+/// through [`sample_binomial_u64`] so each split costs O(log n) instead
+/// of O(n).
+///
+/// RNG consumption is data-dependent (bins with no mass left draw
+/// nothing), so the contract is distributional, not bit-stream.
+///
+/// # Panics
+///
+/// Panics if `weights` and `out` differ in length or are empty, if any
+/// weight is negative or non-finite, or if all weights are zero.
+pub fn sample_multinomial<R: RngCore + ?Sized>(
+    n: u64,
+    weights: &[f64],
+    out: &mut [u64],
+    rng: &mut R,
+) {
+    assert_eq!(weights.len(), out.len(), "one output bin per weight");
+    assert!(!weights.is_empty(), "multinomial needs at least one bin");
+    let mut rem_w: f64 = 0.0;
+    for &w in weights {
+        assert!(
+            w >= 0.0 && w.is_finite(),
+            "weights must be finite and non-negative"
+        );
+        rem_w += w;
+    }
+    assert!(rem_w > 0.0, "weights must not all be zero");
+    let mut remaining = n;
+    let last = out.len() - 1;
+    for (&w, slot) in weights[..last].iter().zip(out[..last].iter_mut()) {
+        if remaining == 0 {
+            *slot = 0;
+            continue;
+        }
+        let ratio = if rem_w > 0.0 {
+            (w / rem_w).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let k = sample_binomial_u64(remaining, ratio, rng);
+        *slot = k;
+        remaining -= k;
+        rem_w -= w;
+    }
+    out[last] = remaining;
 }
 
 /// Exact Poisson(λ) sample via Knuth's product method (O(λ) expected
@@ -328,5 +724,305 @@ mod tests {
     fn batched_fill_rejects_oversized_span() {
         let mut rng = SmallRng::seed_from_u64(1);
         fill_uniform_indices((1 << 32) + 1, &mut [0u32; 4], &mut rng);
+    }
+
+    #[test]
+    fn try_fill_reports_typed_errors_at_both_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = [7u32; 4];
+        assert_eq!(
+            try_fill_uniform_indices(0, &mut buf, &mut rng),
+            Err(SpanError::Empty)
+        );
+        assert_eq!(
+            try_fill_uniform_indices((1 << 32) + 1, &mut buf, &mut rng),
+            Err(SpanError::Oversized {
+                span: (1 << 32) + 1
+            })
+        );
+        // On Err neither the buffer nor the RNG moved.
+        assert_eq!(buf, [7u32; 4]);
+        assert_eq!(rng, SmallRng::seed_from_u64(1));
+        // Both boundary spans are accepted: 1 and exactly 2^32.
+        assert_eq!(try_fill_uniform_indices(1, &mut buf, &mut rng), Ok(()));
+        assert_eq!(buf, [0u32; 4]);
+        assert_eq!(
+            try_fill_uniform_indices(1 << 32, &mut buf, &mut rng),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn typed_error_messages_match_the_panic_contract() {
+        assert_eq!(SpanError::Empty.to_string(), "cannot sample empty range");
+        assert_eq!(
+            SpanError::Oversized {
+                span: 5_000_000_000
+            }
+            .to_string(),
+            "batched samples are u32; span 5000000000 out of range"
+        );
+    }
+
+    #[test]
+    fn lane_fill_consumes_each_lane_as_sequential_gen_range() {
+        // Slot i comes from lane i % RNG_LANES, and each lane's slot
+        // subsequence consumes that lane exactly like sequential
+        // gen_range draws — pow2 (mask), non-pow2 (Lemire), with an
+        // uneven remainder chunk.
+        for span in [4u64, 6, 100] {
+            for seed in 0..4 {
+                let seq = SeedSequence::new(seed);
+                let mut lanes = lane_rngs(&seq, 0);
+                let mut buf = vec![0u32; 4 * RNG_LANES + 3];
+                fill_uniform_indices_lanes(span, &mut buf, &mut lanes);
+                let mut reference = lane_rngs(&seq, 0);
+                for (i, &got) in buf.iter().enumerate() {
+                    let expect: u64 = reference[i % RNG_LANES].gen_range(0..span);
+                    assert_eq!(got as u64, expect, "span {span} seed {seed} slot {i}");
+                }
+                // Identical residual lane states.
+                for (lane, reference) in lanes.iter_mut().zip(reference.iter_mut()) {
+                    assert_eq!(lane.next_u64(), reference.next_u64());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_rngs_are_pairwise_distinct_streams() {
+        let seq = SeedSequence::new(11);
+        let mut lanes = lane_rngs(&seq, 0);
+        let firsts: Vec<u64> = lanes.iter_mut().map(|l| l.next_u64()).collect();
+        for i in 0..RNG_LANES {
+            for j in i + 1..RNG_LANES {
+                assert_ne!(firsts[i], firsts[j], "lanes {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn lane_fill_rejects_zero_span() {
+        let mut lanes = lane_rngs(&SeedSequence::new(1), 0);
+        fill_uniform_indices_lanes(0, &mut [0u32; 4], &mut lanes);
+    }
+
+    #[test]
+    fn binomial_u64_matches_bernoulli_sum_bit_exactly_for_tiny_n() {
+        // At or below the Bernoulli threshold the u64 sampler runs the
+        // identical gen_bool loop, so from equal generator states the
+        // values and residual states agree bit-for-bit.
+        for seed in 0..16 {
+            for n in [0u64, 1, 5, 16] {
+                for p in [0.1, 0.5, 0.9] {
+                    let mut a = SmallRng::seed_from_u64(seed);
+                    let mut b = SmallRng::seed_from_u64(seed);
+                    let big = sample_binomial_u64(n, p, &mut a);
+                    let small = sample_binomial(n as u32, p, &mut b) as u64;
+                    assert_eq!(big, small, "n {n} p {p} seed {seed}");
+                    assert_eq!(a.next_u64(), b.next_u64());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_u64_edge_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sample_binomial_u64(1_000_000, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial_u64(1_000_000, 1.0, &mut rng), 1_000_000);
+        assert_eq!(sample_binomial_u64(0, 0.5, &mut rng), 0);
+    }
+
+    #[test]
+    fn binomial_u64_moments_across_regimes() {
+        // (n, p) chosen to land in each dispatch regime: Bernoulli tail,
+        // BINV (direct and flipped), and the beta-split recursion.
+        let cases = [
+            (12u64, 0.3),
+            (100, 0.05),
+            (100, 0.95),
+            (1_000, 0.3),
+            (100_000, 0.4),
+        ];
+        for (case, &(n, p)) in cases.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(7 + case as u64);
+            let trials = 20_000usize;
+            let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+            for _ in 0..trials {
+                let k = sample_binomial_u64(n, p, &mut rng) as f64;
+                sum += k;
+                sumsq += k * k;
+            }
+            let mean = sum / trials as f64;
+            let var = sumsq / trials as f64 - mean * mean;
+            let (m, v) = (n as f64 * p, n as f64 * p * (1.0 - p));
+            // Mean within 6 standard errors; variance within 10%.
+            let se = (v / trials as f64).sqrt();
+            assert!(
+                (mean - m).abs() < 6.0 * se,
+                "n {n} p {p}: mean {mean} vs {m}"
+            );
+            assert!((var - v).abs() < 0.1 * v, "n {n} p {p}: var {var} vs {v}");
+        }
+    }
+
+    #[test]
+    fn binomial_u64_agrees_with_bernoulli_reference_distribution() {
+        // Two-sample chi-square between the fast sampler and the exact
+        // Bernoulli sum at n = 48 (BINV regime) and n = 300 (beta-split
+        // regime). Deterministic seeds make the statistic reproducible.
+        for (case, &(n, p)) in [(48u64, 0.3f64), (300, 0.5)].iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(100 + case as u64);
+            let trials = 8_000;
+            let bins = 16usize;
+            let lo = (n as f64 * p - 4.0 * (n as f64 * p * (1.0 - p)).sqrt()).floor();
+            let width = 8.0 * (n as f64 * p * (1.0 - p)).sqrt() / bins as f64;
+            let bin_of = |k: u64| -> usize {
+                (((k as f64 - lo) / width).floor().max(0.0) as usize).min(bins - 1)
+            };
+            let mut fast = vec![0f64; bins];
+            let mut reference = vec![0f64; bins];
+            for _ in 0..trials {
+                fast[bin_of(sample_binomial_u64(n, p, &mut rng))] += 1.0;
+                reference[bin_of(sample_binomial(n as u32, p, &mut rng) as u64)] += 1.0;
+            }
+            let mut chi2 = 0.0;
+            let mut df = 0usize;
+            for (f, r) in fast.iter().zip(&reference) {
+                if f + r < 10.0 {
+                    continue;
+                }
+                chi2 += (f - r) * (f - r) / (f + r);
+                df += 1;
+            }
+            // 99.9th percentile of chi-square with df ≤ 16 is < 40.
+            assert!(chi2 < 40.0, "n {n} p {p}: chi2 {chi2} over {df} bins");
+        }
+    }
+
+    #[test]
+    fn multinomial_preserves_totals_exactly() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for n in [0u64, 1, 17, 10_000, 1_000_000] {
+            let weights = [0.5, 1.5, 0.0, 3.0, 1.0];
+            let mut out = [0u64; 5];
+            sample_multinomial(n, &weights, &mut out, &mut rng);
+            assert_eq!(out.iter().sum::<u64>(), n, "n {n}: {out:?}");
+            assert_eq!(out[2], 0, "zero-weight bin received mass");
+        }
+    }
+
+    #[test]
+    fn multinomial_marginals_are_binomial() {
+        // Each bin's marginal is Binomial(n, w_i / Σw): check mean and
+        // variance per bin over many draws.
+        let weights = [1.0, 2.0, 5.0];
+        let total_w: f64 = weights.iter().sum();
+        let n = 400u64;
+        let trials = 20_000usize;
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut sums = [0.0f64; 3];
+        let mut sumsqs = [0.0f64; 3];
+        let mut out = [0u64; 3];
+        for _ in 0..trials {
+            sample_multinomial(n, &weights, &mut out, &mut rng);
+            for (i, &k) in out.iter().enumerate() {
+                sums[i] += k as f64;
+                sumsqs[i] += (k * k) as f64;
+            }
+        }
+        for i in 0..3 {
+            let p = weights[i] / total_w;
+            let (m, v) = (n as f64 * p, n as f64 * p * (1.0 - p));
+            let mean = sums[i] / trials as f64;
+            let var = sumsqs[i] / trials as f64 - mean * mean;
+            let se = (v / trials as f64).sqrt();
+            assert!((mean - m).abs() < 6.0 * se, "bin {i}: mean {mean} vs {m}");
+            assert!((var - v).abs() < 0.1 * v, "bin {i}: var {var} vs {v}");
+        }
+    }
+
+    #[test]
+    fn multinomial_agrees_with_repeated_binomial_splits() {
+        // The same chain executed with the u32 Bernoulli-sum sampler is
+        // the reference decomposition; compare first moments per bin.
+        let weights = [1.0f64, 1.0, 1.0, 1.0];
+        let n = 64u64;
+        let trials = 20_000usize;
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut fast_sums = [0.0f64; 4];
+        let mut ref_sums = [0.0f64; 4];
+        let mut out = [0u64; 4];
+        for _ in 0..trials {
+            sample_multinomial(n, &weights, &mut out, &mut rng);
+            for (s, &k) in fast_sums.iter_mut().zip(&out) {
+                *s += k as f64;
+            }
+            // Reference: explicit chain of sample_binomial splits.
+            let mut remaining = n as u32;
+            for (i, s) in ref_sums.iter_mut().enumerate() {
+                let k = if i == 3 {
+                    remaining
+                } else {
+                    sample_binomial(remaining, 1.0 / (4 - i) as f64, &mut rng)
+                };
+                *s += k as f64;
+                remaining -= k;
+            }
+        }
+        for i in 0..4 {
+            let expect = n as f64 / 4.0;
+            let fast = fast_sums[i] / trials as f64;
+            let reference = ref_sums[i] / trials as f64;
+            let se = (expect * 0.75 / trials as f64).sqrt();
+            assert!((fast - expect).abs() < 6.0 * se, "bin {i}: {fast}");
+            assert!(
+                (reference - expect).abs() < 6.0 * se,
+                "bin {i}: {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_chi_square_uniform_bins() {
+        // Equal weights: pooled bin totals over many draws should be
+        // uniform — one-sample chi-square against the exact expectation.
+        let k = 8usize;
+        let weights = vec![1.0f64; k];
+        let n = 100u64;
+        let trials = 5_000usize;
+        let mut rng = SmallRng::seed_from_u64(24);
+        let mut totals = vec![0u64; k];
+        let mut out = vec![0u64; k];
+        for _ in 0..trials {
+            sample_multinomial(n, &weights, &mut out, &mut rng);
+            for (t, &c) in totals.iter_mut().zip(&out) {
+                *t += c;
+            }
+        }
+        let expect = (n as f64 * trials as f64) / k as f64;
+        let chi2: f64 = totals
+            .iter()
+            .map(|&t| (t as f64 - expect) * (t as f64 - expect) / expect)
+            .sum();
+        // 99.9th percentile of chi-square(7) ≈ 24.3; the pooled counts
+        // are negatively correlated, which only shrinks the statistic.
+        assert!(chi2 < 24.3, "chi2 {chi2}, totals {totals:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn multinomial_rejects_empty_bins() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        sample_multinomial(5, &[], &mut [], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn multinomial_rejects_all_zero_weights() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        sample_multinomial(5, &[0.0, 0.0], &mut [0u64; 2], &mut rng);
     }
 }

@@ -879,6 +879,98 @@ impl Scenario {
         (self.num_agents as f64 - 1.0) / self.topology.num_nodes() as f64
     }
 
+    /// Whether this scenario is eligible for the count-based fast path
+    /// ([`Self::run_counts`]): the population must be fully described
+    /// by per-node occupancy counts, which holds exactly when agents
+    /// carry no state of their own — pure movement (memoryless), no
+    /// avoidance or flee (those read occupancy per agent), no sensing
+    /// noise (per-agent perturbations), and the Algorithm 1 estimator
+    /// (whose *mean* estimate is a pure function of occupancy). The
+    /// complete graph is excluded on cost grounds: its per-node
+    /// multinomial has `A − 1` bins, making a counts round `O(A²)`.
+    pub fn counts_compatible(&self) -> bool {
+        matches!(self.movement, MovementModel::Pure)
+            && self.avoidance.is_none()
+            && !self.flee
+            && self.noise.is_none()
+            && matches!(self.estimator, EstimatorSpec::Algorithm1)
+            && !matches!(self.topology, TopologySpec::Complete { .. })
+    }
+
+    /// Executes the scenario through the count-based representation
+    /// ([`crate::CountsEngine`]): `O(nodes)` per round instead of
+    /// `O(agents)`, the mega-scale fast path.
+    ///
+    /// The outcome is a pure function of `(self, seed)` and
+    /// bit-identical across thread counts, but **distributionally** —
+    /// not bitwise — equivalent to [`Self::run`]: the counts path draws
+    /// different RNG streams, so for one seed the numbers differ while
+    /// every statistic of the process agrees
+    /// (`tests/counts_equivalence.rs`). Only the population-mean
+    /// estimate exists in this representation; per-agent estimate
+    /// vectors do not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `!self.counts_compatible()`.
+    pub fn run_counts(&self, seed: u64) -> crate::CountsOutcome {
+        self.run_counts_scheduled(seed, &[self.rounds])
+            .pop()
+            .expect("one checkpoint in, one outcome out")
+    }
+
+    /// [`Self::run_counts`] snapshotting the cumulative tallies at each
+    /// of `checkpoints` (ascending) from **one** pass — the counts twin
+    /// of [`Self::run_streamed`]'s accuracy-vs-rounds curves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is not [`Self::counts_compatible`], or if
+    /// `checkpoints` is empty or not strictly ascending.
+    pub fn run_counts_scheduled(
+        &self,
+        seed: u64,
+        checkpoints: &[u64],
+    ) -> Vec<crate::CountsOutcome> {
+        assert!(
+            self.counts_compatible(),
+            "count-based stepping needs a pure, noise-free, interaction-free \
+             Algorithm 1 scenario on a non-complete topology"
+        );
+        assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+        assert!(
+            checkpoints.windows(2).all(|w| w[0] < w[1]),
+            "checkpoints must be strictly ascending"
+        );
+        let seq = SeedSequence::new(seed);
+        let topo = self.topology.build();
+        let nodes = topo.num_nodes();
+        let mut engine = crate::CountsEngine::new(topo, self.num_agents as u64)
+            .with_seed_sequence(seq.subsequence(COUNTS_STEP_STREAM))
+            .with_threads(self.threads);
+        engine.place_uniform(&seq.subsequence(COUNTS_PLACEMENT_STREAM));
+        let mut total_encounters: u128 = 0;
+        let mut outcomes = Vec::with_capacity(checkpoints.len());
+        let mut next_checkpoint = checkpoints.iter().copied().peekable();
+        let max_rounds = *checkpoints.last().expect("non-empty");
+        for round in 0..=max_rounds {
+            if round > 0 {
+                engine.step_round();
+                total_encounters += engine.round_encounters();
+            }
+            while next_checkpoint.peek() == Some(&round) {
+                next_checkpoint.next();
+                outcomes.push(crate::CountsOutcome::from_tallies(
+                    round,
+                    self.num_agents as u64,
+                    nodes,
+                    total_encounters,
+                ));
+            }
+        }
+        outcomes
+    }
+
     /// Executes the scenario. The outcome is a pure function of
     /// `(self, seed)` — thread count and scheduling are invisible.
     ///
@@ -1120,6 +1212,12 @@ const PLACEMENT_STREAM: u64 = 0x504c_4143;
 const STEP_STREAM: u64 = 0x5354_4550;
 const ROLE_STREAM: u64 = 0x524f_4c45;
 const NOISE_STREAM: u64 = 0x4e4f_4953;
+// The counts fast path gets its own labels: its streams are a different
+// *shape* (per-node-block, not per-agent-block), so sharing labels with
+// the agent path would invite accidental stream reuse if a scenario
+// ever ran both.
+const COUNTS_PLACEMENT_STREAM: u64 = 0x4350_4c41;
+const COUNTS_STEP_STREAM: u64 = 0x4353_5445;
 
 /// The result of running a [`Scenario`].
 #[derive(Debug, Clone, PartialEq)]
@@ -1232,19 +1330,25 @@ mod tests {
         let pool = std::sync::Arc::new(crate::pool::WorkerPool::new(4));
         for blocks_per_chunk in [1usize, 2, 8] {
             for min_chunks in [1usize, 4] {
-                let tuned = base
-                    .clone()
-                    .with_threads(4)
-                    .with_worker_pool(std::sync::Arc::clone(&pool))
-                    .with_engine_config(EngineConfig {
-                        schedule_chunk: blocks_per_chunk * STREAM_BLOCK,
-                        min_chunks_per_worker: min_chunks,
-                    })
-                    .run(9);
-                assert_eq!(
-                    reference, tuned,
-                    "config {blocks_per_chunk}x{STREAM_BLOCK}/{min_chunks} changed results"
-                );
+                // Exercise both mega-path extremes too: every round
+                // blocked (threshold 0) and never blocked (MAX).
+                for blocked in [0usize, usize::MAX] {
+                    let tuned = base
+                        .clone()
+                        .with_threads(4)
+                        .with_worker_pool(std::sync::Arc::clone(&pool))
+                        .with_engine_config(EngineConfig {
+                            schedule_chunk: blocks_per_chunk * STREAM_BLOCK,
+                            min_chunks_per_worker: min_chunks,
+                            inline_step_threshold: 0,
+                            blocked_round_threshold: blocked,
+                        })
+                        .run(9);
+                    assert_eq!(
+                        reference, tuned,
+                        "config {blocks_per_chunk}x{STREAM_BLOCK}/{min_chunks}/{blocked} changed results"
+                    );
+                }
             }
         }
     }

@@ -174,10 +174,41 @@ pub fn step_slice_pure_batched_timed<T: Topology, R: RngCore + ?Sized>(
     (draw_ns, apply_ns)
 }
 
+/// The pure-model fast path fed by [`crate::sampling::RNG_LANES`]
+/// interleaved generator lanes instead of a single serial stream.
+///
+/// Agent `i` of the slice draws from lane `i % RNG_LANES`, exactly as
+/// one [`crate::sampling::fill_uniform_indices_lanes`] call over the
+/// whole slice would (`SAMPLE_BATCH` is a multiple of the lane count,
+/// so chunking never shifts the lane phase). This breaks the serial
+/// xoshiro dependency chain that bounds [`step_slice_pure_batched`]:
+/// with four independent lanes the next state update of one lane
+/// overlaps the output computation of the others.
+///
+/// The draw streams are **different** from the single-stream kernels by
+/// design — callers opt in per block with lane RNGs derived from the
+/// same `SeedSequence` block scheme, and results remain deterministic
+/// for a fixed lane assignment.
+pub fn step_slice_pure_batched_lanes<T: Topology>(
+    topo: &T,
+    span: u64,
+    positions: &mut [u32],
+    lanes: &mut [rand::rngs::SmallRng; crate::sampling::RNG_LANES],
+) {
+    const { assert!(SAMPLE_BATCH.is_multiple_of(crate::sampling::RNG_LANES)) };
+    let mut idx = [0u32; SAMPLE_BATCH];
+    for block in positions.chunks_mut(SAMPLE_BATCH) {
+        let buf = &mut idx[..block.len()];
+        crate::sampling::fill_uniform_indices_lanes(span, buf, lanes);
+        topo.apply_moves(block, buf);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use antdensity_graphs::{CompleteGraph, Hypercube, Ring, Torus2d};
+    use antdensity_stats::rng::SeedSequence;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -342,6 +373,40 @@ mod tests {
         }
         for seed in 0..4 {
             check(Torus2d::new(16), 4, 1000, seed);
+            check(Hypercube::new(5), 5, 321, seed);
+            check(Ring::new(77), 2, 130, seed);
+            check(CompleteGraph::new(1000), 1000, 500, seed);
+        }
+    }
+
+    #[test]
+    fn lanes_kernel_matches_whole_slice_lane_fill() {
+        // The chunked kernel must draw agent i from lane i % RNG_LANES
+        // exactly as a single lane fill over the whole slice would —
+        // including across SAMPLE_BATCH chunk boundaries and a ragged
+        // tail — with identical residual lane states.
+        use crate::sampling::{fill_uniform_indices_lanes, lane_rngs, RNG_LANES};
+        fn check<T: Topology>(topo: T, span: u64, n: usize, seed: u64) {
+            let seq = SeedSequence::new(seed);
+            let start: Vec<u32> = (0..n)
+                .map(|i| (i as u64 % topo.num_nodes()) as u32)
+                .collect();
+            let mut kernel_pos = start.clone();
+            let mut kernel_lanes = lane_rngs(&seq, 0);
+            step_slice_pure_batched_lanes(&topo, span, &mut kernel_pos, &mut kernel_lanes);
+            let mut reference_lanes = lane_rngs(&seq, 0);
+            let mut moves = vec![0u32; n];
+            fill_uniform_indices_lanes(span, &mut moves, &mut reference_lanes);
+            let mut reference_pos = start;
+            topo.apply_moves(&mut reference_pos, &moves);
+            assert_eq!(kernel_pos, reference_pos);
+            for (k, r) in kernel_lanes.iter_mut().zip(reference_lanes.iter_mut()) {
+                assert_eq!(k.next_u64(), r.next_u64(), "residual lane state differs");
+            }
+            let _ = RNG_LANES;
+        }
+        for seed in 0..4 {
+            check(Torus2d::new(16), 4, SAMPLE_BATCH * 3 + 37, seed);
             check(Hypercube::new(5), 5, 321, seed);
             check(Ring::new(77), 2, 130, seed);
             check(CompleteGraph::new(1000), 1000, 500, seed);

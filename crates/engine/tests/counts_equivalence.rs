@@ -1,0 +1,181 @@
+//! The count-based stepping equivalence contract.
+//!
+//! [`CountsEngine`] collapses agents into per-node occupancy counts, so
+//! it cannot (and does not) reproduce the agent engine's bit streams.
+//! What it guarantees instead is **distributional** equivalence: a
+//! uniform multinomial split of a node's count is exactly the law of
+//! that many independent pure-walk draws, so every statistic of the
+//! occupancy process — stationary visit distributions, estimator error
+//! curves — agrees with the agent-level engine. These tests pin that
+//! contract the same way `csr_equivalence.rs` pins the CSR chain
+//! against the native one: statistically, across unrelated seeds.
+//!
+//! Determinism, by contrast, is still exact: for a fixed seed the
+//! counts trajectory is bit-identical across thread counts and
+//! schedules.
+
+use antdensity_engine::{CountsEngine, Engine, EstimatorSpec, NoiseSpec, Scenario, TopologySpec};
+use antdensity_graphs::{Ring, Topology, Torus2d};
+use antdensity_stats::rng::SeedSequence;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Time-averaged per-node visit distribution of a counts run.
+fn counts_visit_distribution<T: Topology + Sync>(topo: T, agents: u64, seed: u64) -> Vec<f64> {
+    let nodes = topo.num_nodes() as usize;
+    let rounds = 1500u64;
+    let mut engine = CountsEngine::new(topo, agents).with_seed_sequence(SeedSequence::new(seed));
+    engine.place_uniform(&SeedSequence::new(seed ^ 0x9e37));
+    let mut visits = vec![0u64; nodes];
+    for _ in 0..rounds {
+        engine.step_round();
+        for (v, &c) in engine.counts().iter().enumerate() {
+            visits[v] += c;
+        }
+    }
+    let total = (agents * rounds) as f64;
+    visits.iter().map(|&v| v as f64 / total).collect()
+}
+
+/// Same statistic from the agent-level engine (an independent seed).
+fn agent_visit_distribution<T: Topology>(topo: T, agents: usize, seed: u64) -> Vec<f64> {
+    let nodes = topo.num_nodes() as usize;
+    let rounds = 1500u64;
+    let mut engine = Engine::new(topo, agents);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    engine.place_uniform(&mut rng);
+    let mut visits = vec![0u64; nodes];
+    for _ in 0..rounds {
+        engine.step_round(&mut rng);
+        for (_, p) in engine.agent_positions() {
+            visits[p as usize] += 1;
+        }
+    }
+    let total = (agents as u64 * rounds) as f64;
+    visits.iter().map(|&v| v as f64 / total).collect()
+}
+
+/// Stationary occupancy of the counts walk matches the agent walk on
+/// the same chain — L1-close across unrelated seeds, and both near the
+/// uniform stationary distribution of these regular topologies.
+#[test]
+fn counts_stationary_occupancy_matches_agent_engine() {
+    let counts = counts_visit_distribution(Ring::new(16), 64, 1);
+    let agent = agent_visit_distribution(Ring::new(16), 64, 2);
+    let l1: f64 = counts.iter().zip(&agent).map(|(a, b)| (a - b).abs()).sum();
+    assert!(l1 < 0.10, "ring visit distributions differ: L1 = {l1}");
+    let uniform = 1.0 / 16.0;
+    for (label, dist) in [("counts", &counts), ("agent", &agent)] {
+        let worst = dist
+            .iter()
+            .map(|p| (p - uniform).abs() / uniform)
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst < 0.25,
+            "{label} ring occupancy far from uniform: {worst}"
+        );
+    }
+
+    let counts = counts_visit_distribution(Torus2d::new(6), 64, 3);
+    let agent = agent_visit_distribution(Torus2d::new(6), 64, 4);
+    let l1: f64 = counts.iter().zip(&agent).map(|(a, b)| (a - b).abs()).sum();
+    assert!(l1 < 0.10, "torus visit distributions differ: L1 = {l1}");
+}
+
+/// The Algorithm 1 population-mean estimate from the counts path has the
+/// same center as the agent path's: both grand means sit on the true
+/// density, and on each other, across independent trials.
+#[test]
+fn counts_mean_estimate_matches_agent_path_distributionally() {
+    let spec = Scenario::new(TopologySpec::Torus2d { side: 16 }, 33, 128);
+    let trials = 24u64;
+    let mut counts_grand = 0.0;
+    let mut agent_grand = 0.0;
+    for seed in 0..trials {
+        let c = spec.run_counts(seed);
+        assert_eq!(c.rounds, 128);
+        assert_eq!(c.num_agents, 33);
+        counts_grand += c.mean_estimate;
+        agent_grand += spec.run(seed).mean_estimate();
+    }
+    let d = spec.true_density();
+    let counts_mean = counts_grand / trials as f64;
+    let agent_mean = agent_grand / trials as f64;
+    assert!(
+        (counts_mean - d).abs() < 0.015,
+        "counts grand mean {counts_mean} vs true density {d}"
+    );
+    assert!(
+        (counts_mean - agent_mean).abs() < 0.02,
+        "paths disagree: counts {counts_mean}, agent {agent_mean}"
+    );
+}
+
+/// For one seed the counts outcome is exact: identical across repeats
+/// and across thread counts (block streams are fixed per round; workers
+/// merge by exact addition).
+#[test]
+fn counts_outcome_is_deterministic_and_thread_invariant() {
+    let spec = Scenario::new(TopologySpec::Torus2d { side: 64 }, 40_000, 24);
+    let reference = spec.run_counts(7);
+    assert_eq!(spec.run_counts(7), reference, "same seed must repeat");
+    for threads in [2usize, 3, 8] {
+        let outcome = spec.clone().with_threads(threads).run_counts(7);
+        assert_eq!(outcome, reference, "threads {threads} changed the outcome");
+    }
+}
+
+/// Scheduled snapshots are prefixes of one trajectory: the checkpoint at
+/// `t` equals a dedicated `rounds = t` run with the same seed, because
+/// round streams are derived per round (a shorter run draws a strict
+/// prefix of a longer one).
+#[test]
+fn counts_scheduled_snapshots_are_run_prefixes() {
+    let long = Scenario::new(TopologySpec::Torus2d { side: 16 }, 500, 64);
+    let snapshots = long.run_counts_scheduled(11, &[16, 64]);
+    assert_eq!(snapshots.len(), 2);
+    let short = Scenario::new(TopologySpec::Torus2d { side: 16 }, 500, 16);
+    assert_eq!(snapshots[0], short.run_counts(11));
+    assert_eq!(snapshots[1], long.run_counts(11));
+}
+
+/// Eligibility: exactly the scenarios whose population state is a pure
+/// function of occupancy counts qualify.
+#[test]
+fn counts_compatibility_predicate() {
+    let base = Scenario::new(TopologySpec::Torus2d { side: 8 }, 20, 16);
+    assert!(base.counts_compatible());
+    assert!(Scenario::new(
+        TopologySpec::CsrRegular {
+            nodes: 64,
+            degree: 6
+        },
+        20,
+        16
+    )
+    .counts_compatible());
+    assert!(!base.clone().with_avoidance(0.5).counts_compatible());
+    assert!(!base.clone().with_flee().counts_compatible());
+    assert!(!base
+        .clone()
+        .with_movement(antdensity_engine::MovementModel::lazy(0.3))
+        .counts_compatible());
+    assert!(!base
+        .clone()
+        .with_noise(NoiseSpec::new(0.8, 0.1))
+        .counts_compatible());
+    assert!(!base
+        .clone()
+        .with_estimator(EstimatorSpec::Quorum { threshold: 0.1 })
+        .counts_compatible());
+    assert!(!Scenario::new(TopologySpec::Complete { nodes: 64 }, 20, 16).counts_compatible());
+}
+
+/// Incompatible scenarios are rejected loudly, not silently degraded.
+#[test]
+#[should_panic(expected = "count-based stepping needs")]
+fn counts_rejects_incompatible_scenarios() {
+    Scenario::new(TopologySpec::Torus2d { side: 8 }, 20, 16)
+        .with_flee()
+        .run_counts(1);
+}

@@ -54,6 +54,8 @@ fn run_parallel<T: Topology + Sync>(
         .with_config(EngineConfig {
             schedule_chunk: STREAM_BLOCK,
             min_chunks_per_worker: 1,
+            inline_step_threshold: 0,
+            blocked_round_threshold: usize::MAX,
         });
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37);
     engine.place_uniform(&mut rng);

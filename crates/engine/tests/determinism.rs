@@ -184,6 +184,8 @@ fn assert_pool_matches_inline<T: Topology + Sync + Clone>(
     let engaged = EngineConfig {
         schedule_chunk: STREAM_BLOCK,
         min_chunks_per_worker: 1,
+        inline_step_threshold: 0,
+        blocked_round_threshold: usize::MAX,
     };
     let inline = parallel_positions(
         topo.clone(),
@@ -310,6 +312,7 @@ proptest! {
         master in any::<u64>(),
         blocks_per_chunk in 1usize..6,
         min_chunks in 1usize..5,
+        blocked in any::<bool>(),
     ) {
         let reference = parallel_positions(
             Torus2d::new(64),
@@ -332,6 +335,8 @@ proptest! {
             EngineConfig {
                 schedule_chunk: blocks_per_chunk * STREAM_BLOCK,
                 min_chunks_per_worker: min_chunks,
+                inline_step_threshold: 0,
+                blocked_round_threshold: if blocked { 0 } else { usize::MAX },
             },
             None,
             false,
@@ -352,6 +357,8 @@ proptest! {
             .with_config(EngineConfig {
                 schedule_chunk: STREAM_BLOCK,
                 min_chunks_per_worker: 1,
+                inline_step_threshold: 0,
+                blocked_round_threshold: usize::MAX,
             });
         let mut spawned = Engine::new(Torus2d::new(64), agents)
             .with_seed_sequence(SeedSequence::new(master))

@@ -9,7 +9,7 @@
 //! so a killed-and-resumed sweep reports the identical numbers.
 
 use crate::spec::Cell;
-use antdensity_engine::{EstimatorSpec, ScenarioOutcome};
+use antdensity_engine::{CountsOutcome, EstimatorSpec, ScenarioOutcome};
 use antdensity_stats::histogram::Histogram;
 use antdensity_stats::moments::StreamingMoments;
 
@@ -98,6 +98,21 @@ impl CellAggregate {
                     self.push_err((f - f_true).abs() / f_true, band);
                 }
             }
+        }
+    }
+
+    /// Streams one count-based trial ([`crate::spec::SweepSpec::counts`]
+    /// fast path). The collapsed representation carries no per-agent
+    /// estimates — only their population mean exists — so each trial
+    /// contributes exactly one sample to the estimate and error streams
+    /// (against `agents × trials` for the agent-level path; the `trials`
+    /// counter still advances by one per trial on both paths).
+    pub fn record_counts_trial(&mut self, cell: &Cell, outcome: &CountsOutcome, band: f64) {
+        self.trials += 1;
+        self.est.push(outcome.mean_estimate);
+        let d = cell.true_density();
+        if d > 0.0 {
+            self.push_err((outcome.mean_estimate - d).abs() / d, band);
         }
     }
 

@@ -27,7 +27,7 @@
 use crate::aggregate::CellAggregate;
 use crate::checkpoint::Checkpoint;
 use crate::spec::{FusedShard, ResolvedSweep, SweepSpec};
-use antdensity_engine::{ObserverTap, Scenario, WorkerPool};
+use antdensity_engine::{EstimatorSpec, ObserverTap, Scenario, WorkerPool};
 use antdensity_stats::rng::SeedSequence;
 use antdensity_telemetry as telemetry;
 use antdensity_walks::parallel;
@@ -143,6 +143,23 @@ fn base_scenario(resolved: &ResolvedSweep, shard: &FusedShard, rounds: u64) -> S
     scenario
 }
 
+/// Whether `shard` runs through the count-based fast path: the spec
+/// opted in (`counts = on`), every tap is Algorithm 1 (fusion never
+/// duplicates an estimator, so that means exactly one tap), and the
+/// shard's shared scenario is
+/// [`Scenario::counts_compatible`] — pure movement, no interaction
+/// variants, no noise, non-complete topology. Ineligible shards fall
+/// back to the agent-level path; eligibility is a pure function of the
+/// resolved spec, so the dispatch is deterministic.
+fn counts_eligible(resolved: &ResolvedSweep, shard: &FusedShard) -> bool {
+    resolved.counts
+        && shard
+            .taps
+            .iter()
+            .all(|t| t.estimator == EstimatorSpec::Algorithm1)
+        && base_scenario(resolved, shard, 1).counts_compatible()
+}
+
 /// Executes fused shard `index`: one simulation pass per trial,
 /// snapshotted at every member cell's `(estimator, rounds)` checkpoint,
 /// streamed into per-cell [`CellAggregate`]s. Pure — every call with
@@ -171,14 +188,29 @@ pub fn run_shard(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, CellAggr
         .iter()
         .map(|&c| (c, CellAggregate::new()))
         .collect();
-    for trial in 0..resolved.trials {
-        let outcomes = scenario.run_streamed(seq.derive(trial), &taps);
-        for (tap, tap_outcomes) in shard.taps.iter().zip(&outcomes) {
-            for (cp, outcome) in tap.checkpoints.iter().zip(tap_outcomes) {
+    if counts_eligible(resolved, shard) {
+        let tap = &shard.taps[0];
+        let points: Vec<u64> = tap.checkpoints.iter().map(|c| c.rounds).collect();
+        for trial in 0..resolved.trials {
+            let outcomes = scenario.run_counts_scheduled(seq.derive(trial), &points);
+            for (cp, outcome) in tap.checkpoints.iter().zip(&outcomes) {
                 for &cell_idx in &cp.cells {
                     aggs.get_mut(&cell_idx)
                         .expect("checkpoint cells are shard members")
-                        .record_trial(&resolved.cells[cell_idx], outcome, resolved.band);
+                        .record_counts_trial(&resolved.cells[cell_idx], outcome, resolved.band);
+                }
+            }
+        }
+    } else {
+        for trial in 0..resolved.trials {
+            let outcomes = scenario.run_streamed(seq.derive(trial), &taps);
+            for (tap, tap_outcomes) in shard.taps.iter().zip(&outcomes) {
+                for (cp, outcome) in tap.checkpoints.iter().zip(tap_outcomes) {
+                    for &cell_idx in &cp.cells {
+                        aggs.get_mut(&cell_idx)
+                            .expect("checkpoint cells are shard members")
+                            .record_trial(&resolved.cells[cell_idx], outcome, resolved.band);
+                    }
                 }
             }
         }
@@ -211,9 +243,18 @@ pub fn run_shard_unfused(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, 
             let scenario =
                 base_scenario(resolved, shard, cell.rounds).with_estimator(cell.estimator.clone());
             let mut agg = CellAggregate::new();
+            // The counts dispatch mirrors the fused path; because a
+            // shorter counts run draws a strict prefix of a longer one,
+            // the per-cell runs land on the fused path's exact numbers.
+            let counts = counts_eligible(resolved, shard);
             for trial in 0..resolved.trials {
-                let outcome = scenario.run(seq.derive(trial));
-                agg.record_trial(cell, &outcome, resolved.band);
+                if counts {
+                    let outcome = scenario.run_counts(seq.derive(trial));
+                    agg.record_counts_trial(cell, &outcome, resolved.band);
+                } else {
+                    let outcome = scenario.run(seq.derive(trial));
+                    agg.record_trial(cell, &outcome, resolved.band);
+                }
             }
             (cell_idx, agg)
         })
@@ -535,6 +576,57 @@ mod tests {
             run_shard(&resolved, 1)[0].1.est,
             "different shards draw different streams"
         );
+    }
+
+    #[test]
+    fn counts_opt_in_dispatches_eligible_shards() {
+        let text = "
+            name = counts_test
+            seed = 11
+            trials = 3
+            topology = torus2d:8, complete:64
+            density = 0.1
+            rounds = 8, 16
+            estimator = alg1
+            counts = on
+            ";
+        let spec = SweepSpec::parse(text).unwrap();
+        let resolved = spec.resolve(false).unwrap();
+        assert!(resolved.counts);
+        assert_eq!(resolved.fused.len(), 2);
+        // shard 0 (torus) is eligible; shard 1 (complete) falls back
+        assert!(counts_eligible(&resolved, &resolved.fused[0]));
+        assert!(!counts_eligible(&resolved, &resolved.fused[1]));
+
+        // fused and unfused counts execution agree bit for bit (prefix
+        // property of the per-round streams)
+        assert_eq!(run_shard(&resolved, 0), run_shard_unfused(&resolved, 0));
+
+        let out = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        assert!(out.complete);
+        for agg in out.aggregates.iter().flatten() {
+            assert_eq!(agg.trials, 3);
+            assert!(agg.err.count() > 0);
+        }
+        // counts cells aggregate one mean sample per trial; the
+        // agent-level fallback keeps agents × trials samples
+        assert_eq!(out.aggregates[0].as_ref().unwrap().est.count(), 3);
+        let complete_cell = &out.resolved.cells[2];
+        assert!(matches!(
+            complete_cell.topology,
+            antdensity_engine::TopologySpec::Complete { .. }
+        ));
+        assert_eq!(
+            out.aggregates[2].as_ref().unwrap().est.count(),
+            3 * complete_cell.num_agents as u64
+        );
+
+        // the knob changes the sampling path, so per-seed numbers move
+        let off = SweepSpec::parse(&text.replace("counts = on", "counts = off")).unwrap();
+        let base = run_sweep(&off, &SweepOptions::default()).unwrap();
+        assert_ne!(out.aggregates[0], base.aggregates[0]);
+        // ...but the ineligible shard is untouched by the knob
+        assert_eq!(out.aggregates[2], base.aggregates[2]);
     }
 
     #[test]

@@ -134,6 +134,12 @@ pub struct SweepSpec {
     pub movements: Vec<MovementModel>,
     /// Noise axis (`None` = perfect sensing).
     pub noises: Vec<Option<NoiseSpec>>,
+    /// Opt-in count-based stepping (`counts = on`): eligible shards run
+    /// through the occupancy-count fast path instead of the agent-level
+    /// engine. Off by default — the fast path is distributionally (not
+    /// bitwise) equivalent, so enabling it changes per-seed numbers and
+    /// is part of the fingerprint.
+    pub counts: bool,
 }
 
 /// One expanded grid cell — the unit of sharded execution. Everything a
@@ -274,6 +280,8 @@ pub struct ResolvedSweep {
     /// simulation pass. This — not the cell list — is the unit of
     /// execution, checkpoint waves, and RNG stream derivation.
     pub fused: Vec<FusedShard>,
+    /// Count-based stepping opt-in (see [`SweepSpec::counts`]).
+    pub counts: bool,
     /// Combinations dropped at expansion.
     pub skipped: Vec<SkippedCell>,
     /// Hash of the resolved configuration — checkpoints bind to it, so a
@@ -305,6 +313,7 @@ impl SweepSpec {
         let mut estimators: Option<Vec<EstimatorAxis>> = None;
         let mut movements: Option<Vec<MovementModel>> = None;
         let mut noises: Option<Vec<Option<NoiseSpec>>> = None;
+        let mut counts: Option<bool> = None;
 
         for (lineno, raw) in text.lines().enumerate() {
             let line = match raw.split_once('#') {
@@ -442,6 +451,14 @@ impl SweepSpec {
                         .collect::<Result<_, _>>()?;
                     noises = Some(ns);
                 }
+                "counts" => {
+                    dup(counts.is_some())?;
+                    counts = Some(match value {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(at(format!("counts must be on|off, got `{other}`"))),
+                    });
+                }
                 other => return Err(at(format!("unknown key `{other}`"))),
             }
         }
@@ -461,6 +478,7 @@ impl SweepSpec {
             estimators: estimators.unwrap_or_else(|| vec![EstimatorAxis::Algorithm1]),
             movements: movements.unwrap_or_else(|| vec![MovementModel::Pure]),
             noises: noises.unwrap_or_else(|| vec![None]),
+            counts: counts.unwrap_or(false),
         })
     }
 
@@ -589,6 +607,7 @@ impl SweepSpec {
             mode: if quick { "quick" } else { "full" },
             cells,
             fused,
+            counts: self.counts,
             skipped,
             fingerprint: 0,
         };
@@ -769,6 +788,12 @@ impl ResolvedSweep {
             }
             s.push('\n');
         }
+        // Appended only when enabled: every pre-existing spec (counts
+        // off) keeps its fingerprint byte-for-byte, so old checkpoints
+        // stay resumable.
+        if self.counts {
+            s.push_str("counts on\n");
+        }
         s
     }
 
@@ -844,6 +869,39 @@ mod tests {
             a.fingerprint,
             "seed must change the fingerprint"
         );
+    }
+
+    #[test]
+    fn counts_key_parses_and_gates_the_fingerprint() {
+        let spec = SweepSpec::parse(SPEC).unwrap();
+        assert!(!spec.counts, "counts defaults to off");
+        let baseline = spec.resolve(false).unwrap();
+
+        // `counts = off` is byte-identical to the key being absent —
+        // fingerprints (and thus old checkpoints) stay valid.
+        let off = SweepSpec::parse(&format!("{SPEC}\ncounts = off")).unwrap();
+        assert!(!off.counts);
+        assert_eq!(
+            off.resolve(false).unwrap().fingerprint,
+            baseline.fingerprint,
+            "counts = off must not move the fingerprint"
+        );
+
+        // `counts = on` changes results (different sampling path), so it
+        // must change the fingerprint.
+        let on = SweepSpec::parse(&format!("{SPEC}\ncounts = on")).unwrap();
+        assert!(on.counts);
+        let resolved_on = on.resolve(false).unwrap();
+        assert!(resolved_on.counts);
+        assert_ne!(
+            resolved_on.fingerprint, baseline.fingerprint,
+            "counts = on must move the fingerprint"
+        );
+
+        let err = SweepSpec::parse(&format!("{SPEC}\ncounts = maybe")).unwrap_err();
+        assert!(err.contains("on|off"), "bad value reported: {err}");
+        let err = SweepSpec::parse(&format!("{SPEC}\ncounts = on\ncounts = on")).unwrap_err();
+        assert!(err.contains("duplicate"), "duplicate reported: {err}");
     }
 
     #[test]
