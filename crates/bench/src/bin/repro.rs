@@ -7,6 +7,7 @@
 //! repro bench                       # engine throughput -> BENCH_engine.json
 //! repro bench --compare [BASE]      # …then gate against a baseline JSON
 //! repro bench --group NAME          # one benchmark family only (e.g. rng_batch)
+//! repro bench --list-groups         # print the known group names, run nothing
 //! repro sweep SPEC [--quick]        # run a declarative parameter sweep
 //! repro sweep SPEC --dry-run        # print the expanded/fused plan, run nothing
 //! repro sweep SPEC --serve-shards   # distribute shards to worker processes
@@ -25,10 +26,9 @@
 //!                     bytes as editing its `seed =` line)
 //!   --out DIR         CSV/JSON output directory (default results/)
 //!   --tolerance F     bench gate: allowed fractional regression (default 0.25)
-//!   --group NAME      bench: run one family (sequential, parallel_scaling,
-//!                     csr_stepping, observer_fusion, telemetry_overhead,
-//!                     dist_sweep, serve_bench, mega_scale, rng_batch); the
+//!   --group NAME      bench: run one family (see `bench --list-groups`); the
 //!                     gate then covers just that family's rows
+//!   --list-groups     bench: print the group names one per line and exit
 //! sweep options:
 //!   --workers N       worker threads for shard fan-out (results never depend on it)
 //!   --resume          continue from DIR/<name>.ckpt if present
@@ -39,9 +39,16 @@
 //!   --dry-run         print cell/shard/trial counts and the fused-vs-unfused
 //!                     simulation work, then exit without running
 //!   --metrics [FILE]  write the execution-metrics snapshot (schema
-//!                     `antdensity-metrics v2`; default DIR/METRICS_<name>.json)
+//!                     `antdensity-metrics v3`; default DIR/METRICS_<name>.json)
 //!   --trace FILE      write a Chrome-tracing / Perfetto JSON of the run's spans
 //!   --progress        live stderr line per wave: shards done/total, Msteps/s, ETA
+//!   --cache DIR       consult/publish a content-addressed shard result cache
+//!                     under DIR (`off` disables); warm reruns skip simulation
+//!                     and write byte-identical reports. Shared safely across
+//!                     concurrent processes; spawned dist workers inherit it
+//!   --cache-verify    recompute every cache hit and byte-compare against the
+//!                     stored blob; any mismatch aborts the run (CI distrust)
+//!   --cache-cap BYTES LRU-evict the cache down to BYTES after the run
 //! distributed sweep options:
 //!   --serve-shards    lease fused shards to worker processes instead of
 //!                     running them on the in-process pool; the report stays
@@ -60,6 +67,7 @@
 //!   --executors N     concurrent jobs (default 2; all share the worker pool)
 //!   --workers N       worker threads per job (default: the thread default)
 //!   --dist N          run each job's shards on N child worker processes
+//!   --cache DIR       one shard result cache shared by every executor and job
 //! exit codes: 0 ok; 1 perf gate regressed / IO failure; 2 usage; 3 partial sweep;
 //!             4 distributed result mismatch (byte-unequal duplicate shard result)
 //! ```
@@ -91,10 +99,11 @@ fn usage() -> ! {
         "usage: repro <list|bench|sweep SPEC|sweep-worker|check-metrics FILE|serve|\
          serve-submit ADDR SPEC|serve-bench|all|e1..e17...> \
          [--quick|--full] [--seed N] [--out DIR] [--compare [BASELINE]] [--tolerance F] \
-         [--group NAME] \
+         [--group NAME] [--list-groups] \
          [--workers N] [--resume] [--max-shards K] [--no-checkpoint] [--no-fuse] \
          [--dry-run] [--metrics [FILE]] [--trace FILE] [--progress] \
          [--serve-shards] [--workers-cmd N] [--listen ADDR] [--fault PLAN] \
+         [--cache DIR|off] [--cache-verify] [--cache-cap BYTES] \
          [--stdio] [--max-queue N] [--executors N] [--dist N] [--clients N] [--jobs N]"
     );
     ExitCode::Usage.exit()
@@ -160,7 +169,24 @@ fn run_experiments(req: &cli::ExperimentsRequest) {
     );
 }
 
+/// Opens the `--cache` store (when given) and routes the
+/// `spectral::effective_lambda` disk memo to the same root, so one
+/// directory caches both shard blobs and spectral-gap results.
+fn open_cache(dir: Option<&Path>) -> Option<std::sync::Arc<sweep::ShardCache>> {
+    let dir = dir?;
+    let cache = sweep::ShardCache::open(dir)
+        .unwrap_or_else(|e| ExitCode::Failure.fail(&format!("--cache {}: {e}", dir.display())));
+    antdensity_core::theory::set_lambda_cache_dir(dir);
+    Some(std::sync::Arc::new(cache))
+}
+
 fn run_bench(req: &cli::BenchRequest) {
+    if req.list_groups {
+        for group in perf::GROUPS {
+            println!("{group}");
+        }
+        return;
+    }
     let t0 = Instant::now();
     // The parser already vetted the group name, so this only errors on
     // a programmatic caller handing an unknown label.
@@ -342,6 +368,7 @@ fn run_sweep_cmd(req: &cli::SweepRequest) {
     } else {
         Some(req.out.join(format!("{}.ckpt", validated.spec.name)))
     };
+    let cache = open_cache(req.cache.as_deref());
     let opts = sweep::SweepOptions {
         quick: req.quick,
         fuse: !req.no_fuse,
@@ -352,6 +379,9 @@ fn run_sweep_cmd(req: &cli::SweepRequest) {
         resume: req.resume,
         max_shards: req.max_shards,
         progress: req.progress,
+        cache: cache.clone(),
+        cache_verify: req.cache_verify,
+        cache_cap: req.cache_cap,
         ..sweep::SweepOptions::default()
     };
     let t0 = Instant::now();
@@ -385,6 +415,9 @@ fn run_sweep_cmd(req: &cli::SweepRequest) {
             sweep::SweepMetrics::from_outcome(&outcome, opts.fuse, wall_s, snapshot.clone());
         if let Some(stats) = &dist_stats {
             metrics = metrics.with_dist(stats.clone());
+        }
+        if let Some(cache) = &cache {
+            metrics = metrics.with_cache(cache.stats());
         }
         let written = match metrics_path {
             Some(path) => {
@@ -433,6 +466,23 @@ fn run_sweep_cmd(req: &cli::SweepRequest) {
             outcome.workers_effective, outcome.workers_requested
         );
     }
+    if let Some(cache) = &cache {
+        // One greppable line mirroring the metrics file's `cache`
+        // section (CI asserts hits>0 on the warm run from either).
+        let s = cache.stats();
+        println!(
+            "  cache: hits={} misses={} stores={} corrupt={} evictions={} \
+             verify_failures={} ({} B read, {} B written)",
+            s.hits,
+            s.misses,
+            s.stores,
+            s.corrupt,
+            s.evictions,
+            s.verify_failures,
+            s.bytes_read,
+            s.bytes_written,
+        );
+    }
     println!(
         "  [sweep {} ran {} shard{} (+{} resumed), {} simulation{} / {} rounds{}, in {wall_s:.1}s]",
         report.name,
@@ -479,13 +529,16 @@ fn run_sweep_cmd(req: &cli::SweepRequest) {
     ExitCode::Partial.exit()
 }
 
-/// `repro sweep-worker [--stdio | --connect ADDR]`: the worker half of
-/// a distributed sweep. Its stdout carries protocol frames, not human
-/// output — nothing here prints.
+/// `repro sweep-worker [--stdio | --connect ADDR] [--cache DIR]`: the
+/// worker half of a distributed sweep. Its stdout carries protocol
+/// frames, not human output — nothing here prints.
 fn run_sweep_worker(req: &cli::SweepWorkerRequest) {
+    let cache = open_cache(req.cache.as_deref());
     let result = match &req.mode {
-        cli::WorkerMode::Stdio => sweep::dist::runtime::run_worker_stdio(),
-        cli::WorkerMode::Connect(addr) => sweep::dist::runtime::run_worker_connect(addr),
+        cli::WorkerMode::Stdio => sweep::dist::runtime::run_worker_stdio(cache.as_deref()),
+        cli::WorkerMode::Connect(addr) => {
+            sweep::dist::runtime::run_worker_connect(addr, cache.as_deref())
+        }
     };
     if let Err(e) = result {
         ExitCode::Failure.fail(&format!("sweep-worker: {e}"));
@@ -493,21 +546,23 @@ fn run_sweep_worker(req: &cli::SweepWorkerRequest) {
 }
 
 /// `repro check-metrics FILE`: assert a metrics file parses against the
-/// `antdensity-metrics v2` schema (v1 files still accepted) — the CI
-/// guard that the artifact other jobs grep stays well-formed.
+/// `antdensity-metrics v3` schema (v2/v1 files still accepted) — the
+/// CI guard that the artifact other jobs grep stays well-formed.
 fn run_check_metrics(path: &PathBuf) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         ExitCode::Failure.fail(&format!("cannot read metrics file {}: {e}", path.display()))
     });
     match sweep::metrics::validate(&text) {
         Ok(summary) => println!(
-            "metrics ok: schema=v{} sweep={} wall_s={:.3} counters={} histograms={} dist={}",
+            "metrics ok: schema=v{} sweep={} wall_s={:.3} counters={} histograms={} dist={} \
+             cache={}",
             summary.schema_version,
             summary.name,
             summary.wall_s,
             summary.counters,
             summary.histograms,
             if summary.dist { "yes" } else { "no" },
+            if summary.cache { "yes" } else { "no" },
         ),
         Err(e) => ExitCode::Failure.fail(&format!(
             "metrics file {} violates {}: {e}",
@@ -526,6 +581,7 @@ fn run_serve(req: &cli::ServeRequest) {
         executors: req.executors,
         job_workers: req.job_workers,
         dist_workers: req.dist_workers,
+        cache: open_cache(req.cache.as_deref()),
     };
     if req.stdio {
         if let Err(e) = serve::run_stdio(cfg) {

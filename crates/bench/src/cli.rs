@@ -118,6 +118,9 @@ pub struct BenchRequest {
     /// Run only this benchmark family (one of [`crate::perf::GROUPS`]);
     /// `None` runs the whole suite.
     pub group: Option<String>,
+    /// `--list-groups`: print the known group names and exit — run
+    /// nothing.
+    pub list_groups: bool,
 }
 
 /// `repro sweep SPEC …` — invocation-side concerns around a
@@ -161,6 +164,15 @@ pub struct SweepRequest {
     pub listen: Option<String>,
     /// Deterministic fault-injection plan.
     pub fault: Option<String>,
+    /// `--cache DIR` — shard result cache directory (`off` / absent
+    /// disables). Shared with spawned dist workers and across
+    /// processes.
+    pub cache: Option<PathBuf>,
+    /// `--cache-verify`: recompute cache hits anyway and byte-compare;
+    /// any mismatch fails the run.
+    pub cache_verify: bool,
+    /// `--cache-cap BYTES`: LRU-evict down to this size after the run.
+    pub cache_cap: Option<u64>,
 }
 
 impl SweepRequest {
@@ -186,11 +198,15 @@ pub enum WorkerMode {
     Connect(String),
 }
 
-/// `repro sweep-worker [--stdio | --connect ADDR]`.
+/// `repro sweep-worker [--stdio | --connect ADDR] [--cache DIR]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepWorkerRequest {
     /// Transport back to the coordinator.
     pub mode: WorkerMode,
+    /// Worker-local shard result cache directory (`off` / absent
+    /// disables). A coordinator running with `--cache` forwards its
+    /// directory to spawned children automatically.
+    pub cache: Option<PathBuf>,
 }
 
 /// `repro check-metrics FILE`.
@@ -216,6 +232,9 @@ pub struct ServeRequest {
     pub job_workers: usize,
     /// Run jobs on the distributed runtime with N child workers.
     pub dist_workers: Option<usize>,
+    /// Shard result cache directory shared by all executors (`off` /
+    /// absent disables).
+    pub cache: Option<PathBuf>,
 }
 
 /// `repro serve-bench [--full] [--clients N] [--jobs N]`.
@@ -298,6 +317,13 @@ fn num<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> Resu
         .map_err(|_| UsageError(format!("`{flag}` got unparseable value `{raw}`")))
 }
 
+/// `--cache DIR|off` — the literal `off` means "no cache", same as
+/// omitting the flag, so scripts can override an inherited `--cache`.
+fn cache_operand(args: &[String], i: &mut usize) -> Result<Option<PathBuf>, UsageError> {
+    let raw = operand(args, i, "--cache")?;
+    Ok((raw != "off").then(|| PathBuf::from(raw)))
+}
+
 fn parse_experiments(args: &[String]) -> Result<Command, UsageError> {
     let mut req = ExperimentsRequest {
         ids: Vec::new(),
@@ -335,6 +361,7 @@ fn parse_bench(args: &[String]) -> Result<Command, UsageError> {
         compare: None,
         tolerance: 0.25,
         group: None,
+        list_groups: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -346,12 +373,14 @@ fn parse_bench(args: &[String]) -> Result<Command, UsageError> {
                 let g = operand(args, &mut i, "--group")?;
                 if !crate::perf::GROUPS.contains(&g.as_str()) {
                     return Err(UsageError(format!(
-                        "`--group` got unknown group `{g}` (known: {})",
+                        "`--group` got unknown group `{g}` (known: {}; \
+                         see `bench --list-groups`)",
                         crate::perf::GROUPS.join(", ")
                     )));
                 }
                 req.group = Some(g);
             }
+            "--list-groups" => req.list_groups = true,
             "--compare" => {
                 // optional operand; defaults to the committed baseline
                 if let Some(next) = args.get(i + 1).filter(|n| !n.starts_with("--")) {
@@ -397,6 +426,9 @@ fn parse_sweep(args: &[String]) -> Result<Command, UsageError> {
         workers_cmd: None,
         listen: None,
         fault: None,
+        cache: None,
+        cache_verify: false,
+        cache_cap: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -441,6 +473,17 @@ fn parse_sweep(args: &[String]) -> Result<Command, UsageError> {
                 req.serve_shards = true;
             }
             "--fault" => req.fault = Some(operand(args, &mut i, "--fault")?),
+            "--cache" => req.cache = cache_operand(args, &mut i)?,
+            "--cache-verify" => req.cache_verify = true,
+            "--cache-cap" => {
+                let cap: u64 = num(args, &mut i, "--cache-cap")?;
+                if cap == 0 {
+                    return Err(UsageError(
+                        "`--cache-cap` must be positive (use `--cache off` to disable)".to_string(),
+                    ));
+                }
+                req.cache_cap = Some(cap);
+            }
             tok if !tok.starts_with("--") && spec_path.is_none() => {
                 spec_path = Some(PathBuf::from(tok));
             }
@@ -454,20 +497,30 @@ fn parse_sweep(args: &[String]) -> Result<Command, UsageError> {
 }
 
 fn parse_sweep_worker(args: &[String]) -> Result<Command, UsageError> {
-    let mode = match args.first().map(String::as_str) {
-        None | Some("--stdio") => WorkerMode::Stdio,
-        Some("--connect") => WorkerMode::Connect(
-            args.get(1)
-                .cloned()
-                .ok_or_else(|| UsageError("`--connect` needs an ADDR operand".to_string()))?,
-        ),
-        Some(other) => {
-            return Err(UsageError(format!(
-                "unknown sweep-worker option `{other}` (want --stdio or --connect ADDR)"
-            )))
+    let mut mode = WorkerMode::Stdio;
+    let mut cache = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stdio" => mode = WorkerMode::Stdio,
+            "--connect" => {
+                mode =
+                    WorkerMode::Connect(args.get(i + 1).cloned().ok_or_else(|| {
+                        UsageError("`--connect` needs an ADDR operand".to_string())
+                    })?);
+                i += 1;
+            }
+            "--cache" => cache = cache_operand(args, &mut i)?,
+            other => {
+                return Err(UsageError(format!(
+                    "unknown sweep-worker option `{other}` \
+                     (want --stdio, --connect ADDR, or --cache DIR)"
+                )))
+            }
         }
-    };
-    Ok(Command::SweepWorker(SweepWorkerRequest { mode }))
+        i += 1;
+    }
+    Ok(Command::SweepWorker(SweepWorkerRequest { mode, cache }))
 }
 
 fn parse_check_metrics(args: &[String]) -> Result<Command, UsageError> {
@@ -489,6 +542,7 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
         executors: 2,
         job_workers: 0,
         dist_workers: None,
+        cache: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -511,6 +565,7 @@ fn parse_serve(args: &[String]) -> Result<Command, UsageError> {
                 }
                 req.dist_workers = Some(w);
             }
+            "--cache" => req.cache = cache_operand(args, &mut i)?,
             other => return Err(UsageError(format!("`serve` got unknown flag `{other}`"))),
         }
         i += 1;
@@ -620,6 +675,8 @@ mod tests {
         assert_eq!(req.max_shards, Some(3));
         assert_eq!(req.metrics, Some(Some(PathBuf::from("m.json"))));
         assert!(req.serve_shards);
+        assert_eq!(req.cache, None);
+        assert!(!req.cache_verify);
         // the job it means is the serve submit's job
         let job = req.to_job("name = x\n");
         assert_eq!(
@@ -642,6 +699,46 @@ mod tests {
         assert!(parse(&argv("sweep a.sweep --bogus")).is_err());
         let err = parse(&argv("sweep a.sweep --max-shards lots")).unwrap_err();
         assert!(err.0.contains("--max-shards"), "{err}");
+        assert!(parse(&argv("sweep a.sweep --cache")).is_err());
+        assert!(parse(&argv("sweep a.sweep --cache d --cache-cap 0")).is_err());
+    }
+
+    #[test]
+    fn cache_flags_parse_on_sweep_worker_and_serve() {
+        let Command::Sweep(req) = parse(&argv(
+            "sweep a.sweep --cache /tmp/cas --cache-verify --cache-cap 1024",
+        ))
+        .unwrap() else {
+            panic!("not sweep")
+        };
+        assert_eq!(req.cache, Some(PathBuf::from("/tmp/cas")));
+        assert!(req.cache_verify);
+        assert_eq!(req.cache_cap, Some(1024));
+        // `off` is the explicit disable, same as omitting the flag
+        let Command::Sweep(req) = parse(&argv("sweep a.sweep --cache off")).unwrap() else {
+            panic!("not sweep")
+        };
+        assert_eq!(req.cache, None);
+
+        assert_eq!(
+            parse(&argv("sweep-worker --stdio --cache /tmp/cas")).unwrap(),
+            Command::SweepWorker(SweepWorkerRequest {
+                mode: WorkerMode::Stdio,
+                cache: Some(PathBuf::from("/tmp/cas")),
+            })
+        );
+        assert_eq!(
+            parse(&argv("sweep-worker --connect 1.2.3.4:5 --cache off")).unwrap(),
+            Command::SweepWorker(SweepWorkerRequest {
+                mode: WorkerMode::Connect("1.2.3.4:5".to_string()),
+                cache: None,
+            })
+        );
+
+        let Command::Serve(req) = parse(&argv("serve --stdio --cache /tmp/cas")).unwrap() else {
+            panic!("not serve")
+        };
+        assert_eq!(req.cache, Some(PathBuf::from("/tmp/cas")));
     }
 
     #[test]
@@ -659,6 +756,7 @@ mod tests {
                 executors: 3,
                 job_workers: 0,
                 dist_workers: Some(2),
+                cache: None,
             })
         );
         assert!(parse(&argv("serve --stdio --listen x")).is_err());
@@ -721,7 +819,13 @@ mod tests {
         let err = parse(&argv("bench --group nonsense")).unwrap_err();
         assert!(err.0.contains("unknown group `nonsense`"), "{err}");
         assert!(err.0.contains("rng_batch"), "{err}");
+        assert!(err.0.contains("--list-groups"), "{err}");
         assert!(parse(&argv("bench --group")).is_err());
+
+        let Command::Bench(req) = parse(&argv("bench --list-groups")).unwrap() else {
+            panic!()
+        };
+        assert!(req.list_groups);
 
         assert_eq!(parse(&argv("list")).unwrap(), Command::List);
         assert!(parse(&argv("list extra")).is_err());
@@ -729,6 +833,7 @@ mod tests {
             parse(&argv("sweep-worker --connect 1.2.3.4:5")).unwrap(),
             Command::SweepWorker(SweepWorkerRequest {
                 mode: WorkerMode::Connect("1.2.3.4:5".to_string()),
+                cache: None,
             })
         );
         assert!(parse(&argv("check-metrics")).is_err());

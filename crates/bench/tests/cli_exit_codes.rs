@@ -91,18 +91,20 @@ fn distributed_run_exits_zero_with_byte_identical_artifacts() {
         assert_eq!(a, b, "{name} must be byte-identical");
     }
 
-    // The metrics artifact is v2 with a dist section, and check-metrics
-    // agrees (exit 0).
+    // The metrics artifact is v3 with a dist section (and no cache —
+    // the run had no --cache), and check-metrics agrees (exit 0).
     let metrics = dist.join("METRICS_cli_exit.json");
     let text = std::fs::read_to_string(&metrics).unwrap();
-    assert!(text.contains("\"schema\": \"antdensity-metrics v2\""));
+    assert!(text.contains("\"schema\": \"antdensity-metrics v3\""));
     assert!(text.contains("\"dist\": {"));
     assert!(text.contains("\"sweep.dist.leases\":"));
+    assert!(text.contains("\"cache\": null"));
     let out = repro(&["check-metrics", metrics.to_str().unwrap()]);
     assert!(out.status.success(), "{}", stderr_of(&out));
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
-    assert!(stdout.contains("schema=v2"), "{stdout}");
+    assert!(stdout.contains("schema=v3"), "{stdout}");
     assert!(stdout.contains("dist=yes"), "{stdout}");
+    assert!(stdout.contains("cache=no"), "{stdout}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

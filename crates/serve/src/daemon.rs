@@ -68,6 +68,11 @@ pub struct ServeConfig {
     /// When set, run each job's shards on the distributed runtime with
     /// this many child-process workers instead of in-process.
     pub dist_workers: Option<usize>,
+    /// Shard result cache shared by every executor (`repro serve
+    /// --cache DIR`): repeated or grid-overlapping client specs hit
+    /// instead of recomputing. Can never change result bytes — cached
+    /// blobs are verified and fall back to recompute.
+    pub cache: Option<Arc<antdensity_sweep::ShardCache>>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +82,7 @@ impl Default for ServeConfig {
             executors: 2,
             job_workers: 0, // 0 = the pool's own default
             dist_workers: None,
+            cache: None,
         }
     }
 }
@@ -592,15 +598,17 @@ fn execute(state: &Arc<ServerState>, id: u64) {
         !cancel.load(Ordering::SeqCst)
     };
 
-    let opts = SweepOptions {
-        quick: job.quick,
-        fuse: job.fuse,
-        workers: state.cfg.job_workers,
-        checkpoint_every: 1,
-        ..SweepOptions::default()
-    };
+    let cache = state.cfg.cache.clone();
     let result = match state.cfg.dist_workers {
         Some(workers) if workers > 0 => {
+            let opts = SweepOptions {
+                quick: job.quick,
+                fuse: job.fuse,
+                workers: state.cfg.job_workers,
+                checkpoint_every: 1,
+                cache,
+                ..SweepOptions::default()
+            };
             let dopts = DistOptions {
                 transport: Transport::Children { workers },
                 spec_text: Some(job.effective_spec_text()),
@@ -610,7 +618,7 @@ fn execute(state: &Arc<ServerState>, id: u64) {
                 .map(|(outcome, _stats)| outcome)
                 .map_err(|e| e.to_string())
         }
-        _ => validated.run_streaming(&job, state.cfg.job_workers, &mut on_shard),
+        _ => validated.run_streaming_with(&job, state.cfg.job_workers, cache, &mut on_shard),
     };
     drop(span);
 

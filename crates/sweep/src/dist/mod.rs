@@ -183,6 +183,27 @@ pub fn shard_blob(resolved: &ResolvedSweep, index: usize, fuse: bool) -> String 
     ck.to_text()
 }
 
+/// [`shard_blob`] through the shard result cache: a verified hit is
+/// returned as-is (cached blobs *are* the bytes [`shard_blob`] would
+/// produce — the cache publishes only computed blobs and verifies
+/// checksum, fingerprint, and cell count on read); a miss computes and
+/// publishes. Workers holding a local cache serve leases through this,
+/// and the coordinator cannot tell the difference: first-valid-wins
+/// and the byzantine-mismatch abort compare the same bytes either way.
+pub fn shard_blob_cached(
+    resolved: &ResolvedSweep,
+    index: usize,
+    fuse: bool,
+    cache: &crate::cache::ShardCache,
+) -> String {
+    if let Some(blob) = cache.blob_get(resolved, index) {
+        return blob;
+    }
+    let blob = shard_blob(resolved, index, fuse);
+    cache.blob_put(resolved, index, &blob);
+    blob
+}
+
 /// Parses a returned blob into its `(cell index, aggregate)` pairs
 /// after checking it answers for *this* spec.
 ///

@@ -15,7 +15,8 @@
 use super::coordinator::{Cmd, Coordinator, Event};
 use super::fault::{Delivery, FaultFilter, FaultPlan};
 use super::protocol::{read_frame, write_frame, Msg};
-use super::{shard_blob, DistError, DistOptions, DistStats, Transport};
+use super::{shard_blob, shard_blob_cached, DistError, DistOptions, DistStats, Transport};
+use crate::cache::ShardCache;
 use crate::runner::SweepOptions;
 use crate::spec::{ResolvedSweep, SweepSpec};
 use antdensity_telemetry as telemetry;
@@ -44,14 +45,22 @@ struct Link {
     child: Option<Child>,
 }
 
-fn default_worker_argv() -> Result<Vec<String>, String> {
+fn default_worker_argv(cache: Option<&ShardCache>) -> Result<Vec<String>, String> {
     let exe = std::env::current_exe()
         .map_err(|e| format!("cannot locate current executable for worker spawn: {e}"))?;
-    Ok(vec![
+    let mut argv = vec![
         exe.to_string_lossy().into_owned(),
         "sweep-worker".into(),
         "--stdio".into(),
-    ])
+    ];
+    // Spawned children inherit the coordinator's cache directory so
+    // every worker (and the coordinator's degraded path) shares one
+    // store. An explicit worker_argv is the caller's responsibility.
+    if let Some(cache) = cache {
+        argv.push("--cache".into());
+        argv.push(cache.root().to_string_lossy().into_owned());
+    }
+    Ok(argv)
 }
 
 fn spawn_reader<R: std::io::Read + Send + 'static>(id: u64, r: R, tx: mpsc::Sender<Wire>) {
@@ -126,7 +135,7 @@ pub(crate) fn run_real(
 
     let argv = match &dopts.worker_argv {
         Some(argv) if !argv.is_empty() => argv.clone(),
-        _ => default_worker_argv().map_err(fail)?,
+        _ => default_worker_argv(opts.cache.as_deref()).map_err(fail)?,
     };
     let spawn_child =
         |id: u64, links: &mut BTreeMap<u64, Link>, tx: &mpsc::Sender<Wire>| -> Result<(), String> {
@@ -342,7 +351,10 @@ pub(crate) fn run_real(
     let mut stats = coord.stats.clone();
     if let Some(shards) = degraded {
         for shard in shards {
-            let blob = shard_blob(resolved, shard as usize, fuse);
+            let blob = match opts.cache.as_deref() {
+                Some(cache) => shard_blob_cached(resolved, shard as usize, fuse, cache),
+                None => shard_blob(resolved, shard as usize, fuse),
+            };
             sink(shard, &blob).map_err(fail)?;
             stats.degraded += 1;
         }
@@ -408,6 +420,10 @@ fn deliver(
 /// The worker side of the protocol, generic over the transport.
 /// Reads `SPEC`, answers `HELLO`, then serves leases until `SHUTDOWN`
 /// or EOF; heartbeats ride a helper thread while a shard computes.
+/// With a `cache`, each lease consults the worker-local store before
+/// stepping — a verified hit is returned as the result blob without
+/// simulating (the bytes are identical either way, so the coordinator's
+/// first-valid-wins and mismatch-abort logic are untouched).
 ///
 /// # Errors
 ///
@@ -417,6 +433,7 @@ fn deliver(
 pub fn worker_loop<R: std::io::BufRead>(
     mut r: R,
     w: Arc<Mutex<Box<dyn Write + Send>>>,
+    cache: Option<&ShardCache>,
 ) -> Result<(), String> {
     let first = read_frame(&mut r)?.ok_or("connection closed before SPEC")?;
     let Msg::Spec {
@@ -463,8 +480,9 @@ pub fn worker_loop<R: std::io::BufRead>(
                     )?;
                     continue;
                 }
-                let blob =
-                    compute_with_heartbeats(&w, &resolved, worker, lease, shard, fuse, hb_ms);
+                let blob = compute_with_heartbeats(
+                    &w, &resolved, worker, lease, shard, fuse, hb_ms, cache,
+                );
                 send(&w, &Msg::Result { lease, shard, blob })?;
             }
             Ok(Some(other)) => return Err(format!("unexpected {} frame", first_verb(&other))),
@@ -482,6 +500,7 @@ fn send(w: &Arc<Mutex<Box<dyn Write + Send>>>, msg: &Msg) -> Result<(), String> 
     write_frame(&mut *guard, msg).map_err(|e| format!("send failed: {e}"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compute_with_heartbeats(
     w: &Arc<Mutex<Box<dyn Write + Send>>>,
     resolved: &ResolvedSweep,
@@ -490,6 +509,7 @@ fn compute_with_heartbeats(
     shard: u64,
     fuse: bool,
     hb_ms: u64,
+    cache: Option<&ShardCache>,
 ) -> String {
     let stop = Arc::new(AtomicBool::new(false));
     let pump = {
@@ -514,7 +534,10 @@ fn compute_with_heartbeats(
             }
         })
     };
-    let blob = shard_blob(resolved, shard as usize, fuse);
+    let blob = match cache {
+        Some(cache) => shard_blob_cached(resolved, shard as usize, fuse, cache),
+        None => shard_blob(resolved, shard as usize, fuse),
+    };
     stop.store(true, Ordering::Relaxed);
     let _ = pump.join();
     blob
@@ -523,32 +546,35 @@ fn compute_with_heartbeats(
 /// Runs a worker speaking frames on stdin/stdout — the child half of
 /// `repro sweep … --serve-shards` (`repro sweep-worker --stdio`).
 /// Anything the worker wants to say to a human goes to stderr; stdout
-/// carries only frames.
+/// carries only frames. `cache` is the worker-local shard result
+/// store (`repro sweep-worker --cache DIR`; forwarded automatically to
+/// spawned children when the coordinator runs with `--cache`).
 ///
 /// # Errors
 ///
 /// Returns protocol violations and I/O failures as displayable
 /// messages.
-pub fn run_worker_stdio() -> Result<(), String> {
+pub fn run_worker_stdio(cache: Option<&ShardCache>) -> Result<(), String> {
     let stdin = std::io::stdin();
     let writer: Arc<Mutex<Box<dyn Write + Send>>> =
         Arc::new(Mutex::new(Box::new(std::io::stdout())));
-    worker_loop(BufReader::new(stdin.lock()), writer)
+    worker_loop(BufReader::new(stdin.lock()), writer, cache)
 }
 
 /// Runs a worker that dials a listening coordinator — the peer half of
 /// `repro sweep … --listen ADDR` (`repro sweep-worker --connect ADDR`).
+/// `cache` as in [`run_worker_stdio`].
 ///
 /// # Errors
 ///
 /// Returns connection failures, protocol violations, and I/O failures
 /// as displayable messages.
-pub fn run_worker_connect(addr: &str) -> Result<(), String> {
+pub fn run_worker_connect(addr: &str, cache: Option<&ShardCache>) -> Result<(), String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let _ = stream.set_nodelay(true);
     let read_half = stream
         .try_clone()
         .map_err(|e| format!("cannot clone stream: {e}"))?;
     let writer: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(Box::new(stream)));
-    worker_loop(BufReader::new(read_half), writer)
+    worker_loop(BufReader::new(read_half), writer, cache)
 }

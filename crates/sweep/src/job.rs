@@ -123,6 +123,25 @@ impl ValidatedJob {
         workers: usize,
         on_shard: &mut ShardObserver<'_>,
     ) -> Result<SweepOutcome, String> {
+        self.run_streaming_with(job, workers, None, on_shard)
+    }
+
+    /// [`ValidatedJob::run_streaming`] with a shard result cache: the
+    /// daemon threads its process-wide cache through here so every
+    /// executor (and repeated or grid-overlapping client specs) shares
+    /// one store. Checkpoint and resume stay off — the cache is the
+    /// ephemeral-job replacement for both.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runner failures as displayable messages.
+    pub fn run_streaming_with(
+        &self,
+        job: &SweepJob,
+        workers: usize,
+        cache: Option<std::sync::Arc<crate::cache::ShardCache>>,
+        on_shard: &mut ShardObserver<'_>,
+    ) -> Result<SweepOutcome, String> {
         let opts = SweepOptions {
             quick: job.quick,
             fuse: job.fuse,
@@ -130,6 +149,7 @@ impl ValidatedJob {
             // One shard per wave: cancellation and row streaming both
             // act at shard granularity.
             checkpoint_every: 1,
+            cache,
             ..SweepOptions::default()
         };
         run_sweep_observed(&self.spec, &opts, on_shard)

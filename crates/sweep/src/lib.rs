@@ -49,6 +49,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod aggregate;
+pub mod cache;
 pub mod checkpoint;
 pub mod dist;
 pub mod job;
@@ -59,6 +60,7 @@ pub mod schema;
 pub mod spec;
 
 pub use aggregate::CellAggregate;
+pub use cache::{CacheStats, ShardCache};
 pub use checkpoint::{Checkpoint, CheckpointLock};
 pub use dist::{
     run_sweep_distributed, run_sweep_distributed_observed, DistError, DistOptions, DistStats,

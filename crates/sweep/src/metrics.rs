@@ -8,11 +8,11 @@
 //! duration histograms so CI and humans read one artifact instead of
 //! two.
 //!
-//! # Schema (`antdensity-metrics v2`)
+//! # Schema (`antdensity-metrics v3`)
 //!
 //! ```json
 //! {
-//!   "schema": "antdensity-metrics v2",
+//!   "schema": "antdensity-metrics v3",
 //!   "sweep": "alg1_accuracy",          // spec name
 //!   "mode": "quick",                   // quick | full
 //!   "fused": true,                     // fused shards vs --no-fuse
@@ -37,6 +37,16 @@
 //!     "bad_frames": 0,                 //   undecodable/corrupt frames
 //!     "degraded": 0                    //   shards run in-process after loss
 //!   },
+//!   "cache": {                         // v3: shard result cache counters
+//!     "hits": 6,                       //   shards served from the cache
+//!     "misses": 2,                     //   lookups that found nothing
+//!     "stores": 2,                     //   blobs published
+//!     "corrupt": 0,                    //   entries that failed verification
+//!     "bytes_read": 8192,              //   payload bytes served
+//!     "bytes_written": 2048,           //   entry bytes written
+//!     "evictions": 0,                  //   entries removed by LRU passes
+//!     "verify_failures": 0             //   --cache-verify byte mismatches
+//!   },
 //!   "counters": {                      // telemetry counters, name-sorted
 //!     "engine.rounds": 4096,
 //!     "sweep.rounds_saved_by_fusion": 1024
@@ -60,10 +70,13 @@
 //! time), while the top-level keys above are the stable contract
 //! [`validate`] enforces.
 //!
-//! An in-process run writes `"dist": null`. [`validate`] also accepts
-//! the previous `antdensity-metrics v1` marker, under which the `dist`
-//! key is absent — old artifacts keep validating.
+//! An in-process run writes `"dist": null`; a cache-off run writes
+//! `"cache": null`. [`validate`] also accepts the previous markers:
+//! `antdensity-metrics v2` (has `dist`, predates `cache`) and
+//! `antdensity-metrics v1` (neither key) — old artifacts keep
+//! validating.
 
+use crate::cache::CacheStats;
 use crate::dist::DistStats;
 use crate::runner::SweepOutcome;
 use antdensity_telemetry as telemetry;
@@ -102,6 +115,9 @@ pub struct SweepMetrics {
     /// Distributed-run counters (`None` for in-process runs, rendered
     /// as `"dist": null`).
     pub dist: Option<DistStats>,
+    /// Shard result cache counters (`None` for cache-off runs,
+    /// rendered as `"cache": null`).
+    pub cache: Option<CacheStats>,
     /// Telemetry registry state at snapshot time.
     pub snapshot: telemetry::Snapshot,
 }
@@ -131,6 +147,7 @@ impl SweepMetrics {
             workers_requested: outcome.workers_requested,
             workers_effective: outcome.workers_effective,
             dist: None,
+            cache: None,
             snapshot,
         }
     }
@@ -140,6 +157,14 @@ impl SweepMetrics {
     #[must_use]
     pub fn with_dist(mut self, stats: DistStats) -> Self {
         self.dist = Some(stats);
+        self
+    }
+
+    /// Attaches shard-cache counters, marking the file as coming from
+    /// a `--cache` invocation.
+    #[must_use]
+    pub fn with_cache(mut self, stats: CacheStats) -> Self {
+        self.cache = Some(stats);
         self
     }
 
@@ -196,6 +221,23 @@ impl SweepMetrics {
                 d.degraded,
             )),
         }
+        match &self.cache {
+            None => out.push_str("  \"cache\": null,\n"),
+            Some(c) => out.push_str(&format!(
+                "  \"cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \
+                 \"stores\": {},\n    \"corrupt\": {},\n    \"bytes_read\": {},\n    \
+                 \"bytes_written\": {},\n    \"evictions\": {},\n    \
+                 \"verify_failures\": {}\n  }},\n",
+                c.hits,
+                c.misses,
+                c.stores,
+                c.corrupt,
+                c.bytes_read,
+                c.bytes_written,
+                c.evictions,
+                c.verify_failures,
+            )),
+        }
         out.push_str("  \"counters\": {\n");
         for (i, (name, value)) in self.snapshot.counters.iter().enumerate() {
             out.push_str(&format!(
@@ -246,11 +288,15 @@ impl SweepMetrics {
 }
 
 /// The schema identifier newly written metrics files carry
-/// ([`crate::schema::METRICS_V2`]).
-pub const SCHEMA: &str = crate::schema::METRICS_V2;
+/// ([`crate::schema::METRICS_V3`]).
+pub const SCHEMA: &str = crate::schema::METRICS_V3;
 
-/// The previous schema identifier, still accepted by [`validate`]
-/// ([`crate::schema::METRICS_V1`]).
+/// The v2 schema identifier, still accepted by [`validate`]
+/// ([`crate::schema::METRICS_V2`]): has `dist`, predates `cache`.
+pub const SCHEMA_V2: &str = crate::schema::METRICS_V2;
+
+/// The v1 schema identifier, still accepted by [`validate`]
+/// ([`crate::schema::METRICS_V1`]): predates both sections.
 pub const SCHEMA_V1: &str = crate::schema::METRICS_V1;
 
 /// Keys [`validate`] requires inside a non-null `dist` object.
@@ -264,6 +310,18 @@ const DIST_KEYS: &[&str] = &[
     "nacks",
     "bad_frames",
     "degraded",
+];
+
+/// Keys [`validate`] requires inside a non-null `cache` object.
+const CACHE_KEYS: &[&str] = &[
+    "hits",
+    "misses",
+    "stores",
+    "corrupt",
+    "bytes_read",
+    "bytes_written",
+    "evictions",
+    "verify_failures",
 ];
 
 /// Top-level keys [`validate`] requires (besides `schema`).
@@ -297,20 +355,24 @@ pub struct MetricsSummary {
     pub counters: usize,
     /// Number of histogram entries.
     pub histograms: usize,
-    /// Schema version the file declared (1 or 2).
+    /// Schema version the file declared (1, 2, or 3).
     pub schema_version: u32,
-    /// Whether a non-null `dist` section was present (v2 distributed
+    /// Whether a non-null `dist` section was present (v2+ distributed
     /// runs only).
     pub dist: bool,
+    /// Whether a non-null `cache` section was present (v3 `--cache`
+    /// runs only).
+    pub cache: bool,
 }
 
 /// Validates a `METRICS_*.json` file's text against the
-/// `antdensity-metrics v2` contract (or the still-accepted v1): the
-/// schema marker, every required top-level key, balanced braces, and
-/// parseable numbers where the CI gate reads them. Under v2 the `dist`
-/// key must be present — `null` for in-process runs, an object with
-/// every distributed counter otherwise; under v1 it must be absent.
-/// Backs `repro check-metrics`.
+/// `antdensity-metrics v3` contract (or the still-accepted v2/v1):
+/// the schema marker, every required top-level key, balanced braces,
+/// and parseable numbers where the CI gate reads them. Under v3 both
+/// the `dist` and `cache` keys must be present — `null` when the
+/// corresponding subsystem was off, an object with every counter
+/// otherwise; v2 has `dist` but must not have `cache`; v1 has
+/// neither. Backs `repro check-metrics`.
 ///
 /// This is a structural check over the hand-rolled format, not a full
 /// JSON parser — it rejects the failure modes that matter (truncated
@@ -327,12 +389,14 @@ pub fn validate(text: &str) -> Result<MetricsSummary, String> {
         return Err("unbalanced braces (truncated file?)".to_string());
     }
     let schema_version = if text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        3
+    } else if text.contains(&format!("\"schema\": \"{SCHEMA_V2}\"")) {
         2
     } else if text.contains(&format!("\"schema\": \"{SCHEMA_V1}\"")) {
         1
     } else {
         return Err(format!(
-            "missing or wrong schema marker (want `{SCHEMA}` or `{SCHEMA_V1}`)"
+            "missing or wrong schema marker (want `{SCHEMA}`, `{SCHEMA_V2}`, or `{SCHEMA_V1}`)"
         ));
     };
     for key in REQUIRED_KEYS {
@@ -340,28 +404,34 @@ pub fn validate(text: &str) -> Result<MetricsSummary, String> {
             return Err(format!("missing required key `{key}`"));
         }
     }
-    let dist = match schema_version {
-        1 => {
-            if text.contains("\"dist\":") {
-                return Err("v1 file carries a `dist` key (bump the schema marker)".to_string());
+    // A versioned optional section: `null` or an object carrying every
+    // listed key, required from `since` on, forbidden before it.
+    let section = |key: &str, keys: &[&str], since: u32| -> Result<bool, String> {
+        if schema_version < since {
+            if text.contains(&format!("\"{key}\":")) {
+                return Err(format!(
+                    "v{schema_version} file carries a `{key}` key (bump the schema marker)"
+                ));
             }
-            false
+            return Ok(false);
         }
-        _ => {
-            if text.contains("\"dist\": null") {
-                false
-            } else if text.contains("\"dist\": {") {
-                for key in DIST_KEYS {
-                    if !text.contains(&format!("\"{key}\":")) {
-                        return Err(format!("`dist` object missing required key `{key}`"));
-                    }
+        if text.contains(&format!("\"{key}\": null")) {
+            Ok(false)
+        } else if text.contains(&format!("\"{key}\": {{")) {
+            for k in keys {
+                if !text.contains(&format!("\"{k}\":")) {
+                    return Err(format!("`{key}` object missing required key `{k}`"));
                 }
-                true
-            } else {
-                return Err("v2 file needs `dist`: null or an object".to_string());
             }
+            Ok(true)
+        } else {
+            Err(format!(
+                "v{schema_version} file needs `{key}`: null or an object"
+            ))
         }
     };
+    let dist = section("dist", DIST_KEYS, 2)?;
+    let cache = section("cache", CACHE_KEYS, 3)?;
     let string_after = |key: &str| -> Option<String> {
         let tag = format!("\"{key}\": \"");
         let start = text.find(&tag)? + tag.len();
@@ -443,6 +513,7 @@ pub fn validate(text: &str) -> Result<MetricsSummary, String> {
         histograms: section_entries("histograms")?,
         schema_version,
         dist,
+        cache,
     })
 }
 
@@ -478,8 +549,9 @@ mod tests {
         assert!(m.workers_effective >= 1);
         assert!(m.workers_effective <= m.workers_requested);
         let json = m.to_json();
-        assert!(json.contains("\"schema\": \"antdensity-metrics v2\""));
+        assert!(json.contains("\"schema\": \"antdensity-metrics v3\""));
         assert!(json.contains("\"dist\": null"));
+        assert!(json.contains("\"cache\": null"));
         assert!(json.contains("\"fused\": true"));
         assert!(json.contains("\"wall_s\": 0.125"));
         assert!(json.contains("\"simulated_rounds\": 16"));
@@ -497,8 +569,9 @@ mod tests {
         assert!((summary.wall_s - 0.125).abs() < 1e-9);
         assert_eq!(summary.counters, m.snapshot.counters.len());
         assert_eq!(summary.histograms, m.snapshot.histograms.len());
-        assert_eq!(summary.schema_version, 2);
+        assert_eq!(summary.schema_version, 3);
         assert!(!summary.dist);
+        assert!(!summary.cache);
     }
 
     #[test]
@@ -521,11 +594,56 @@ mod tests {
         assert!(json.contains("\"reissues\": 2"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let summary = validate(&json).unwrap();
-        assert_eq!(summary.schema_version, 2);
+        assert_eq!(summary.schema_version, 3);
         assert!(summary.dist);
         // a dist object missing a counter is rejected
         let broken = json.replace("    \"respawns\": 1,\n", "");
         assert!(validate(&broken).unwrap_err().contains("respawns"));
+    }
+
+    #[test]
+    fn cache_section_round_trips_and_validates() {
+        let stats = crate::cache::CacheStats {
+            hits: 6,
+            misses: 2,
+            stores: 2,
+            corrupt: 1,
+            bytes_read: 8192,
+            bytes_written: 2048,
+            evictions: 0,
+            verify_failures: 0,
+        };
+        let m = demo_metrics().with_cache(stats);
+        let json = m.to_json();
+        assert!(json.contains("\"cache\": {"));
+        assert!(json.contains("\"hits\": 6"));
+        assert!(json.contains("\"verify_failures\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let summary = validate(&json).unwrap();
+        assert_eq!(summary.schema_version, 3);
+        assert!(summary.cache);
+        assert!(!summary.dist);
+        // a cache object missing a counter is rejected
+        let broken = json.replace("    \"evictions\": 0,\n", "");
+        assert!(validate(&broken).unwrap_err().contains("evictions"));
+    }
+
+    #[test]
+    fn v2_files_without_cache_still_validate() {
+        let m = demo_metrics();
+        let v2 = m
+            .to_json()
+            .replace(SCHEMA, SCHEMA_V2)
+            .replace("  \"cache\": null,\n", "");
+        let summary = validate(&v2).unwrap();
+        assert_eq!(summary.schema_version, 2);
+        assert!(!summary.cache);
+        // ...but a v2 marker with a cache key is a schema violation
+        let mixed = m.to_json().replace(SCHEMA, SCHEMA_V2);
+        assert!(validate(&mixed).unwrap_err().contains("bump the schema"));
+        // and a v3 file that dropped cache entirely is rejected
+        let dropped = m.to_json().replace("  \"cache\": null,\n", "");
+        assert!(validate(&dropped).unwrap_err().contains("cache"));
     }
 
     #[test]
@@ -534,14 +652,19 @@ mod tests {
         let v1 = m
             .to_json()
             .replace(SCHEMA, SCHEMA_V1)
-            .replace("  \"dist\": null,\n", "");
+            .replace("  \"dist\": null,\n", "")
+            .replace("  \"cache\": null,\n", "");
         let summary = validate(&v1).unwrap();
         assert_eq!(summary.schema_version, 1);
         assert!(!summary.dist);
+        assert!(!summary.cache);
         // ...but a v1 marker with a dist key is a schema violation
-        let mixed = m.to_json().replace(SCHEMA, SCHEMA_V1);
+        let mixed = m
+            .to_json()
+            .replace(SCHEMA, SCHEMA_V1)
+            .replace("  \"cache\": null,\n", "");
         assert!(validate(&mixed).unwrap_err().contains("bump the schema"));
-        // and a v2 file that dropped dist entirely is rejected
+        // and a v3 file that dropped dist entirely is rejected
         let dropped = m.to_json().replace("  \"dist\": null,\n", "");
         assert!(validate(&dropped).unwrap_err().contains("dist"));
     }

@@ -85,6 +85,20 @@ pub struct SweepOptions {
     /// Msteps/s, rounds-weighted ETA. Observability only — never
     /// touches results.
     pub progress: bool,
+    /// Shard result cache (`repro sweep --cache DIR`): consulted
+    /// before executing a shard, published to after. `None` (default)
+    /// disables caching. Results never depend on it — a cached blob is
+    /// verified down to the fingerprint and falls back to recompute.
+    pub cache: Option<Arc<crate::cache::ShardCache>>,
+    /// Distrust mode (`--cache-verify`): cache hits are recomputed
+    /// anyway and byte-compared against the cached blob; any mismatch
+    /// aborts the sweep loudly. CI's way of proving the cache serves
+    /// the exact bytes simulation would produce.
+    pub cache_verify: bool,
+    /// Cache size cap in bytes (`--cache-cap`): after the sweep
+    /// publishes its shards, an LRU eviction pass shrinks the cache to
+    /// this size. `None` = unbounded.
+    pub cache_cap: Option<u64>,
 }
 
 impl Default for SweepOptions {
@@ -99,6 +113,9 @@ impl Default for SweepOptions {
             max_shards: None,
             checkpoint_every: 8,
             progress: false,
+            cache: None,
+            cache_verify: false,
+            cache_cap: None,
         }
     }
 }
@@ -266,6 +283,62 @@ pub fn run_shard_unfused(resolved: &ResolvedSweep, index: usize) -> Vec<(usize, 
     out
 }
 
+/// Executes shard `index` through the result cache: a verified hit
+/// skips simulation entirely (unless `verify`, which recomputes anyway
+/// and byte-compares); a miss computes and publishes the blob. Returns
+/// the shard's cell aggregates plus whether simulation actually ran —
+/// the outcome's work accounting counts only real simulation passes.
+///
+/// # Errors
+///
+/// Fails only in `verify` mode, when a cached blob does not byte-match
+/// its recomputation.
+fn run_shard_cached(
+    resolved: &ResolvedSweep,
+    index: usize,
+    fuse: bool,
+    cache: &crate::cache::ShardCache,
+    verify: bool,
+) -> Result<(Vec<(usize, CellAggregate)>, bool), String> {
+    if let Some(blob) = cache.blob_get(resolved, index) {
+        if verify {
+            let fresh = crate::dist::shard_blob(resolved, index, fuse);
+            if fresh != blob {
+                cache.note_verify_failure();
+                let at = fresh
+                    .bytes()
+                    .zip(blob.bytes())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| fresh.len().min(blob.len()));
+                return Err(format!(
+                    "cache-verify mismatch on shard {index}: cached blob diverges \
+                     from recomputation at byte {at} (cached {} bytes, fresh {} \
+                     bytes) — the cache directory is unhealthy",
+                    blob.len(),
+                    fresh.len()
+                ));
+            }
+            return Ok((crate::dist::parse_blob(resolved, &fresh)?, true));
+        }
+        let cells =
+            crate::dist::parse_blob(resolved, &blob).expect("blob_get already verified the blob");
+        return Ok((cells, false));
+    }
+    let cells = if fuse {
+        run_shard(resolved, index)
+    } else {
+        run_shard_unfused(resolved, index)
+    };
+    let blob = Checkpoint {
+        fingerprint: resolved.fingerprint,
+        cells: resolved.cells.len(),
+        shards: cells.iter().cloned().collect(),
+    }
+    .to_text();
+    cache.blob_put(resolved, index, &blob);
+    Ok((cells, true))
+}
+
 /// Resolves `spec` under `opts` and executes its fused shards,
 /// checkpointing each wave and resuming from a prior checkpoint when
 /// asked.
@@ -374,22 +447,33 @@ pub fn run_sweep_observed(
         // Unused per-trial RNG (shards derive their own streams), but
         // run_trials_on is the workspace's deterministic pool fan-out.
         let seq = SeedSequence::new(resolved.seed);
+        let cache = opts.cache.as_deref();
+        let cache_verify = opts.cache_verify;
         let results = parallel::run_trials_on(pool, wave.len() as u64, workers, seq, |i, _| {
             let shard = wave[i as usize];
-            if fuse {
-                run_shard(&resolved, shard)
-            } else {
-                run_shard_unfused(&resolved, shard)
+            match cache {
+                Some(cache) => run_shard_cached(&resolved, shard, fuse, cache, cache_verify),
+                None => Ok((
+                    if fuse {
+                        run_shard(&resolved, shard)
+                    } else {
+                        run_shard_unfused(&resolved, shard)
+                    },
+                    true,
+                )),
             }
         });
-        for (&shard_idx, cell_aggs) in wave.iter().zip(results) {
+        for (&shard_idx, result) in wave.iter().zip(results) {
+            let (cell_aggs, simulated) = result?;
             let shard = &resolved.fused[shard_idx];
-            if fuse {
-                simulations += resolved.trials;
-                simulated_rounds += shard.max_rounds() * resolved.trials;
-            } else {
-                simulations += resolved.trials * shard.cells.len() as u64;
-                simulated_rounds += shard.unfused_rounds() * resolved.trials;
+            if simulated {
+                if fuse {
+                    simulations += resolved.trials;
+                    simulated_rounds += shard.max_rounds() * resolved.trials;
+                } else {
+                    simulations += resolved.trials * shard.cells.len() as u64;
+                    simulated_rounds += shard.unfused_rounds() * resolved.trials;
+                }
             }
             progress_rounds += shard_rounds(shard);
             progress_agent_steps += shard_agent_steps(shard);
@@ -425,6 +509,13 @@ pub fn run_sweep_observed(
     }
     if opts.progress && executed > 0 {
         eprintln!();
+    }
+
+    // Housekeeping after publishing this run's shards: shrink the
+    // cache to its cap, evicting least-recently-used entries first
+    // (this run's hits and stores are the freshest).
+    if let (Some(cache), Some(cap)) = (&opts.cache, opts.cache_cap) {
+        cache.evict_to(cap);
     }
 
     let aggregates: Vec<Option<CellAggregate>> =

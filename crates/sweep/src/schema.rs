@@ -16,8 +16,13 @@
 //! formats never drift silently.
 
 /// Marker newly written `METRICS_<name>.json` files carry
-/// (`repro sweep --metrics`). Bumped to v2 when the `dist` section
-/// landed with the distributed runtime.
+/// (`repro sweep --metrics`). Bumped to v3 when the `cache` section
+/// landed with the shard result cache.
+pub const METRICS_V3: &str = "antdensity-metrics v3";
+
+/// The v2 metrics marker; `repro check-metrics` still accepts files
+/// carrying it (they have a `dist` key but predate `cache`). Bumped
+/// to v2 when the `dist` section landed with the distributed runtime.
 pub const METRICS_V2: &str = "antdensity-metrics v2";
 
 /// The previous metrics marker; `repro check-metrics` still accepts
@@ -41,6 +46,16 @@ pub const FINGERPRINT_CANONICAL: &str = "sweep v2";
 /// worker protocol underneath it.
 pub const JOB_PROTOCOL: &str = "antdensity-job-protocol v1";
 
+/// Namespace of the shard result cache inside the content-addressed
+/// store (`crates/cas`). The cached value is the shard's checkpoint
+/// blob, so the namespace ties together every contract the blob
+/// depends on: bump it whenever [`CHECKPOINT_MAGIC`] or
+/// [`FINGERPRINT_CANONICAL`] would not be enough to invalidate stale
+/// entries (entries under the old namespace are simply never read
+/// again). Keys under this namespace are
+/// `<fingerprint-hex>/shard<index>`.
+pub const SHARD_CACHE_V1: &str = "antdensity-shard-cache v1";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,14 +63,19 @@ mod tests {
     #[test]
     fn markers_are_distinct_and_versioned() {
         let all = [
+            METRICS_V3,
             METRICS_V2,
             METRICS_V1,
             CHECKPOINT_MAGIC,
             FINGERPRINT_CANONICAL,
             JOB_PROTOCOL,
+            SHARD_CACHE_V1,
         ];
         for (i, a) in all.iter().enumerate() {
-            assert!(a.contains("v1") || a.contains("v2"), "unversioned: {a}");
+            assert!(
+                a.contains("v1") || a.contains("v2") || a.contains("v3"),
+                "unversioned: {a}"
+            );
             for b in &all[i + 1..] {
                 assert_ne!(a, b);
             }

@@ -317,7 +317,7 @@ fn tcp_loopback_real_runtime_matches_in_process() {
             std::thread::spawn(move || {
                 // The listener comes up concurrently; retry briefly.
                 for _ in 0..100 {
-                    match dist::runtime::run_worker_connect(&addr) {
+                    match dist::runtime::run_worker_connect(&addr, None) {
                         Ok(()) => return Ok(()),
                         Err(e) if e.contains("cannot connect") => {
                             std::thread::sleep(std::time::Duration::from_millis(20));
